@@ -1,0 +1,121 @@
+// Shared helpers for the figure-reproduction benches: flag parsing, wall
+// clock, and Monte-Carlo overhead measurement on the core codec.
+//
+// Every bench binary prints a gnuplot-ready table (columns separated by
+// whitespace, '#' comment headers). Default parameters finish in seconds
+// and show the same curve shapes as the paper; pass --full for paper-scale
+// sweeps. EXPERIMENTS.md records both.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/riblt.hpp"
+
+namespace ribltx::bench {
+
+struct Options {
+  bool full = false;
+  int trials = 0;           ///< 0 = bench-specific default
+  std::uint64_t seed = 1;
+
+  static Options parse(int argc, char** argv) {
+    Options o;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--full") {
+        o.full = true;
+      } else if (arg.rfind("--trials=", 0) == 0) {
+        o.trials = std::atoi(arg.c_str() + 9);
+      } else if (arg.rfind("--seed=", 0) == 0) {
+        o.seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+      } else if (arg == "--help" || arg == "-h") {
+        std::printf("usage: %s [--full] [--trials=N] [--seed=N]\n", argv[0]);
+        std::exit(0);
+      } else {
+        std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+        std::exit(2);
+      }
+    }
+    return o;
+  }
+};
+
+class Timer {
+ public:
+  Timer() : start_(std::chrono::steady_clock::now()) {}
+
+  /// Seconds since construction or last reset.
+  [[nodiscard]] double elapsed() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+  }
+
+  void reset() { start_ = std::chrono::steady_clock::now(); }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// One reconciliation trial: encode a fresh d-item set, stream coded
+/// symbols into a decoder with no local items (the difference-set view),
+/// return coded symbols consumed. Overhead = result / d.
+template <typename MappingFactory>
+[[nodiscard]] std::size_t coded_symbols_to_decode(std::size_t d,
+                                                  const MappingFactory& mf,
+                                                  std::uint64_t seed,
+                                                  std::size_t cap = 0) {
+  Encoder<U64Symbol, SipHasher<U64Symbol>, MappingFactory> enc({}, mf);
+  SplitMix64 rng(seed);
+  for (std::size_t i = 0; i < d; ++i) {
+    enc.add_symbol(U64Symbol::random(rng.next()));
+  }
+  Decoder<U64Symbol, SipHasher<U64Symbol>, MappingFactory> dec({}, mf);
+  std::size_t used = 0;
+  const std::size_t limit = cap == 0 ? 400 * d + 4096 : cap;
+  while (!dec.decoded() && used < limit) {
+    dec.add_coded_symbol(enc.produce_next());
+    ++used;
+  }
+  return used;
+}
+
+struct OverheadStats {
+  double mean = 0;
+  double stddev = 0;
+  double median = 0;
+};
+
+template <typename MappingFactory>
+[[nodiscard]] OverheadStats measure_overhead(std::size_t d, int trials,
+                                             const MappingFactory& mf,
+                                             std::uint64_t seed) {
+  std::vector<double> xs;
+  xs.reserve(static_cast<std::size_t>(trials));
+  for (int t = 0; t < trials; ++t) {
+    const auto used = coded_symbols_to_decode(
+        d, mf, derive_seed(seed, static_cast<std::uint64_t>(t)));
+    xs.push_back(static_cast<double>(used) / static_cast<double>(d));
+  }
+  OverheadStats s;
+  for (double x : xs) s.mean += x;
+  s.mean /= static_cast<double>(xs.size());
+  for (double x : xs) s.stddev += (x - s.mean) * (x - s.mean);
+  s.stddev = xs.size() > 1
+                 ? std::sqrt(s.stddev / static_cast<double>(xs.size() - 1))
+                 : 0.0;
+  std::nth_element(xs.begin(), xs.begin() + static_cast<std::ptrdiff_t>(xs.size() / 2), xs.end());
+  s.median = xs[xs.size() / 2];
+  return s;
+}
+
+}  // namespace ribltx::bench

@@ -1,0 +1,99 @@
+// Extension bench: wire-format ablations from §7.1 "Scalability of
+// Rateless IBLT" -- the checksum/count fields add ~9 B per coded symbol,
+// which dominates for short items. The paper's outs: shrink the checksum
+// to 4 B (enough for differences into the tens of thousands) and/or drop
+// the count field entirely (peeling never reads it).
+//
+// This bench measures bytes-per-reconciled-difference for each option and
+// verifies decodability of each (4-byte-checksum streams decode through
+// the standard decoder with a masked-hash hasher; count-less streams
+// through CountlessDecoder).
+#include <cstdio>
+
+#include "benchutil.hpp"
+#include "core/countless.hpp"
+
+namespace {
+
+using namespace ribltx;
+using Item = ByteSymbol<8>;  // short items: framing overhead is maximal
+
+/// Hasher whose output is truncated to 32 bits: what effectively rides the
+/// wire when checksum_len = 4. Both parties must use it symmetrically.
+struct TruncatedHasher {
+  SipHasher<Item> inner;
+  std::uint64_t operator()(const Item& s) const noexcept {
+    return inner(s) & 0xffffffffULL;
+  }
+  HashedSymbol<Item> hashed(const Item& s) const noexcept {
+    return {s, (*this)(s)};
+  }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opts = bench::Options::parse(argc, argv);
+  const int trials = opts.trials > 0 ? opts.trials : (opts.full ? 50 : 10);
+
+  std::printf("# Extra: wire ablations on 8-byte items (bytes per "
+              "difference; item floor is 8)\n");
+  std::printf("%-8s %-14s %-14s %-14s %-9s\n", "d", "full(8B+cnt)",
+              "4B_checksum", "countless_8B", "decodes");
+
+  for (std::size_t d : {16u, 128u, 1024u, 8192u}) {
+    double sym_full = 0, sym_trunc = 0, sym_countless = 0;
+    bool all_ok = true;
+    for (int t = 0; t < trials; ++t) {
+      const std::uint64_t seed = derive_seed(opts.seed + d, static_cast<std::uint64_t>(t));
+      // Full format, standard decoder.
+      {
+        Encoder<Item> enc;
+        SplitMix64 rng(seed);
+        for (std::size_t i = 0; i < d; ++i) enc.add_symbol(Item::random(rng.next()));
+        Decoder<Item> dec;
+        std::size_t used = 0;
+        while (!dec.decoded()) {
+          dec.add_coded_symbol(enc.produce_next());
+          ++used;
+        }
+        sym_full += static_cast<double>(used);
+      }
+      // Truncated 32-bit checksum.
+      {
+        const TruncatedHasher h{};
+        Encoder<Item, TruncatedHasher> enc(h);
+        SplitMix64 rng(seed);
+        for (std::size_t i = 0; i < d; ++i) enc.add_symbol(Item::random(rng.next()));
+        Decoder<Item, TruncatedHasher> dec(h);
+        std::size_t used = 0;
+        while (!dec.decoded() && used < 100 * d) {
+          dec.add_coded_symbol(enc.produce_next());
+          ++used;
+        }
+        all_ok = all_ok && dec.decoded();
+        sym_trunc += static_cast<double>(used);
+      }
+      // Count-less stream.
+      {
+        Encoder<Item> enc;
+        SplitMix64 rng(seed);
+        for (std::size_t i = 0; i < d; ++i) enc.add_symbol(Item::random(rng.next()));
+        CountlessDecoder<Item> dec;
+        std::size_t used = 0;
+        while (!dec.decoded()) {
+          dec.add_coded_symbol(enc.produce_next());
+          ++used;
+        }
+        sym_countless += static_cast<double>(used);
+      }
+    }
+    const double dd = static_cast<double>(d) * trials;
+    // Per-symbol wire: full = 8+8+~1; 4B checksum = 8+4+~1; countless = 8+8.
+    std::printf("%-8zu %-14.2f %-14.2f %-14.2f %-9s\n", d,
+                sym_full / dd * (8 + 8 + 1.05), sym_trunc / dd * (8 + 4 + 1.05),
+                sym_countless / dd * (8 + 8), all_ok ? "y" : "N");
+    std::fflush(stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,41 @@
+// Fig 4: communication overhead eta* vs the mapping parameter alpha.
+//
+// Columns: the density-evolution prediction (d -> infinity) and Monte-Carlo
+// averages at finite difference sizes. Expected shape (paper §5.1): the DE
+// curve dips to ~1.31 at alpha ~= 0.64; alpha = 0.5 gives 1.35 (within 3%
+// of optimal); simulations converge to DE from above as d grows, slowest
+// for large alpha.
+#include <cstdio>
+
+#include "analysis/density_evolution.hpp"
+#include "benchutil.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ribltx;
+  const auto opts = bench::Options::parse(argc, argv);
+  const int trials = opts.trials > 0 ? opts.trials : (opts.full ? 100 : 10);
+  const std::vector<std::size_t> dsizes =
+      opts.full ? std::vector<std::size_t>{100, 1000, 10000, 100000, 1000000}
+                : std::vector<std::size_t>{100, 1000, 10000};
+
+  std::printf("# Fig 4: overhead eta* vs alpha (trials=%d%s)\n", trials,
+              opts.full ? ", --full" : "");
+  std::printf("# paper: DE minimum ~1.31 at alpha~0.64; alpha=0.5 -> 1.35\n");
+  std::printf("%-8s %-8s", "alpha", "DE");
+  for (const auto d : dsizes) std::printf(" sim_d=%-8zu", d);
+  std::printf("\n");
+
+  for (double alpha = 0.10; alpha <= 0.951; alpha += 0.05) {
+    std::printf("%-8.2f %-8.4f", alpha,
+                analysis::de_threshold(alpha));
+    for (const auto d : dsizes) {
+      const GenericMappingFactory mf{alpha};
+      const auto s = bench::measure_overhead(
+          d, trials, mf, derive_seed(opts.seed, static_cast<std::uint64_t>(alpha * 1000)));
+      std::printf(" %-12.4f", s.mean);
+    }
+    std::printf("\n");
+    std::fflush(stdout);
+  }
+  return 0;
+}

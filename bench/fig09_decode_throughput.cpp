@@ -1,0 +1,80 @@
+// Fig 9: decoding throughput and time vs difference size, 8-byte items.
+//
+// Decoding operates on the difference only, so the set size is irrelevant
+// (paper §7.2). Expected shape: Rateless IBLT decode is O(d log d) --
+// throughput drops only ~2x over a 10^4x growth in d -- while PinSketch is
+// O(d^2) (Berlekamp-Massey + root finding), so its throughput collapses;
+// the paper reports a 10-10^7x gap. Default caps PinSketch at d = 512 to
+// stay interactive (--full raises to 2048; the quadratic wall is already
+// unmistakable).
+#include <cstdio>
+
+#include "benchutil.hpp"
+#include "pinsketch/pinsketch.hpp"
+
+namespace {
+
+using namespace ribltx;
+
+double riblt_decode_seconds(std::size_t d, std::uint64_t seed) {
+  Encoder<U64Symbol> enc;
+  SplitMix64 rng(seed);
+  for (std::size_t i = 0; i < d; ++i) {
+    enc.add_symbol(U64Symbol::random(rng.next()));
+  }
+  // Materialize the stream first; the decoder alone is timed.
+  std::vector<CodedSymbol<U64Symbol>> cells;
+  cells.reserve(static_cast<std::size_t>(2.2 * static_cast<double>(d)) + 16);
+  for (std::size_t i = 0; i < cells.capacity(); ++i) {
+    cells.push_back(enc.produce_next());
+  }
+  bench::Timer timer;
+  Decoder<U64Symbol> dec;
+  for (const auto& c : cells) {
+    dec.add_coded_symbol(c);
+    if (dec.decoded()) break;
+  }
+  const double t = timer.elapsed();
+  if (!dec.decoded()) return riblt_decode_seconds(d, seed + 1);  // rare tail
+  return t;
+}
+
+double pinsketch_decode_seconds(std::size_t d, std::uint64_t seed,
+                                bool& ok) {
+  pinsketch::PinSketch sketch(d);
+  SplitMix64 rng(seed);
+  for (std::size_t i = 0; i < d; ++i) {
+    sketch.add_symbol(U64Symbol::from_u64(rng.next() | 1));
+  }
+  bench::Timer timer;
+  const auto r = sketch.decode();
+  ok = r.success && r.difference.size() == d;
+  return timer.elapsed();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opts = bench::Options::parse(argc, argv);
+  const std::size_t riblt_max = opts.full ? 1'000'000 : 100'000;
+  const std::size_t pin_max = opts.full ? 2048 : 512;
+
+  std::printf("# Fig 9: decode throughput/time vs d (8-byte items)\n");
+  std::printf("%-8s %-14s %-14s %-14s %-14s %-4s\n", "d", "riblt_s",
+              "riblt_d_per_s", "pinsketch_s", "pin_d_per_s", "ok");
+  for (std::size_t d = 1; d <= riblt_max; d *= 4) {
+    const double rt = riblt_decode_seconds(d, derive_seed(opts.seed, d));
+    std::printf("%-8zu %-14.6f %-14.1f", d, rt, static_cast<double>(d) / rt);
+    if (d <= pin_max) {
+      bool ok = false;
+      const double pt =
+          pinsketch_decode_seconds(d, derive_seed(opts.seed, d + 1), ok);
+      std::printf(" %-14.6f %-14.1f %-4s\n", pt, static_cast<double>(d) / pt,
+                  ok ? "y" : "N");
+    } else {
+      std::printf(" %-14s %-14s %-4s\n", "-", "-", "-");
+    }
+    std::fflush(stdout);
+  }
+  return 0;
+}

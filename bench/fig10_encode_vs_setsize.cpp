@@ -1,0 +1,39 @@
+// Fig 10: encoding time for a fixed 1000-item difference as the set size N
+// grows.
+//
+// Expected shape (paper §7.2): linear in N -- every set item contributes
+// the same expected number of coded-symbol updates, so the paper reports
+// 2.9 ms at N = 10^4 vs 294 ms at N = 10^6 (exactly 100x). Default sweeps
+// N = 10^3..10^6 (--full: 10^7; the paper reaches 10^8 on a bigger box).
+#include <cstdio>
+
+#include "benchutil.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ribltx;
+  const auto opts = bench::Options::parse(argc, argv);
+  const std::size_t max_n = opts.full ? 10'000'000 : 1'000'000;
+  constexpr std::size_t kD = 1000;
+  const auto symbols = static_cast<std::size_t>(1.35 * kD) + 8;
+
+  std::printf("# Fig 10: encode time of %zu differences vs set size N\n", kD);
+  std::printf("# paper: linear in N\n");
+  std::printf("%-10s %-14s %-16s\n", "N", "seconds", "ns_per_item");
+  for (std::size_t n = 1000; n <= max_n; n *= 10) {
+    Encoder<U64Symbol> enc;
+    SplitMix64 rng(derive_seed(opts.seed, n));
+    for (std::size_t i = 0; i < n; ++i) {
+      enc.add_symbol(U64Symbol::random(rng.next()));
+    }
+    bench::Timer timer;
+    for (std::size_t i = 0; i < symbols; ++i) {
+      volatile auto cell = enc.produce_next();
+      (void)cell;
+    }
+    const double t = timer.elapsed();
+    std::printf("%-10zu %-14.5f %-16.1f\n", n, t,
+                t * 1e9 / static_cast<double>(n));
+    std::fflush(stdout);
+  }
+  return 0;
+}

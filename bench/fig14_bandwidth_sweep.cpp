@@ -1,0 +1,50 @@
+// Fig 14: completion time vs link bandwidth, ledger 10 hours stale, 50 ms
+// delay.
+//
+// Expected shape (paper §7.3): state heal stops improving past ~20 Mbps --
+// Bob cannot process trie nodes any faster (compute-bound; the calibrated
+// CPU model in sync/session.hpp pins this knee) -- while Rateless IBLT
+// keeps scaling with bandwidth until its own much-higher CPU ceiling
+// (~170 Mbps single-core in the paper). The paper reports 4.8x at 10 Mbps
+// growing to 16x at 100 Mbps.
+#include <cstdio>
+#include <vector>
+
+#include "benchutil.hpp"
+#include "ledgerbench.hpp"
+
+int main(int argc, char** argv) {
+  using namespace ribltx;
+  const auto opts = bench::Options::parse(argc, argv);
+  const auto params = bench::default_eth_params(opts.full);
+  const std::uint64_t latest =
+      ledger::blocks_for_staleness(params, 10.0 * 3600.0) + 10;
+  bench::EthWorkbench wb(params, latest);
+
+  const auto plans =
+      wb.plans_for(ledger::blocks_for_staleness(params, 10.0 * 3600.0));
+
+  std::printf("# Fig 14: completion time vs bandwidth, 10 h stale "
+              "(d=%zu, riblt %.2f MB, heal %.2f MB)\n",
+              plans.d, static_cast<double>(plans.riblt.total_bytes) / 1e6,
+              static_cast<double>(plans.heal.total_bytes()) / 1e6);
+  std::printf("%-10s %-10s %-10s %-8s\n", "Mbps", "riblt_s", "heal_s",
+              "ratio");
+
+  std::vector<double> mbps{10, 20, 30, 40, 50, 60, 70, 80, 90, 100, 0};
+  for (const double bw : mbps) {
+    netsim::LinkConfig link;
+    link.bandwidth_bps = bw * 1e6;  // 0 = unlimited
+    const auto riblt = sync::run_riblt_session(plans.riblt, link);
+    const auto heal = sync::run_heal_session(plans.heal, link);
+    if (bw > 0) {
+      std::printf("%-10.0f", bw);
+    } else {
+      std::printf("%-10s", "inf");
+    }
+    std::printf(" %-10.2f %-10.2f %-8.2f\n", riblt.completion_s,
+                heal.completion_s, heal.completion_s / riblt.completion_s);
+    std::fflush(stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Fig 15: communication overhead of Irregular Rateless IBLT (§8, c = 3,
+// w = 0.18/0.56/0.26, alpha = 0.11/0.68/0.82) vs the regular design.
+//
+// Expected shape (paper §8): the irregular overhead converges to 1.10
+// (multi-type density evolution; 19% below regular's 1.35 and 10% above
+// the information-theoretic floor) at the cost of slower encoding/decoding
+// (the paper reports 1.88x; our generic-alpha sampler adds an exact-scan
+// stage, so the measured ratio is reported alongside).
+#include <cstdio>
+
+#include "analysis/density_evolution.hpp"
+#include "benchutil.hpp"
+
+namespace {
+
+using namespace ribltx;
+
+/// Wall-clock encode+decode seconds for one difference set.
+template <typename MappingFactory>
+double codec_seconds(std::size_t d, const MappingFactory& mf,
+                     std::uint64_t seed) {
+  Encoder<U64Symbol, SipHasher<U64Symbol>, MappingFactory> enc({}, mf);
+  SplitMix64 rng(seed);
+  for (std::size_t i = 0; i < d; ++i) {
+    enc.add_symbol(U64Symbol::random(rng.next()));
+  }
+  bench::Timer timer;
+  Decoder<U64Symbol, SipHasher<U64Symbol>, MappingFactory> dec({}, mf);
+  while (!dec.decoded()) {
+    dec.add_coded_symbol(enc.produce_next());
+  }
+  return timer.elapsed();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opts = bench::Options::parse(argc, argv);
+  const int trials = opts.trials > 0 ? opts.trials : (opts.full ? 100 : 10);
+  const std::size_t max_d = opts.full ? 1'000'000 : 100'000;
+
+  const auto cfg = IrregularConfig::paper_optimal();
+  const double de_regular = analysis::de_threshold(0.5);
+  const double de_irregular =
+      analysis::de_irregular_threshold(cfg.weights, cfg.alphas);
+
+  std::printf("# Fig 15: regular vs irregular overhead (trials=%d)\n",
+              trials);
+  std::printf("# DE asymptotes: regular %.3f, irregular %.3f\n", de_regular,
+              de_irregular);
+  std::printf("%-9s %-10s %-12s %-12s %-14s\n", "d", "regular", "irregular",
+              "irr_median", "irr/reg_cpu");
+
+  const DefaultMappingFactory regular_mf;
+  const IrregularMappingFactory irregular_mf(cfg);
+  for (std::size_t d = 100; d <= max_d; d *= 10) {
+    const auto reg =
+        bench::measure_overhead(d, trials, regular_mf, derive_seed(opts.seed, d));
+    const auto irr = bench::measure_overhead(d, trials, irregular_mf,
+                                             derive_seed(opts.seed, d + 1));
+    // CPU ablation at this d: one timed run each (same seed).
+    const double t_reg = codec_seconds(d, regular_mf, derive_seed(9, d));
+    const double t_irr = codec_seconds(d, irregular_mf, derive_seed(9, d));
+    std::printf("%-9zu %-10.4f %-12.4f %-12.4f %-14.2f\n", d, reg.mean,
+                irr.mean, irr.median, t_irr / t_reg);
+    std::fflush(stdout);
+  }
+  return 0;
+}

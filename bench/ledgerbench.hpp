@@ -1,0 +1,81 @@
+// Shared scaffolding for the §7.3 Ethereum-synchronization benches
+// (Figs 12-14): one Alice at the latest block, Bobs of varying staleness,
+// both protocols planned on the real data structures and replayed through
+// netsim.
+//
+// Scale note (DESIGN.md §1.4): the paper's mainnet snapshot has 230 M
+// accounts and real transaction churn; we default to a 400 k-account
+// synthetic ledger with modifies/creates rates chosen so that d grows into
+// the hundreds of thousands at 100 h staleness, matching the paper's regime
+// relative to bandwidth. Merkle amplification grows with trie depth
+// (log N), so our byte ratios are a conservative lower bound on the
+// paper's 4.4-8.6x.
+#pragma once
+
+#include <cstdio>
+#include <memory>
+
+#include "ledger/ledger.hpp"
+#include "merkle/heal.hpp"
+#include "sync/session.hpp"
+
+namespace ribltx::bench {
+
+struct EthPlans {
+  std::size_t d = 0;
+  sync::RibltPlan riblt;
+  merkle::HealPlan heal;
+};
+
+class EthWorkbench {
+ public:
+  EthWorkbench(ledger::LedgerParams params, std::uint64_t latest_block)
+      : params_(params),
+        latest_block_(latest_block),
+        alice_(params, latest_block),
+        alice_symbols_(alice_.as_symbols()),
+        alice_trie_(alice_.build_trie()) {}
+
+  [[nodiscard]] const ledger::LedgerParams& params() const noexcept {
+    return params_;
+  }
+  [[nodiscard]] std::uint64_t latest_block() const noexcept {
+    return latest_block_;
+  }
+
+  /// Builds both protocols' plans for a Bob stale by `blocks`.
+  [[nodiscard]] EthPlans plans_for(std::uint64_t stale_blocks) const {
+    const std::uint64_t bob_block =
+        stale_blocks >= latest_block_ ? 0 : latest_block_ - stale_blocks;
+    const ledger::LedgerState bob(params_, bob_block);
+
+    EthPlans out;
+    out.d = ledger::symmetric_difference_size(params_, bob_block,
+                                              latest_block_);
+    out.riblt = sync::plan_riblt_sync(alice_symbols_, bob.as_symbols(),
+                                      out.d);
+    out.heal = merkle::plan_heal(alice_trie_, bob.build_trie());
+    return out;
+  }
+
+ private:
+  ledger::LedgerParams params_;
+  std::uint64_t latest_block_;
+  ledger::LedgerState alice_;
+  std::vector<ledger::StateItem> alice_symbols_;
+  merkle::Trie alice_trie_;
+};
+
+/// Default ledger scale for the benches: see the header comment. The churn
+/// rate keeps d well below N across the staleness sweep (the paper's
+/// regime: d/N < 1%); push either knob up and the Merkle ratios shrink as
+/// the trie saturates.
+inline ledger::LedgerParams default_eth_params(bool full) {
+  ledger::LedgerParams p;
+  p.base_accounts = full ? 2'000'000 : 400'000;
+  p.modifies_per_block = full ? 4 : 2;
+  p.creates_per_block = 1;
+  return p;
+}
+
+}  // namespace ribltx::bench

@@ -1,0 +1,145 @@
+// Microbenchmarks (google-benchmark) for the hot paths, including the
+// ablations DESIGN.md calls out:
+//  * alpha = 0.5 sqrt mapping vs generic-alpha pow mapping (§4.2's reason
+//    for fixing alpha = 0.5);
+//  * SipHash keyed checksums (§4.3: "negligible cost compared to sums");
+//  * symbol XOR across item sizes (the Fig 11 cost driver);
+//  * encoder/decoder per-symbol costs and the §7.2 items-per-second claim;
+//  * GF(2^64) multiply (the PinSketch cost unit).
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "core/riblt.hpp"
+#include "pinsketch/pinsketch.hpp"
+
+namespace {
+
+using namespace ribltx;
+
+void BM_MappingAdvanceSqrt(benchmark::State& state) {
+  // Ablation (a): the production alpha = 0.5 sampler (exact inverse, sqrt).
+  std::uint64_t seed = 0x12345;
+  for (auto _ : state) {
+    IndexMapping m(seed++);
+    std::uint64_t last = 0;
+    for (int i = 0; i < 24; ++i) last = m.advance();
+    benchmark::DoNotOptimize(last);
+  }
+  state.SetItemsProcessed(state.iterations() * 24);
+}
+BENCHMARK(BM_MappingAdvanceSqrt);
+
+void BM_MappingAdvanceGenericPow(benchmark::State& state) {
+  // Ablation (b): generic alpha (pow path; paper: "significantly slower").
+  std::uint64_t seed = 0x12345;
+  for (auto _ : state) {
+    GenericMapping m(0.68, seed++);
+    std::uint64_t last = 0;
+    for (int i = 0; i < 24; ++i) last = m.advance();
+    benchmark::DoNotOptimize(last);
+  }
+  state.SetItemsProcessed(state.iterations() * 24);
+}
+BENCHMARK(BM_MappingAdvanceGenericPow);
+
+template <std::size_t N>
+void BM_SipHash(benchmark::State& state) {
+  const auto sym = ByteSymbol<N>::random(7);
+  const SipKey key{1, 2};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(siphash24(key, sym.bytes()));
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(N));
+}
+BENCHMARK(BM_SipHash<8>);
+BENCHMARK(BM_SipHash<32>);
+BENCHMARK(BM_SipHash<1024>);
+
+template <std::size_t N>
+void BM_SymbolXor(benchmark::State& state) {
+  auto a = ByteSymbol<N>::random(1);
+  const auto b = ByteSymbol<N>::random(2);
+  for (auto _ : state) {
+    a ^= b;
+    benchmark::DoNotOptimize(a);
+  }
+  state.SetBytesProcessed(state.iterations() * static_cast<std::int64_t>(N));
+}
+BENCHMARK(BM_SymbolXor<8>);
+BENCHMARK(BM_SymbolXor<92>);
+BENCHMARK(BM_SymbolXor<2048>);
+BENCHMARK(BM_SymbolXor<32768>);
+
+void BM_EncoderProduceNext(benchmark::State& state) {
+  // Per-coded-symbol cost at d = 1024 (paper §7.2: millions of items/s).
+  const auto d = static_cast<std::size_t>(state.range(0));
+  Encoder<U64Symbol> enc;
+  SplitMix64 rng(3);
+  for (std::size_t i = 0; i < d; ++i) {
+    enc.add_symbol(U64Symbol::random(rng.next()));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(enc.produce_next());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_EncoderProduceNext)->Arg(1024)->Arg(65536);
+
+void BM_DecoderRoundTrip(benchmark::State& state) {
+  // Whole-difference decode; items/second is the §7.2 throughput metric.
+  const auto d = static_cast<std::size_t>(state.range(0));
+  Encoder<U64Symbol> enc;
+  SplitMix64 rng(4);
+  for (std::size_t i = 0; i < d; ++i) {
+    enc.add_symbol(U64Symbol::random(rng.next()));
+  }
+  std::vector<CodedSymbol<U64Symbol>> cells;
+  for (std::size_t i = 0; i < 2 * d + 16; ++i) {
+    cells.push_back(enc.produce_next());
+  }
+  for (auto _ : state) {
+    Decoder<U64Symbol> dec;
+    for (const auto& c : cells) {
+      dec.add_coded_symbol(c);
+      if (dec.decoded()) break;
+    }
+    benchmark::DoNotOptimize(dec.decoded());
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<std::int64_t>(d));
+}
+BENCHMARK(BM_DecoderRoundTrip)->Arg(1024);
+
+void BM_SketchAddSymbol(benchmark::State& state) {
+  Sketch<U64Symbol> sketch(10'000);
+  SplitMix64 rng(5);
+  for (auto _ : state) {
+    sketch.add_symbol(U64Symbol::random(rng.next()));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SketchAddSymbol);
+
+void BM_Gf64Mul(benchmark::State& state) {
+  pinsketch::GF64 a(0x123456789abcdef1ULL), b(0xfedcba9876543211ULL);
+  for (auto _ : state) {
+    a = a * b;
+    benchmark::DoNotOptimize(a);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_Gf64Mul);
+
+void BM_PinSketchAdd(benchmark::State& state) {
+  const auto capacity = static_cast<std::size_t>(state.range(0));
+  pinsketch::PinSketch sketch(capacity);
+  SplitMix64 rng(6);
+  for (auto _ : state) {
+    sketch.add_symbol(U64Symbol::from_u64(rng.next() | 1));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_PinSketchAdd)->Arg(64)->Arg(1024);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,65 @@
+// Quickstart: reconcile two sets with the streaming Rateless IBLT API.
+//
+// Alice and Bob each hold ~10,000 32-byte items, differing in a few dozen.
+// Neither side knows the difference size in advance -- Alice just streams
+// coded symbols until Bob says stop. Build & run:
+//
+//   cmake -B build -G Ninja && cmake --build build
+//   ./build/examples/quickstart
+#include <cstdio>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/riblt.hpp"
+
+int main() {
+  using namespace ribltx;
+  using Item = ByteSymbol<32>;
+
+  // Build two overlapping sets: 10,000 shared items, 23 only Alice has,
+  // 14 only Bob has.
+  std::vector<Item> alice_set, bob_set;
+  SplitMix64 rng(2024);
+  for (int i = 0; i < 10'000; ++i) {
+    const Item shared = Item::random(rng.next());
+    alice_set.push_back(shared);
+    bob_set.push_back(shared);
+  }
+  for (int i = 0; i < 23; ++i) alice_set.push_back(Item::random(rng.next()));
+  for (int i = 0; i < 14; ++i) bob_set.push_back(Item::random(rng.next()));
+
+  // Alice's side: an encoder over her set. No parameters: the encoder does
+  // not need to know how different Bob's set is.
+  Encoder<Item> alice;
+  for (const Item& x : alice_set) alice.add_symbol(x);
+
+  // Bob's side: a decoder primed with his own set.
+  Decoder<Item> bob;
+  for (const Item& y : bob_set) bob.add_local_symbol(y);
+
+  // The protocol: Alice streams coded symbols; Bob peels incrementally and
+  // stops as soon as the difference is fully recovered.
+  std::size_t symbols = 0;
+  while (!bob.decoded()) {
+    bob.add_coded_symbol(alice.produce_next());
+    ++symbols;
+  }
+
+  const double d =
+      static_cast<double>(bob.remote().size() + bob.local().size());
+  std::printf("reconciled %zu + %zu sets\n", alice_set.size(), bob_set.size());
+  std::printf("difference: %zu items Alice-only, %zu items Bob-only\n",
+              bob.remote().size(), bob.local().size());
+  std::printf("coded symbols used: %zu (overhead %.2fx the difference)\n",
+              symbols, static_cast<double>(symbols) / d);
+  std::printf("bytes on the wire: ~%zu vs %zu for sending Alice's whole set\n",
+              symbols * (32 + 8 + 1), alice_set.size() * 32);
+
+  // Sanity: recovered symbols are real set items.
+  if (bob.remote().size() != 23 || bob.local().size() != 14) {
+    std::printf("UNEXPECTED recovery counts!\n");
+    return 1;
+  }
+  std::printf("ok\n");
+  return 0;
+}

@@ -1,0 +1,175 @@
+#include "analysis/density_evolution.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "analysis/expint.hpp"
+
+namespace ribltx::analysis {
+
+double de_step(double q, double alpha, double eta) {
+  if (!(alpha > 0.0) || !(eta > 0.0)) {
+    throw std::domain_error("de_step: alpha and eta must be positive");
+  }
+  if (!(q > 0.0)) return 0.0;
+  return std::exp(expint_ei_negative(-q / (alpha * eta)) / alpha);
+}
+
+namespace {
+
+/// Margin q - f(q); decodable needs it strictly positive on (0,1].
+double margin(double q, double alpha, double eta) {
+  return q - de_step(q, alpha, eta);
+}
+
+}  // namespace
+
+bool de_decodable(double alpha, double eta, std::size_t grid) {
+  // f(q)/q -> 0 as q -> 0+ (f ~ C q^{1/alpha}, 1/alpha > 1), so the binding
+  // constraints live at moderate q; a log grid from 1e-9 plus refinement
+  // around the worst point is robust.
+  double worst_q = 1.0;
+  double worst_margin = margin(1.0, alpha, eta);
+  const double lo = 1e-9;
+  for (std::size_t k = 0; k < grid; ++k) {
+    const double t = static_cast<double>(k) / static_cast<double>(grid - 1);
+    const double q = lo * std::pow(1.0 / lo, t);  // log-spaced up to 1
+    const double m = margin(q, alpha, eta);
+    if (m < worst_margin) {
+      worst_margin = m;
+      worst_q = q;
+    }
+    if (m <= 0.0) return false;
+  }
+  // Golden-section refinement around the worst grid point.
+  double a = worst_q / 1.5;
+  double b = std::min(1.0, worst_q * 1.5);
+  constexpr double kInvPhi = 0.6180339887498949;
+  double x1 = b - kInvPhi * (b - a);
+  double x2 = a + kInvPhi * (b - a);
+  double m1 = margin(x1, alpha, eta);
+  double m2 = margin(x2, alpha, eta);
+  for (int iter = 0; iter < 80; ++iter) {
+    if (m1 < m2) {
+      b = x2;
+      x2 = x1;
+      m2 = m1;
+      x1 = b - kInvPhi * (b - a);
+      m1 = margin(x1, alpha, eta);
+    } else {
+      a = x1;
+      x1 = x2;
+      m1 = m2;
+      x2 = a + kInvPhi * (b - a);
+      m2 = margin(x2, alpha, eta);
+    }
+    if (std::min(m1, m2) <= 0.0) return false;
+  }
+  return std::min(m1, m2) > 0.0;
+}
+
+double de_threshold(double alpha, double tol) {
+  if (!(alpha > 0.0) || alpha > 1.0) {
+    throw std::domain_error("de_threshold: alpha must be in (0, 1]");
+  }
+  double lo = 0.5;   // always undecodable: below the counting bound of 1
+  double hi = 1.0;
+  while (!de_decodable(alpha, hi)) {
+    hi *= 2.0;
+    if (hi > 64.0) {
+      throw std::runtime_error("de_threshold: no threshold below 64");
+    }
+  }
+  lo = hi / 2.0;
+  while (hi - lo > tol) {
+    const double mid = 0.5 * (lo + hi);
+    if (de_decodable(alpha, mid)) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+double de_stall_fixed_point(double alpha, double eta, std::size_t max_iters) {
+  double q = 1.0;
+  for (std::size_t i = 0; i < max_iters; ++i) {
+    const double next = de_step(q, alpha, eta);
+    if (!(next > 1e-12)) return 0.0;
+    if (std::abs(next - q) < 1e-13) return next;
+    q = next;
+  }
+  return q;
+}
+
+double de_irregular_threshold(const std::vector<double>& weights,
+                              const std::vector<double>& alphas, double tol) {
+  if (weights.empty() || weights.size() != alphas.size()) {
+    throw std::domain_error("de_irregular_threshold: weights/alphas mismatch");
+  }
+  for (double a : alphas) {
+    if (!(a > 0.0) || a > 1.0) {
+      throw std::domain_error("de_irregular_threshold: alpha out of (0,1]");
+    }
+  }
+  const auto converges = [&](double eta) {
+    std::vector<double> q(weights.size(), 1.0);
+    std::vector<double> next(weights.size());
+    for (int iter = 0; iter < 200000; ++iter) {
+      double theta = 0.0;
+      for (std::size_t k = 0; k < weights.size(); ++k) {
+        theta += weights[k] * q[k] / alphas[k];
+      }
+      if (theta < 1e-11) return true;
+      const double ei = expint_ei_negative(-theta / eta);
+      double max_delta = 0.0;
+      for (std::size_t j = 0; j < weights.size(); ++j) {
+        next[j] = std::exp(ei / alphas[j]);
+        max_delta = std::max(max_delta, std::abs(next[j] - q[j]));
+      }
+      q = next;
+      if (max_delta < 1e-14) break;  // stuck at a positive fixed point
+    }
+    double theta = 0.0;
+    for (std::size_t k = 0; k < weights.size(); ++k) {
+      theta += weights[k] * q[k] / alphas[k];
+    }
+    return theta < 1e-9;
+  };
+
+  double hi = 1.0;
+  while (!converges(hi)) {
+    hi *= 2.0;
+    if (hi > 64.0) {
+      throw std::runtime_error("de_irregular_threshold: no threshold below 64");
+    }
+  }
+  double lo = hi / 2.0;
+  while (hi - lo > tol) {
+    const double mid = 0.5 * (lo + hi);
+    if (converges(mid)) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+std::vector<std::pair<double, double>> de_progress_curve(double alpha,
+                                                         double eta_lo,
+                                                         double eta_hi,
+                                                         std::size_t steps) {
+  std::vector<std::pair<double, double>> out;
+  out.reserve(steps);
+  for (std::size_t k = 0; k < steps; ++k) {
+    const double eta =
+        eta_lo + (eta_hi - eta_lo) * static_cast<double>(k) /
+                     static_cast<double>(steps - 1);
+    out.emplace_back(eta, 1.0 - de_stall_fixed_point(alpha, eta));
+  }
+  return out;
+}
+
+}  // namespace ribltx::analysis

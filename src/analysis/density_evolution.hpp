@@ -1,0 +1,55 @@
+// Density-evolution analysis of the Rateless IBLT peeling decoder (paper §5).
+//
+// Theorem 5.1: with mapping probability rho(i) = 1/(1 + alpha*i) and eta
+// coded symbols per source symbol, peeling succeeds w.h.p. (as d -> inf)
+// iff  f(q) = exp((1/alpha) * Ei(-q/(alpha*eta))) < q  for all q in (0,1].
+// q is the probability a random edge touches an unrecovered source symbol;
+// f is one peeling iteration in the limit.
+//
+// This module computes:
+//  * the threshold overhead eta*(alpha) -- Corollary 5.2: eta*(0.5) = 1.35;
+//    the optimum alpha ~= 0.64 gives eta* ~= 1.31 (Fig 4's "DE" curve);
+//  * the stall fixed point q*(eta): the fraction of symbols NOT recovered
+//    when the decoder stalls at overhead eta < eta* (Fig 6's DE curve).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ribltx::analysis {
+
+/// One density-evolution iteration: f(q) for given alpha, eta.
+[[nodiscard]] double de_step(double q, double alpha, double eta);
+
+/// True iff f(q) < q holds on all of (0,1] (checked on a dense log+linear
+/// grid of `grid` points, then locally refined around near-misses).
+[[nodiscard]] bool de_decodable(double alpha, double eta,
+                                std::size_t grid = 4096);
+
+/// Threshold overhead eta*(alpha): smallest eta satisfying Theorem 5.1,
+/// found by bisection to absolute tolerance `tol`.
+[[nodiscard]] double de_threshold(double alpha, double tol = 1e-4);
+
+/// Largest fixed point of f reachable from q = 1: iterating q <- f(q) until
+/// convergence. Returns ~0 when eta > eta* (full recovery) and the stall
+/// fraction otherwise. 1 - q* is Fig 6's "recovered fraction".
+[[nodiscard]] double de_stall_fixed_point(double alpha, double eta,
+                                          std::size_t max_iters = 100000);
+
+/// Convenience: (eta, recovered_fraction) samples of the DE prediction for
+/// Fig 6, eta swept over [eta_lo, eta_hi] in `steps` points.
+[[nodiscard]] std::vector<std::pair<double, double>> de_progress_curve(
+    double alpha, double eta_lo, double eta_hi, std::size_t steps);
+
+/// Multi-edge-type density evolution for Irregular Rateless IBLT (§8):
+/// subsets with weights w_j and mapping parameters alpha_j. The coupled
+/// recursion (derived exactly as in Theorem 5.1's proof, with the cell
+/// neighbor counts Poisson-thinned per subset) is
+///   q_j <- exp( Ei(-theta/eta) / alpha_j ),  theta = sum_k w_k q_k/alpha_k.
+/// Returns the threshold overhead eta*. For the paper's c=3 configuration
+/// this evaluates to ~1.10 (Fig 15's asymptote).
+[[nodiscard]] double de_irregular_threshold(const std::vector<double>& weights,
+                                            const std::vector<double>& alphas,
+                                            double tol = 1e-4);
+
+}  // namespace ribltx::analysis

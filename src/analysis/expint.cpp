@@ -1,0 +1,63 @@
+#include "analysis/expint.hpp"
+
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+namespace ribltx::analysis {
+namespace {
+
+constexpr double kEulerGamma = 0.57721566490153286060651209008240243;
+
+/// Power series, accurate for small x (we use it for x <= 1):
+/// E1(x) = -gamma - ln x + sum_{k>=1} (-1)^{k+1} x^k / (k * k!).
+double e1_series(double x) {
+  double sum = 0.0;
+  double term = 1.0;  // x^k / k! accumulates here
+  for (int k = 1; k <= 64; ++k) {
+    term *= x / k;
+    const double contrib = ((k % 2) ? term : -term) / k;
+    sum += contrib;
+    if (std::abs(contrib) < 1e-18 * std::abs(sum)) break;
+  }
+  return -kEulerGamma - std::log(x) + sum;
+}
+
+/// Modified Lentz continued fraction, accurate for x >= 1:
+/// E1(x) = e^{-x} * 1/(x + 1 - 1/(x + 3 - 4/(x + 5 - 9/(x + 7 - ...)))).
+double e1_continued_fraction(double x) {
+  constexpr double kTiny = 1e-300;
+  double b = x + 1.0;
+  double c = 1.0 / kTiny;
+  double d = 1.0 / b;
+  double h = d;
+  for (int i = 1; i <= 200; ++i) {
+    const double a = -static_cast<double>(i) * static_cast<double>(i);
+    b += 2.0;
+    d = 1.0 / (a * d + b);
+    c = b + a / c;
+    const double delta = c * d;
+    h *= delta;
+    if (std::abs(delta - 1.0) < 1e-15) break;
+  }
+  return h * std::exp(-x);
+}
+
+}  // namespace
+
+double expint_e1(double x) {
+  if (!(x > 0.0)) {
+    throw std::domain_error("expint_e1: requires x > 0");
+  }
+  if (x > 700.0) return 0.0;  // below double underflow of e^-x / x
+  return (x <= 1.0) ? e1_series(x) : e1_continued_fraction(x);
+}
+
+double expint_ei_negative(double x) {
+  if (!(x < 0.0)) {
+    throw std::domain_error("expint_ei_negative: requires x < 0");
+  }
+  return -expint_e1(-x);
+}
+
+}  // namespace ribltx::analysis

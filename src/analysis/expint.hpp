@@ -1,0 +1,18 @@
+// Exponential integral functions, implemented from the standard series /
+// continued-fraction expansions (Abramowitz & Stegun §5.1). Needed by the
+// density-evolution analysis of Theorem 5.1, whose decodability condition is
+//   for all q in (0,1]:  exp((1/alpha) * Ei(-q / (alpha*eta))) < q.
+#pragma once
+
+namespace ribltx::analysis {
+
+/// E1(x) for x > 0: the principal exponential integral
+/// E1(x) = integral_x^inf e^-t / t dt.
+/// Accuracy ~1e-14 relative. Throws std::domain_error for x <= 0.
+[[nodiscard]] double expint_e1(double x);
+
+/// Ei(x) for x < 0, via Ei(-y) = -E1(y). Throws std::domain_error for
+/// x >= 0 (the analysis only ever evaluates negative arguments).
+[[nodiscard]] double expint_ei_negative(double x);
+
+}  // namespace ribltx::analysis

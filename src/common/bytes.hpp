@@ -1,0 +1,122 @@
+// Bounds-checked little-endian byte buffer writer/reader.
+//
+// All wire formats in this repository (Rateless IBLT sketches, IBLT cells,
+// strata estimators, Merkle trie messages) serialize through these two
+// classes so that framing bugs surface as exceptions, not buffer overreads.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "common/varint.hpp"
+
+namespace ribltx {
+
+/// Appends primitive values to an owned byte vector.
+class ByteWriter {
+ public:
+  ByteWriter() = default;
+
+  void u8(std::uint8_t v) { buf_.push_back(static_cast<std::byte>(v)); }
+
+  void u16(std::uint16_t v) { put_le(v, 2); }
+  void u32(std::uint32_t v) { put_le(v, 4); }
+  void u64(std::uint64_t v) { put_le(v, 8); }
+
+  void i64(std::int64_t v) { u64(static_cast<std::uint64_t>(v)); }
+
+  void uvarint(std::uint64_t v) { put_uvarint(buf_, v); }
+  void svarint(std::int64_t v) { put_uvarint(buf_, zigzag_encode(v)); }
+
+  void bytes(std::span<const std::byte> data) {
+    buf_.insert(buf_.end(), data.begin(), data.end());
+  }
+
+  void bytes(const void* data, std::size_t len) {
+    const auto* p = static_cast<const std::byte*>(data);
+    buf_.insert(buf_.end(), p, p + len);
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return buf_.size(); }
+  [[nodiscard]] std::span<const std::byte> view() const noexcept { return buf_; }
+  [[nodiscard]] std::vector<std::byte> take() && { return std::move(buf_); }
+  [[nodiscard]] const std::vector<std::byte>& data() const noexcept { return buf_; }
+
+ private:
+  void put_le(std::uint64_t v, unsigned n) {
+    for (unsigned i = 0; i < n; ++i) {
+      buf_.push_back(static_cast<std::byte>((v >> (8 * i)) & 0xff));
+    }
+  }
+
+  std::vector<std::byte> buf_;
+};
+
+/// Reads primitive values from a non-owned byte span; throws
+/// std::out_of_range past the end. Track position with offset().
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::byte> data) noexcept : data_(data) {}
+
+  [[nodiscard]] std::uint8_t u8() {
+    need(1);
+    return static_cast<std::uint8_t>(data_[pos_++]);
+  }
+
+  [[nodiscard]] std::uint16_t u16() { return static_cast<std::uint16_t>(get_le(2)); }
+  [[nodiscard]] std::uint32_t u32() { return static_cast<std::uint32_t>(get_le(4)); }
+  [[nodiscard]] std::uint64_t u64() { return get_le(8); }
+  [[nodiscard]] std::int64_t i64() { return static_cast<std::int64_t>(u64()); }
+
+  [[nodiscard]] std::uint64_t uvarint() { return get_uvarint(data_, pos_); }
+  [[nodiscard]] std::int64_t svarint() { return zigzag_decode(uvarint()); }
+
+  [[nodiscard]] std::span<const std::byte> bytes(std::size_t n) {
+    need(n);
+    auto out = data_.subspan(pos_, n);
+    pos_ += n;
+    return out;
+  }
+
+  void copy_to(void* dst, std::size_t n) {
+    need(n);
+    std::memcpy(dst, data_.data() + pos_, n);
+    pos_ += n;
+  }
+
+  [[nodiscard]] std::size_t offset() const noexcept { return pos_; }
+  [[nodiscard]] std::size_t remaining() const noexcept {
+    return data_.size() - pos_;
+  }
+  [[nodiscard]] bool done() const noexcept { return pos_ == data_.size(); }
+
+ private:
+  void need(std::size_t n) const {
+    if (data_.size() - pos_ < n) {
+      throw std::out_of_range("ByteReader: read past end (need " +
+                              std::to_string(n) + ", have " +
+                              std::to_string(data_.size() - pos_) + ")");
+    }
+  }
+
+  std::uint64_t get_le(unsigned n) {
+    need(n);
+    std::uint64_t v = 0;
+    for (unsigned i = 0; i < n; ++i) {
+      v |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(data_[pos_ + i]))
+           << (8 * i);
+    }
+    pos_ += n;
+    return v;
+  }
+
+  std::span<const std::byte> data_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace ribltx

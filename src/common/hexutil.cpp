@@ -1,0 +1,43 @@
+#include "common/hexutil.hpp"
+
+#include <stdexcept>
+
+namespace ribltx {
+namespace {
+
+constexpr char kDigits[] = "0123456789abcdef";
+
+int nibble(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  throw std::invalid_argument(std::string("from_hex: bad digit '") + c + "'");
+}
+
+}  // namespace
+
+std::string to_hex(std::span<const std::byte> data) {
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (std::byte b : data) {
+    const auto v = static_cast<unsigned char>(b);
+    out.push_back(kDigits[v >> 4]);
+    out.push_back(kDigits[v & 0xf]);
+  }
+  return out;
+}
+
+std::vector<std::byte> from_hex(const std::string& hex) {
+  if (hex.size() % 2 != 0) {
+    throw std::invalid_argument("from_hex: odd-length input");
+  }
+  std::vector<std::byte> out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    out.push_back(static_cast<std::byte>((nibble(hex[i]) << 4) |
+                                         nibble(hex[i + 1])));
+  }
+  return out;
+}
+
+}  // namespace ribltx

@@ -1,0 +1,18 @@
+// Hex encoding helpers for diagnostics and test fixtures.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace ribltx {
+
+/// Lower-case hex string of `data` ("deadbeef").
+[[nodiscard]] std::string to_hex(std::span<const std::byte> data);
+
+/// Parses a hex string (even length, [0-9a-fA-F]); throws
+/// std::invalid_argument otherwise.
+[[nodiscard]] std::vector<std::byte> from_hex(const std::string& hex);
+
+}  // namespace ribltx

@@ -1,0 +1,96 @@
+#include "common/siphash.hpp"
+
+#include <cstring>
+
+namespace ribltx {
+namespace {
+
+inline std::uint64_t rotl64(std::uint64_t x, int b) noexcept {
+  return (x << b) | (x >> (64 - b));
+}
+
+inline std::uint64_t load_le64(const unsigned char* p) noexcept {
+  // Byte-wise load: portable across host endianness.
+  return static_cast<std::uint64_t>(p[0]) |
+         (static_cast<std::uint64_t>(p[1]) << 8) |
+         (static_cast<std::uint64_t>(p[2]) << 16) |
+         (static_cast<std::uint64_t>(p[3]) << 24) |
+         (static_cast<std::uint64_t>(p[4]) << 32) |
+         (static_cast<std::uint64_t>(p[5]) << 40) |
+         (static_cast<std::uint64_t>(p[6]) << 48) |
+         (static_cast<std::uint64_t>(p[7]) << 56);
+}
+
+struct SipState {
+  std::uint64_t v0, v1, v2, v3;
+
+  explicit SipState(SipKey key) noexcept
+      : v0(0x736f6d6570736575ULL ^ key.k0),
+        v1(0x646f72616e646f6dULL ^ key.k1),
+        v2(0x6c7967656e657261ULL ^ key.k0),
+        v3(0x7465646279746573ULL ^ key.k1) {}
+
+  void round() noexcept {
+    v0 += v1;
+    v1 = rotl64(v1, 13);
+    v1 ^= v0;
+    v0 = rotl64(v0, 32);
+    v2 += v3;
+    v3 = rotl64(v3, 16);
+    v3 ^= v2;
+    v0 += v3;
+    v3 = rotl64(v3, 21);
+    v3 ^= v0;
+    v2 += v1;
+    v1 = rotl64(v1, 17);
+    v1 ^= v2;
+    v2 = rotl64(v2, 32);
+  }
+};
+
+}  // namespace
+
+std::uint64_t siphash24(SipKey key, const void* data, std::size_t len) noexcept {
+  const auto* in = static_cast<const unsigned char*>(data);
+  SipState s(key);
+
+  const std::size_t full_blocks = len / 8;
+  for (std::size_t i = 0; i < full_blocks; ++i) {
+    const std::uint64_t m = load_le64(in + i * 8);
+    s.v3 ^= m;
+    s.round();
+    s.round();
+    s.v0 ^= m;
+  }
+
+  // Final block: remaining bytes plus the length in the top byte.
+  std::uint64_t b = static_cast<std::uint64_t>(len & 0xff) << 56;
+  const unsigned char* tail = in + full_blocks * 8;
+  switch (len & 7) {
+    case 7: b |= static_cast<std::uint64_t>(tail[6]) << 48; [[fallthrough]];
+    case 6: b |= static_cast<std::uint64_t>(tail[5]) << 40; [[fallthrough]];
+    case 5: b |= static_cast<std::uint64_t>(tail[4]) << 32; [[fallthrough]];
+    case 4: b |= static_cast<std::uint64_t>(tail[3]) << 24; [[fallthrough]];
+    case 3: b |= static_cast<std::uint64_t>(tail[2]) << 16; [[fallthrough]];
+    case 2: b |= static_cast<std::uint64_t>(tail[1]) << 8; [[fallthrough]];
+    case 1: b |= static_cast<std::uint64_t>(tail[0]); break;
+    case 0: break;
+  }
+  s.v3 ^= b;
+  s.round();
+  s.round();
+  s.v0 ^= b;
+
+  s.v2 ^= 0xff;
+  s.round();
+  s.round();
+  s.round();
+  s.round();
+  return s.v0 ^ s.v1 ^ s.v2 ^ s.v3;
+}
+
+std::uint64_t siphash24(SipKey key, std::span<const std::byte> data) noexcept {
+  return siphash24(key, data.data(), data.size());
+}
+
+}  // namespace ribltx

@@ -1,0 +1,33 @@
+// SipHash-2-4: a fast keyed pseudorandom function for short inputs.
+//
+// Used as the keyed checksum/mapping hash for Rateless IBLT (paper §4.3):
+// with a secret 128-bit key shared by the reconciling parties, an adversary
+// who can inject set items cannot target checksum collisions, so 64-bit
+// checksums are safe. Implemented from the reference specification
+// (Aumasson & Bernstein, INDOCRYPT 2012); no third-party code.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <span>
+
+namespace ribltx {
+
+/// 128-bit SipHash key. Both reconciling parties must use the same key.
+struct SipKey {
+  std::uint64_t k0 = 0;
+  std::uint64_t k1 = 0;
+
+  friend bool operator==(const SipKey&, const SipKey&) = default;
+};
+
+/// Computes SipHash-2-4 of `data` under `key`. Deterministic, portable
+/// (little-endian interpretation of input regardless of host byte order).
+[[nodiscard]] std::uint64_t siphash24(SipKey key,
+                                      std::span<const std::byte> data) noexcept;
+
+/// Convenience overload for raw buffers.
+[[nodiscard]] std::uint64_t siphash24(SipKey key, const void* data,
+                                      std::size_t len) noexcept;
+
+}  // namespace ribltx

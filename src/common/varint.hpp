@@ -1,0 +1,77 @@
+// Variable-length integer coding (LEB128-style base-128 varints) and ZigZag
+// signed mapping.
+//
+// The paper (§6) compresses the `count` field of each coded symbol by storing
+// the difference between the actual count and its expectation N*rho(i) as a
+// variable-length quantity; small residuals then cost ~1 byte instead of a
+// fixed 8. These are the primitives that wire format uses.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace ribltx {
+
+/// Maximum encoded size of a 64-bit varint.
+inline constexpr std::size_t kMaxVarintLen = 10;
+
+/// Appends the base-128 varint encoding of `value` to `out`.
+/// Returns the number of bytes written (1..10).
+inline std::size_t put_uvarint(std::vector<std::byte>& out,
+                               std::uint64_t value) {
+  std::size_t n = 0;
+  while (value >= 0x80) {
+    out.push_back(static_cast<std::byte>((value & 0x7f) | 0x80));
+    value >>= 7;
+    ++n;
+  }
+  out.push_back(static_cast<std::byte>(value));
+  return n + 1;
+}
+
+/// Number of bytes put_uvarint would emit for `value`.
+[[nodiscard]] inline std::size_t uvarint_size(std::uint64_t value) noexcept {
+  std::size_t n = 1;
+  while (value >= 0x80) {
+    value >>= 7;
+    ++n;
+  }
+  return n;
+}
+
+/// Decodes a varint from data[pos...]; advances `pos` past it.
+/// Throws std::out_of_range on truncated input and std::overflow_error on
+/// encodings longer than 10 bytes or overflowing 64 bits.
+[[nodiscard]] inline std::uint64_t get_uvarint(std::span<const std::byte> data,
+                                               std::size_t& pos) {
+  std::uint64_t result = 0;
+  unsigned shift = 0;
+  for (std::size_t i = 0; i < kMaxVarintLen; ++i) {
+    if (pos >= data.size()) throw std::out_of_range("varint: truncated input");
+    const auto b = static_cast<std::uint8_t>(data[pos++]);
+    if (i == kMaxVarintLen - 1 && b > 1) {
+      throw std::overflow_error("varint: value exceeds 64 bits");
+    }
+    result |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) return result;
+    shift += 7;
+  }
+  throw std::overflow_error("varint: encoding longer than 10 bytes");
+}
+
+/// ZigZag: maps signed integers to unsigned so that values near zero (of
+/// either sign) get short varints. -1 -> 1, 1 -> 2, -2 -> 3, ...
+[[nodiscard]] constexpr std::uint64_t zigzag_encode(std::int64_t v) noexcept {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+[[nodiscard]] constexpr std::int64_t zigzag_decode(std::uint64_t v) noexcept {
+  return static_cast<std::int64_t>(v >> 1) ^
+         -static_cast<std::int64_t>(v & 1);
+}
+
+}  // namespace ribltx

@@ -1,0 +1,63 @@
+// Coded symbol: one cell of a (rateless) IBLT.
+//
+// Format per the paper §3: `sum` (XOR of mapped source symbols), `checksum`
+// (XOR of their keyed hashes), `count` (signed number of mapped symbols;
+// negative counts appear only in *difference* cells, after subtraction).
+#pragma once
+
+#include <cstdint>
+
+#include "core/symbol.hpp"
+
+namespace ribltx {
+
+/// Direction in which a source symbol is applied to a cell. XOR is its own
+/// inverse, so `sum`/`checksum` updates are identical either way; only
+/// `count` distinguishes add from remove.
+enum class Direction : std::int64_t {
+  kAdd = 1,
+  kRemove = -1,
+};
+
+template <Symbol T>
+struct CodedSymbol {
+  T sum{};
+  std::uint64_t checksum = 0;
+  std::int64_t count = 0;
+
+  /// Folds one hashed source symbol into this cell.
+  void apply(const HashedSymbol<T>& s, Direction dir) noexcept {
+    sum ^= s.symbol;
+    checksum ^= s.hash;
+    count += static_cast<std::int64_t>(dir);
+  }
+
+  /// Cell-wise subtraction (paper §3): IBLT(A) - IBLT(B) = IBLT(A diff B).
+  void subtract(const CodedSymbol& other) noexcept {
+    sum ^= other.sum;
+    checksum ^= other.checksum;
+    count -= other.count;
+  }
+
+  friend CodedSymbol operator-(CodedSymbol a, const CodedSymbol& b) noexcept {
+    a.subtract(b);
+    return a;
+  }
+
+  /// True iff no source symbol remains in this cell.
+  [[nodiscard]] bool is_empty() const noexcept {
+    return count == 0 && checksum == 0 && sum == T{};
+  }
+
+  /// True iff exactly one source symbol (from either side) remains, verified
+  /// by the checksum (paper §3: "pure" cell). `hasher` must be the keyed
+  /// hasher both parties agreed on.
+  template <typename Hasher>
+  [[nodiscard]] bool is_pure(const Hasher& hasher) const noexcept {
+    return (count == 1 || count == -1) && hasher(sum) == checksum;
+  }
+
+  friend bool operator==(const CodedSymbol&, const CodedSymbol&) = default;
+};
+
+}  // namespace ribltx

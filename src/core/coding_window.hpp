@@ -1,0 +1,119 @@
+// CodingWindow: a set of source symbols plus a priority queue of their next
+// mapped coded-symbol indices.
+//
+// This is the paper's "efficient incremental encoding" structure (§6): the
+// symbols whose next mapped index is smallest sit at the heap head, so
+// producing the coded symbol at stream index i touches exactly the symbols
+// mapped to i (O(log n) heap maintenance each), never the whole set.
+// The decoder reuses the same structure to lazily subtract its local set --
+// and previously recovered symbols -- from newly arriving cells.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "core/coded_symbol.hpp"
+#include "core/mapping.hpp"
+#include "core/symbol.hpp"
+
+namespace ribltx {
+
+template <Symbol T, typename Mapping = IndexMapping>
+class CodingWindow {
+ public:
+  CodingWindow() = default;
+
+  /// Adds a symbol whose mapping generator is freshly seeded (next mapped
+  /// index = 0). Use before any cell has been produced/consumed.
+  template <typename MappingFactory>
+  void add(const HashedSymbol<T>& s, const MappingFactory& factory) {
+    add_with_mapping(s, factory(s.hash));
+  }
+
+  /// Adds a symbol with an explicit mapping state. The decoder uses this to
+  /// register a just-recovered symbol whose mapping has already been walked
+  /// past every received cell.
+  void add_with_mapping(const HashedSymbol<T>& s, Mapping mapping) {
+    const auto ordinal = static_cast<std::uint32_t>(symbols_.size());
+    symbols_.push_back(s);
+    heap_.push_back(Entry{std::move(mapping), ordinal});
+    sift_up(heap_.size() - 1);
+  }
+
+  /// Folds every symbol mapped to stream index `index` into `cell`, then
+  /// advances those symbols to their next mapped index. Must be called with
+  /// non-decreasing `index` values (stream order); throws std::logic_error
+  /// if a symbol's next index was already passed.
+  void apply_at(std::uint64_t index, CodedSymbol<T>& cell, Direction dir) {
+    while (!heap_.empty() && heap_.front().mapping.index() <= index) {
+      Entry& top = heap_.front();
+      if (top.mapping.index() < index) {
+        throw std::logic_error(
+            "CodingWindow::apply_at: indices must be visited in stream order");
+      }
+      cell.apply(symbols_[top.ordinal], dir);
+      top.mapping.advance();
+      sift_down(0);
+    }
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return symbols_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return symbols_.empty(); }
+
+  [[nodiscard]] std::span<const HashedSymbol<T>> symbols() const noexcept {
+    return symbols_;
+  }
+
+  void clear() noexcept {
+    symbols_.clear();
+    heap_.clear();
+  }
+
+ private:
+  struct Entry {
+    Mapping mapping;
+    std::uint32_t ordinal;
+  };
+
+  // Minimal binary min-heap on Entry::mapping.index(). Hand-rolled instead
+  // of std::priority_queue because apply_at mutates the top element in place
+  // (advance + sift_down), which the standard adapter cannot express without
+  // a pop/push pair per touched symbol.
+  void sift_up(std::size_t i) noexcept {
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 2;
+      if (heap_[parent].mapping.index() <= heap_[i].mapping.index()) break;
+      std::swap(heap_[parent], heap_[i]);
+      i = parent;
+    }
+  }
+
+  void sift_down(std::size_t i) noexcept {
+    const std::size_t n = heap_.size();
+    for (;;) {
+      const std::size_t l = 2 * i + 1;
+      const std::size_t r = 2 * i + 2;
+      std::size_t smallest = i;
+      if (l < n &&
+          heap_[l].mapping.index() < heap_[smallest].mapping.index()) {
+        smallest = l;
+      }
+      if (r < n &&
+          heap_[r].mapping.index() < heap_[smallest].mapping.index()) {
+        smallest = r;
+      }
+      if (smallest == i) return;
+      std::swap(heap_[i], heap_[smallest]);
+      i = smallest;
+    }
+  }
+
+  std::vector<HashedSymbol<T>> symbols_;
+  std::vector<Entry> heap_;
+};
+
+}  // namespace ribltx

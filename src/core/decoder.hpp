@@ -1,0 +1,170 @@
+// Streaming Rateless IBLT decoder (Bob's side).
+//
+// Bob feeds (a) his local set items and (b) Alice's coded symbols in stream
+// order. Each arriving cell is lazily reduced to a *difference* cell
+// a_i (-) b_i by subtracting the local set's contributions (§3), plus the
+// contributions of symbols already recovered. The peeling decoder (§3) runs
+// incrementally: whenever a cell becomes pure (count = +/-1, checksum
+// matches), its symbol is recovered, XOR-ed out of every received cell it
+// maps to, and registered so future cells arrive pre-peeled. Reconciliation
+// is complete when every received cell has settled to empty -- cell 0, to
+// which every symbol maps, settles last (§4.1's termination signal).
+//
+// Cost: O(log m) cell updates per recovered difference, matching the
+// paper's O(l log d) per-difference decode bound.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "core/coded_symbol.hpp"
+#include "core/coding_window.hpp"
+#include "core/mapping.hpp"
+#include "core/symbol.hpp"
+
+namespace ribltx {
+
+template <Symbol T, typename Hasher = SipHasher<T>,
+          typename MappingFactory = DefaultMappingFactory>
+class Decoder {
+ public:
+  using mapping_type = typename MappingFactory::mapping_type;
+
+  explicit Decoder(Hasher hasher = Hasher{},
+                   MappingFactory factory = MappingFactory{})
+      : hasher_(std::move(hasher)), factory_(std::move(factory)) {}
+
+  /// Registers one of Bob's local set items. All local items must be added
+  /// before the first coded symbol arrives (earlier cells cannot be
+  /// retroactively reduced); throws std::logic_error otherwise.
+  void add_local_symbol(const T& s) { add_local_hashed_symbol(hasher_.hashed(s)); }
+
+  void add_local_hashed_symbol(const HashedSymbol<T>& s) {
+    if (!cells_.empty()) {
+      throw std::logic_error(
+          "Decoder::add_local_symbol: local items must precede coded symbols");
+    }
+    local_set_.add(s, factory_);
+  }
+
+  /// Consumes the next coded symbol of Alice's stream (stream order is part
+  /// of the protocol; cells carry no explicit index). Peeling runs
+  /// incrementally; check decoded() after each call.
+  void add_coded_symbol(const CodedSymbol<T>& incoming) {
+    const std::uint64_t index = cells_.size();
+    CodedSymbol<T> cell = incoming;
+    local_set_.apply_at(index, cell, Direction::kRemove);
+    recovered_remote_.apply_at(index, cell, Direction::kRemove);
+    recovered_local_.apply_at(index, cell, Direction::kAdd);
+    cells_.push_back(cell);
+    settled_flags_.push_back(0);
+    enqueue_if_actionable(static_cast<std::size_t>(index));
+    peel();
+  }
+
+  /// True when the received prefix fully decodes: every cell reduced to
+  /// empty, i.e. all of A (-) B recovered (and Bob should tell Alice to stop
+  /// streaming).
+  [[nodiscard]] bool decoded() const noexcept {
+    return !cells_.empty() && settled_count_ == cells_.size();
+  }
+
+  /// Symbols exclusive to Alice (A \ B), in recovery order.
+  [[nodiscard]] std::span<const HashedSymbol<T>> remote() const noexcept {
+    return remote_symbols_;
+  }
+
+  /// Symbols exclusive to Bob (B \ A), in recovery order.
+  [[nodiscard]] std::span<const HashedSymbol<T>> local() const noexcept {
+    return local_symbols_;
+  }
+
+  [[nodiscard]] std::size_t cells_received() const noexcept {
+    return cells_.size();
+  }
+
+  /// Residual difference cells (diagnostics / tests).
+  [[nodiscard]] std::span<const CodedSymbol<T>> cells() const noexcept {
+    return cells_;
+  }
+
+  [[nodiscard]] const Hasher& hasher() const noexcept { return hasher_; }
+
+  /// Clears everything, including local set items.
+  void reset() noexcept {
+    local_set_.clear();
+    recovered_remote_.clear();
+    recovered_local_.clear();
+    cells_.clear();
+    settled_flags_.clear();
+    queue_.clear();
+    remote_symbols_.clear();
+    local_symbols_.clear();
+    settled_count_ = 0;
+  }
+
+ private:
+  void enqueue_if_actionable(std::size_t i) {
+    if (settled_flags_[i]) return;
+    const CodedSymbol<T>& c = cells_[i];
+    if (c.is_empty() || c.is_pure(hasher_)) queue_.push_back(i);
+  }
+
+  void peel() {
+    while (!queue_.empty()) {
+      const std::size_t i = queue_.back();
+      queue_.pop_back();
+      if (settled_flags_[i]) continue;
+      if (cells_[i].is_empty()) {
+        settled_flags_[i] = 1;
+        ++settled_count_;
+        continue;
+      }
+      if (!cells_[i].is_pure(hasher_)) continue;  // stale queue entry
+
+      // Recover the lone symbol and peel it out of every received cell it
+      // maps to (including cell i itself, which thereby becomes empty).
+      const HashedSymbol<T> sym{cells_[i].sum, cells_[i].checksum};
+      const bool is_remote = cells_[i].count == 1;
+      const Direction dir = is_remote ? Direction::kRemove : Direction::kAdd;
+
+      mapping_type mapping = factory_(sym.hash);
+      while (mapping.index() < cells_.size()) {
+        const auto ci = static_cast<std::size_t>(mapping.index());
+        cells_[ci].apply(sym, dir);
+        enqueue_if_actionable(ci);
+        mapping.advance();
+      }
+      // The mapping state now points past the received prefix; future cells
+      // at those indices will be reduced on arrival.
+      if (is_remote) {
+        remote_symbols_.push_back(sym);
+        recovered_remote_.add_with_mapping(sym, std::move(mapping));
+      } else {
+        local_symbols_.push_back(sym);
+        recovered_local_.add_with_mapping(sym, std::move(mapping));
+      }
+    }
+  }
+
+  Hasher hasher_;
+  MappingFactory factory_;
+
+  CodingWindow<T, mapping_type> local_set_;          // Bob's items
+  CodingWindow<T, mapping_type> recovered_remote_;   // recovered, in A \ B
+  CodingWindow<T, mapping_type> recovered_local_;    // recovered, in B \ A
+
+  std::vector<CodedSymbol<T>> cells_;  // difference cells, reduced in place
+  std::vector<std::uint8_t> settled_flags_;
+  std::vector<std::size_t> queue_;
+  std::size_t settled_count_ = 0;
+
+  std::vector<HashedSymbol<T>> remote_symbols_;
+  std::vector<HashedSymbol<T>> local_symbols_;
+};
+
+}  // namespace ribltx

@@ -1,0 +1,107 @@
+// Irregular Rateless IBLT (paper §8).
+//
+// Source symbols are partitioned (by hash) into c subsets; subset j gets its
+// own mapping probability rho_j(i) = 1/(1 + alpha_j * i). With the paper's
+// brute-force-optimized c = 3 configuration the asymptotic communication
+// overhead drops from 1.35 to 1.10 (Fig 15), at ~1.88x the encode/decode
+// CPU (generic-alpha gap sampling needs pow() instead of sqrt()).
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/decoder.hpp"
+#include "core/encoder.hpp"
+#include "core/mapping.hpp"
+#include "core/sketch.hpp"
+
+namespace ribltx {
+
+/// Subset weights and per-subset alphas. weights must sum to ~1.
+struct IrregularConfig {
+  std::vector<double> weights;
+  std::vector<double> alphas;
+
+  /// The configuration found by the paper's brute-force search (§8):
+  /// c=3, w = (0.18, 0.56, 0.26), alpha = (0.11, 0.68, 0.82).
+  [[nodiscard]] static IrregularConfig paper_optimal() {
+    return IrregularConfig{{0.18, 0.56, 0.26}, {0.11, 0.68, 0.82}};
+  }
+
+  void validate() const {
+    if (weights.empty() || weights.size() != alphas.size()) {
+      throw std::invalid_argument("IrregularConfig: weights/alphas mismatch");
+    }
+    const double total =
+        std::accumulate(weights.begin(), weights.end(), 0.0);
+    if (total < 0.999 || total > 1.001) {
+      throw std::invalid_argument("IrregularConfig: weights must sum to 1");
+    }
+    for (double a : alphas) {
+      if (a <= 0.0 || a > 1.0) {
+        throw std::invalid_argument("IrregularConfig: alpha out of (0,1]");
+      }
+    }
+  }
+};
+
+/// Picks the subset for a symbol from its hash, then seeds a GenericMapping
+/// with an independently mixed stream so the subset choice and the gap
+/// sequence are decorrelated. Encoder and decoder derive identical mappings
+/// because both are pure functions of the keyed hash.
+class IrregularMappingFactory {
+ public:
+  using mapping_type = GenericMapping;
+
+  IrregularMappingFactory() : IrregularMappingFactory(IrregularConfig::paper_optimal()) {}
+
+  explicit IrregularMappingFactory(IrregularConfig config)
+      : config_(std::move(config)) {
+    config_.validate();
+    cumulative_.reserve(config_.weights.size());
+    double acc = 0.0;
+    for (double w : config_.weights) {
+      acc += w;
+      cumulative_.push_back(acc);
+    }
+    cumulative_.back() = 1.0;  // guard against rounding in the last bucket
+  }
+
+  [[nodiscard]] GenericMapping operator()(std::uint64_t hash) const noexcept {
+    return GenericMapping(config_.alphas[subset_of(hash)],
+                          mix64(hash ^ kSeedSalt));
+  }
+
+  /// Which subset a symbol with this hash belongs to (exposed for tests).
+  [[nodiscard]] std::size_t subset_of(std::uint64_t hash) const noexcept {
+    const double u = static_cast<double>(hash) * 0x1.0p-64;
+    for (std::size_t j = 0; j + 1 < cumulative_.size(); ++j) {
+      if (u < cumulative_[j]) return j;
+    }
+    return cumulative_.size() - 1;
+  }
+
+  [[nodiscard]] const IrregularConfig& config() const noexcept {
+    return config_;
+  }
+
+ private:
+  static constexpr std::uint64_t kSeedSalt = 0x1bf58476d1ce4e5bULL;
+
+  IrregularConfig config_;
+  std::vector<double> cumulative_;
+};
+
+template <Symbol T, typename Hasher = SipHasher<T>>
+using IrregularEncoder = Encoder<T, Hasher, IrregularMappingFactory>;
+
+template <Symbol T, typename Hasher = SipHasher<T>>
+using IrregularDecoder = Decoder<T, Hasher, IrregularMappingFactory>;
+
+template <Symbol T, typename Hasher = SipHasher<T>>
+using IrregularSketch = Sketch<T, Hasher, IrregularMappingFactory>;
+
+}  // namespace ribltx

@@ -1,0 +1,27 @@
+// Umbrella header for the Rateless IBLT library.
+//
+// Quick tour (see examples/quickstart.cpp for a runnable version):
+//
+//   using Item = ribltx::ByteSymbol<32>;
+//   ribltx::Encoder<Item> alice;           // Alice's side
+//   for (auto& x : setA) alice.add_symbol(x);
+//
+//   ribltx::Decoder<Item> bob;             // Bob's side
+//   for (auto& y : setB) bob.add_local_symbol(y);
+//
+//   while (!bob.decoded())
+//     bob.add_coded_symbol(alice.produce_next());   // stream until done
+//
+//   bob.remote();  // items only Alice has
+//   bob.local();   // items only Bob has
+#pragma once
+
+#include "core/coded_symbol.hpp"    // IWYU pragma: export
+#include "core/coding_window.hpp"   // IWYU pragma: export
+#include "core/decoder.hpp"         // IWYU pragma: export
+#include "core/encoder.hpp"         // IWYU pragma: export
+#include "core/irregular.hpp"       // IWYU pragma: export
+#include "core/mapping.hpp"         // IWYU pragma: export
+#include "core/sketch.hpp"          // IWYU pragma: export
+#include "core/symbol.hpp"          // IWYU pragma: export
+#include "core/wire.hpp"            // IWYU pragma: export

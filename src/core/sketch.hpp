@@ -1,0 +1,134 @@
+// Sketch: a materialized fixed-length prefix of the Rateless IBLT coded
+// symbol sequence.
+//
+// Because the sequence is universal (§4.1), a length-m sketch of set A
+// serves three roles at once:
+//   1. a normal IBLT: subtract Sketch(B), decode, get A (-) B;
+//   2. Alice's cached coded-symbol prefix for serving many peers (§2):
+//      stream prefix cells until each peer decodes;
+//   3. an incrementally updatable cache (§7.3): when A changes, apply the
+//      inserted/deleted items in place -- O(log m) cells per item -- instead
+//      of re-encoding.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "core/coded_symbol.hpp"
+#include "core/decoder.hpp"
+#include "core/mapping.hpp"
+#include "core/symbol.hpp"
+
+namespace ribltx {
+
+/// Result of decoding a difference sketch.
+template <Symbol T>
+struct DecodeResult {
+  bool success = false;
+  std::vector<HashedSymbol<T>> remote;  ///< items with net count +1 (A \ B)
+  std::vector<HashedSymbol<T>> local;   ///< items with net count -1 (B \ A)
+};
+
+template <Symbol T, typename Hasher = SipHasher<T>,
+          typename MappingFactory = DefaultMappingFactory>
+class Sketch {
+ public:
+  using mapping_type = typename MappingFactory::mapping_type;
+
+  explicit Sketch(std::size_t num_cells, Hasher hasher = Hasher{},
+                  MappingFactory factory = MappingFactory{})
+      : hasher_(std::move(hasher)),
+        factory_(std::move(factory)),
+        cells_(num_cells) {
+    if (num_cells == 0) {
+      throw std::invalid_argument("Sketch: need at least one cell");
+    }
+  }
+
+  /// Adds an item to the encoded set. O(log m) cells touched.
+  void add_symbol(const T& s) { apply(hasher_.hashed(s), Direction::kAdd); }
+
+  /// Removes an item from the encoded set (it must have been added; the
+  /// structure cannot verify this). O(log m).
+  void remove_symbol(const T& s) {
+    apply(hasher_.hashed(s), Direction::kRemove);
+  }
+
+  void apply(const HashedSymbol<T>& s, Direction dir) noexcept {
+    mapping_type m = factory_(s.hash);
+    while (m.index() < cells_.size()) {
+      cells_[static_cast<std::size_t>(m.index())].apply(s, dir);
+      m.advance();
+    }
+  }
+
+  /// Cell-wise subtraction: *this becomes Sketch(A (-) B). Sizes must match.
+  Sketch& subtract(const Sketch& other) {
+    if (other.cells_.size() != cells_.size()) {
+      throw std::invalid_argument("Sketch::subtract: size mismatch");
+    }
+    for (std::size_t i = 0; i < cells_.size(); ++i) {
+      cells_[i].subtract(other.cells_[i]);
+    }
+    return *this;
+  }
+
+  friend Sketch operator-(Sketch a, const Sketch& b) {
+    a.subtract(b);
+    return a;
+  }
+
+  /// Peels this (difference) sketch. Non-destructive. success = every cell
+  /// reduced to empty; on failure remote/local hold whatever was recovered
+  /// before the decoder stalled.
+  [[nodiscard]] DecodeResult<T> decode() const {
+    Decoder<T, Hasher, MappingFactory> dec(hasher_, factory_);
+    for (const auto& c : cells_) dec.add_coded_symbol(c);
+    DecodeResult<T> out;
+    out.success = dec.decoded();
+    out.remote.assign(dec.remote().begin(), dec.remote().end());
+    out.local.assign(dec.local().begin(), dec.local().end());
+    return out;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return cells_.size(); }
+
+  [[nodiscard]] std::span<const CodedSymbol<T>> cells() const noexcept {
+    return cells_;
+  }
+
+  /// First `k` coded symbols -- the universal stream prefix Alice sends.
+  [[nodiscard]] std::span<const CodedSymbol<T>> prefix(std::size_t k) const {
+    if (k > cells_.size()) {
+      throw std::out_of_range("Sketch::prefix: beyond materialized cells");
+    }
+    return std::span<const CodedSymbol<T>>(cells_.data(), k);
+  }
+
+  [[nodiscard]] const CodedSymbol<T>& cell(std::size_t i) const {
+    return cells_.at(i);
+  }
+
+  [[nodiscard]] const Hasher& hasher() const noexcept { return hasher_; }
+  [[nodiscard]] const MappingFactory& mapping_factory() const noexcept {
+    return factory_;
+  }
+
+ private:
+  Hasher hasher_;
+  MappingFactory factory_;
+  std::vector<CodedSymbol<T>> cells_;
+};
+
+/// Alice's universal coded-symbol cache (§2, §7.3): same structure as a
+/// sketch, read through prefix()/cell() and updated in place as the set
+/// changes.
+template <Symbol T, typename Hasher = SipHasher<T>,
+          typename MappingFactory = DefaultMappingFactory>
+using SequenceCache = Sketch<T, Hasher, MappingFactory>;
+
+}  // namespace ribltx

@@ -1,0 +1,140 @@
+// Source-symbol model for Rateless IBLT.
+//
+// The paper (§2) reconciles sets of fixed-length bit strings. A source
+// symbol type must form a group under XOR (so coded-symbol sums cancel,
+// §3) and expose its bytes for keyed hashing (§4.3). `ByteSymbol<N>` is the
+// canonical fixed-length implementation; `U64Symbol` (= ByteSymbol<8>) is
+// the fast path used in the paper's compute benchmarks.
+#pragma once
+
+#include <array>
+#include <concepts>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+
+#include "common/rng.hpp"
+#include "common/siphash.hpp"
+
+namespace ribltx {
+
+/// A set item: regular (copyable, equality-comparable), XOR-composable, and
+/// hashable through a byte view. `T{}` must be the XOR identity (all zeros).
+template <typename T>
+concept Symbol = std::regular<T> && requires(T a, const T b) {
+  { a ^= b } -> std::same_as<T&>;
+  { b.bytes() } -> std::convertible_to<std::span<const std::byte>>;
+};
+
+/// Fixed-length byte-string symbol. N is the item length in bytes (the
+/// paper's l). Value-initialized instances are all-zero (the XOR identity).
+template <std::size_t N>
+struct ByteSymbol {
+  static constexpr std::size_t kSize = N;
+
+  std::array<std::byte, N> data{};
+
+  ByteSymbol& operator^=(const ByteSymbol& other) noexcept {
+    // Word-wise XOR; the tail is handled byte-wise. The compiler vectorizes
+    // the main loop, which dominates cost for large items (paper Fig 11).
+    std::size_t i = 0;
+    for (; i + 8 <= N; i += 8) {
+      std::uint64_t a, b;
+      std::memcpy(&a, data.data() + i, 8);
+      std::memcpy(&b, other.data.data() + i, 8);
+      a ^= b;
+      std::memcpy(data.data() + i, &a, 8);
+    }
+    for (; i < N; ++i) data[i] ^= other.data[i];
+    return *this;
+  }
+
+  friend ByteSymbol operator^(ByteSymbol a, const ByteSymbol& b) noexcept {
+    a ^= b;
+    return a;
+  }
+
+  [[nodiscard]] std::span<const std::byte> bytes() const noexcept {
+    return data;
+  }
+
+  [[nodiscard]] bool is_zero() const noexcept {
+    for (std::byte b : data) {
+      if (b != std::byte{0}) return false;
+    }
+    return true;
+  }
+
+  friend bool operator==(const ByteSymbol&, const ByteSymbol&) = default;
+  friend auto operator<=>(const ByteSymbol&, const ByteSymbol&) = default;
+
+  /// Builds a symbol whose first 8 bytes encode `v` little-endian; handy for
+  /// tests and workload generators. For N < 8 the value is truncated.
+  [[nodiscard]] static ByteSymbol from_u64(std::uint64_t v) noexcept {
+    ByteSymbol s;
+    for (std::size_t i = 0; i < N && i < 8; ++i) {
+      s.data[i] = static_cast<std::byte>((v >> (8 * i)) & 0xff);
+    }
+    return s;
+  }
+
+  /// Deterministically fills all N bytes from a 64-bit seed (SplitMix64
+  /// stream), so large items have full-entropy content.
+  [[nodiscard]] static ByteSymbol random(std::uint64_t seed) noexcept {
+    ByteSymbol s;
+    SplitMix64 rng(seed);
+    std::size_t i = 0;
+    for (; i + 8 <= N; i += 8) {
+      const std::uint64_t w = rng.next();
+      std::memcpy(s.data.data() + i, &w, 8);
+    }
+    if (i < N) {
+      const std::uint64_t w = rng.next();
+      std::memcpy(s.data.data() + i, &w, N - i);
+    }
+    return s;
+  }
+};
+
+/// 8-byte symbol: the item size used for the paper's computation benchmarks
+/// (§7.2 fixes 8 bytes, the largest size minisketch supports).
+using U64Symbol = ByteSymbol<8>;
+
+/// 32-byte symbol: the SHA256-sized keys used in the paper's communication
+/// benchmarks (§7.1).
+using Hash256Symbol = ByteSymbol<32>;
+
+/// A source symbol paired with its keyed 64-bit hash. The hash doubles as
+/// the checksum contribution and the seed of the index mapping (§4.2).
+template <Symbol T>
+struct HashedSymbol {
+  T symbol{};
+  std::uint64_t hash = 0;
+
+  friend bool operator==(const HashedSymbol&, const HashedSymbol&) = default;
+};
+
+/// Keyed symbol hasher (SipHash-2-4, §4.3). The default key is all-zero;
+/// applications facing adversarial workloads must agree on a secret key.
+template <Symbol T>
+class SipHasher {
+ public:
+  SipHasher() = default;
+  explicit SipHasher(SipKey key) noexcept : key_(key) {}
+
+  [[nodiscard]] std::uint64_t operator()(const T& s) const noexcept {
+    return siphash24(key_, s.bytes());
+  }
+
+  [[nodiscard]] HashedSymbol<T> hashed(const T& s) const noexcept {
+    return HashedSymbol<T>{s, (*this)(s)};
+  }
+
+  [[nodiscard]] SipKey key() const noexcept { return key_; }
+
+ private:
+  SipKey key_{};
+};
+
+}  // namespace ribltx

@@ -1,0 +1,74 @@
+// Wire format for the regular-IBLT baseline (and, stratum by stratum, the
+// strata estimator). Mirrors the accounting used in the paper's Fig 7
+// baselines: fixed 8-byte checksum and 8-byte count per cell -- regular
+// IBLTs cannot exploit the expected-count trick of §6 because their cell
+// loads do not follow a position-dependent schedule.
+//
+// Layout: magic "RBIB" | version u8 | k u8 | salt u64 | symbol_len u32 |
+//         num_cells uvarint | cells (sum | checksum u64 | count i64)
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "iblt/iblt.hpp"
+
+namespace ribltx::iblt::wire {
+
+inline constexpr std::uint32_t kMagic = 0x42494252;  // "RBIB"
+inline constexpr std::uint8_t kVersion = 1;
+
+template <Symbol T, typename Hasher>
+[[nodiscard]] std::vector<std::byte> serialize(const Iblt<T, Hasher>& table,
+                                               std::uint64_t salt = 0) {
+  ByteWriter w;
+  w.u32(kMagic);
+  w.u8(kVersion);
+  w.u8(static_cast<std::uint8_t>(table.k()));
+  w.u64(salt);
+  w.u32(static_cast<std::uint32_t>(T::kSize));
+  w.uvarint(table.cell_count());
+  for (const auto& cell : table.cells()) {
+    w.bytes(cell.sum.bytes());
+    w.u64(cell.checksum);
+    w.i64(cell.count);
+  }
+  return std::move(w).take();
+}
+
+/// Parsed geometry + cells; the receiver subtracts its own table of the
+/// same geometry before decoding.
+template <Symbol T>
+struct Parsed {
+  unsigned k = 0;
+  std::uint64_t salt = 0;
+  std::vector<CodedSymbol<T>> cells;
+};
+
+template <Symbol T>
+[[nodiscard]] Parsed<T> parse(std::span<const std::byte> data) {
+  ByteReader r(data);
+  if (r.u32() != kMagic) throw std::invalid_argument("iblt: bad magic");
+  if (r.u8() != kVersion) throw std::invalid_argument("iblt: bad version");
+  Parsed<T> out;
+  out.k = r.u8();
+  if (out.k == 0) throw std::invalid_argument("iblt: k must be positive");
+  out.salt = r.u64();
+  if (r.u32() != static_cast<std::uint32_t>(T::kSize)) {
+    throw std::invalid_argument("iblt: symbol size mismatch");
+  }
+  const std::uint64_t cells = r.uvarint();
+  out.cells.resize(cells);
+  for (auto& cell : out.cells) {
+    r.copy_to(cell.sum.data.data(), T::kSize);
+    cell.checksum = r.u64();
+    cell.count = r.i64();
+  }
+  if (!r.done()) throw std::invalid_argument("iblt: trailing bytes");
+  return out;
+}
+
+}  // namespace ribltx::iblt::wire

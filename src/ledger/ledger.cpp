@@ -1,0 +1,115 @@
+#include "ledger/ledger.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace ribltx::ledger {
+namespace {
+
+constexpr std::uint64_t kAddrDomain = 0x6164647265737321ULL;
+constexpr std::uint64_t kValueDomain = 0x76616c7565212121ULL;
+constexpr std::uint64_t kBlockDomain = 0x626c6f636b212121ULL;
+
+merkle::AddressKey address_of(std::uint64_t seed, std::uint64_t index) {
+  merkle::AddressKey key;
+  SplitMix64 rng(derive_seed(seed ^ kAddrDomain, index));
+  for (std::size_t i = 0; i < key.size(); i += 4) {
+    const auto w = static_cast<std::uint32_t>(rng.next());
+    std::memcpy(key.data() + i, &w, 4);
+  }
+  return key;
+}
+
+merkle::AccountValue value_of(std::uint64_t seed, std::uint64_t index,
+                              std::uint64_t version_tag) {
+  merkle::AccountValue value;
+  SplitMix64 rng(derive_seed(seed ^ kValueDomain, mix64(index) ^ version_tag));
+  for (std::size_t i = 0; i < value.size(); i += 8) {
+    const std::uint64_t w = rng.next();
+    std::memcpy(value.data() + i, &w, 8);
+  }
+  return value;
+}
+
+/// Latest version tag per account index after `block` blocks (0 = original
+/// value). The returned vector covers the full population at that height.
+std::vector<std::uint64_t> materialize_tags(const LedgerParams& p,
+                                            std::uint64_t block) {
+  const std::size_t population =
+      p.base_accounts + static_cast<std::size_t>(block) * p.creates_per_block;
+  std::vector<std::uint64_t> tags(population, 0);
+  for (std::uint64_t b = 1; b <= block; ++b) {
+    // Targets are drawn from the population as of the *previous* block, so
+    // replays at different heights agree on every prefix.
+    const std::size_t pool =
+        p.base_accounts + static_cast<std::size_t>(b - 1) * p.creates_per_block;
+    SplitMix64 rng(derive_seed(p.seed ^ kBlockDomain, b));
+    for (std::size_t j = 0; j < p.modifies_per_block; ++j) {
+      const auto idx = static_cast<std::size_t>(rng.next_below(pool));
+      tags[idx] = derive_seed(b, j) | 1;  // nonzero: distinct from original
+    }
+  }
+  return tags;
+}
+
+}  // namespace
+
+LedgerState::LedgerState(const LedgerParams& params, std::uint64_t block)
+    : params_(params), block_(block) {
+  if (params.base_accounts == 0) {
+    throw std::invalid_argument("LedgerState: base population must be > 0");
+  }
+  const auto tags = materialize_tags(params_, block_);
+  accounts_.resize(tags.size());
+  for (std::size_t i = 0; i < tags.size(); ++i) {
+    accounts_[i].key = address_of(params_.seed, i);
+    accounts_[i].value = value_of(params_.seed, i, tags[i]);
+  }
+}
+
+std::vector<StateItem> LedgerState::as_symbols() const {
+  std::vector<StateItem> out;
+  out.reserve(accounts_.size());
+  for (const auto& a : accounts_) out.push_back(to_state_item(a));
+  return out;
+}
+
+merkle::Trie LedgerState::build_trie() const {
+  return merkle::Trie(accounts_, SipKey{params_.seed, 0x74726965ULL});
+}
+
+std::size_t symmetric_difference_size(const LedgerParams& params,
+                                      std::uint64_t block_a,
+                                      std::uint64_t block_b) {
+  const std::uint64_t lo = std::min(block_a, block_b);
+  const std::uint64_t hi = std::max(block_a, block_b);
+  const auto tags_lo = materialize_tags(params, lo);
+  const auto tags_hi = materialize_tags(params, hi);
+  std::size_t d = tags_hi.size() - tags_lo.size();  // created: 1 each
+  for (std::size_t i = 0; i < tags_lo.size(); ++i) {
+    if (tags_lo[i] != tags_hi[i]) d += 2;  // modified: old + new version
+  }
+  return d;
+}
+
+std::uint64_t blocks_for_staleness(const LedgerParams& params,
+                                   double seconds) {
+  if (seconds < 0 || params.seconds_per_block <= 0) {
+    throw std::invalid_argument("blocks_for_staleness: bad arguments");
+  }
+  return static_cast<std::uint64_t>(
+      std::llround(seconds / params.seconds_per_block));
+}
+
+StateItem to_state_item(const merkle::Account& account) {
+  StateItem item;
+  std::memcpy(item.data.data(), account.key.data(), merkle::kKeyBytes);
+  std::memcpy(item.data.data() + merkle::kKeyBytes, account.value.data(),
+              merkle::kValueBytes);
+  return item;
+}
+
+}  // namespace ribltx::ledger

@@ -1,0 +1,89 @@
+// Synthetic Ethereum-like ledger state (DESIGN.md §1.4 substitution 1).
+//
+// The paper's §7.3 experiments replay snapshots of the real Ethereum
+// account table (20-byte addresses -> 72-byte account states, one snapshot
+// per 12-second block). We reproduce the *workload shape* deterministically:
+// a base population of accounts plus a per-block update stream in which
+// most updates modify existing accounts (balance/nonce churn) and a
+// fraction creates new ones. Every byte of state is a pure function of
+// (seed, block), so Alice at block b1 and Bob at block b0 < b1 can be
+// materialized independently and always agree on the shared part.
+//
+// Set-reconciliation view: an account is the 92-byte item key||value; a
+// modified account contributes 2 to |A (-) B| (old and new version), a
+// created account contributes 1 -- exactly how the paper counts state
+// differences.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <vector>
+
+#include "core/symbol.hpp"
+#include "merkle/trie.hpp"
+
+namespace ribltx::ledger {
+
+/// 92-byte reconciliation item: address || account body.
+using StateItem = ByteSymbol<merkle::kKeyBytes + merkle::kValueBytes>;
+
+struct LedgerParams {
+  std::uint64_t seed = 0x45746845524c6564ULL;
+  /// Base accounts at block 0 (the paper's mainnet had 230 M; we default to
+  /// 1 M and document the scale factor in EXPERIMENTS.md).
+  std::size_t base_accounts = 1'000'000;
+  /// Accounts touched per block: modifications of existing accounts.
+  std::size_t modifies_per_block = 10;
+  /// New accounts created per block.
+  std::size_t creates_per_block = 2;
+  /// Wall-clock seconds per block (Ethereum: 12 s).
+  double seconds_per_block = 12.0;
+
+  [[nodiscard]] std::size_t updates_per_block() const noexcept {
+    return modifies_per_block + creates_per_block;
+  }
+};
+
+/// The ledger state as of a given block height.
+class LedgerState {
+ public:
+  /// Materializes the state at `block` (block 0 = base population).
+  /// Cost: O(base_accounts + block * updates_per_block).
+  LedgerState(const LedgerParams& params, std::uint64_t block);
+
+  [[nodiscard]] std::uint64_t block() const noexcept { return block_; }
+  [[nodiscard]] std::size_t account_count() const noexcept {
+    return accounts_.size();
+  }
+
+  /// Accounts in key order.
+  [[nodiscard]] const std::vector<merkle::Account>& accounts() const noexcept {
+    return accounts_;
+  }
+
+  /// The state as reconciliation items (92-byte symbols).
+  [[nodiscard]] std::vector<StateItem> as_symbols() const;
+
+  /// Builds the Merkle trie of this state (same hash key both sides).
+  [[nodiscard]] merkle::Trie build_trie() const;
+
+ private:
+  LedgerParams params_;
+  std::uint64_t block_;
+  std::vector<merkle::Account> accounts_;
+};
+
+/// Exact symmetric-difference size between the states at two blocks,
+/// computed from the update stream (for experiment bookkeeping without
+/// materializing both states).
+[[nodiscard]] std::size_t symmetric_difference_size(const LedgerParams& params,
+                                                    std::uint64_t block_a,
+                                                    std::uint64_t block_b);
+
+/// Converts staleness in seconds to blocks under `params`.
+[[nodiscard]] std::uint64_t blocks_for_staleness(const LedgerParams& params,
+                                                 double seconds);
+
+[[nodiscard]] StateItem to_state_item(const merkle::Account& account);
+
+}  // namespace ribltx::ledger

@@ -1,0 +1,54 @@
+#include "merkle/heal.hpp"
+
+#include <stdexcept>
+
+namespace ribltx::merkle {
+
+HealPlan plan_heal(const Trie& alice, const Trie& bob) {
+  HealPlan plan;
+  if (alice.root_hash() == 0) return plan;  // nothing to fetch
+
+  std::vector<std::uint64_t> frontier;
+  if (!bob.contains_node(alice.root_hash())) {
+    frontier.push_back(alice.root_hash());
+  }
+
+  while (!frontier.empty()) {
+    HealRound round;
+    round.requests = frontier.size();
+    round.bytes_up = frontier.size() * (kWireHashBytes + kRequestFraming);
+
+    std::vector<std::uint64_t> next;
+    for (const std::uint64_t h : frontier) {
+      const Node* node = alice.find(h);
+      if (node == nullptr) {
+        throw std::logic_error("plan_heal: Alice missing her own node");
+      }
+      ++round.nodes;
+      round.bytes_down += node->wire_size() + kResponseFraming;
+      switch (node->kind) {
+        case Node::Kind::kLeaf:
+          ++round.leaves;
+          break;
+        case Node::Kind::kExtension:
+          if (!bob.contains_node(node->child)) next.push_back(node->child);
+          break;
+        case Node::Kind::kBranch:
+          for (const std::uint64_t c : node->children) {
+            if (c != 0 && !bob.contains_node(c)) next.push_back(c);
+          }
+          break;
+      }
+    }
+
+    plan.total_nodes += round.nodes;
+    plan.total_leaves += round.leaves;
+    plan.total_bytes_up += round.bytes_up;
+    plan.total_bytes_down += round.bytes_down;
+    plan.rounds.push_back(round);
+    frontier = std::move(next);
+  }
+  return plan;
+}
+
+}  // namespace ribltx::merkle

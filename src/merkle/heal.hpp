@@ -1,0 +1,52 @@
+// State heal: Geth's Merkle-trie synchronization protocol (paper §7.3).
+//
+// Bob (stale) walks Alice's (fresh) trie top-down, requesting every node he
+// is missing from his own content-addressed store. Unchanged subtrees share
+// hashes with Bob's trie and are pruned immediately; changed paths must be
+// fetched level by level, in lock-step rounds -- one round per trie level
+// touched, which is where the O(log N) round trips and the node-transfer
+// amplification come from (Figs 12-14).
+//
+// plan_heal computes the full traffic schedule (per-round request/response
+// bytes and node counts); the sync layer replays it through the network
+// simulator to get completion times and bandwidth traces.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "merkle/trie.hpp"
+
+namespace ribltx::merkle {
+
+/// Per-request overhead on the wire besides the 32-byte node hash.
+inline constexpr std::size_t kRequestFraming = 4;
+/// Per-response framing per node body.
+inline constexpr std::size_t kResponseFraming = 4;
+
+struct HealRound {
+  std::size_t requests = 0;      ///< node hashes asked for this round
+  std::size_t bytes_up = 0;      ///< Bob -> Alice request bytes
+  std::size_t bytes_down = 0;    ///< Alice -> Bob node bodies
+  std::size_t nodes = 0;         ///< nodes delivered (== requests)
+  std::size_t leaves = 0;        ///< of which leaf nodes (account payloads)
+};
+
+struct HealPlan {
+  std::vector<HealRound> rounds;
+  std::size_t total_nodes = 0;
+  std::size_t total_leaves = 0;
+  std::size_t total_bytes_up = 0;
+  std::size_t total_bytes_down = 0;
+
+  [[nodiscard]] std::size_t total_bytes() const noexcept {
+    return total_bytes_up + total_bytes_down;
+  }
+};
+
+/// Simulates the heal of `bob` against `alice` and returns the traffic
+/// schedule. Both tries must be built with the same hash key. Bob's trie is
+/// not modified (the plan records what he *would* fetch).
+[[nodiscard]] HealPlan plan_heal(const Trie& alice, const Trie& bob);
+
+}  // namespace ribltx::merkle

@@ -1,0 +1,158 @@
+#include "merkle/trie.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "common/bytes.hpp"
+
+namespace ribltx::merkle {
+
+std::size_t Node::wire_size() const noexcept {
+  switch (kind) {
+    case Kind::kBranch: {
+      std::size_t n = 0;
+      for (auto h : children) {
+        if (h != 0) ++n;
+      }
+      // tag + 2-byte presence bitmap + one wire hash per occupied slot.
+      return 1 + 2 + n * kWireHashBytes;
+    }
+    case Kind::kExtension:
+      // tag + compact-encoded path + child hash.
+      return 1 + 1 + (path.size() + 1) / 2 + kWireHashBytes;
+    case Kind::kLeaf:
+      // tag + compact-encoded path + account body.
+      return 1 + 1 + (path.size() + 1) / 2 + kValueBytes;
+  }
+  return 0;  // unreachable
+}
+
+Trie::Trie(std::vector<Account> accounts, SipKey hash_key)
+    : hash_key_(hash_key) {
+  std::sort(accounts.begin(), accounts.end(),
+            [](const Account& a, const Account& b) { return a.key < b.key; });
+  for (std::size_t i = 1; i < accounts.size(); ++i) {
+    if (accounts[i].key == accounts[i - 1].key) {
+      throw std::invalid_argument("Trie: duplicate account key");
+    }
+  }
+  num_accounts_ = accounts.size();
+  if (!accounts.empty()) {
+    root_ = build(accounts, 0);
+  }
+}
+
+std::uint64_t Trie::build(std::span<const Account> accounts,
+                          std::size_t depth) {
+  if (accounts.size() == 1) {
+    Node leaf;
+    leaf.kind = Node::Kind::kLeaf;
+    leaf.account = accounts.front();
+    for (std::size_t i = depth; i < kKeyNibbles; ++i) {
+      leaf.path.push_back(
+          static_cast<std::uint8_t>(nibble_at(leaf.account.key, i)));
+    }
+    return intern(std::move(leaf));
+  }
+
+  // Sorted range: the common prefix of first and last bounds everyone's.
+  std::size_t lcp = 0;
+  const AddressKey& lo = accounts.front().key;
+  const AddressKey& hi = accounts.back().key;
+  while (depth + lcp < kKeyNibbles &&
+         nibble_at(lo, depth + lcp) == nibble_at(hi, depth + lcp)) {
+    ++lcp;
+  }
+  if (lcp > 0) {
+    Node ext;
+    ext.kind = Node::Kind::kExtension;
+    for (std::size_t i = 0; i < lcp; ++i) {
+      ext.path.push_back(static_cast<std::uint8_t>(nibble_at(lo, depth + i)));
+    }
+    ext.child = build(accounts, depth + lcp);
+    return intern(std::move(ext));
+  }
+
+  Node branch;
+  branch.kind = Node::Kind::kBranch;
+  std::size_t begin = 0;
+  while (begin < accounts.size()) {
+    const unsigned nib = nibble_at(accounts[begin].key, depth);
+    std::size_t end = begin + 1;
+    while (end < accounts.size() &&
+           nibble_at(accounts[end].key, depth) == nib) {
+      ++end;
+    }
+    branch.children[nib] =
+        build(accounts.subspan(begin, end - begin), depth + 1);
+    begin = end;
+  }
+  return intern(std::move(branch));
+}
+
+std::uint64_t Trie::intern(Node node) {
+  const std::uint64_t h = hash_node(node);
+  auto [it, inserted] = store_.try_emplace(h, std::move(node));
+  if (inserted) {
+    total_wire_bytes_ += it->second.wire_size();
+  }
+  return h;
+}
+
+std::uint64_t Trie::hash_node(const Node& node) const {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(node.kind));
+  switch (node.kind) {
+    case Node::Kind::kBranch:
+      for (auto h : node.children) w.u64(h);
+      break;
+    case Node::Kind::kExtension:
+      w.uvarint(node.path.size());
+      w.bytes(node.path.data(), node.path.size());
+      w.u64(node.child);
+      break;
+    case Node::Kind::kLeaf:
+      w.uvarint(node.path.size());
+      w.bytes(node.path.data(), node.path.size());
+      w.bytes(node.account.key.data(), node.account.key.size());
+      w.bytes(node.account.value.data(), node.account.value.size());
+      break;
+  }
+  return siphash24(hash_key_, w.view());
+}
+
+const Node* Trie::find(std::uint64_t hash) const {
+  const auto it = store_.find(hash);
+  return it == store_.end() ? nullptr : &it->second;
+}
+
+std::vector<Account> Trie::all_accounts() const {
+  std::vector<Account> out;
+  out.reserve(num_accounts_);
+  if (root_ != 0) collect(root_, out);
+  std::sort(out.begin(), out.end(),
+            [](const Account& a, const Account& b) { return a.key < b.key; });
+  return out;
+}
+
+void Trie::collect(std::uint64_t hash, std::vector<Account>& out) const {
+  const Node* node = find(hash);
+  if (node == nullptr) {
+    throw std::logic_error("Trie::collect: dangling node hash");
+  }
+  switch (node->kind) {
+    case Node::Kind::kLeaf:
+      out.push_back(node->account);
+      break;
+    case Node::Kind::kExtension:
+      collect(node->child, out);
+      break;
+    case Node::Kind::kBranch:
+      for (auto h : node->children) {
+        if (h != 0) collect(h, out);
+      }
+      break;
+  }
+}
+
+}  // namespace ribltx::merkle

@@ -1,0 +1,113 @@
+// 16-ary Merkle trie over fixed-length keys, modeled on the Ethereum
+// account trie (the paper's §7.3 baseline, Geth's "state heal" protocol
+// operates on this structure).
+//
+// Faithful pieces: 16-ary branching on key nibbles, path compression
+// ("shortening sub-tries that have no branches" via extension/leaf nodes),
+// content-addressed node store keyed by node hash (Geth's node database),
+// and wire-size accounting that charges 32 bytes per child hash as the real
+// protocol does. Simplifications (DESIGN.md §1.4): node identity uses
+// 64-bit SipHash internally (we simulate, not defend, the hash tree), and
+// tries are rebuilt per snapshot instead of mutated copy-on-write.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstddef>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "common/siphash.hpp"
+
+namespace ribltx::merkle {
+
+inline constexpr std::size_t kKeyBytes = 20;    ///< wallet address length
+inline constexpr std::size_t kValueBytes = 72;  ///< account state length
+inline constexpr std::size_t kKeyNibbles = kKeyBytes * 2;
+/// Bytes a child hash occupies on the wire (Keccak-256 in the real system).
+inline constexpr std::size_t kWireHashBytes = 32;
+
+using AddressKey = std::array<std::byte, kKeyBytes>;
+using AccountValue = std::array<std::byte, kValueBytes>;
+
+struct Account {
+  AddressKey key{};
+  AccountValue value{};
+
+  friend bool operator==(const Account&, const Account&) = default;
+};
+
+/// Nibble `i` of a key, most-significant first (aligns with lexicographic
+/// byte order, so sorted accounts share nibble prefixes contiguously).
+[[nodiscard]] inline unsigned nibble_at(const AddressKey& key,
+                                        std::size_t i) noexcept {
+  const auto b = static_cast<unsigned>(key[i / 2]);
+  return (i % 2 == 0) ? (b >> 4) : (b & 0xf);
+}
+
+struct Node {
+  enum class Kind : std::uint8_t { kBranch, kExtension, kLeaf };
+
+  Kind kind = Kind::kLeaf;
+  /// kBranch: child node hashes, 0 = empty slot.
+  std::array<std::uint64_t, 16> children{};
+  /// kExtension: shared nibble run; kLeaf: remaining key nibbles.
+  std::vector<std::uint8_t> path;
+  /// kExtension: the single child's hash.
+  std::uint64_t child = 0;
+  /// kLeaf payload.
+  Account account{};
+
+  /// Modeled wire size (RLP-like): tag + compact path + 32 B per child
+  /// hash; leaves carry the 72-byte account body.
+  [[nodiscard]] std::size_t wire_size() const noexcept;
+};
+
+/// Immutable Merkle trie with a content-addressed node store.
+class Trie {
+ public:
+  /// Builds from an account set (keys must be unique; any order). The
+  /// `hash_key` seeds node hashing and must match between peers.
+  explicit Trie(std::vector<Account> accounts, SipKey hash_key = SipKey{});
+
+  /// 0 for the empty trie.
+  [[nodiscard]] std::uint64_t root_hash() const noexcept { return root_; }
+
+  /// Node lookup by hash (how the heal protocol serves requests); nullptr
+  /// if this trie does not contain the node.
+  [[nodiscard]] const Node* find(std::uint64_t hash) const;
+
+  [[nodiscard]] bool contains_node(std::uint64_t hash) const {
+    return find(hash) != nullptr;
+  }
+
+  [[nodiscard]] std::size_t node_count() const noexcept {
+    return store_.size();
+  }
+  [[nodiscard]] std::size_t account_count() const noexcept {
+    return num_accounts_;
+  }
+
+  /// Walks the trie and returns every account, sorted by key (test aid).
+  [[nodiscard]] std::vector<Account> all_accounts() const;
+
+  /// Sum of wire sizes over all stored nodes.
+  [[nodiscard]] std::size_t total_wire_bytes() const noexcept {
+    return total_wire_bytes_;
+  }
+
+ private:
+  std::uint64_t build(std::span<const Account> accounts, std::size_t depth);
+  std::uint64_t intern(Node node);
+  [[nodiscard]] std::uint64_t hash_node(const Node& node) const;
+  void collect(std::uint64_t hash, std::vector<Account>& out) const;
+
+  SipKey hash_key_;
+  std::uint64_t root_ = 0;
+  std::size_t num_accounts_ = 0;
+  std::size_t total_wire_bytes_ = 0;
+  std::unordered_map<std::uint64_t, Node> store_;
+};
+
+}  // namespace ribltx::merkle

@@ -1,0 +1,80 @@
+#include "netsim/sim.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <utility>
+
+namespace ribltx::netsim {
+
+void EventLoop::schedule_at(SimTime t, std::function<void()> fn) {
+  if (t < now_) {
+    throw std::invalid_argument("EventLoop: cannot schedule in the past");
+  }
+  queue_.push(Event{t, next_seq_++, std::move(fn)});
+}
+
+void EventLoop::schedule_in(SimTime delay, std::function<void()> fn) {
+  schedule_at(now_ + delay, std::move(fn));
+}
+
+bool EventLoop::step() {
+  if (queue_.empty()) return false;
+  // Pop before running: the handler may schedule more events.
+  Event ev = queue_.top();
+  queue_.pop();
+  now_ = ev.t;
+  ev.fn();
+  return true;
+}
+
+void EventLoop::run() {
+  while (step()) {
+  }
+}
+
+void Link::send(std::size_t bytes,
+                std::function<void(const Delivery&)> on_delivered) {
+  const SimTime depart_start = std::max(loop_->now(), busy_until_);
+  const SimTime depart_end = depart_start + config_.tx_time(bytes);
+  busy_until_ = depart_end;
+  total_bytes_ += bytes;
+
+  Delivery d;
+  d.depart_start = depart_start;
+  d.arrive_start = depart_start + config_.one_way_delay_s;
+  d.arrive_end = depart_end + config_.one_way_delay_s;
+  d.bytes = bytes;
+  log_.push_back(d);
+
+  if (on_delivered) {
+    loop_->schedule_at(d.arrive_end,
+                       [cb = std::move(on_delivered), d] { cb(d); });
+  }
+}
+
+void BandwidthTrace::add(const Delivery& d) {
+  if (d.bytes == 0) return;
+  const double start = d.arrive_start;
+  const double end = std::max(d.arrive_end, start + 1e-12);
+  const double rate = static_cast<double>(d.bytes) / (end - start);
+  auto first_bin = static_cast<std::size_t>(start / bin_);
+  auto last_bin = static_cast<std::size_t>(end / bin_);
+  if (bytes_per_bin_.size() <= last_bin) bytes_per_bin_.resize(last_bin + 1);
+  for (std::size_t b = first_bin; b <= last_bin; ++b) {
+    const double lo = std::max(start, static_cast<double>(b) * bin_);
+    const double hi = std::min(end, static_cast<double>(b + 1) * bin_);
+    if (hi > lo) bytes_per_bin_[b] += rate * (hi - lo);
+  }
+}
+
+std::vector<BandwidthTrace::Bin> BandwidthTrace::bins() const {
+  std::vector<Bin> out;
+  out.reserve(bytes_per_bin_.size());
+  for (std::size_t b = 0; b < bytes_per_bin_.size(); ++b) {
+    out.push_back(Bin{static_cast<double>(b) * bin_,
+                      bytes_per_bin_[b] * 8.0 / 1e6 / bin_});
+  }
+  return out;
+}
+
+}  // namespace ribltx::netsim

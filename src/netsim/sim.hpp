@@ -1,0 +1,134 @@
+// Event-driven network simulator (DESIGN.md §1.4 substitution 2).
+//
+// Replaces the paper's Dummynet testbed: full-duplex links with a one-way
+// propagation delay and a bandwidth cap, modeled as a FIFO serialization
+// queue per direction (fluid model -- bytes occupy the wire for
+// size/bandwidth seconds, then arrive delay seconds later). Per-delivery
+// records feed the bandwidth-over-time traces of Fig 13.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <functional>
+#include <limits>
+#include <queue>
+#include <string>
+#include <vector>
+
+namespace ribltx::netsim {
+
+using SimTime = double;  ///< seconds since simulation start
+
+/// Minimal discrete-event loop: schedule closures, run to quiescence.
+class EventLoop {
+ public:
+  void schedule_at(SimTime t, std::function<void()> fn);
+  void schedule_in(SimTime delay, std::function<void()> fn);
+
+  [[nodiscard]] SimTime now() const noexcept { return now_; }
+
+  /// Runs one event; false when the queue is empty.
+  bool step();
+
+  /// Runs until no events remain.
+  void run();
+
+  [[nodiscard]] std::size_t pending() const noexcept { return queue_.size(); }
+
+ private:
+  struct Event {
+    SimTime t;
+    std::uint64_t seq;  // FIFO tie-break for equal timestamps
+    std::function<void()> fn;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const noexcept {
+      return a.t > b.t || (a.t == b.t && a.seq > b.seq);
+    }
+  };
+
+  SimTime now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+};
+
+struct LinkConfig {
+  double one_way_delay_s = 0.05;  ///< propagation delay (paper: 50 ms)
+  /// Bits per second; 0 means unlimited (the paper's "no cap" points).
+  double bandwidth_bps = 20e6;
+
+  [[nodiscard]] bool unlimited() const noexcept { return bandwidth_bps <= 0; }
+
+  /// Seconds to serialize `bytes` onto the wire.
+  [[nodiscard]] double tx_time(std::size_t bytes) const noexcept {
+    return unlimited() ? 0.0
+                       : static_cast<double>(bytes) * 8.0 / bandwidth_bps;
+  }
+};
+
+/// One message delivery: bytes flow into the receiver during
+/// [arrive_start, arrive_end] (line-rate reception of the serialized
+/// window, shifted by the propagation delay).
+struct Delivery {
+  SimTime depart_start = 0;
+  SimTime arrive_start = 0;
+  SimTime arrive_end = 0;
+  std::size_t bytes = 0;
+};
+
+/// Unidirectional FIFO link.
+class Link {
+ public:
+  Link(EventLoop& loop, LinkConfig config, std::string name = {})
+      : loop_(&loop), config_(config), name_(std::move(name)) {}
+
+  /// Queues `bytes` for transmission now; `on_delivered` fires when the
+  /// last byte reaches the receiver.
+  void send(std::size_t bytes,
+            std::function<void(const Delivery&)> on_delivered = {});
+
+  [[nodiscard]] const LinkConfig& config() const noexcept { return config_; }
+  [[nodiscard]] SimTime busy_until() const noexcept { return busy_until_; }
+  [[nodiscard]] const std::vector<Delivery>& deliveries() const noexcept {
+    return log_;
+  }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+  /// Total bytes ever queued on this link.
+  [[nodiscard]] std::size_t total_bytes() const noexcept {
+    return total_bytes_;
+  }
+
+ private:
+  EventLoop* loop_;
+  LinkConfig config_;
+  std::string name_;
+  SimTime busy_until_ = 0;
+  std::size_t total_bytes_ = 0;
+  std::vector<Delivery> log_;
+};
+
+/// Bins deliveries into a bandwidth-vs-time series (Fig 13).
+class BandwidthTrace {
+ public:
+  explicit BandwidthTrace(double bin_seconds) : bin_(bin_seconds) {}
+
+  void add(const Delivery& d);
+  void add_all(const std::vector<Delivery>& ds) {
+    for (const auto& d : ds) add(d);
+  }
+
+  struct Bin {
+    SimTime start = 0;
+    double mbps = 0;
+  };
+
+  /// Bins from t=0 through the last nonzero bin.
+  [[nodiscard]] std::vector<Bin> bins() const;
+
+ private:
+  double bin_;
+  std::vector<double> bytes_per_bin_;
+};
+
+}  // namespace ribltx::netsim

@@ -1,0 +1,79 @@
+// Characteristic Polynomial Interpolation (CPI) set reconciliation --
+// Minsky, Trachtenberg & Zippel 2003, the paper's [19] and the scheme whose
+// computation cost motivates both PinSketch and Rateless IBLT (§2).
+//
+// Alice evaluates her set's characteristic polynomial
+//   chi_A(z) = prod_{x in A} (z + x)       over GF(2^64)
+// at m agreed-upon points and sends the m evaluations (plus |A|).
+// Bob forms the ratios chi_A(e_j)/chi_B(e_j) = P(e_j)/Q(e_j) where
+// P = chi_{A\B}, Q = chi_{B\A}, interpolates the rational function by
+// solving an m x m linear system (O(m^3) -- the "quadratic-time or worse"
+// decoder of §1), strips the common factor, and factors P and Q with the
+// same Berlekamp-trace machinery as PinSketch.
+//
+// Communication is optimal like PinSketch's (8 bytes per unit of
+// capacity); encoding is O(m) multiplies per item; decoding is
+// O(m^3 + d^2 * 64) -- the worst of the three families, reproduced here as
+// the historical baseline (bench/extra_cpi_comparison).
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/symbol.hpp"
+#include "pinsketch/gf64.hpp"
+
+namespace ribltx::cpi {
+
+class CpiSketch {
+ public:
+  /// Sketch able to reconcile up to `capacity` differences (= number of
+  /// evaluation points). Points are fixed pseudorandom field elements
+  /// shared by construction.
+  explicit CpiSketch(std::size_t capacity);
+
+  /// Adds an item (nonzero, and not equal to an evaluation point --
+  /// probability ~2^-58 for random data; throws otherwise).
+  void add_symbol(const U64Symbol& s);
+  void add_element(pinsketch::GF64 x);
+
+  /// Removes a previously added item (divides the evaluations back out).
+  void remove_symbol(const U64Symbol& s);
+
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return evals_.size();
+  }
+  [[nodiscard]] std::size_t set_size() const noexcept { return set_size_; }
+
+  /// Wire size: one field element per evaluation plus the set size (the
+  /// protocol exchanges set sizes, §2 of MTZ).
+  [[nodiscard]] std::size_t serialized_size() const noexcept {
+    return evals_.size() * 8 + 8;
+  }
+
+  struct Result {
+    bool success = false;
+    std::vector<U64Symbol> alice_only;  ///< A \ B
+    std::vector<U64Symbol> bob_only;    ///< B \ A
+  };
+
+  /// Reconciles two sketches of equal capacity. Fails cleanly when the
+  /// true difference exceeds the capacity.
+  [[nodiscard]] static Result reconcile(const CpiSketch& alice,
+                                        const CpiSketch& bob);
+
+  [[nodiscard]] std::span<const pinsketch::GF64> evaluations() const noexcept {
+    return evals_;
+  }
+
+  /// The j-th shared evaluation point.
+  [[nodiscard]] static pinsketch::GF64 eval_point(std::size_t j) noexcept;
+
+ private:
+  std::vector<pinsketch::GF64> evals_;  ///< chi_S(e_j), j = 0..m-1
+  std::size_t set_size_ = 0;
+};
+
+}  // namespace ribltx::cpi

@@ -1,0 +1,125 @@
+// GF(2^64) field arithmetic for the PinSketch baseline (paper's [7, 38]).
+//
+// Elements are 64-bit polynomials over GF(2) reduced modulo the low-weight
+// irreducible pentanomial  x^64 + x^4 + x^3 + x + 1  (reduction mask 0x1b).
+// Multiplication is a portable carry-less multiply (4-bit windowed
+// shift-XOR; no PCLMUL intrinsics, see DESIGN.md §1.4 substitution 4)
+// followed by two folding rounds of reduction. Inversion is Fermat
+// exponentiation a^(2^64 - 2).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+
+#include "core/symbol.hpp"
+
+namespace ribltx::pinsketch {
+
+class GF64 {
+ public:
+  constexpr GF64() = default;
+  constexpr explicit GF64(std::uint64_t bits) noexcept : bits_(bits) {}
+
+  [[nodiscard]] constexpr std::uint64_t bits() const noexcept { return bits_; }
+  [[nodiscard]] constexpr bool is_zero() const noexcept { return bits_ == 0; }
+
+  static constexpr GF64 zero() noexcept { return GF64(0); }
+  static constexpr GF64 one() noexcept { return GF64(1); }
+
+  // Addition = XOR (characteristic 2); subtraction is identical.
+  friend constexpr GF64 operator+(GF64 a, GF64 b) noexcept {
+    return GF64(a.bits_ ^ b.bits_);
+  }
+  constexpr GF64& operator+=(GF64 o) noexcept {
+    bits_ ^= o.bits_;
+    return *this;
+  }
+
+  friend GF64 operator*(GF64 a, GF64 b) noexcept {
+    std::uint64_t hi, lo;
+    clmul(a.bits_, b.bits_, hi, lo);
+    return GF64(reduce(hi, lo));
+  }
+  GF64& operator*=(GF64 o) noexcept {
+    *this = *this * o;
+    return *this;
+  }
+
+  [[nodiscard]] GF64 squared() const noexcept { return *this * *this; }
+
+  /// a^e by square-and-multiply.
+  [[nodiscard]] GF64 pow(std::uint64_t e) const noexcept {
+    GF64 base = *this;
+    GF64 acc = one();
+    while (e != 0) {
+      if (e & 1) acc *= base;
+      base = base.squared();
+      e >>= 1;
+    }
+    return acc;
+  }
+
+  /// Multiplicative inverse; throws std::domain_error for zero.
+  [[nodiscard]] GF64 inverse() const {
+    if (is_zero()) throw std::domain_error("GF64: zero has no inverse");
+    // a^(2^64 - 2) = a^-1 (group order 2^64 - 1).
+    return pow(~std::uint64_t{0} - 1);
+  }
+
+  friend constexpr bool operator==(GF64, GF64) = default;
+
+  /// Field element from an 8-byte set item (little-endian bits).
+  [[nodiscard]] static GF64 from_symbol(const U64Symbol& s) noexcept {
+    std::uint64_t v = 0;
+    for (std::size_t i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(s.data[i]))
+           << (8 * i);
+    }
+    return GF64(v);
+  }
+
+  [[nodiscard]] U64Symbol to_symbol() const noexcept {
+    return U64Symbol::from_u64(bits_);
+  }
+
+ private:
+  /// Portable carry-less 64x64 -> 128 multiply, 4-bit windows of `a`.
+  static void clmul(std::uint64_t a, std::uint64_t b, std::uint64_t& hi,
+                    std::uint64_t& lo) noexcept {
+    // tab[w] = carry-less w * b for all 4-bit w; entries spill <= 3 bits
+    // into a high word.
+    std::uint64_t tl[16], th[16];
+    tl[0] = 0;
+    th[0] = 0;
+    tl[1] = b;
+    th[1] = 0;
+    for (unsigned w = 2; w < 16; w += 2) {
+      tl[w] = tl[w >> 1] << 1;
+      th[w] = (th[w >> 1] << 1) | (tl[w >> 1] >> 63);
+      tl[w + 1] = tl[w] ^ b;
+      th[w + 1] = th[w];
+    }
+    lo = 0;
+    hi = 0;
+    for (unsigned i = 0; i < 16; ++i) {
+      const unsigned w = static_cast<unsigned>((a >> (4 * i)) & 0xf);
+      const unsigned s = 4 * i;
+      lo ^= tl[w] << s;
+      hi ^= (th[w] << s) | (s == 0 ? 0 : tl[w] >> (64 - s));
+    }
+  }
+
+  /// Reduces a 128-bit carry-less product modulo x^64 + x^4 + x^3 + x + 1.
+  static std::uint64_t reduce(std::uint64_t hi, std::uint64_t lo) noexcept {
+    // hi * x^64 == hi * (x^4 + x^3 + x + 1); the multiply spills at most 4
+    // bits past position 63, which one more folding round absorbs.
+    lo ^= hi ^ (hi << 1) ^ (hi << 3) ^ (hi << 4);
+    const std::uint64_t spill = (hi >> 63) ^ (hi >> 61) ^ (hi >> 60);
+    lo ^= spill ^ (spill << 1) ^ (spill << 3) ^ (spill << 4);
+    return lo;
+  }
+
+  std::uint64_t bits_ = 0;
+};
+
+}  // namespace ribltx::pinsketch

@@ -1,0 +1,152 @@
+#include "pinsketch/pinsketch.hpp"
+
+#include <stdexcept>
+
+#include "common/bytes.hpp"
+#include "pinsketch/poly.hpp"
+
+namespace ribltx::pinsketch {
+
+PinSketch::PinSketch(std::size_t capacity) {
+  if (capacity == 0) {
+    throw std::invalid_argument("PinSketch: capacity must be positive");
+  }
+  syndromes_.assign(capacity, GF64::zero());
+}
+
+void PinSketch::add_symbol(const U64Symbol& s) {
+  add_element(GF64::from_symbol(s));
+}
+
+void PinSketch::add_element(GF64 x) {
+  if (x.is_zero()) {
+    throw std::invalid_argument(
+        "PinSketch: items must be nonzero 64-bit strings");
+  }
+  // Odd powers x^1, x^3, ...: one multiply by x^2 per syndrome.
+  const GF64 x2 = x.squared();
+  GF64 p = x;
+  for (auto& s : syndromes_) {
+    s += p;
+    p *= x2;
+  }
+}
+
+PinSketch& PinSketch::subtract(const PinSketch& other) {
+  if (other.syndromes_.size() != syndromes_.size()) {
+    throw std::invalid_argument("PinSketch::subtract: capacity mismatch");
+  }
+  for (std::size_t i = 0; i < syndromes_.size(); ++i) {
+    syndromes_[i] += other.syndromes_[i];
+  }
+  return *this;
+}
+
+namespace {
+
+/// Berlekamp-Massey over GF(2^64): minimal LFSR (the error locator) for the
+/// sequence `s`. Returns the connection polynomial C with C[0] = 1.
+Poly berlekamp_massey(const std::vector<GF64>& s) {
+  std::vector<GF64> c{GF64::one()};  // current connection polynomial
+  std::vector<GF64> b{GF64::one()};  // copy at last length change
+  std::size_t l = 0;
+  std::size_t m = 1;
+  GF64 bb = GF64::one();  // discrepancy at last length change
+
+  for (std::size_t n = 0; n < s.size(); ++n) {
+    GF64 delta = s[n];
+    for (std::size_t i = 1; i <= l && i < c.size(); ++i) {
+      delta += c[i] * s[n - i];
+    }
+    if (delta.is_zero()) {
+      ++m;
+      continue;
+    }
+    const GF64 coef = delta * bb.inverse();
+    if (2 * l <= n) {
+      const std::vector<GF64> t = c;
+      if (c.size() < b.size() + m) c.resize(b.size() + m, GF64::zero());
+      for (std::size_t i = 0; i < b.size(); ++i) c[i + m] += coef * b[i];
+      l = n + 1 - l;
+      b = t;
+      bb = delta;
+      m = 1;
+    } else {
+      if (c.size() < b.size() + m) c.resize(b.size() + m, GF64::zero());
+      for (std::size_t i = 0; i < b.size(); ++i) c[i + m] += coef * b[i];
+      ++m;
+    }
+  }
+  return Poly(std::move(c));
+}
+
+}  // namespace
+
+PinSketch::Result PinSketch::decode() const {
+  Result out;
+
+  bool all_zero = true;
+  for (const auto& s : syndromes_) {
+    if (!s.is_zero()) {
+      all_zero = false;
+      break;
+    }
+  }
+  if (all_zero) {
+    out.success = true;
+    return out;  // empty symmetric difference
+  }
+
+  // Full syndrome sequence S_1..S_2c: odd entries are stored, even entries
+  // follow from Frobenius: S_{2k} = S_k^2 (char-2 power sums).
+  const std::size_t c = syndromes_.size();
+  std::vector<GF64> full(2 * c, GF64::zero());  // full[j] = S_{j+1}
+  for (std::size_t j = 1; j <= 2 * c; ++j) {
+    full[j - 1] = (j % 2 == 1) ? syndromes_[(j - 1) / 2]
+                               : full[j / 2 - 1].squared();
+  }
+
+  const Poly locator = berlekamp_massey(full);
+  const int t = locator.degree();
+  if (t <= 0 || static_cast<std::size_t>(t) > c) return out;  // overloaded
+
+  // Roots of the locator are inverses of the difference elements.
+  std::vector<GF64> roots;
+  if (!find_roots(locator, roots)) return out;
+
+  std::vector<GF64> elements;
+  elements.reserve(roots.size());
+  for (const GF64& r : roots) {
+    if (r.is_zero()) return out;  // 0 cannot be a locator root of a valid set
+    elements.push_back(r.inverse());
+  }
+
+  // Verify: the recovered set must reproduce every transmitted syndrome.
+  // This catches Berlekamp-Massey "solutions" for differences > capacity.
+  PinSketch check(c);
+  for (const GF64& e : elements) check.add_element(e);
+  if (check.syndromes_ != syndromes_) return out;
+
+  out.success = true;
+  out.difference.reserve(elements.size());
+  for (const GF64& e : elements) out.difference.push_back(e.to_symbol());
+  return out;
+}
+
+std::vector<std::byte> PinSketch::serialize() const {
+  ByteWriter w;
+  w.u32(static_cast<std::uint32_t>(syndromes_.size()));
+  for (const auto& s : syndromes_) w.u64(s.bits());
+  return std::move(w).take();
+}
+
+PinSketch PinSketch::deserialize(std::span<const std::byte> data) {
+  ByteReader r(data);
+  const std::uint32_t cap = r.u32();
+  if (cap == 0) throw std::invalid_argument("PinSketch: empty sketch");
+  PinSketch out(cap);
+  for (std::uint32_t i = 0; i < cap; ++i) out.syndromes_[i] = GF64(r.u64());
+  return out;
+}
+
+}  // namespace ribltx::pinsketch

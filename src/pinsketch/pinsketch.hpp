@@ -1,0 +1,75 @@
+// PinSketch: BCH-syndrome set reconciliation (Dodis et al. 2008; deployed
+// as minisketch in Bitcoin/Erlay -- the paper's [7, 23, 38] baseline).
+//
+// A sketch of capacity c over 8-byte items stores the odd power sums
+//   s_j = sum_{x in S} x^j,  j = 1, 3, ..., 2c-1,   over GF(2^64).
+// Sketches XOR to the sketch of the symmetric difference, and exactly c*8
+// bytes reconcile up to c differences: communication overhead 1.0, the
+// information-theoretic optimum (Fig 7). The price is computation: encoding
+// evaluates c syndromes per item (cost linear in c), and decoding runs
+// Berlekamp-Massey plus root finding, quadratic in c -- the 2-2000x gap
+// Figs 8-9 measure against Rateless IBLT.
+//
+// Unlike IBLT-style schemes, a decoded PinSketch yields the symmetric
+// difference only, without which-side attribution (the paper notes Bob can
+// look items up against his own set).
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "core/symbol.hpp"
+#include "pinsketch/gf64.hpp"
+
+namespace ribltx::pinsketch {
+
+class PinSketch {
+ public:
+  /// Sketch that can reconcile up to `capacity` differences.
+  explicit PinSketch(std::size_t capacity);
+
+  /// Adds an item. Zero (the additive identity of GF(2^64)) has no syndrome
+  /// footprint and is rejected, matching minisketch's domain [1, 2^64).
+  void add_symbol(const U64Symbol& s);
+  void add_element(GF64 x);
+
+  /// Removing equals adding (characteristic 2): provided for API symmetry.
+  void remove_symbol(const U64Symbol& s) { add_symbol(s); }
+
+  /// Cell-wise XOR: *this becomes the sketch of the symmetric difference.
+  PinSketch& subtract(const PinSketch& other);
+
+  struct Result {
+    bool success = false;
+    std::vector<U64Symbol> difference;  ///< A (-) B, unattributed
+  };
+
+  /// Decodes the (difference) sketch: Berlekamp-Massey over the syndrome
+  /// sequence (even syndromes derived via Frobenius), Berlekamp-trace root
+  /// finding, then a full syndrome re-verification. Fails cleanly when the
+  /// actual difference exceeds capacity.
+  [[nodiscard]] Result decode() const;
+
+  [[nodiscard]] std::size_t capacity() const noexcept {
+    return syndromes_.size();
+  }
+
+  /// Exact wire size: capacity * 8 bytes (nothing else is transmitted).
+  [[nodiscard]] std::size_t serialized_size() const noexcept {
+    return syndromes_.size() * 8;
+  }
+
+  [[nodiscard]] std::vector<std::byte> serialize() const;
+  [[nodiscard]] static PinSketch deserialize(std::span<const std::byte> data);
+
+  [[nodiscard]] std::span<const GF64> syndromes() const noexcept {
+    return syndromes_;
+  }
+
+ private:
+  std::vector<GF64> syndromes_;  ///< s_1, s_3, ..., s_{2c-1}
+};
+
+}  // namespace ribltx::pinsketch

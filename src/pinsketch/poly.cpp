@@ -1,0 +1,166 @@
+#include "pinsketch/poly.hpp"
+
+#include <stdexcept>
+#include <unordered_set>
+#include <utility>
+
+namespace ribltx::pinsketch {
+
+Poly Poly::monomial(GF64 coeff, std::size_t k) {
+  if (coeff.is_zero()) return Poly{};
+  std::vector<GF64> c(k + 1, GF64::zero());
+  c[k] = coeff;
+  return Poly(std::move(c));
+}
+
+Poly& Poly::operator+=(const Poly& o) {
+  if (o.c_.size() > c_.size()) c_.resize(o.c_.size(), GF64::zero());
+  for (std::size_t i = 0; i < o.c_.size(); ++i) c_[i] += o.c_[i];
+  trim();
+  return *this;
+}
+
+Poly operator*(const Poly& a, const Poly& b) {
+  if (a.is_zero() || b.is_zero()) return Poly{};
+  std::vector<GF64> out(a.c_.size() + b.c_.size() - 1, GF64::zero());
+  for (std::size_t i = 0; i < a.c_.size(); ++i) {
+    if (a.c_[i].is_zero()) continue;
+    for (std::size_t j = 0; j < b.c_.size(); ++j) {
+      out[i + j] += a.c_[i] * b.c_[j];
+    }
+  }
+  return Poly(std::move(out));
+}
+
+Poly Poly::scaled(GF64 s) const {
+  if (s.is_zero()) return Poly{};
+  std::vector<GF64> out(c_);
+  for (auto& v : out) v *= s;
+  return Poly(std::move(out));
+}
+
+Poly Poly::monic() const {
+  if (is_zero() || leading() == GF64::one()) return *this;
+  return scaled(leading().inverse());
+}
+
+Poly Poly::mod(const Poly& m) const {
+  return divmod(m).remainder;
+}
+
+PolyDivMod Poly::divmod(const Poly& m) const {
+  if (m.is_zero()) throw std::domain_error("Poly::divmod: divisor is zero");
+  if (degree() < m.degree()) return PolyDivMod{Poly{}, *this};
+  std::vector<GF64> rem(c_);
+  const auto md = static_cast<std::size_t>(m.degree());
+  std::vector<GF64> quot(rem.size() - md, GF64::zero());
+  const GF64 inv_lead = m.leading().inverse();
+  for (std::size_t i = rem.size(); i-- > md;) {
+    if (rem[i].is_zero()) continue;
+    const GF64 factor = rem[i] * inv_lead;
+    quot[i - md] = factor;
+    // rem -= factor * x^(i-md) * m; rem[i] becomes exactly zero.
+    for (std::size_t j = 0; j <= md; ++j) {
+      rem[i - md + j] += factor * m.c_[j];
+    }
+  }
+  rem.resize(md);
+  return PolyDivMod{Poly(std::move(quot)), Poly(std::move(rem))};
+}
+
+Poly Poly::squared_mod(const Poly& m) const {
+  if (is_zero()) return Poly{};
+  std::vector<GF64> sq(2 * c_.size() - 1, GF64::zero());
+  for (std::size_t i = 0; i < c_.size(); ++i) {
+    sq[2 * i] = c_[i].squared();  // Frobenius: cross terms vanish in char 2
+  }
+  return Poly(std::move(sq)).mod(m);
+}
+
+Poly Poly::gcd(Poly a, Poly b) {
+  while (!b.is_zero()) {
+    Poly r = a.mod(b);
+    a = std::move(b);
+    b = std::move(r);
+  }
+  return a.monic();
+}
+
+GF64 Poly::eval(GF64 x) const noexcept {
+  GF64 acc = GF64::zero();
+  for (std::size_t i = c_.size(); i-- > 0;) {
+    acc = acc * x + c_[i];
+  }
+  return acc;
+}
+
+namespace {
+
+/// Recursive splitter: `p` monic with distinct roots; `basis_index` walks
+/// the polynomial basis 1, x, x^2, ... of GF(2^64) over GF(2). For any two
+/// distinct roots there is a basis element whose trace separates them, so
+/// the recursion always terminates within 64 levels for genuinely split
+/// polynomials.
+bool split_roots(const Poly& p, unsigned basis_index,
+                 std::vector<GF64>& out) {
+  const int deg = p.degree();
+  if (deg <= 0) return true;
+  if (deg == 1) {
+    // monic x + c: root is c (char 2).
+    out.push_back(p.coeff(0));
+    return true;
+  }
+  for (unsigned k = basis_index; k < 64; ++k) {
+    // trace_poly = sum_{i=0..63} (beta x)^(2^i) mod p, beta = x^k in GF(2^64).
+    const GF64 beta(std::uint64_t{1} << k);
+    Poly term = Poly::monomial(beta, 1).mod(p);
+    Poly trace = term;
+    for (int i = 1; i < 64; ++i) {
+      term = term.squared_mod(p);
+      trace += term;
+    }
+    const Poly g = Poly::gcd(p, trace);
+    if (g.degree() <= 0 || g.degree() >= deg) continue;  // trivial split
+
+    // p = g * h with both factors nontrivial; divide via remainder-free
+    // long division (compute h = p / g by repeated subtraction).
+    // Since p and g are monic and g | p, mod(p, g) == 0; recover h by
+    // synthetic division.
+    std::vector<GF64> h(static_cast<std::size_t>(deg - g.degree()) + 1,
+                        GF64::zero());
+    std::vector<GF64> rem(p.coeffs());
+    const auto gd = static_cast<std::size_t>(g.degree());
+    for (std::size_t i = rem.size(); i-- > gd;) {
+      if (rem[i].is_zero()) continue;
+      const GF64 factor = rem[i];  // g is monic
+      h[i - gd] = factor;
+      for (std::size_t j = 0; j <= gd; ++j) {
+        rem[i - gd + j] += factor * g.coeff(j);
+      }
+    }
+    return split_roots(g, k + 1, out) &&
+           split_roots(Poly(std::move(h)), k + 1, out);
+  }
+  return false;  // no basis element splits p: p does not have distinct roots
+}
+
+}  // namespace
+
+bool find_roots(const Poly& p, std::vector<GF64>& out) {
+  if (p.is_zero()) return false;
+  const Poly m = p.monic();
+  out.clear();
+  out.reserve(static_cast<std::size_t>(m.degree() > 0 ? m.degree() : 0));
+  if (!split_roots(m, 0, out)) return false;
+  if (static_cast<int>(out.size()) != m.degree()) return false;
+  // Repeated factors (e.g. (x+r)^2) split into duplicate "roots"; the
+  // contract is distinct linear factors, so reject them here.
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(out.size());
+  for (const GF64& r : out) {
+    if (!seen.insert(r.bits()).second) return false;
+  }
+  return true;
+}
+
+}  // namespace ribltx::pinsketch

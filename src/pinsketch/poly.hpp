@@ -1,0 +1,103 @@
+// Dense univariate polynomial arithmetic over GF(2^64), sized for the
+// PinSketch decoder: schoolbook multiply, Euclidean division, GCD, and the
+// char-2 square-then-reduce used by the Berlekamp trace algorithm. Degrees
+// here are at most the sketch capacity (thousands), where O(d^2) schoolbook
+// is the appropriate tool -- PinSketch's quadratic decode cost is exactly
+// what the paper benchmarks against (Fig 9).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "pinsketch/gf64.hpp"
+
+namespace ribltx::pinsketch {
+
+struct PolyDivMod;
+
+/// Coefficients in ascending power order; invariant: no trailing zeros
+/// (enforced by trim), so degree() == coeffs.size() - 1.
+class Poly {
+ public:
+  Poly() = default;
+  explicit Poly(std::vector<GF64> coeffs) : c_(std::move(coeffs)) { trim(); }
+
+  [[nodiscard]] static Poly constant(GF64 v) {
+    return v.is_zero() ? Poly{} : Poly(std::vector<GF64>{v});
+  }
+
+  /// The monomial c * x^k.
+  [[nodiscard]] static Poly monomial(GF64 coeff, std::size_t k);
+
+  [[nodiscard]] bool is_zero() const noexcept { return c_.empty(); }
+
+  /// Degree of the zero polynomial is -1 by convention.
+  [[nodiscard]] int degree() const noexcept {
+    return static_cast<int>(c_.size()) - 1;
+  }
+
+  [[nodiscard]] GF64 coeff(std::size_t i) const noexcept {
+    return i < c_.size() ? c_[i] : GF64::zero();
+  }
+
+  [[nodiscard]] GF64 leading() const noexcept {
+    return c_.empty() ? GF64::zero() : c_.back();
+  }
+
+  [[nodiscard]] const std::vector<GF64>& coeffs() const noexcept { return c_; }
+
+  Poly& operator+=(const Poly& o);
+  friend Poly operator+(Poly a, const Poly& b) {
+    a += b;
+    return a;
+  }
+
+  friend Poly operator*(const Poly& a, const Poly& b);
+
+  /// Scales every coefficient.
+  [[nodiscard]] Poly scaled(GF64 s) const;
+
+  /// Divides by the leading coefficient. No-op for zero.
+  [[nodiscard]] Poly monic() const;
+
+  /// Euclidean remainder *this mod m; m must be nonzero.
+  [[nodiscard]] Poly mod(const Poly& m) const;
+
+  /// Euclidean division: (*this) = q * m + r with deg r < deg m.
+  [[nodiscard]] PolyDivMod divmod(const Poly& m) const;
+
+  /// Squares then reduces mod m. In characteristic 2 the square has no
+  /// cross terms: coefficient c_i lands at 2i as c_i^2, so this is O(d)
+  /// squarings plus one reduction (the trace-algorithm inner loop).
+  [[nodiscard]] Poly squared_mod(const Poly& m) const;
+
+  /// Monic gcd(a, b).
+  [[nodiscard]] static Poly gcd(Poly a, Poly b);
+
+  /// Horner evaluation.
+  [[nodiscard]] GF64 eval(GF64 x) const noexcept;
+
+  friend bool operator==(const Poly&, const Poly&) = default;
+
+ private:
+  void trim() {
+    while (!c_.empty() && c_.back().is_zero()) c_.pop_back();
+  }
+
+  std::vector<GF64> c_;
+};
+
+/// Result of Euclidean division: dividend = quotient * divisor + remainder.
+struct PolyDivMod {
+  Poly quotient;
+  Poly remainder;
+};
+
+/// All roots of a monic polynomial that splits into distinct linear factors
+/// over GF(2^64), via the Berlekamp trace algorithm (deterministic: the
+/// splitting element iterates over the polynomial basis). Returns false if
+/// `p` does not fully split -- for PinSketch that signals an undecodable
+/// sketch (difference larger than capacity), not a programming error.
+[[nodiscard]] bool find_roots(const Poly& p, std::vector<GF64>& out);
+
+}  // namespace ribltx::pinsketch

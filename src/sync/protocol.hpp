@@ -1,0 +1,189 @@
+// Transport-agnostic rateless reconciliation protocol.
+//
+// The paper's deployment (§7.3) wraps the codec in a trivially simple
+// protocol: the client opens a connection, the server streams coded
+// symbols at line rate, the client closes when decoded. This header gives
+// that protocol a versioned byte-level framing that a downstream user can
+// run over TCP, QUIC streams, or message buses:
+//
+//   client -> server : HELLO  (version, item size, checksum width, flags)
+//   server -> client : SYMBOLS(batch of coded symbols)   [repeated]
+//   client -> server : DONE   (symbols consumed)          [ends session]
+//
+// The server produces batches until told to stop; symbol order inside and
+// across batches is the coded-symbol stream order (the transport must
+// preserve ordering, as the paper assumes). Both ends validate the framing
+// and throw ProtocolError on anything malformed or mismatched.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "core/riblt.hpp"
+
+namespace ribltx::sync {
+
+class ProtocolError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+namespace proto {
+inline constexpr std::uint8_t kVersion = 1;
+inline constexpr std::uint8_t kHello = 0x01;
+inline constexpr std::uint8_t kSymbols = 0x02;
+inline constexpr std::uint8_t kDone = 0x03;
+}  // namespace proto
+
+/// Server (Alice) side: owns an encoder over the local set and emits
+/// SYMBOLS frames on demand.
+template <Symbol T, typename Hasher = SipHasher<T>>
+class ReconcileServer {
+ public:
+  explicit ReconcileServer(Hasher hasher = Hasher{},
+                           std::size_t symbols_per_batch = 64)
+      : encoder_(hasher), batch_(symbols_per_batch) {
+    if (symbols_per_batch == 0) {
+      throw std::invalid_argument("ReconcileServer: empty batch size");
+    }
+  }
+
+  /// Adds a set item; must precede the first next_batch().
+  void add_symbol(const T& s) { encoder_.add_symbol(s); }
+
+  /// Validates the client's HELLO. Throws ProtocolError on version or
+  /// geometry mismatch (failing loudly beats silently mis-decoding).
+  void handle_hello(std::span<const std::byte> frame) {
+    ByteReader r(frame);
+    if (r.u8() != proto::kHello) throw ProtocolError("expected HELLO");
+    if (r.u8() != proto::kVersion) throw ProtocolError("version mismatch");
+    if (r.u32() != static_cast<std::uint32_t>(T::kSize)) {
+      throw ProtocolError("item size mismatch");
+    }
+    const std::uint8_t checksum_len = r.u8();
+    if (checksum_len != 8) throw ProtocolError("unsupported checksum width");
+    if (!r.done()) throw ProtocolError("trailing bytes in HELLO");
+    hello_seen_ = true;
+  }
+
+  /// Next SYMBOLS frame, or nullopt once the client said DONE. The caller
+  /// pumps this into the transport as fast as it will accept (rateless:
+  /// there is no "right" number of batches).
+  [[nodiscard]] std::optional<std::vector<std::byte>> next_batch() {
+    if (!hello_seen_) throw ProtocolError("next_batch before HELLO");
+    if (done_) return std::nullopt;
+    ByteWriter w;
+    w.u8(proto::kSymbols);
+    w.uvarint(batch_);
+    for (std::size_t i = 0; i < batch_; ++i) {
+      wire::write_stream_symbol(w, encoder_.produce_next());
+    }
+    return std::move(w).take();
+  }
+
+  /// Feed any client->server frame (HELLO or DONE).
+  void handle_message(std::span<const std::byte> frame) {
+    if (frame.empty()) throw ProtocolError("empty frame");
+    switch (static_cast<std::uint8_t>(frame[0])) {
+      case proto::kHello:
+        handle_hello(frame);
+        return;
+      case proto::kDone: {
+        ByteReader r(frame);
+        (void)r.u8();
+        symbols_reported_ = r.uvarint();
+        if (!r.done()) throw ProtocolError("trailing bytes in DONE");
+        done_ = true;
+        return;
+      }
+      default:
+        throw ProtocolError("unknown client frame type");
+    }
+  }
+
+  [[nodiscard]] bool done() const noexcept { return done_; }
+  /// Symbols the client reported consuming (diagnostics; 0 until DONE).
+  [[nodiscard]] std::uint64_t symbols_reported() const noexcept {
+    return symbols_reported_;
+  }
+  [[nodiscard]] std::uint64_t symbols_sent() const noexcept {
+    return encoder_.next_index();
+  }
+
+ private:
+  Encoder<T, Hasher> encoder_;
+  std::size_t batch_;
+  bool hello_seen_ = false;
+  bool done_ = false;
+  std::uint64_t symbols_reported_ = 0;
+};
+
+/// Client (Bob) side: owns the decoder; produces HELLO, consumes SYMBOLS,
+/// emits DONE when reconciliation completes.
+template <Symbol T, typename Hasher = SipHasher<T>>
+class ReconcileClient {
+ public:
+  explicit ReconcileClient(Hasher hasher = Hasher{}) : decoder_(hasher) {}
+
+  /// Adds a local set item; must precede handle_symbols().
+  void add_local_symbol(const T& s) { decoder_.add_local_symbol(s); }
+
+  /// The opening frame.
+  [[nodiscard]] std::vector<std::byte> hello() const {
+    ByteWriter w;
+    w.u8(proto::kHello);
+    w.u8(proto::kVersion);
+    w.u32(static_cast<std::uint32_t>(T::kSize));
+    w.u8(8);  // checksum width
+    return std::move(w).take();
+  }
+
+  /// Consumes one server frame. Returns the DONE frame to send back when
+  /// this frame completed reconciliation; nullopt otherwise. Symbols past
+  /// completion (already-queued batches) are ignored gracefully.
+  [[nodiscard]] std::optional<std::vector<std::byte>> handle_message(
+      std::span<const std::byte> frame) {
+    if (frame.empty()) throw ProtocolError("empty frame");
+    ByteReader r(frame);
+    if (r.u8() != proto::kSymbols) {
+      throw ProtocolError("unknown server frame type");
+    }
+    if (decoder_.decoded() && symbols_consumed_ > 0) {
+      return std::nullopt;  // stale in-flight batch after completion
+    }
+    const std::uint64_t count = r.uvarint();
+    for (std::uint64_t i = 0; i < count; ++i) {
+      decoder_.add_coded_symbol(wire::read_stream_symbol<T>(r));
+      ++symbols_consumed_;
+      if (decoder_.decoded()) break;  // remaining symbols in batch unused
+    }
+    if (!decoder_.decoded()) return std::nullopt;
+    ByteWriter w;
+    w.u8(proto::kDone);
+    w.uvarint(symbols_consumed_);
+    return std::move(w).take();
+  }
+
+  [[nodiscard]] bool complete() const noexcept { return decoder_.decoded(); }
+  [[nodiscard]] std::span<const HashedSymbol<T>> remote() const noexcept {
+    return decoder_.remote();
+  }
+  [[nodiscard]] std::span<const HashedSymbol<T>> local() const noexcept {
+    return decoder_.local();
+  }
+  [[nodiscard]] std::uint64_t symbols_consumed() const noexcept {
+    return symbols_consumed_;
+  }
+
+ private:
+  Decoder<T, Hasher> decoder_;
+  std::uint64_t symbols_consumed_ = 0;
+};
+
+}  // namespace ribltx::sync

@@ -1,0 +1,86 @@
+#include "sync/session.hpp"
+
+#include <algorithm>
+
+namespace ribltx::sync {
+
+SessionResult run_riblt_session(const RibltPlan& plan,
+                                const netsim::LinkConfig& link,
+                                const CpuModel& cpu) {
+  netsim::EventLoop loop;
+  netsim::Link up(loop, link, "bob->alice");
+  netsim::Link down(loop, link, "alice->bob");
+
+  SessionResult out;
+  out.interactive_rounds = 0.5;  // a single request, no lock-step descent
+
+  double bob_ready = 0;
+  // Bob's open/request departs at t = 0.
+  up.send(kRequestBytes, [&](const netsim::Delivery&) {
+    // Alice streams every frame; the FIFO link serializes back-to-back.
+    for (const std::uint32_t bytes : plan.frame_bytes) {
+      down.send(bytes, [&](const netsim::Delivery& d) {
+        bob_ready = std::max(bob_ready, d.arrive_end) + cpu.bob_symbol_s;
+      });
+    }
+  });
+  loop.run();
+
+  out.completion_s = bob_ready;
+  out.bytes_down = down.total_bytes();
+  out.bytes_up = up.total_bytes() + kRequestBytes;  // request + close
+  out.downstream = down.deliveries();
+  return out;
+}
+
+SessionResult run_heal_session(const merkle::HealPlan& plan,
+                               const netsim::LinkConfig& link,
+                               const CpuModel& cpu) {
+  netsim::EventLoop loop;
+  netsim::Link up(loop, link, "bob->alice");
+  netsim::Link down(loop, link, "alice->bob");
+
+  SessionResult out;
+  out.interactive_rounds = static_cast<double>(plan.rounds.size());
+
+  double completion = 0;
+  std::size_t next_round = 0;
+
+  // Lock-step: round r's request goes out only after round r-1 is fully
+  // processed by Bob.
+  std::function<void()> start_round = [&] {
+    if (next_round >= plan.rounds.size()) {
+      return;
+    }
+    const merkle::HealRound& round = plan.rounds[next_round];
+    ++next_round;
+    up.send(std::max(round.bytes_up, kRequestBytes),
+            [&, round](const netsim::Delivery&) {
+              // Alice reads the requested nodes, then streams the bodies.
+              const double serve =
+                  static_cast<double>(round.nodes) * cpu.alice_node_s;
+              loop.schedule_in(serve, [&, round] {
+                down.send(round.bytes_down, [&, round](const netsim::Delivery& d) {
+                  // Bob starts verifying as bytes arrive; the round ends
+                  // when both the wire and his CPU are done.
+                  const double cpu_done =
+                      d.arrive_start +
+                      static_cast<double>(round.nodes) * cpu.bob_node_s;
+                  const double round_done = std::max(d.arrive_end, cpu_done);
+                  completion = std::max(completion, round_done);
+                  loop.schedule_at(round_done, [&] { start_round(); });
+                });
+              });
+            });
+  };
+  if (!plan.rounds.empty()) start_round();
+  loop.run();
+
+  out.completion_s = completion;
+  out.bytes_down = down.total_bytes();
+  out.bytes_up = up.total_bytes();
+  out.downstream = down.deliveries();
+  return out;
+}
+
+}  // namespace ribltx::sync

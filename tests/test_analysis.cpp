@@ -1,0 +1,159 @@
+// Tests for the density-evolution analysis (paper §5): exponential-integral
+// accuracy against standard table values, the Theorem 5.1 threshold solver
+// (Corollary 5.2: eta*(0.5) = 1.35; Fig 4 optimum alpha ~0.64 -> 1.31), and
+// the stall fixed point driving Fig 6's DE curve.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/density_evolution.hpp"
+#include "analysis/expint.hpp"
+
+namespace ribltx::analysis {
+namespace {
+
+TEST(ExpInt, E1KnownValues) {
+  // Abramowitz & Stegun table 5.1 / scipy.special.exp1 reference values.
+  EXPECT_NEAR(expint_e1(1.0), 0.21938393439552029, 1e-12);
+  EXPECT_NEAR(expint_e1(0.5), 0.55977359477616081, 1e-12);
+  EXPECT_NEAR(expint_e1(2.0), 0.048900510708061120, 1e-12);
+  EXPECT_NEAR(expint_e1(5.0), 0.0011482955912753257, 1e-14);
+  EXPECT_NEAR(expint_e1(10.0), 4.1569689296853246e-06, 1e-17);
+  EXPECT_NEAR(expint_e1(0.1), 1.8229239584193906, 1e-11);
+  EXPECT_NEAR(expint_e1(0.01), 4.0379295765381135, 1e-10);
+}
+
+TEST(ExpInt, SeriesAndContinuedFractionAgreeAtSwitch) {
+  // The two expansions must agree around the x = 1 switchover.
+  for (double x : {0.9, 0.99, 1.0, 1.01, 1.1}) {
+    const double v = expint_e1(x);
+    EXPECT_GT(v, 0.0);
+    // E1 is smooth and decreasing; finite-difference sanity.
+    EXPECT_GT(expint_e1(x - 0.05), v);
+    EXPECT_LT(expint_e1(x + 0.05), v);
+  }
+}
+
+TEST(ExpInt, EiNegativeMatchesMinusE1) {
+  for (double y : {0.1, 0.5, 1.0, 3.0, 10.0}) {
+    EXPECT_DOUBLE_EQ(expint_ei_negative(-y), -expint_e1(y));
+  }
+}
+
+TEST(ExpInt, DomainErrors) {
+  EXPECT_THROW((void)expint_e1(0.0), std::domain_error);
+  EXPECT_THROW((void)expint_e1(-1.0), std::domain_error);
+  EXPECT_THROW((void)expint_ei_negative(0.0), std::domain_error);
+  EXPECT_THROW((void)expint_ei_negative(1.0), std::domain_error);
+}
+
+TEST(ExpInt, UnderflowReturnsZero) {
+  EXPECT_EQ(expint_e1(800.0), 0.0);
+}
+
+TEST(DensityEvolution, StepBasicShape) {
+  // f(q) in (0,1) for q in (0,1]; increasing in q; decreasing in eta.
+  const double f1 = de_step(0.5, 0.5, 1.35);
+  EXPECT_GT(f1, 0.0);
+  EXPECT_LT(f1, 1.0);
+  EXPECT_LT(de_step(0.25, 0.5, 1.35), de_step(0.75, 0.5, 1.35));
+  EXPECT_GT(de_step(0.5, 0.5, 1.2), de_step(0.5, 0.5, 1.6));
+  EXPECT_EQ(de_step(0.0, 0.5, 1.35), 0.0);
+}
+
+TEST(DensityEvolution, ThresholdAlphaHalfIsOnePointThreeFive) {
+  // Corollary 5.2.
+  const double eta = de_threshold(0.5);
+  EXPECT_NEAR(eta, 1.35, 0.01);
+}
+
+TEST(DensityEvolution, OptimalAlphaNearPointSixFour) {
+  // Fig 4: the DE curve attains ~1.31 around alpha = 0.64, and alpha = 0.5
+  // is within 3% of optimal.
+  const double at_opt = de_threshold(0.64);
+  EXPECT_NEAR(at_opt, 1.31, 0.015);
+  const double at_half = de_threshold(0.5);
+  EXPECT_LT((at_half - at_opt) / at_opt, 0.04);
+
+  // Coarse scan: nothing beats the 0.64 region by more than solver noise.
+  for (double alpha = 0.1; alpha <= 1.0; alpha += 0.1) {
+    EXPECT_GE(de_threshold(alpha) + 1e-3, at_opt) << "alpha " << alpha;
+  }
+}
+
+TEST(DensityEvolution, ThresholdRisesAwayFromOptimum) {
+  // Fig 4 shape: overhead grows on both flanks of the optimum.
+  const double left = de_threshold(0.1);
+  const double mid = de_threshold(0.64);
+  const double right = de_threshold(0.95);
+  EXPECT_GT(left, mid + 0.05);
+  EXPECT_GT(right, mid + 0.05);
+}
+
+TEST(DensityEvolution, DecodableMonotoneInEta) {
+  EXPECT_FALSE(de_decodable(0.5, 1.0));
+  EXPECT_FALSE(de_decodable(0.5, 1.30));
+  EXPECT_TRUE(de_decodable(0.5, 1.40));
+  EXPECT_TRUE(de_decodable(0.5, 3.0));
+}
+
+TEST(DensityEvolution, StallFixedPoint) {
+  // Above threshold: full recovery (q* ~ 0).
+  EXPECT_LT(de_stall_fixed_point(0.5, 1.5), 1e-6);
+  // Below threshold: decoder stalls with a macroscopic unrecovered mass.
+  const double q_star = de_stall_fixed_point(0.5, 1.0);
+  EXPECT_GT(q_star, 0.05);
+  EXPECT_LT(q_star, 1.0);
+  // Stall mass shrinks as eta grows toward the threshold.
+  EXPECT_GT(de_stall_fixed_point(0.5, 0.9), de_stall_fixed_point(0.5, 1.2));
+}
+
+TEST(DensityEvolution, ProgressCurveShape) {
+  // Fig 6: recovered fraction vs eta has a sharp knee completing by ~1.35.
+  const auto curve = de_progress_curve(0.5, 0.2, 1.6, 57);
+  ASSERT_EQ(curve.size(), 57u);
+  EXPECT_LT(curve.front().second, 0.35);  // little recovered at eta=0.2
+  EXPECT_GT(curve.back().second, 0.999);  // complete past the threshold
+  // Monotone non-decreasing in eta.
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].second + 1e-9, curve[i - 1].second);
+  }
+  // The knee: between eta = 1.2 and 1.4 recovery jumps to ~1.
+  double at_12 = 0, at_14 = 0;
+  for (const auto& [eta, rec] : curve) {
+    if (std::abs(eta - 1.2) < 0.02) at_12 = rec;
+    if (std::abs(eta - 1.4) < 0.02) at_14 = rec;
+  }
+  EXPECT_LT(at_12, 0.999);
+  EXPECT_GT(at_14, 0.999);
+}
+
+TEST(DensityEvolution, IrregularThresholdMatchesPaper) {
+  // §8 / Fig 15: the optimized c=3 configuration converges to overhead 1.10.
+  const double eta = de_irregular_threshold({0.18, 0.56, 0.26},
+                                            {0.11, 0.68, 0.82});
+  EXPECT_NEAR(eta, 1.10, 0.01);
+}
+
+TEST(DensityEvolution, IrregularDegeneratesToRegular) {
+  // A single subset with alpha = 0.5 must reproduce Corollary 5.2.
+  const double eta = de_irregular_threshold({1.0}, {0.5});
+  EXPECT_NEAR(eta, de_threshold(0.5), 5e-3);
+}
+
+TEST(DensityEvolution, IrregularInvalidArgsThrow) {
+  EXPECT_THROW((void)de_irregular_threshold({}, {}), std::domain_error);
+  EXPECT_THROW((void)de_irregular_threshold({1.0}, {0.5, 0.5}),
+               std::domain_error);
+  EXPECT_THROW((void)de_irregular_threshold({1.0}, {1.5}), std::domain_error);
+}
+
+TEST(DensityEvolution, InvalidArgumentsThrow) {
+  EXPECT_THROW((void)de_step(0.5, 0.0, 1.0), std::domain_error);
+  EXPECT_THROW((void)de_step(0.5, 0.5, 0.0), std::domain_error);
+  EXPECT_THROW((void)de_threshold(0.0), std::domain_error);
+  EXPECT_THROW((void)de_threshold(1.5), std::domain_error);
+}
+
+}  // namespace
+}  // namespace ribltx::analysis

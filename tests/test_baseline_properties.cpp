@@ -1,0 +1,260 @@
+// Additional property coverage for the baseline schemes and substrates:
+// IBLT hash-count sweeps, strata estimator monotonicity, MET level sizing,
+// netsim conservation laws, analysis solver consistency, ledger edges.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "analysis/density_evolution.hpp"
+#include "common/rng.hpp"
+#include "iblt/iblt.hpp"
+#include "iblt/iblt_wire.hpp"
+#include "iblt/strata.hpp"
+#include "ledger/ledger.hpp"
+#include "metiblt/metiblt.hpp"
+#include "netsim/sim.hpp"
+#include "testutil.hpp"
+
+namespace ribltx {
+namespace {
+
+using testing::make_set_pair;
+using Item = ByteSymbol<32>;
+
+// ---------------------------------------------------------------- IBLT
+
+class IbltHashCount : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(IbltHashCount, RoundTripAcrossK) {
+  const unsigned k = GetParam();
+  const auto w = make_set_pair<Item>(200, 8, 8, 40 + k);
+  iblt::Iblt<Item> a(96, k), b(96, k);
+  for (const auto& x : w.a) a.add_symbol(x);
+  for (const auto& y : w.b) b.add_symbol(y);
+  a.subtract(b);
+  const auto r = a.decode();
+  ASSERT_TRUE(r.success) << "k=" << k;
+  EXPECT_EQ(r.remote.size(), 8u);
+  EXPECT_EQ(r.local.size(), 8u);
+}
+
+INSTANTIATE_TEST_SUITE_P(HashCounts, IbltHashCount,
+                         ::testing::Values(2u, 3u, 4u, 5u, 6u));
+
+TEST(IbltProperty, DoubleSubtractRestores) {
+  const auto w = make_set_pair<Item>(50, 3, 3, 41);
+  iblt::Iblt<Item> a(48, 3), b(48, 3);
+  for (const auto& x : w.a) a.add_symbol(x);
+  for (const auto& y : w.b) b.add_symbol(y);
+  const auto before = std::vector<CodedSymbol<Item>>(a.cells().begin(),
+                                                     a.cells().end());
+  a.subtract(b);
+  a.subtract(b);  // counts differ: -= twice
+  for (std::size_t i = 0; i < before.size(); ++i) {
+    // Sums/checksums cancel (XOR), counts go to c_a - 2 c_b.
+    EXPECT_EQ(a.cells()[i].sum, before[i].sum);
+    EXPECT_EQ(a.cells()[i].checksum, before[i].checksum);
+  }
+}
+
+TEST(IbltProperty, SaltSeparatesInstances) {
+  // Different salts must place items differently (used by strata levels).
+  iblt::Iblt<Item> a(60, 3, {}, /*salt=*/1), b(60, 3, {}, /*salt=*/2);
+  const auto s = Item::random(5);
+  a.add_symbol(s);
+  b.add_symbol(s);
+  std::size_t same = 0, nonempty = 0;
+  for (std::size_t i = 0; i < a.cell_count(); ++i) {
+    if (!a.cells()[i].is_empty() || !b.cells()[i].is_empty()) {
+      ++nonempty;
+      if (a.cells()[i] == b.cells()[i]) ++same;
+    }
+  }
+  EXPECT_GT(nonempty, 0u);
+  EXPECT_LT(same, nonempty);  // at least one placement differs
+}
+
+TEST(IbltWire, RoundTripAndDecode) {
+  const auto w = make_set_pair<Item>(100, 4, 3, 46);
+  iblt::Iblt<Item> a(60, 3), b(60, 3);
+  for (const auto& x : w.a) a.add_symbol(x);
+  for (const auto& y : w.b) b.add_symbol(y);
+
+  const auto data = iblt::wire::serialize(a);
+  EXPECT_EQ(data.size(), 4u + 1 + 1 + 8 + 4 + 1 + 60u * (32 + 8 + 8));
+  const auto parsed = iblt::wire::parse<Item>(data);
+  EXPECT_EQ(parsed.k, 3u);
+  ASSERT_EQ(parsed.cells.size(), a.cell_count());
+
+  // Receiver reconstructs Alice's table and decodes the difference.
+  iblt::Iblt<Item> rebuilt(parsed.cells.size(), parsed.k);
+  // Cell-level equality with the original:
+  for (std::size_t i = 0; i < parsed.cells.size(); ++i) {
+    EXPECT_EQ(parsed.cells[i], a.cells()[i]);
+  }
+}
+
+TEST(IbltWire, RejectsMalformed) {
+  iblt::Iblt<Item> a(12, 3);
+  auto data = iblt::wire::serialize(a);
+  {
+    auto bad = data;
+    bad[0] = std::byte{0};
+    EXPECT_THROW((void)iblt::wire::parse<Item>(bad), std::invalid_argument);
+  }
+  {
+    auto truncated = data;
+    truncated.pop_back();
+    EXPECT_THROW((void)iblt::wire::parse<Item>(truncated), std::out_of_range);
+  }
+  {
+    auto trailing = data;
+    trailing.push_back(std::byte{0});
+    EXPECT_THROW((void)iblt::wire::parse<Item>(trailing),
+                 std::invalid_argument);
+  }
+  EXPECT_THROW((void)iblt::wire::parse<U64Symbol>(data),
+               std::invalid_argument);
+}
+
+// ------------------------------------------------------------- Strata
+
+TEST(StrataProperty, EstimateGrowsWithDifference) {
+  // Coarse monotonicity over decades (individual estimates are noisy; the
+  // decade ordering must hold).
+  std::uint64_t prev = 0;
+  for (std::size_t d : {16u, 160u, 1600u, 16000u}) {
+    const auto w = make_set_pair<U64Symbol>(500, d / 2, d - d / 2, 42 + d);
+    iblt::StrataEstimator<U64Symbol> ea, eb;
+    for (const auto& x : w.a) ea.add_symbol(x);
+    for (const auto& y : w.b) eb.add_symbol(y);
+    ea.subtract(eb);
+    const auto est = ea.estimate();
+    EXPECT_GT(est, prev) << "d=" << d;
+    prev = est;
+  }
+}
+
+// ---------------------------------------------------------------- MET
+
+TEST(MetProperty, CellsUsedNonDecreasingInD) {
+  std::size_t prev = 0;
+  for (std::size_t d : {8u, 64u, 512u, 4096u}) {
+    const auto w = make_set_pair<U64Symbol>(16, d, 0, 43 + d);
+    metiblt::MetIblt<U64Symbol> a, b;
+    for (const auto& x : w.a) a.add_symbol(x);
+    for (const auto& y : w.b) b.add_symbol(y);
+    a.subtract(b);
+    const auto r = a.decode_progressive();
+    ASSERT_TRUE(r.result.success) << "d=" << d;
+    EXPECT_GE(r.cells_used, prev);
+    prev = r.cells_used;
+  }
+}
+
+TEST(MetProperty, LevelBoundariesMatchConfig) {
+  const metiblt::MetConfig cfg = metiblt::MetConfig::recommended();
+  metiblt::MetIblt<U64Symbol> t(cfg);
+  EXPECT_EQ(t.cell_count(), cfg.cumulative_cells(cfg.targets.size() - 1));
+  for (std::size_t l = 1; l < cfg.targets.size(); ++l) {
+    EXPECT_GT(cfg.cumulative_cells(l), cfg.cumulative_cells(l - 1));
+  }
+}
+
+// -------------------------------------------------------------- netsim
+
+TEST(NetsimProperty, TraceConservesBytes) {
+  // Whatever the delivery pattern, binned bandwidth must integrate back to
+  // the bytes sent.
+  SplitMix64 rng(44);
+  netsim::EventLoop loop;
+  netsim::LinkConfig cfg;
+  cfg.one_way_delay_s = 0.02;
+  cfg.bandwidth_bps = 5e6;
+  netsim::Link link(loop, cfg);
+  std::size_t total = 0;
+  for (int i = 0; i < 50; ++i) {
+    const auto bytes = 100 + rng.next_below(20000);
+    total += bytes;
+    loop.schedule_at(rng.next_double() * 2.0,
+                     [&link, bytes] { link.send(bytes); });
+  }
+  loop.run();
+  netsim::BandwidthTrace trace(0.01);
+  trace.add_all(link.deliveries());
+  double recovered = 0;
+  for (const auto& bin : trace.bins()) {
+    recovered += bin.mbps * 1e6 / 8.0 * 0.01;
+  }
+  EXPECT_NEAR(recovered, static_cast<double>(total), 1.0);
+}
+
+TEST(NetsimProperty, DeliveriesNeverOverlapOnOneLink) {
+  SplitMix64 rng(45);
+  netsim::EventLoop loop;
+  netsim::Link link(loop, netsim::LinkConfig{0.01, 1e6});
+  for (int i = 0; i < 30; ++i) {
+    loop.schedule_at(rng.next_double(),
+                     [&link, b = 500 + rng.next_below(5000)] { link.send(b); });
+  }
+  loop.run();
+  const auto& ds = link.deliveries();
+  for (std::size_t i = 1; i < ds.size(); ++i) {
+    EXPECT_GE(ds[i].arrive_start + 1e-12, ds[i - 1].arrive_end)
+        << "FIFO serialization violated at " << i;
+  }
+}
+
+// ------------------------------------------------------------ analysis
+
+TEST(AnalysisProperty, ThresholdMonotoneInTolerance) {
+  const double coarse = analysis::de_threshold(0.5, 1e-2);
+  const double fine = analysis::de_threshold(0.5, 1e-5);
+  EXPECT_NEAR(coarse, fine, 2e-2);
+}
+
+TEST(AnalysisProperty, IrregularDegeneratesAcrossAlphas) {
+  for (double alpha : {0.3, 0.5, 0.8}) {
+    EXPECT_NEAR(analysis::de_irregular_threshold({1.0}, {alpha}),
+                analysis::de_threshold(alpha), 6e-3)
+        << "alpha=" << alpha;
+  }
+}
+
+TEST(AnalysisProperty, StallMassDecreasesInEta) {
+  double prev = 1.0;
+  for (double eta = 0.6; eta < 1.3; eta += 0.1) {
+    const double q = analysis::de_stall_fixed_point(0.5, eta);
+    EXPECT_LE(q, prev + 1e-12) << "eta=" << eta;
+    prev = q;
+  }
+}
+
+// -------------------------------------------------------------- ledger
+
+TEST(LedgerProperty, StalenessBeyondGenesisClamps) {
+  ledger::LedgerParams p;
+  p.base_accounts = 1000;
+  // Bob "stale by more blocks than exist" must resolve to genesis, not
+  // underflow (exercised through the bench helper pathway).
+  const ledger::LedgerState genesis(p, 0);
+  EXPECT_EQ(genesis.account_count(), p.base_accounts);
+  EXPECT_EQ(ledger::symmetric_difference_size(p, 0, 0), 0u);
+}
+
+TEST(LedgerProperty, DifferenceAdditiveOverDisjointRanges) {
+  // d(a, c) <= d(a, b) + d(b, c): triangle inequality on symmetric
+  // differences (equality when no account is touched in both ranges).
+  ledger::LedgerParams p;
+  p.base_accounts = 3000;
+  p.modifies_per_block = 5;
+  p.creates_per_block = 1;
+  const auto d02 = ledger::symmetric_difference_size(p, 0, 20);
+  const auto d24 = ledger::symmetric_difference_size(p, 20, 40);
+  const auto d04 = ledger::symmetric_difference_size(p, 0, 40);
+  EXPECT_LE(d04, d02 + d24);
+  EXPECT_GT(d04, d02);  // strictly more staleness, strictly more diff
+}
+
+}  // namespace
+}  // namespace ribltx

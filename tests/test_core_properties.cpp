@@ -1,0 +1,451 @@
+// Property-style tests for the core codec: algebraic invariants the design
+// depends on (linearity, prefix stability, order independence, stream
+// determinism), parameterized difference sweeps, the count-less decoding
+// mode, multi-source union recovery, and failure injection (corrupted
+// cells must degrade safely, never crash or mis-decode silently).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "core/countless.hpp"
+#include "core/riblt.hpp"
+#include "testutil.hpp"
+
+namespace ribltx {
+namespace {
+
+using testing::make_set_pair;
+using Item = ByteSymbol<32>;
+
+// ------------------------------------------------- parameterized sweeps
+
+struct SweepCase {
+  std::size_t shared;
+  std::size_t only_a;
+  std::size_t only_b;
+};
+
+class ReconcileSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(ReconcileSweep, ExactRecovery) {
+  const auto [shared, only_a, only_b] = GetParam();
+  const auto w = make_set_pair<Item>(shared, only_a, only_b,
+                                     derive_seed(77, shared + only_a * 131 + only_b));
+  Encoder<Item> alice;
+  for (const auto& x : w.a) alice.add_symbol(x);
+  Decoder<Item> bob;
+  for (const auto& y : w.b) bob.add_local_symbol(y);
+
+  std::size_t used = 0;
+  const std::size_t budget = 64 + 8 * (only_a + only_b + 1);
+  while (!bob.decoded() && used < budget) {
+    bob.add_coded_symbol(alice.produce_next());
+    ++used;
+  }
+  ASSERT_TRUE(bob.decoded());
+  EXPECT_EQ(bob.remote().size(), only_a);
+  EXPECT_EQ(bob.local().size(), only_b);
+  const auto want_remote = testing::key_set(w.only_a);
+  const auto want_local = testing::key_set(w.only_b);
+  for (const auto& s : bob.remote()) {
+    EXPECT_TRUE(want_remote.contains(
+        siphash24(SipKey{0x1234, 0x5678}, s.symbol.bytes())));
+  }
+  for (const auto& s : bob.local()) {
+    EXPECT_TRUE(want_local.contains(
+        siphash24(SipKey{0x1234, 0x5678}, s.symbol.bytes())));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DifferenceShapes, ReconcileSweep,
+    ::testing::Values(SweepCase{0, 1, 0}, SweepCase{0, 0, 1},
+                      SweepCase{1, 1, 1}, SweepCase{10, 3, 0},
+                      SweepCase{10, 0, 3}, SweepCase{100, 2, 5},
+                      SweepCase{100, 16, 16}, SweepCase{50, 37, 0},
+                      SweepCase{0, 64, 64}, SweepCase{500, 150, 7},
+                      SweepCase{200, 0, 128}, SweepCase{1000, 250, 250}));
+
+// ----------------------------------------------------------- invariants
+
+TEST(CoreProperty, LinearityOfSketches) {
+  // Sketch(A) - Sketch(B) must equal a sketch holding A\B with +1 counts
+  // and B\A with -1 counts (the identity IBLT(A) - IBLT(B) = IBLT(A diff B)
+  // from §3 that the whole protocol rests on).
+  const auto w = make_set_pair<Item>(300, 21, 13, 1);
+  constexpr std::size_t kCells = 128;
+  Sketch<Item> sa(kCells), sb(kCells), sdiff(kCells);
+  for (const auto& x : w.a) sa.add_symbol(x);
+  for (const auto& y : w.b) sb.add_symbol(y);
+  for (const auto& x : w.only_a) sdiff.add_symbol(x);
+  for (const auto& y : w.only_b) sdiff.remove_symbol(y);
+  sa.subtract(sb);
+  for (std::size_t i = 0; i < kCells; ++i) {
+    EXPECT_EQ(sa.cells()[i], sdiff.cells()[i]) << "cell " << i;
+  }
+}
+
+TEST(CoreProperty, SubtractionAntiSymmetry) {
+  const auto w = make_set_pair<Item>(100, 9, 4, 2);
+  constexpr std::size_t kCells = 64;
+  Sketch<Item> ab(kCells), ba(kCells);
+  {
+    Sketch<Item> sa(kCells), sb(kCells);
+    for (const auto& x : w.a) sa.add_symbol(x);
+    for (const auto& y : w.b) sb.add_symbol(y);
+    ab = sa;
+    ab.subtract(sb);
+    ba = sb;
+    ba.subtract(sa);
+  }
+  for (std::size_t i = 0; i < kCells; ++i) {
+    EXPECT_EQ(ab.cells()[i].sum, ba.cells()[i].sum);
+    EXPECT_EQ(ab.cells()[i].checksum, ba.cells()[i].checksum);
+    EXPECT_EQ(ab.cells()[i].count, -ba.cells()[i].count);
+  }
+}
+
+TEST(CoreProperty, InsertionOrderIrrelevant) {
+  const auto w = make_set_pair<Item>(200, 0, 0, 3);
+  auto shuffled = w.a;
+  std::reverse(shuffled.begin(), shuffled.end());
+  std::swap(shuffled[3], shuffled[90]);
+
+  Encoder<Item> e1, e2;
+  for (const auto& x : w.a) e1.add_symbol(x);
+  for (const auto& x : shuffled) e2.add_symbol(x);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(e1.produce_next(), e2.produce_next()) << "symbol " << i;
+  }
+}
+
+TEST(CoreProperty, StreamIsDeterministic) {
+  const auto w = make_set_pair<Item>(150, 0, 0, 4);
+  Encoder<Item> e1, e2;
+  for (const auto& x : w.a) {
+    e1.add_symbol(x);
+    e2.add_symbol(x);
+  }
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_EQ(e1.produce_next(), e2.produce_next());
+  }
+}
+
+TEST(CoreProperty, PrefixStabilityAcrossSketchSizes) {
+  // Fig 3's rateless property: a bigger sketch extends a smaller one
+  // without touching existing cells.
+  const auto w = make_set_pair<Item>(120, 0, 0, 5);
+  Sketch<Item> small(32), big(256);
+  for (const auto& x : w.a) {
+    small.add_symbol(x);
+    big.add_symbol(x);
+  }
+  for (std::size_t i = 0; i < small.size(); ++i) {
+    EXPECT_EQ(small.cells()[i], big.cells()[i]);
+  }
+}
+
+TEST(CoreProperty, ExtraSymbolsAfterDecodeStayConsistent) {
+  // Once decoded, further coded symbols arrive pre-reduced to empty; the
+  // decoder must remain in the decoded state (Alice's stop signal races
+  // with in-flight symbols in a real deployment).
+  const auto w = make_set_pair<Item>(64, 6, 2, 6);
+  Encoder<Item> alice;
+  for (const auto& x : w.a) alice.add_symbol(x);
+  Decoder<Item> bob;
+  for (const auto& y : w.b) bob.add_local_symbol(y);
+  while (!bob.decoded()) bob.add_coded_symbol(alice.produce_next());
+  const auto remote_count = bob.remote().size();
+  for (int i = 0; i < 200; ++i) {
+    bob.add_coded_symbol(alice.produce_next());
+    ASSERT_TRUE(bob.decoded());
+  }
+  EXPECT_EQ(bob.remote().size(), remote_count);
+}
+
+TEST(CoreProperty, ItemInBothSetsNeverSurfaces) {
+  // Shared items must cancel exactly, regardless of difference churn.
+  const auto w = make_set_pair<Item>(512, 20, 20, 7);
+  Encoder<Item> alice;
+  for (const auto& x : w.a) alice.add_symbol(x);
+  Decoder<Item> bob;
+  for (const auto& y : w.b) bob.add_local_symbol(y);
+  while (!bob.decoded()) bob.add_coded_symbol(alice.produce_next());
+  const auto shared_keys = testing::key_set(
+      std::vector<Item>(w.a.begin(), w.a.begin() + 512));
+  for (const auto& s : bob.remote()) {
+    EXPECT_FALSE(shared_keys.contains(
+        siphash24(SipKey{0x1234, 0x5678}, s.symbol.bytes())));
+  }
+}
+
+// ------------------------------------------------------ failure injection
+
+TEST(CoreFailure, CorruptedSumNeverFalselyCompletes) {
+  // Flip a byte in one coded symbol: decoding must not complete with wrong
+  // data -- the checksums quarantine the corruption (the cell simply never
+  // settles), so the decoder reports not-decoded within any budget.
+  const auto w = make_set_pair<Item>(64, 4, 4, 8);
+  Encoder<Item> alice;
+  for (const auto& x : w.a) alice.add_symbol(x);
+  Decoder<Item> bob;
+  for (const auto& y : w.b) bob.add_local_symbol(y);
+
+  for (int i = 0; i < 2000; ++i) {
+    auto cell = alice.produce_next();
+    if (i == 0) cell.sum.data[5] ^= std::byte{0x40};  // corrupt cell 0
+    bob.add_coded_symbol(cell);
+  }
+  EXPECT_FALSE(bob.decoded());
+  // Recovered items that did surface are still genuine.
+  const auto want_remote = testing::key_set(w.only_a);
+  for (const auto& s : bob.remote()) {
+    EXPECT_TRUE(want_remote.contains(
+        siphash24(SipKey{0x1234, 0x5678}, s.symbol.bytes())));
+  }
+}
+
+TEST(CoreFailure, CorruptedChecksumQuarantined) {
+  const auto w = make_set_pair<Item>(32, 3, 1, 9);
+  Encoder<Item> alice;
+  for (const auto& x : w.a) alice.add_symbol(x);
+  Decoder<Item> bob;
+  for (const auto& y : w.b) bob.add_local_symbol(y);
+  for (int i = 0; i < 1000; ++i) {
+    auto cell = alice.produce_next();
+    if (i == 2) cell.checksum ^= 0xdeadbeefULL;
+    bob.add_coded_symbol(cell);
+  }
+  EXPECT_FALSE(bob.decoded());
+}
+
+TEST(CoreFailure, CorruptedCountMisclassifiesButDoesNotCrash) {
+  // count only affects side attribution; a corrupted count can flip a
+  // remote item to local (or stall), but must never crash or fabricate
+  // items that exist in neither set.
+  const auto w = make_set_pair<Item>(32, 2, 2, 10);
+  Encoder<Item> alice;
+  for (const auto& x : w.a) alice.add_symbol(x);
+  Decoder<Item> bob;
+  for (const auto& y : w.b) bob.add_local_symbol(y);
+  for (int i = 0; i < 1000 && !bob.decoded(); ++i) {
+    auto cell = alice.produce_next();
+    cell.count += 3;  // systematic corruption
+    bob.add_coded_symbol(cell);
+  }
+  auto all_items = testing::key_set(w.a);
+  for (const auto k : testing::key_set(w.b)) all_items.insert(k);
+  for (const auto& s : bob.remote()) {
+    EXPECT_TRUE(all_items.contains(
+        siphash24(SipKey{0x1234, 0x5678}, s.symbol.bytes())));
+  }
+  for (const auto& s : bob.local()) {
+    EXPECT_TRUE(all_items.contains(
+        siphash24(SipKey{0x1234, 0x5678}, s.symbol.bytes())));
+  }
+}
+
+// --------------------------------------------------------- count-less
+
+TEST(Countless, MatchesCountedDecoder) {
+  const auto w = make_set_pair<Item>(128, 11, 7, 11);
+  Encoder<Item> alice;
+  for (const auto& x : w.a) alice.add_symbol(x);
+
+  Decoder<Item> counted;
+  CountlessDecoder<Item> countless;
+  for (const auto& y : w.b) {
+    counted.add_local_symbol(y);
+    countless.add_local_symbol(y);
+  }
+  std::size_t used_counted = 0, used_countless = 0;
+  Encoder<Item> alice2;
+  for (const auto& x : w.a) alice2.add_symbol(x);
+  while (!counted.decoded()) {
+    counted.add_coded_symbol(alice.produce_next());
+    ++used_counted;
+  }
+  while (!countless.decoded()) {
+    countless.add_coded_symbol(alice2.produce_next());
+    ++used_countless;
+  }
+  // Identical peeling structure => identical symbol consumption.
+  EXPECT_EQ(used_counted, used_countless);
+  // Union of counted remote+local == countless difference.
+  auto expected = testing::key_set(w.only_a);
+  for (auto k : testing::key_set(w.only_b)) expected.insert(k);
+  ASSERT_EQ(countless.difference().size(), expected.size());
+  for (const auto& s : countless.difference()) {
+    EXPECT_TRUE(expected.contains(
+        siphash24(SipKey{0x1234, 0x5678}, s.symbol.bytes())));
+  }
+}
+
+TEST(Countless, WorksFromCountlessWireFormat) {
+  // End-to-end with include_counts=false: parse and decode purely from
+  // sums + checksums (the §7.1 bandwidth trim).
+  const auto w = make_set_pair<Item>(256, 9, 0, 12);
+  constexpr std::size_t kCells = 64;
+  Sketch<Item> sa(kCells);
+  for (const auto& x : w.a) sa.add_symbol(x);
+  wire::SketchWireOptions opts;
+  opts.include_counts = false;
+  const auto data = wire::serialize_sketch(sa, w.a.size(), opts);
+  const auto parsed = wire::parse_sketch<Item>(data);
+  ASSERT_FALSE(parsed.has_counts);
+
+  CountlessDecoder<Item> dec;
+  for (const auto& y : w.b) dec.add_local_symbol(y);
+  std::size_t used = 0;
+  for (const auto& cell : parsed.cells) {
+    dec.add_coded_symbol(cell);
+    ++used;
+    if (dec.decoded()) break;
+  }
+  ASSERT_TRUE(dec.decoded());
+  EXPECT_EQ(dec.difference().size(), 9u);
+  // The count-less stream is strictly smaller on the wire.
+  const auto with_counts = wire::serialize_sketch(sa, w.a.size());
+  EXPECT_LT(data.size(), with_counts.size());
+}
+
+TEST(Countless, RejectsLateLocalSymbols) {
+  CountlessDecoder<Item> dec;
+  dec.add_local_symbol(Item::random(1));
+  Encoder<Item> enc;
+  enc.add_symbol(Item::random(2));
+  dec.add_coded_symbol(enc.produce_next());
+  EXPECT_THROW(dec.add_local_symbol(Item::random(3)), std::logic_error);
+}
+
+// ------------------------------------------------------ multi-source
+
+TEST(MultiSource, UnionFromTwoConcurrentStreams) {
+  // §1: a node syncing with several peers recovers the union of their
+  // states from independently produced streams of the same universal code.
+  const auto base = make_set_pair<Item>(200, 0, 0, 13);
+  std::vector<Item> a1 = base.a, a2 = base.a, bob_set = base.a;
+  SplitMix64 rng(999);
+  std::vector<Item> extra1, extra2;
+  for (int i = 0; i < 12; ++i) {
+    extra1.push_back(Item::random(rng.next()));
+    a1.push_back(extra1.back());
+  }
+  for (int i = 0; i < 9; ++i) {
+    extra2.push_back(Item::random(rng.next()));
+    a2.push_back(extra2.back());
+  }
+
+  Encoder<Item> peer1, peer2;
+  for (const auto& x : a1) peer1.add_symbol(x);
+  for (const auto& x : a2) peer2.add_symbol(x);
+  Decoder<Item> bob1, bob2;
+  for (const auto& y : bob_set) {
+    bob1.add_local_symbol(y);
+    bob2.add_local_symbol(y);
+  }
+  // Interleave the two streams (concurrent arrival).
+  while (!bob1.decoded() || !bob2.decoded()) {
+    if (!bob1.decoded()) bob1.add_coded_symbol(peer1.produce_next());
+    if (!bob2.decoded()) bob2.add_coded_symbol(peer2.produce_next());
+  }
+  auto expected = testing::key_set(extra1);
+  for (auto k : testing::key_set(extra2)) expected.insert(k);
+  std::unordered_set<std::uint64_t> got;
+  for (const auto& s : bob1.remote()) {
+    got.insert(siphash24(SipKey{0x1234, 0x5678}, s.symbol.bytes()));
+  }
+  for (const auto& s : bob2.remote()) {
+    got.insert(siphash24(SipKey{0x1234, 0x5678}, s.symbol.bytes()));
+  }
+  EXPECT_EQ(got, expected);
+}
+
+// ------------------------------------------------------ differential
+
+TEST(Differential, StreamingDecoderMatchesSketchDecode) {
+  // The streaming Decoder fed difference cells one by one and the batch
+  // Sketch::decode() must agree on success and recovered sets, across many
+  // random workloads -- two independent paths over the same peeling.
+  for (int trial = 0; trial < 15; ++trial) {
+    SplitMix64 rng(derive_seed(5000, static_cast<std::uint64_t>(trial)));
+    const auto only_a = rng.next_below(40);
+    const auto only_b = rng.next_below(40);
+    const auto w = make_set_pair<Item>(
+        64, only_a, only_b, derive_seed(6000, static_cast<std::uint64_t>(trial)));
+    const std::size_t cells =
+        std::max<std::size_t>(8, 4 * (only_a + only_b));
+
+    Sketch<Item> sa(cells), sb(cells);
+    for (const auto& x : w.a) sa.add_symbol(x);
+    for (const auto& y : w.b) sb.add_symbol(y);
+    sa.subtract(sb);
+    const auto batch = sa.decode();
+
+    Decoder<Item> streaming;
+    for (const auto& cell : sa.cells()) streaming.add_coded_symbol(cell);
+
+    EXPECT_EQ(batch.success, streaming.decoded()) << "trial " << trial;
+    if (batch.success) {
+      EXPECT_EQ(batch.remote.size(), streaming.remote().size());
+      EXPECT_EQ(batch.local.size(), streaming.local().size());
+      EXPECT_EQ(batch.remote.size(), only_a);
+      EXPECT_EQ(batch.local.size(), only_b);
+    }
+  }
+}
+
+TEST(Differential, EncoderStreamEqualsSketchAtEveryPrefix) {
+  const auto w = make_set_pair<Item>(77, 0, 0, 16);
+  constexpr std::size_t kCells = 96;
+  Sketch<Item> sketch(kCells);
+  Encoder<Item> enc;
+  for (const auto& x : w.a) {
+    sketch.add_symbol(x);
+    enc.add_symbol(x);
+  }
+  for (std::size_t i = 0; i < kCells; ++i) {
+    ASSERT_EQ(enc.produce_next(), sketch.cells()[i]) << "prefix " << i;
+  }
+}
+
+// -------------------------------------------------- wire format fuzzing
+
+TEST(WireFuzz, EveryTruncationThrowsCleanly) {
+  const auto w = make_set_pair<Item>(50, 0, 0, 14);
+  Sketch<Item> sketch(16);
+  for (const auto& x : w.a) sketch.add_symbol(x);
+  const auto data = wire::serialize_sketch(sketch, w.a.size());
+  for (std::size_t len = 0; len < data.size(); ++len) {
+    const std::span<const std::byte> prefix(data.data(), len);
+    EXPECT_THROW((void)wire::parse_sketch<Item>(prefix), std::exception)
+        << "prefix length " << len;
+  }
+  EXPECT_NO_THROW((void)wire::parse_sketch<Item>(data));
+}
+
+TEST(WireFuzz, HeaderBitFlipsRejectedOrHarmless) {
+  const auto w = make_set_pair<Item>(20, 0, 0, 15);
+  Sketch<Item> sketch(8);
+  for (const auto& x : w.a) sketch.add_symbol(x);
+  const auto data = wire::serialize_sketch(sketch, w.a.size());
+  // Flip each bit of the 13-byte header; parsing must never crash and the
+  // strict fields (magic, version, checksum_len, symbol size) must reject.
+  for (std::size_t byte = 0; byte < 13; ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      auto mutated = data;
+      mutated[byte] ^= static_cast<std::byte>(1 << bit);
+      try {
+        (void)wire::parse_sketch<Item>(mutated);
+      } catch (const std::exception&) {
+        // rejection is the expected common case
+      }
+    }
+  }
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace ribltx

@@ -1,0 +1,182 @@
+// Tests for the CPI (characteristic polynomial interpolation) baseline:
+// evaluation bookkeeping, rational-function recovery across difference
+// splits, slack handling when d < capacity, and clean failure when
+// overloaded.
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "pinsketch/cpi.hpp"
+
+namespace ribltx::cpi {
+namespace {
+
+std::vector<U64Symbol> random_items(std::size_t n, std::uint64_t seed) {
+  std::vector<U64Symbol> out;
+  out.reserve(n);
+  SplitMix64 rng(seed);
+  std::unordered_set<std::uint64_t> seen;
+  while (out.size() < n) {
+    const std::uint64_t v = rng.next();
+    if (v == 0 || !seen.insert(v).second) continue;
+    out.push_back(U64Symbol::from_u64(v));
+  }
+  return out;
+}
+
+std::unordered_set<std::uint64_t> keys(const std::vector<U64Symbol>& items) {
+  std::unordered_set<std::uint64_t> out;
+  for (const auto& s : items) {
+    out.insert(pinsketch::GF64::from_symbol(s).bits());
+  }
+  return out;
+}
+
+TEST(Cpi, EvalPointsAreFixedAndNonzero) {
+  for (std::size_t j = 0; j < 100; ++j) {
+    EXPECT_FALSE(CpiSketch::eval_point(j).is_zero());
+    EXPECT_EQ(CpiSketch::eval_point(j), CpiSketch::eval_point(j));
+  }
+  EXPECT_NE(CpiSketch::eval_point(0), CpiSketch::eval_point(1));
+}
+
+TEST(Cpi, AddRemoveRestoresEvaluations) {
+  CpiSketch s(8);
+  const auto item = U64Symbol::from_u64(12345);
+  const auto before = std::vector<pinsketch::GF64>(s.evaluations().begin(),
+                                                   s.evaluations().end());
+  s.add_symbol(item);
+  s.remove_symbol(item);
+  EXPECT_EQ(s.set_size(), 0u);
+  for (std::size_t j = 0; j < 8; ++j) {
+    EXPECT_EQ(s.evaluations()[j], before[j]);
+  }
+}
+
+TEST(Cpi, IdenticalSetsReconcileEmpty) {
+  const auto items = random_items(40, 1);
+  CpiSketch a(6), b(6);
+  for (const auto& s : items) {
+    a.add_symbol(s);
+    b.add_symbol(s);
+  }
+  const auto r = CpiSketch::reconcile(a, b);
+  ASSERT_TRUE(r.success);
+  EXPECT_TRUE(r.alice_only.empty());
+  EXPECT_TRUE(r.bob_only.empty());
+}
+
+struct CpiCase {
+  std::size_t capacity;
+  std::size_t only_a;
+  std::size_t only_b;
+};
+
+class CpiRoundTrip : public ::testing::TestWithParam<CpiCase> {};
+
+TEST_P(CpiRoundTrip, RecoversBothSides) {
+  const auto [capacity, only_a, only_b] = GetParam();
+  const auto shared = random_items(32, 2);
+  const auto a_items = random_items(only_a, 100 + only_a);
+  const auto b_items = random_items(only_b, 200 + only_b);
+
+  CpiSketch a(capacity), b(capacity);
+  for (const auto& s : shared) {
+    a.add_symbol(s);
+    b.add_symbol(s);
+  }
+  for (const auto& s : a_items) a.add_symbol(s);
+  for (const auto& s : b_items) b.add_symbol(s);
+
+  const auto r = CpiSketch::reconcile(a, b);
+  ASSERT_TRUE(r.success) << "capacity=" << capacity << " a=" << only_a
+                         << " b=" << only_b;
+  EXPECT_EQ(keys(r.alice_only), keys(a_items));
+  EXPECT_EQ(keys(r.bob_only), keys(b_items));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Splits, CpiRoundTrip,
+    ::testing::Values(CpiCase{1, 1, 0}, CpiCase{1, 0, 1}, CpiCase{2, 1, 1},
+                      CpiCase{8, 8, 0}, CpiCase{8, 0, 8}, CpiCase{8, 5, 3},
+                      CpiCase{16, 7, 9}, CpiCase{24, 12, 12},
+                      // slack: true difference below capacity
+                      CpiCase{16, 3, 2}, CpiCase{32, 1, 0},
+                      CpiCase{33, 10, 5}));
+
+TEST(Cpi, FailsCleanlyWhenOverloaded) {
+  const auto a_items = random_items(20, 3);
+  CpiSketch a(8), b(8);
+  for (const auto& s : a_items) a.add_symbol(s);
+  const auto r = CpiSketch::reconcile(a, b);
+  EXPECT_FALSE(r.success);
+  EXPECT_TRUE(r.alice_only.empty());
+}
+
+TEST(Cpi, SizeImbalanceBeyondCapacityFails) {
+  // |A| - |B| = 10 > capacity 4: impossible, must fail (not crash).
+  const auto a_items = random_items(10, 4);
+  CpiSketch a(4), b(4);
+  for (const auto& s : a_items) a.add_symbol(s);
+  const auto r = CpiSketch::reconcile(a, b);
+  EXPECT_FALSE(r.success);
+}
+
+TEST(Cpi, CapacityMismatchThrows) {
+  CpiSketch a(4), b(8);
+  EXPECT_THROW((void)CpiSketch::reconcile(a, b), std::invalid_argument);
+  EXPECT_THROW(CpiSketch(0), std::invalid_argument);
+}
+
+TEST(Cpi, RejectsZeroItem) {
+  CpiSketch a(4);
+  EXPECT_THROW(a.add_symbol(U64Symbol{}), std::invalid_argument);
+  EXPECT_THROW(a.remove_symbol(U64Symbol{}), std::invalid_argument);
+}
+
+TEST(Cpi, SerializedSizeIsOptimalPlusSetSize) {
+  CpiSketch a(16);
+  EXPECT_EQ(a.serialized_size(), 16u * 8u + 8u);
+}
+
+TEST(Cpi, AgreesWithDirectSetDifference) {
+  // Cross-check against brute-force set difference on a random workload.
+  SplitMix64 rng(5);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto universe = random_items(60, derive_seed(6, static_cast<std::uint64_t>(trial)));
+    std::vector<U64Symbol> av, bv;
+    std::unordered_set<std::uint64_t> ak, bk;
+    for (const auto& s : universe) {
+      const auto bits = pinsketch::GF64::from_symbol(s).bits();
+      const auto roll = rng.next_below(3);
+      if (roll == 0 || roll == 2) {
+        av.push_back(s);
+        ak.insert(bits);
+      }
+      if (roll == 1 || roll == 2) {
+        bv.push_back(s);
+        bk.insert(bits);
+      }
+    }
+    // Capacity = worst case: every universe item could be exclusive.
+    CpiSketch a(60), b(60);
+    for (const auto& s : av) a.add_symbol(s);
+    for (const auto& s : bv) b.add_symbol(s);
+    const auto r = CpiSketch::reconcile(a, b);
+    ASSERT_TRUE(r.success);
+    std::unordered_set<std::uint64_t> expect_a, expect_b;
+    for (auto k : ak) {
+      if (!bk.contains(k)) expect_a.insert(k);
+    }
+    for (auto k : bk) {
+      if (!ak.contains(k)) expect_b.insert(k);
+    }
+    EXPECT_EQ(keys(r.alice_only), expect_a);
+    EXPECT_EQ(keys(r.bob_only), expect_b);
+  }
+}
+
+}  // namespace
+}  // namespace ribltx::cpi

@@ -1,0 +1,125 @@
+// Tests for the synthetic ledger: deterministic replay, prefix consistency
+// across heights, difference accounting, and integration with the trie and
+// the Rateless IBLT item model.
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "ledger/ledger.hpp"
+
+namespace ribltx::ledger {
+namespace {
+
+LedgerParams small_params() {
+  LedgerParams p;
+  p.base_accounts = 2000;
+  p.modifies_per_block = 8;
+  p.creates_per_block = 2;
+  p.seed = 42;
+  return p;
+}
+
+TEST(Ledger, DeterministicMaterialization) {
+  const auto p = small_params();
+  LedgerState a(p, 10), b(p, 10);
+  EXPECT_EQ(a.accounts(), b.accounts());
+}
+
+TEST(Ledger, PopulationGrowsWithCreates) {
+  const auto p = small_params();
+  LedgerState s0(p, 0), s10(p, 10);
+  EXPECT_EQ(s0.account_count(), p.base_accounts);
+  EXPECT_EQ(s10.account_count(), p.base_accounts + 10 * p.creates_per_block);
+}
+
+TEST(Ledger, SharedHistoryIsPrefixConsistent) {
+  // Accounts never touched after block 5 must be byte-identical between
+  // the state at block 5 and the state at block 20.
+  const auto p = small_params();
+  LedgerState s5(p, 5), s20(p, 20);
+  std::size_t shared = 0;
+  for (std::size_t i = 0; i < s5.account_count(); ++i) {
+    if (s5.accounts()[i] == s20.accounts()[i]) ++shared;
+    EXPECT_EQ(s5.accounts()[i].key, s20.accounts()[i].key);  // keys stable
+  }
+  // Only ~15 blocks x 8 modifies can differ.
+  EXPECT_GE(shared, s5.account_count() - 15 * p.modifies_per_block);
+  EXPECT_LT(shared, s5.account_count());  // but something did change
+}
+
+TEST(Ledger, SymmetricDifferenceMatchesMaterializedStates) {
+  const auto p = small_params();
+  const std::uint64_t b0 = 3, b1 = 17;
+  const std::size_t predicted = symmetric_difference_size(p, b0, b1);
+
+  LedgerState s0(p, b0), s1(p, b1);
+  std::unordered_set<std::uint64_t> items0, items1;
+  const SipKey k{1, 2};
+  for (const auto& s : s0.as_symbols()) items0.insert(siphash24(k, s.bytes()));
+  for (const auto& s : s1.as_symbols()) items1.insert(siphash24(k, s.bytes()));
+  std::size_t actual = 0;
+  for (auto h : items0) {
+    if (!items1.contains(h)) ++actual;
+  }
+  for (auto h : items1) {
+    if (!items0.contains(h)) ++actual;
+  }
+  EXPECT_EQ(predicted, actual);
+  EXPECT_GT(predicted, 0u);
+}
+
+TEST(Ledger, DifferenceGrowsLinearlyWithStaleness) {
+  // Fig 12's premise: |A (-) B| ~ staleness. With collisions (an account
+  // touched twice counts once) growth is mildly sub-linear; check within
+  // 25% of proportionality over a 4x span.
+  const auto p = small_params();
+  const auto d10 = static_cast<double>(symmetric_difference_size(p, 0, 10));
+  const auto d40 = static_cast<double>(symmetric_difference_size(p, 0, 40));
+  EXPECT_GT(d40, 3.0 * d10);
+  EXPECT_LT(d40, 4.4 * d10);
+}
+
+TEST(Ledger, SymmetricDifferenceIsSymmetric) {
+  const auto p = small_params();
+  EXPECT_EQ(symmetric_difference_size(p, 2, 9),
+            symmetric_difference_size(p, 9, 2));
+  EXPECT_EQ(symmetric_difference_size(p, 7, 7), 0u);
+}
+
+TEST(Ledger, BlocksForStaleness) {
+  const auto p = small_params();  // 12 s per block
+  EXPECT_EQ(blocks_for_staleness(p, 0.0), 0u);
+  EXPECT_EQ(blocks_for_staleness(p, 12.0), 1u);
+  EXPECT_EQ(blocks_for_staleness(p, 3600.0), 300u);
+  EXPECT_THROW((void)blocks_for_staleness(p, -1.0), std::invalid_argument);
+}
+
+TEST(Ledger, StateItemLayout) {
+  const auto p = small_params();
+  LedgerState s(p, 1);
+  const auto& account = s.accounts()[7];
+  const StateItem item = to_state_item(account);
+  EXPECT_EQ(std::memcmp(item.data.data(), account.key.data(), 20), 0);
+  EXPECT_EQ(std::memcmp(item.data.data() + 20, account.value.data(), 72), 0);
+  EXPECT_EQ(StateItem::kSize, 92u);
+}
+
+TEST(Ledger, TrieRootTracksState) {
+  const auto p = small_params();
+  LedgerState s3(p, 3), s3b(p, 3), s4(p, 4);
+  const auto t3 = s3.build_trie();
+  const auto t3b = s3b.build_trie();
+  const auto t4 = s4.build_trie();
+  EXPECT_EQ(t3.root_hash(), t3b.root_hash());
+  EXPECT_NE(t3.root_hash(), t4.root_hash());
+  EXPECT_EQ(t3.account_count(), s3.account_count());
+}
+
+TEST(Ledger, RejectsEmptyBase) {
+  LedgerParams p;
+  p.base_accounts = 0;
+  EXPECT_THROW(LedgerState(p, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ribltx::ledger

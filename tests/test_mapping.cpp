@@ -1,0 +1,201 @@
+// Tests for the index-mapping generators (paper §4.1.2, §4.2): determinism,
+// monotonicity, the rho(i) = 1/(1 + alpha*i) marginal distribution, and the
+// O(log m) density property that underpins the computation-cost claims.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/irregular.hpp"
+#include "core/mapping.hpp"
+
+namespace ribltx {
+namespace {
+
+TEST(IndexMapping, StartsAtZero) {
+  // rho(0) = 1: every symbol maps to the first coded symbol (§4.1.2); this
+  // is the termination-signal invariant.
+  for (std::uint64_t seed : {1ULL, 99ULL, 0xdeadbeefULL}) {
+    EXPECT_EQ(IndexMapping(seed).index(), 0u);
+  }
+}
+
+TEST(IndexMapping, StrictlyIncreasingUntilSaturation) {
+  // Index gaps roughly double per advance, so a long walk must saturate at
+  // the sentinel instead of wrapping 64-bit arithmetic.
+  SplitMix64 rng(42);
+  for (int trial = 0; trial < 100; ++trial) {
+    IndexMapping m(rng.next());
+    std::uint64_t prev = m.index();
+    bool saturated = false;
+    for (int i = 0; i < 1000; ++i) {
+      const std::uint64_t next = m.advance();
+      if (next == detail::kIndexInfinity) {
+        saturated = true;
+        break;
+      }
+      ASSERT_GT(next, prev);
+      prev = next;
+    }
+    ASSERT_TRUE(saturated) << "1000 advances without saturation";
+    // Once saturated, stays saturated.
+    EXPECT_EQ(m.advance(), detail::kIndexInfinity);
+    EXPECT_EQ(m.index(), detail::kIndexInfinity);
+  }
+}
+
+TEST(GenericMapping, SaturatesInsteadOfOverflowing) {
+  for (double alpha : {0.11, 0.5, 0.95}) {
+    GenericMapping m(alpha, 987654321);
+    std::uint64_t prev = 0;
+    for (int i = 0; i < 5000; ++i) {
+      const std::uint64_t next = m.advance();
+      ASSERT_GE(next, prev) << "alpha " << alpha;
+      prev = next;
+      if (next == detail::kIndexInfinity) break;
+    }
+    EXPECT_EQ(m.advance(), detail::kIndexInfinity) << "alpha " << alpha;
+  }
+}
+
+TEST(IndexMapping, DeterministicPerSeed) {
+  IndexMapping a(777), b(777);
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_EQ(a.advance(), b.advance());
+  }
+}
+
+TEST(IndexMapping, DifferentSeedsDiverge) {
+  IndexMapping a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.advance() == b.advance()) ++same;
+  }
+  // Sparse streams occasionally coincide; full agreement would mean the
+  // seed is ignored.
+  EXPECT_LT(same, 50);
+}
+
+// Empirical marginal mapping probability rho_hat(i) over many random seeds
+// compared against rho(i) = 1/(1 + alpha*i).
+template <typename MakeMapping>
+std::vector<double> empirical_rho(MakeMapping make, std::size_t num_indices,
+                                  std::size_t num_seeds, std::uint64_t seed0) {
+  std::vector<std::uint64_t> hits(num_indices, 0);
+  SplitMix64 rng(seed0);
+  for (std::size_t s = 0; s < num_seeds; ++s) {
+    auto m = make(rng.next());
+    while (m.index() < num_indices) {
+      ++hits[static_cast<std::size_t>(m.index())];
+      m.advance();
+    }
+  }
+  std::vector<double> rho(num_indices);
+  for (std::size_t i = 0; i < num_indices; ++i) {
+    rho[i] = static_cast<double>(hits[i]) / static_cast<double>(num_seeds);
+  }
+  return rho;
+}
+
+TEST(IndexMapping, MarginalMatchesRho) {
+  constexpr std::size_t kIndices = 64;
+  constexpr std::size_t kSeeds = 200000;
+  const auto rho = empirical_rho(
+      [](std::uint64_t s) { return IndexMapping(s); }, kIndices, kSeeds, 7);
+  EXPECT_DOUBLE_EQ(rho[0], 1.0);
+  for (std::size_t i = 1; i < kIndices; ++i) {
+    const double expect = 1.0 / (1.0 + 0.5 * static_cast<double>(i));
+    // The alpha = 0.5 sampler inverts the exact CDF: only binomial noise
+    // plus a small slack for the 2^-32 draw granularity.
+    const double noise =
+        4.0 * std::sqrt(expect * (1 - expect) / static_cast<double>(kSeeds));
+    EXPECT_NEAR(rho[i], expect, 0.005 * expect + noise) << "index " << i;
+  }
+}
+
+TEST(GenericMapping, MarginalMatchesRhoForVariousAlpha) {
+  constexpr std::size_t kIndices = 48;
+  constexpr std::size_t kSeeds = 120000;
+  for (double alpha : {0.25, 0.5, 0.82}) {
+    const auto rho = empirical_rho(
+        [alpha](std::uint64_t s) { return GenericMapping(alpha, s); },
+        kIndices, kSeeds, 11);
+    EXPECT_DOUBLE_EQ(rho[0], 1.0);
+    for (std::size_t i = 1; i < kIndices; ++i) {
+      const double expect = 1.0 / (1.0 + alpha * static_cast<double>(i));
+      const double noise =
+          4.0 * std::sqrt(expect * (1 - expect) / static_cast<double>(kSeeds));
+      // Exact scan near the origin; shifted-Stirling tail is within ~1%.
+      EXPECT_NEAR(rho[i], expect, 0.02 * expect + noise)
+          << "alpha " << alpha << " index " << i;
+    }
+  }
+}
+
+TEST(IndexMapping, LogarithmicDensity) {
+  // Expected number of mapped indices among the first m is
+  // sum_i rho(i) ~= 2 ln(m) / ... for alpha = 0.5: sum 1/(1+i/2) ~ 2 ln m.
+  constexpr std::size_t kM = 1 << 16;
+  constexpr std::size_t kSeeds = 2000;
+  SplitMix64 rng(123);
+  double total = 0;
+  for (std::size_t s = 0; s < kSeeds; ++s) {
+    IndexMapping m(rng.next());
+    std::size_t cnt = 0;
+    while (m.index() < kM) {
+      ++cnt;
+      m.advance();
+    }
+    total += static_cast<double>(cnt);
+  }
+  const double avg = total / kSeeds;
+  double expect = 0;
+  for (std::size_t i = 0; i < kM; ++i) {
+    expect += 1.0 / (1.0 + 0.5 * static_cast<double>(i));
+  }
+  EXPECT_NEAR(avg, expect, 0.05 * expect);
+  // Density is logarithmic: far smaller than m.
+  EXPECT_LT(avg, 40.0);
+}
+
+TEST(IrregularMappingFactory, SubsetFrequenciesMatchWeights) {
+  const IrregularMappingFactory factory;  // paper-optimal config
+  const auto& cfg = factory.config();
+  std::vector<std::size_t> counts(cfg.weights.size(), 0);
+  SplitMix64 rng(5);
+  constexpr std::size_t kSeeds = 200000;
+  for (std::size_t s = 0; s < kSeeds; ++s) {
+    ++counts[factory.subset_of(rng.next())];
+  }
+  for (std::size_t j = 0; j < cfg.weights.size(); ++j) {
+    const double frac =
+        static_cast<double>(counts[j]) / static_cast<double>(kSeeds);
+    EXPECT_NEAR(frac, cfg.weights[j], 0.01) << "subset " << j;
+  }
+}
+
+TEST(IrregularMappingFactory, RejectsBadConfigs) {
+  EXPECT_THROW(IrregularMappingFactory(IrregularConfig{{0.5, 0.4}, {0.5}}),
+               std::invalid_argument);
+  EXPECT_THROW(IrregularMappingFactory(IrregularConfig{{0.5, 0.4}, {0.5, 0.6}}),
+               std::invalid_argument);
+  EXPECT_THROW(
+      IrregularMappingFactory(IrregularConfig{{0.5, 0.5}, {0.5, 1.5}}),
+      std::invalid_argument);
+  EXPECT_NO_THROW(
+      IrregularMappingFactory(IrregularConfig{{0.5, 0.5}, {0.5, 0.9}}));
+}
+
+TEST(IrregularMappingFactory, DeterministicMappingPerHash) {
+  const IrregularMappingFactory factory;
+  auto m1 = factory(0xabcdef);
+  auto m2 = factory(0xabcdef);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(m1.advance(), m2.advance());
+  }
+}
+
+}  // namespace
+}  // namespace ribltx

@@ -1,0 +1,221 @@
+// Tests for the Merkle trie and the state-heal planner: structural
+// invariants, content addressing, subtree sharing, and heal traffic
+// properties (rounds ~ depth, node amplification, pruning).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "merkle/heal.hpp"
+#include "merkle/trie.hpp"
+
+namespace ribltx::merkle {
+namespace {
+
+Account make_account(std::uint64_t key_seed, std::uint64_t value_tag) {
+  Account a;
+  SplitMix64 kr(key_seed);
+  for (std::size_t i = 0; i < a.key.size(); i += 4) {
+    const auto w = static_cast<std::uint32_t>(kr.next());
+    std::memcpy(a.key.data() + i, &w, 4);
+  }
+  SplitMix64 vr(value_tag);
+  for (std::size_t i = 0; i < a.value.size(); i += 8) {
+    const std::uint64_t w = vr.next();
+    std::memcpy(a.value.data() + i, &w, 8);
+  }
+  return a;
+}
+
+std::vector<Account> make_accounts(std::size_t n, std::uint64_t seed) {
+  std::vector<Account> out;
+  out.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(make_account(derive_seed(seed, i), derive_seed(seed ^ 1, i)));
+  }
+  return out;
+}
+
+TEST(Trie, EmptyTrie) {
+  Trie t({});
+  EXPECT_EQ(t.root_hash(), 0u);
+  EXPECT_EQ(t.node_count(), 0u);
+  EXPECT_EQ(t.account_count(), 0u);
+  EXPECT_TRUE(t.all_accounts().empty());
+}
+
+TEST(Trie, SingleAccountIsOneLeaf) {
+  const auto accounts = make_accounts(1, 1);
+  Trie t(accounts);
+  EXPECT_NE(t.root_hash(), 0u);
+  EXPECT_EQ(t.node_count(), 1u);
+  const Node* root = t.find(t.root_hash());
+  ASSERT_NE(root, nullptr);
+  EXPECT_EQ(root->kind, Node::Kind::kLeaf);
+  EXPECT_EQ(root->path.size(), kKeyNibbles);
+}
+
+TEST(Trie, RoundTripsAccounts) {
+  const auto accounts = make_accounts(500, 2);
+  Trie t(accounts);
+  EXPECT_EQ(t.account_count(), 500u);
+  const auto back = t.all_accounts();
+  ASSERT_EQ(back.size(), 500u);
+  auto sorted = accounts;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Account& a, const Account& b) { return a.key < b.key; });
+  EXPECT_EQ(back, sorted);
+}
+
+TEST(Trie, DeterministicRoot) {
+  auto accounts = make_accounts(100, 3);
+  Trie a(accounts);
+  std::reverse(accounts.begin(), accounts.end());  // order must not matter
+  Trie b(accounts);
+  EXPECT_EQ(a.root_hash(), b.root_hash());
+  EXPECT_EQ(a.node_count(), b.node_count());
+}
+
+TEST(Trie, RootChangesWithAnyValue) {
+  auto accounts = make_accounts(50, 4);
+  Trie before(accounts);
+  accounts[17].value[0] ^= std::byte{1};
+  Trie after(accounts);
+  EXPECT_NE(before.root_hash(), after.root_hash());
+}
+
+TEST(Trie, DuplicateKeyThrows) {
+  auto accounts = make_accounts(3, 5);
+  accounts.push_back(accounts[0]);
+  EXPECT_THROW(Trie{accounts}, std::invalid_argument);
+}
+
+TEST(Trie, SharedSubtreesAreStoredOnce) {
+  // Two tries differing in one account share almost all nodes; node_count
+  // must reflect interning (far fewer nodes than 2x a full trie).
+  auto accounts = make_accounts(2000, 6);
+  Trie full(accounts);
+  // A trie built twice over the same accounts is identical.
+  Trie again(accounts);
+  EXPECT_EQ(full.node_count(), again.node_count());
+  // Depth ~ log16: 2000 accounts need only a few levels.
+  EXPECT_LT(full.node_count(), 2u * 2000u);
+}
+
+TEST(Trie, NibbleOrderMatchesByteOrder) {
+  AddressKey k{};
+  k[0] = std::byte{0xab};
+  EXPECT_EQ(nibble_at(k, 0), 0xau);
+  EXPECT_EQ(nibble_at(k, 1), 0xbu);
+}
+
+TEST(Node, WireSizes) {
+  Node leaf;
+  leaf.kind = Node::Kind::kLeaf;
+  leaf.path = {1, 2, 3};
+  EXPECT_EQ(leaf.wire_size(), 1u + 1u + 2u + kValueBytes);
+
+  Node branch;
+  branch.kind = Node::Kind::kBranch;
+  branch.children[0] = 1;
+  branch.children[7] = 2;
+  EXPECT_EQ(branch.wire_size(), 1u + 2u + 2u * kWireHashBytes);
+
+  Node ext;
+  ext.kind = Node::Kind::kExtension;
+  ext.path = {1, 2, 3, 4};
+  ext.child = 9;
+  EXPECT_EQ(ext.wire_size(), 1u + 1u + 2u + kWireHashBytes);
+}
+
+// ---------------------------------------------------------------- Heal
+
+TEST(Heal, IdenticalTriesNeedNothing) {
+  const auto accounts = make_accounts(300, 7);
+  Trie alice(accounts), bob(accounts);
+  const auto plan = plan_heal(alice, bob);
+  EXPECT_TRUE(plan.rounds.empty());
+  EXPECT_EQ(plan.total_nodes, 0u);
+  EXPECT_EQ(plan.total_bytes(), 0u);
+}
+
+TEST(Heal, EmptyBobFetchesEverything) {
+  const auto accounts = make_accounts(200, 8);
+  Trie alice(accounts);
+  Trie bob({});
+  const auto plan = plan_heal(alice, bob);
+  EXPECT_EQ(plan.total_nodes, alice.node_count());
+  EXPECT_EQ(plan.total_leaves, 200u);
+}
+
+TEST(Heal, SingleChangedAccountTouchesOnePath) {
+  auto accounts = make_accounts(4096, 9);
+  Trie alice_old(accounts);
+  accounts[123].value[5] ^= std::byte{0xff};
+  Trie alice_new(accounts);
+
+  const auto plan = plan_heal(alice_new, alice_old);
+  ASSERT_FALSE(plan.rounds.empty());
+  EXPECT_EQ(plan.total_leaves, 1u);
+  // Only the root-to-leaf path differs: node count == depth of that path,
+  // and rounds == node count (one node fetched per level).
+  EXPECT_EQ(plan.rounds.size(), plan.total_nodes);
+  EXPECT_LE(plan.total_nodes, 8u);  // log16(4096) = 3 plus compression nodes
+  // Amplification: >1 internal node per differing leaf (the paper's core
+  // complaint about Merkle tries).
+  EXPECT_GT(plan.total_nodes, 1u);
+}
+
+TEST(Heal, RoundCountTracksTrieDepth) {
+  const auto accounts = make_accounts(1 << 14, 10);
+  Trie alice(accounts);
+  Trie bob({});
+  const auto plan = plan_heal(alice, bob);
+  // Depth ~ log16(16384) = 3.5 -> a handful of lock-step rounds, far fewer
+  // than node count.
+  EXPECT_GE(plan.rounds.size(), 3u);
+  EXPECT_LE(plan.rounds.size(), 12u);
+  EXPECT_GT(plan.total_nodes, accounts.size());  // leaves + internals
+}
+
+TEST(Heal, PruningSharedSubtrees) {
+  // Bob stale by a few changed accounts: fetched nodes must be a tiny
+  // fraction of the trie.
+  auto accounts = make_accounts(20000, 11);
+  Trie bob(accounts);
+  for (std::size_t i = 0; i < 20; ++i) {
+    accounts[i * 997].value[1] ^= std::byte{0x80};
+  }
+  Trie alice(accounts);
+  const auto plan = plan_heal(alice, bob);
+  EXPECT_EQ(plan.total_leaves, 20u);
+  EXPECT_LT(plan.total_nodes, 200u);  // ~depth x 20 plus shared prefixes
+  EXPECT_GT(plan.total_bytes_down, 0u);
+  EXPECT_GT(plan.total_bytes_up, 0u);
+}
+
+TEST(Heal, ByteAccountingConsistent) {
+  auto accounts = make_accounts(1000, 12);
+  Trie bob(accounts);
+  accounts[5].value[0] ^= std::byte{1};
+  Trie alice(accounts);
+  const auto plan = plan_heal(alice, bob);
+  std::size_t up = 0, down = 0, nodes = 0, leaves = 0;
+  for (const auto& r : plan.rounds) {
+    up += r.bytes_up;
+    down += r.bytes_down;
+    nodes += r.nodes;
+    leaves += r.leaves;
+    EXPECT_EQ(r.requests, r.nodes);
+    EXPECT_EQ(r.bytes_up, r.requests * (kWireHashBytes + kRequestFraming));
+  }
+  EXPECT_EQ(up, plan.total_bytes_up);
+  EXPECT_EQ(down, plan.total_bytes_down);
+  EXPECT_EQ(nodes, plan.total_nodes);
+  EXPECT_EQ(leaves, plan.total_leaves);
+  EXPECT_EQ(plan.total_bytes(), up + down);
+}
+
+}  // namespace
+}  // namespace ribltx::merkle

@@ -1,0 +1,161 @@
+// Tests for the MET-IBLT (rate-compatible) baseline: prefix decoding,
+// level escalation for non-optimized difference sizes (the Fig 7 sawtooth),
+// and geometry validation.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "metiblt/metiblt.hpp"
+#include "testutil.hpp"
+
+namespace ribltx::metiblt {
+namespace {
+
+using testing::make_set_pair;
+using Item32 = ByteSymbol<32>;
+using Item8 = U64Symbol;
+
+template <Symbol T>
+typename MetIblt<T>::ProgressiveResult reconcile_met(
+    const std::vector<T>& sa, const std::vector<T>& sb,
+    MetConfig cfg = MetConfig::recommended()) {
+  MetIblt<T> a(cfg), b(cfg);
+  for (const auto& x : sa) a.add_symbol(x);
+  for (const auto& y : sb) b.add_symbol(y);
+  a.subtract(b);
+  return a.decode_progressive();
+}
+
+TEST(MetIblt, DecodesAtFirstLevelForTinyDifference) {
+  const auto w = make_set_pair<Item32>(400, 4, 4, 1);
+  const auto r = reconcile_met(w.a, w.b);
+  ASSERT_TRUE(r.result.success);
+  EXPECT_EQ(r.level_used, 0u);
+  EXPECT_EQ(r.result.remote.size(), 4u);
+  EXPECT_EQ(r.result.local.size(), 4u);
+}
+
+TEST(MetIblt, EscalatesLevelsWithDifferenceSize) {
+  // d just above a target must fall through to the next level: the
+  // communication sawtooth of Fig 7.
+  const auto small = make_set_pair<Item8>(100, 8, 8, 2);     // d=16 = target0
+  const auto beyond = make_set_pair<Item8>(100, 24, 24, 3);  // d=48 > target0
+  const auto r_small = reconcile_met(small.a, small.b);
+  const auto r_beyond = reconcile_met(beyond.a, beyond.b);
+  ASSERT_TRUE(r_small.result.success);
+  ASSERT_TRUE(r_beyond.result.success);
+  EXPECT_LE(r_small.level_used, 1u);
+  EXPECT_GE(r_beyond.level_used, 1u);
+  EXPECT_GT(r_beyond.cells_used, r_small.cells_used);
+}
+
+TEST(MetIblt, RecoversExactDifferenceAtHigherLevels) {
+  const auto w = make_set_pair<Item32>(500, 150, 150, 4);  // d=300
+  const auto r = reconcile_met(w.a, w.b);
+  ASSERT_TRUE(r.result.success);
+  EXPECT_EQ(r.result.remote.size(), 150u);
+  EXPECT_EQ(r.result.local.size(), 150u);
+  const auto want_remote = testing::key_set(w.only_a);
+  for (const auto& s : r.result.remote) {
+    EXPECT_TRUE(want_remote.contains(
+        siphash24(SipKey{0x1234, 0x5678}, s.symbol.bytes())));
+  }
+}
+
+TEST(MetIblt, SucceedsAtTargetsWithHighProbability) {
+  // Calibration check for the recommended config: at each optimized target
+  // (excluding the largest, which has no headroom level), decoding succeeds
+  // at that level or the next in nearly all trials.
+  const MetConfig cfg = MetConfig::recommended();
+  for (std::size_t lvl = 0; lvl + 1 < cfg.targets.size() && lvl < 3; ++lvl) {
+    const auto d = cfg.targets[lvl];
+    int ok_at_level = 0;
+    constexpr int kTrials = 10;
+    for (int t = 0; t < kTrials; ++t) {
+      const auto w = make_set_pair<Item8>(
+          64, d / 2, d - d / 2, derive_seed(500 + lvl, static_cast<std::uint64_t>(t)));
+      const auto r = reconcile_met(w.a, w.b);
+      ASSERT_TRUE(r.result.success);
+      if (r.level_used <= lvl) ++ok_at_level;
+    }
+    EXPECT_GE(ok_at_level, 8) << "target level " << lvl;
+  }
+}
+
+TEST(MetIblt, PrefixPropertyCellsStableAcrossLevels) {
+  // The first cumulative_cells(l) cells must not depend on higher levels:
+  // that is what makes the scheme rate-compatible (incrementally sendable).
+  MetConfig small_cfg;
+  small_cfg.targets = {16, 128};
+  small_cfg.level_overheads = {3.4, 2.0};
+  MetConfig big_cfg;
+  big_cfg.targets = {16, 128, 1024};
+  big_cfg.level_overheads = {3.4, 2.0, 1.7};
+
+  const auto w = make_set_pair<Item8>(50, 10, 0, 5);
+  MetIblt<Item8> a(small_cfg), b(big_cfg);
+  for (const auto& x : w.a) {
+    a.add_symbol(x);
+    b.add_symbol(x);
+  }
+  const std::size_t prefix = small_cfg.cumulative_cells(1);
+  for (std::size_t i = 0; i < prefix; ++i) {
+    EXPECT_EQ(a.cells()[i], b.cells()[i]) << "cell " << i;
+  }
+}
+
+TEST(MetIblt, FailsOnlyWhenBeyondLastLevel) {
+  // A difference far above the largest target cannot decode at any level.
+  MetConfig cfg;
+  cfg.targets = {16, 64};
+  cfg.level_overheads = {3.4, 2.0};
+  const auto w = make_set_pair<Item8>(0, 2000, 0, 6);
+  const auto r = reconcile_met(w.a, w.b, cfg);
+  EXPECT_FALSE(r.result.success);
+  EXPECT_EQ(r.level_used, cfg.targets.size() - 1);
+}
+
+TEST(MetIblt, SubtractGeometryMismatchThrows) {
+  MetConfig a_cfg;
+  a_cfg.targets = {16, 128};
+  a_cfg.level_overheads = {3.4, 2.0};
+  MetIblt<Item8> a(a_cfg);
+  MetIblt<Item8> b;  // recommended (5 levels)
+  EXPECT_THROW(a.subtract(b), std::invalid_argument);
+}
+
+TEST(MetConfig, Validation) {
+  MetConfig bad;
+  bad.targets = {};
+  bad.level_overheads = {};
+  EXPECT_THROW(MetIblt<Item8>{bad}, std::invalid_argument);
+
+  bad.targets = {16, 16};
+  bad.level_overheads = {2.0, 2.0};
+  EXPECT_THROW(MetIblt<Item8>{bad}, std::invalid_argument);
+
+  bad.targets = {16, 128};
+  bad.level_overheads = {2.0};
+  EXPECT_THROW(MetIblt<Item8>{bad}, std::invalid_argument);
+
+  bad.targets = {16, 128};
+  bad.level_overheads = {0.5, 2.0};
+  EXPECT_THROW(MetIblt<Item8>{bad}, std::invalid_argument);
+
+  bad.targets = {16, 128};
+  bad.level_overheads = {2.0, 2.0};
+  bad.edges_per_block = 0;
+  EXPECT_THROW(MetIblt<Item8>{bad}, std::invalid_argument);
+}
+
+TEST(MetIblt, SerializedSizeAccounting) {
+  MetIblt<Item32> t;
+  const auto& cfg = t.config();
+  EXPECT_EQ(t.serialized_size(0), cfg.cumulative_cells(0) * (32 + 8 + 8));
+  EXPECT_EQ(t.serialized_size(2), cfg.cumulative_cells(2) * (32 + 8 + 8));
+  EXPECT_THROW((void)t.serialized_size(99), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace ribltx::metiblt

@@ -1,0 +1,139 @@
+// Tests for the event loop, link model (delay + serialization), and
+// bandwidth trace binning.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "netsim/sim.hpp"
+
+namespace ribltx::netsim {
+namespace {
+
+TEST(EventLoop, RunsInTimeOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.schedule_at(2.0, [&] { order.push_back(2); });
+  loop.schedule_at(1.0, [&] { order.push_back(1); });
+  loop.schedule_at(3.0, [&] { order.push_back(3); });
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(loop.now(), 3.0);
+}
+
+TEST(EventLoop, FifoForEqualTimestamps) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.schedule_at(1.0, [&] { order.push_back(1); });
+  loop.schedule_at(1.0, [&] { order.push_back(2); });
+  loop.schedule_at(1.0, [&] { order.push_back(3); });
+  loop.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventLoop, HandlersCanSchedule) {
+  EventLoop loop;
+  int fired = 0;
+  loop.schedule_at(1.0, [&] {
+    ++fired;
+    loop.schedule_in(0.5, [&] { ++fired; });
+  });
+  loop.run();
+  EXPECT_EQ(fired, 2);
+  EXPECT_DOUBLE_EQ(loop.now(), 1.5);
+}
+
+TEST(EventLoop, RejectsPast) {
+  EventLoop loop;
+  loop.schedule_at(5.0, [] {});
+  loop.run();
+  EXPECT_THROW(loop.schedule_at(1.0, [] {}), std::invalid_argument);
+}
+
+TEST(Link, DelayOnlyWhenUnlimited) {
+  EventLoop loop;
+  LinkConfig cfg;
+  cfg.one_way_delay_s = 0.05;
+  cfg.bandwidth_bps = 0;  // unlimited
+  Link link(loop, cfg);
+  double arrived = -1;
+  link.send(1'000'000, [&](const Delivery& d) { arrived = d.arrive_end; });
+  loop.run();
+  EXPECT_DOUBLE_EQ(arrived, 0.05);
+}
+
+TEST(Link, SerializationAtLineRate) {
+  EventLoop loop;
+  LinkConfig cfg;
+  cfg.one_way_delay_s = 0.05;
+  cfg.bandwidth_bps = 8e6;  // 1 MB/s
+  Link link(loop, cfg);
+  double arrived = -1;
+  link.send(500'000, [&](const Delivery& d) { arrived = d.arrive_end; });
+  loop.run();
+  EXPECT_NEAR(arrived, 0.5 + 0.05, 1e-9);
+}
+
+TEST(Link, FifoQueueing) {
+  // Two messages sent at t=0 serialize back-to-back.
+  EventLoop loop;
+  LinkConfig cfg;
+  cfg.one_way_delay_s = 0.01;
+  cfg.bandwidth_bps = 8e6;
+  Link link(loop, cfg);
+  std::vector<double> arrivals;
+  for (int i = 0; i < 2; ++i) {
+    link.send(100'000, [&](const Delivery& d) { arrivals.push_back(d.arrive_end); });
+  }
+  loop.run();
+  ASSERT_EQ(arrivals.size(), 2u);
+  EXPECT_NEAR(arrivals[0], 0.1 + 0.01, 1e-9);
+  EXPECT_NEAR(arrivals[1], 0.2 + 0.01, 1e-9);
+  EXPECT_EQ(link.total_bytes(), 200'000u);
+}
+
+TEST(Link, LaterSendAfterIdle) {
+  EventLoop loop;
+  LinkConfig cfg;
+  cfg.one_way_delay_s = 0.0;
+  cfg.bandwidth_bps = 8e6;
+  Link link(loop, cfg);
+  double second_arrival = -1;
+  link.send(100'000);  // busy until 0.1
+  loop.schedule_at(0.5, [&] {
+    link.send(100'000,
+              [&](const Delivery& d) { second_arrival = d.arrive_end; });
+  });
+  loop.run();
+  EXPECT_NEAR(second_arrival, 0.6, 1e-9);  // idle gap, then fresh tx
+}
+
+TEST(BandwidthTrace, BinsLineRateBlock) {
+  // 1 MB delivered over [0.1, 0.6] at 1 MB/s (8 Mbps), 100 ms bins.
+  BandwidthTrace trace(0.1);
+  Delivery d;
+  d.arrive_start = 0.1;
+  d.arrive_end = 0.6;
+  d.bytes = 500'000;
+  trace.add(d);
+  const auto bins = trace.bins();
+  ASSERT_GE(bins.size(), 6u);
+  EXPECT_NEAR(bins[0].mbps, 0.0, 1e-9);   // [0, 0.1): nothing
+  EXPECT_NEAR(bins[1].mbps, 8.0, 1e-6);   // [0.1, 0.2): line rate
+  EXPECT_NEAR(bins[5].mbps, 8.0, 1e-6);   // [0.5, 0.6)
+}
+
+TEST(BandwidthTrace, InstantDeliveryLandsInOneBin) {
+  BandwidthTrace trace(0.05);
+  Delivery d;
+  d.arrive_start = 0.12;
+  d.arrive_end = 0.12;  // unlimited-bandwidth delivery
+  d.bytes = 1000;
+  trace.add(d);
+  const auto bins = trace.bins();
+  double total_bytes = 0;
+  for (const auto& b : bins) total_bytes += b.mbps * 1e6 / 8.0 * 0.05;
+  EXPECT_NEAR(total_bytes, 1000.0, 1.0);
+}
+
+}  // namespace
+}  // namespace ribltx::netsim

@@ -1,0 +1,311 @@
+// Tests for the PinSketch baseline: GF(2^64) field axioms, polynomial
+// arithmetic, Berlekamp-Massey + trace-algorithm root finding (through the
+// public decode path), and end-to-end reconciliation.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "pinsketch/gf64.hpp"
+#include "pinsketch/pinsketch.hpp"
+#include "pinsketch/poly.hpp"
+
+namespace ribltx::pinsketch {
+namespace {
+
+// ------------------------------------------------------------------ GF64
+
+TEST(GF64, AdditionIsXor) {
+  EXPECT_EQ(GF64(0b1100) + GF64(0b1010), GF64(0b0110));
+  EXPECT_EQ(GF64(7) + GF64(7), GF64::zero());
+  EXPECT_EQ(GF64(5) + GF64::zero(), GF64(5));
+}
+
+TEST(GF64, ReductionPolynomialAnchor) {
+  // x^63 * x = x^64 == x^4 + x^3 + x + 1 (mask 0x1b) by construction.
+  EXPECT_EQ(GF64(1ULL << 63) * GF64(2), GF64(0x1b));
+  // Plain polynomial product below the modulus: x^3 * x^4 = x^7.
+  EXPECT_EQ(GF64(1 << 3) * GF64(1 << 4), GF64(1 << 7));
+  EXPECT_EQ(GF64(3) * GF64(3), GF64(5));  // (x+1)^2 = x^2+1
+}
+
+TEST(GF64, MultiplicationAxioms) {
+  SplitMix64 rng(1);
+  for (int t = 0; t < 200; ++t) {
+    const GF64 a(rng.next()), b(rng.next()), c(rng.next());
+    EXPECT_EQ(a * b, b * a);
+    EXPECT_EQ((a * b) * c, a * (b * c));
+    EXPECT_EQ(a * (b + c), a * b + a * c);
+    EXPECT_EQ(a * GF64::one(), a);
+    EXPECT_EQ(a * GF64::zero(), GF64::zero());
+  }
+}
+
+TEST(GF64, FrobeniusEndomorphism) {
+  SplitMix64 rng(2);
+  for (int t = 0; t < 100; ++t) {
+    const GF64 a(rng.next()), b(rng.next());
+    EXPECT_EQ((a + b).squared(), a.squared() + b.squared());
+  }
+}
+
+TEST(GF64, InverseAndGroupOrder) {
+  SplitMix64 rng(3);
+  for (int t = 0; t < 50; ++t) {
+    GF64 a(rng.next());
+    if (a.is_zero()) a = GF64::one();
+    EXPECT_EQ(a * a.inverse(), GF64::one());
+    // Lagrange: a^(2^64 - 1) = 1.
+    EXPECT_EQ(a.pow(~std::uint64_t{0}), GF64::one());
+  }
+  EXPECT_THROW((void)GF64::zero().inverse(), std::domain_error);
+}
+
+TEST(GF64, PowLaws) {
+  const GF64 g(0x123456789abcdef0ULL);
+  EXPECT_EQ(g.pow(0), GF64::one());
+  EXPECT_EQ(g.pow(1), g);
+  EXPECT_EQ(g.pow(5), g * g * g * g * g);
+  EXPECT_EQ(g.pow(3) * g.pow(4), g.pow(7));
+}
+
+TEST(GF64, SymbolRoundTrip) {
+  const auto s = U64Symbol::from_u64(0xdeadbeefcafef00dULL);
+  EXPECT_EQ(GF64::from_symbol(s).bits(), 0xdeadbeefcafef00dULL);
+  EXPECT_EQ(GF64(0xdeadbeefcafef00dULL).to_symbol(), s);
+}
+
+// ------------------------------------------------------------------ Poly
+
+TEST(Poly, DegreeAndTrim) {
+  EXPECT_EQ(Poly{}.degree(), -1);
+  EXPECT_EQ(Poly::constant(GF64(5)).degree(), 0);
+  EXPECT_EQ(Poly::constant(GF64::zero()).degree(), -1);
+  // Trailing zeros are trimmed on construction.
+  Poly p(std::vector<GF64>{GF64(1), GF64(2), GF64::zero()});
+  EXPECT_EQ(p.degree(), 1);
+}
+
+TEST(Poly, MulMatchesEval) {
+  SplitMix64 rng(4);
+  const Poly a(std::vector<GF64>{GF64(rng.next()), GF64(rng.next()),
+                                 GF64(rng.next())});
+  const Poly b(std::vector<GF64>{GF64(rng.next()), GF64(rng.next())});
+  const Poly ab = a * b;
+  for (int t = 0; t < 20; ++t) {
+    const GF64 x(rng.next());
+    EXPECT_EQ(ab.eval(x), a.eval(x) * b.eval(x));
+  }
+}
+
+TEST(Poly, ModIsEuclidean) {
+  SplitMix64 rng(5);
+  for (int t = 0; t < 20; ++t) {
+    std::vector<GF64> ac(8), mc(4);
+    for (auto& v : ac) v = GF64(rng.next());
+    for (auto& v : mc) v = GF64(rng.next());
+    mc.back() = GF64(rng.next() | 1);  // nonzero leading coeff
+    const Poly a(ac), m(mc);
+    const Poly r = a.mod(m);
+    EXPECT_LT(r.degree(), m.degree());
+    // a and r agree at roots of m... cheaper: (a + r) divisible by m:
+    // check via a few random evals of witness q = (a+r) and m's roots is
+    // hard; instead verify mod is idempotent and linear.
+    EXPECT_EQ(r.mod(m), r);
+    const Poly a2 = a + m * Poly::constant(GF64(rng.next()));
+    EXPECT_EQ(a2.mod(m), r);
+  }
+}
+
+TEST(Poly, SquaredModMatchesMulMod) {
+  SplitMix64 rng(6);
+  std::vector<GF64> pc(5), mc(6);
+  for (auto& v : pc) v = GF64(rng.next());
+  for (auto& v : mc) v = GF64(rng.next());
+  mc.back() = GF64::one();
+  const Poly p(pc), m(mc);
+  EXPECT_EQ(p.squared_mod(m), (p * p).mod(m));
+}
+
+TEST(Poly, GcdOfKnownFactors) {
+  // (x + a)(x + b) and (x + a)(x + c) share exactly (x + a).
+  const GF64 a(123), b(456), c(789);
+  const Poly xa(std::vector<GF64>{a, GF64::one()});
+  const Poly xb(std::vector<GF64>{b, GF64::one()});
+  const Poly xc(std::vector<GF64>{c, GF64::one()});
+  const Poly g = Poly::gcd(xa * xb, xa * xc);
+  EXPECT_EQ(g, xa);
+}
+
+TEST(Poly, FindRootsOfSplitPolynomial) {
+  // Build prod (x + r_i) for distinct r_i and recover them all.
+  SplitMix64 rng(7);
+  std::vector<GF64> roots;
+  Poly p = Poly::constant(GF64::one());
+  std::unordered_set<std::uint64_t> seen;
+  while (roots.size() < 12) {
+    const GF64 r(rng.next());
+    if (r.is_zero() || !seen.insert(r.bits()).second) continue;
+    roots.push_back(r);
+    p = p * Poly(std::vector<GF64>{r, GF64::one()});
+  }
+  std::vector<GF64> found;
+  ASSERT_TRUE(find_roots(p, found));
+  ASSERT_EQ(found.size(), roots.size());
+  std::unordered_set<std::uint64_t> expect;
+  for (const auto& r : roots) expect.insert(r.bits());
+  for (const auto& f : found) EXPECT_TRUE(expect.contains(f.bits()));
+}
+
+TEST(Poly, FindRootsRejectsNonSplit) {
+  // x^2 + x + 1 has no roots iff Tr(1) != 0... over GF(2^64) trace of 1 is
+  // 64 mod 2 = 0, so x^2+x+1 *does* split here. Use an irreducible-by-
+  // construction instead: x^2 + a where a is a non-square is impossible in
+  // char 2 (squaring is bijective). Known non-split example: take
+  // p = (x + r)^2 (repeated root) -- the trace algorithm cannot separate
+  // it, and find_roots must fail rather than loop or return duplicates.
+  const GF64 r(42);
+  const Poly xr(std::vector<GF64>{r, GF64::one()});
+  std::vector<GF64> found;
+  EXPECT_FALSE(find_roots(xr * xr, found));
+}
+
+// -------------------------------------------------------------- PinSketch
+
+std::vector<U64Symbol> random_items(std::size_t n, std::uint64_t seed) {
+  std::vector<U64Symbol> out;
+  out.reserve(n);
+  SplitMix64 rng(seed);
+  std::unordered_set<std::uint64_t> seen;
+  while (out.size() < n) {
+    const std::uint64_t v = rng.next();
+    if (v == 0 || !seen.insert(v).second) continue;
+    out.push_back(U64Symbol::from_u64(v));
+  }
+  return out;
+}
+
+TEST(PinSketch, EmptyDifference) {
+  const auto items = random_items(50, 1);
+  PinSketch a(16), b(16);
+  for (const auto& s : items) {
+    a.add_symbol(s);
+    b.add_symbol(s);
+  }
+  a.subtract(b);
+  const auto r = a.decode();
+  ASSERT_TRUE(r.success);
+  EXPECT_TRUE(r.difference.empty());
+}
+
+class PinSketchRoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PinSketchRoundTrip, RecoversSymmetricDifference) {
+  const std::size_t d = GetParam();
+  const std::size_t capacity = d;  // exact capacity: overhead 1.0
+  const auto shared = random_items(64, 2);
+  const auto diff = random_items(d, 1000 + d);
+
+  PinSketch a(capacity), b(capacity);
+  for (const auto& s : shared) {
+    a.add_symbol(s);
+    b.add_symbol(s);
+  }
+  // Split the difference across the two sides.
+  for (std::size_t i = 0; i < diff.size(); ++i) {
+    (i % 2 == 0 ? a : b).add_symbol(diff[i]);
+  }
+  a.subtract(b);
+  const auto r = a.decode();
+  ASSERT_TRUE(r.success) << "d=" << d;
+  ASSERT_EQ(r.difference.size(), d);
+  std::unordered_set<std::uint64_t> expect;
+  for (const auto& s : diff) expect.insert(GF64::from_symbol(s).bits());
+  for (const auto& s : r.difference) {
+    EXPECT_TRUE(expect.contains(GF64::from_symbol(s).bits()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(DifferenceSizes, PinSketchRoundTrip,
+                         ::testing::Values(1, 2, 3, 8, 17, 33, 64));
+
+TEST(PinSketch, FailsCleanlyWhenOverloaded) {
+  // d = 3 * capacity: decode must detect and report failure.
+  const auto diff = random_items(24, 3);
+  PinSketch a(8), b(8);
+  for (const auto& s : diff) a.add_symbol(s);
+  a.subtract(b);
+  const auto r = a.decode();
+  EXPECT_FALSE(r.success);
+  EXPECT_TRUE(r.difference.empty());
+}
+
+TEST(PinSketch, SlightOverloadAlsoFails) {
+  const auto diff = random_items(9, 4);
+  PinSketch a(8);
+  for (const auto& s : diff) a.add_symbol(s);
+  const auto r = a.decode();
+  EXPECT_FALSE(r.success);
+}
+
+TEST(PinSketch, RejectsZeroItem) {
+  PinSketch a(4);
+  EXPECT_THROW(a.add_symbol(U64Symbol{}), std::invalid_argument);
+}
+
+TEST(PinSketch, CapacityMismatchThrows) {
+  PinSketch a(4), b(8);
+  EXPECT_THROW(a.subtract(b), std::invalid_argument);
+  EXPECT_THROW(PinSketch(0), std::invalid_argument);
+}
+
+TEST(PinSketch, SerializeRoundTrip) {
+  const auto items = random_items(10, 5);
+  PinSketch a(12);
+  for (const auto& s : items) a.add_symbol(s);
+  EXPECT_EQ(a.serialized_size(), 12u * 8u);
+  const auto data = a.serialize();
+  EXPECT_EQ(data.size(), 4u + 12u * 8u);  // u32 capacity header + syndromes
+  const auto back = PinSketch::deserialize(data);
+  ASSERT_EQ(back.capacity(), a.capacity());
+  for (std::size_t i = 0; i < 12; ++i) {
+    EXPECT_EQ(back.syndromes()[i], a.syndromes()[i]);
+  }
+}
+
+TEST(PinSketch, AddIsInvolution) {
+  // Adding the same element twice cancels (char 2): the sketch returns to
+  // all-zero syndromes.
+  PinSketch a(6);
+  const auto s = U64Symbol::from_u64(777);
+  a.add_symbol(s);
+  a.add_symbol(s);
+  for (const auto& syn : a.syndromes()) EXPECT_TRUE(syn.is_zero());
+}
+
+TEST(PinSketch, DecodeIgnoresWhichSideItemsCameFrom) {
+  // PinSketch yields the unattributed symmetric difference; swapping the
+  // roles of A and B gives the same decoded set.
+  const auto diff = random_items(6, 6);
+  PinSketch a(8), b(8);
+  for (std::size_t i = 0; i < diff.size(); ++i) {
+    (i % 2 == 0 ? a : b).add_symbol(diff[i]);
+  }
+  PinSketch ab = a;
+  ab.subtract(b);
+  PinSketch ba = b;
+  ba.subtract(a);
+  const auto ra = ab.decode();
+  const auto rb = ba.decode();
+  ASSERT_TRUE(ra.success);
+  ASSERT_TRUE(rb.success);
+  std::unordered_set<std::uint64_t> sa, sb;
+  for (const auto& s : ra.difference) sa.insert(GF64::from_symbol(s).bits());
+  for (const auto& s : rb.difference) sb.insert(GF64::from_symbol(s).bits());
+  EXPECT_EQ(sa, sb);
+}
+
+}  // namespace
+}  // namespace ribltx::pinsketch

@@ -1,0 +1,182 @@
+// Property tests for the PinSketch/CPI algebra layer: Euclidean division
+// laws, gcd properties, root finding across degrees, and parameterized
+// reconciliation with skewed side splits.
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "common/rng.hpp"
+#include "pinsketch/pinsketch.hpp"
+#include "pinsketch/poly.hpp"
+
+namespace ribltx::pinsketch {
+namespace {
+
+Poly random_poly(std::size_t terms, SplitMix64& rng, bool monic = false) {
+  std::vector<GF64> c(terms);
+  for (auto& v : c) v = GF64(rng.next());
+  if (monic && !c.empty()) c.back() = GF64::one();
+  return Poly(std::move(c));
+}
+
+TEST(PolyProperty, DivModReconstructsDividend) {
+  SplitMix64 rng(1);
+  for (int t = 0; t < 50; ++t) {
+    const Poly a = random_poly(1 + rng.next_below(12), rng);
+    Poly b = random_poly(1 + rng.next_below(6), rng);
+    if (b.is_zero()) b = Poly::constant(GF64::one());
+    const auto [q, r] = a.divmod(b);
+    EXPECT_EQ(q * b + r, a);
+    EXPECT_LT(r.degree(), b.degree());
+  }
+}
+
+TEST(PolyProperty, DivModByConstant) {
+  SplitMix64 rng(2);
+  const Poly a = random_poly(5, rng);
+  const auto [q, r] = a.divmod(Poly::constant(GF64(7)));
+  EXPECT_TRUE(r.is_zero());
+  EXPECT_EQ(q * Poly::constant(GF64(7)), a);
+}
+
+TEST(PolyProperty, DivideByZeroThrows) {
+  SplitMix64 rng(3);
+  const Poly a = random_poly(4, rng);
+  EXPECT_THROW((void)a.divmod(Poly{}), std::domain_error);
+  EXPECT_THROW((void)a.mod(Poly{}), std::domain_error);
+}
+
+TEST(PolyProperty, GcdDividesBoth) {
+  SplitMix64 rng(4);
+  for (int t = 0; t < 20; ++t) {
+    const Poly f = random_poly(2 + rng.next_below(4), rng, true);
+    const Poly a = f * random_poly(1 + rng.next_below(4), rng, true);
+    const Poly b = f * random_poly(1 + rng.next_below(4), rng, true);
+    const Poly g = Poly::gcd(a, b);
+    EXPECT_GE(g.degree(), f.degree());  // f | gcd
+    EXPECT_TRUE(a.mod(g).is_zero());
+    EXPECT_TRUE(b.mod(g).is_zero());
+    EXPECT_EQ(g.leading(), GF64::one());  // monic
+  }
+}
+
+TEST(PolyProperty, GcdWithZero) {
+  SplitMix64 rng(5);
+  const Poly a = random_poly(4, rng, true);
+  EXPECT_EQ(Poly::gcd(a, Poly{}), a.monic());
+  EXPECT_EQ(Poly::gcd(Poly{}, a), a.monic());
+}
+
+TEST(PolyProperty, EvalHomomorphism) {
+  SplitMix64 rng(6);
+  const Poly a = random_poly(6, rng);
+  const Poly b = random_poly(4, rng);
+  for (int t = 0; t < 10; ++t) {
+    const GF64 x(rng.next());
+    EXPECT_EQ((a + b).eval(x), a.eval(x) + b.eval(x));
+    EXPECT_EQ((a * b).eval(x), a.eval(x) * b.eval(x));
+  }
+}
+
+class RootFindingDegrees : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(RootFindingDegrees, RecoversAllRoots) {
+  const std::size_t degree = GetParam();
+  SplitMix64 rng(100 + degree);
+  std::unordered_set<std::uint64_t> root_bits;
+  Poly p = Poly::constant(GF64::one());
+  while (root_bits.size() < degree) {
+    const GF64 r(rng.next());
+    if (r.is_zero() || !root_bits.insert(r.bits()).second) continue;
+    p = p * Poly(std::vector<GF64>{r, GF64::one()});
+  }
+  std::vector<GF64> found;
+  ASSERT_TRUE(find_roots(p, found));
+  ASSERT_EQ(found.size(), degree);
+  for (const auto& r : found) {
+    EXPECT_TRUE(root_bits.contains(r.bits()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, RootFindingDegrees,
+                         ::testing::Values(1, 2, 3, 5, 9, 17, 33, 65, 120));
+
+struct SplitCase {
+  std::size_t capacity;
+  std::size_t in_a;
+  std::size_t in_b;
+};
+
+class PinSketchSplits : public ::testing::TestWithParam<SplitCase> {};
+
+TEST_P(PinSketchSplits, RecoversWithSkewedSides) {
+  const auto [capacity, in_a, in_b] = GetParam();
+  SplitMix64 rng(7);
+  std::unordered_set<std::uint64_t> used;
+  const auto fresh = [&] {
+    for (;;) {
+      const std::uint64_t v = rng.next();
+      if (v != 0 && used.insert(v).second) return U64Symbol::from_u64(v);
+    }
+  };
+  PinSketch a(capacity), b(capacity);
+  std::unordered_set<std::uint64_t> expect;
+  for (std::size_t i = 0; i < in_a; ++i) {
+    const auto s = fresh();
+    expect.insert(GF64::from_symbol(s).bits());
+    a.add_symbol(s);
+  }
+  for (std::size_t i = 0; i < in_b; ++i) {
+    const auto s = fresh();
+    expect.insert(GF64::from_symbol(s).bits());
+    b.add_symbol(s);
+  }
+  a.subtract(b);
+  const auto r = a.decode();
+  ASSERT_TRUE(r.success);
+  std::unordered_set<std::uint64_t> got;
+  for (const auto& s : r.difference) got.insert(GF64::from_symbol(s).bits());
+  EXPECT_EQ(got, expect);
+}
+
+INSTANTIATE_TEST_SUITE_P(Splits, PinSketchSplits,
+                         ::testing::Values(SplitCase{5, 5, 0},
+                                           SplitCase{5, 0, 5},
+                                           SplitCase{7, 6, 1},
+                                           SplitCase{12, 1, 11},
+                                           SplitCase{31, 15, 16},
+                                           SplitCase{33, 30, 3}));
+
+TEST(PinSketchProperty, SubtractIsXorOfSyndromes) {
+  SplitMix64 rng(8);
+  PinSketch a(6), b(6);
+  for (int i = 0; i < 20; ++i) a.add_symbol(U64Symbol::from_u64(rng.next() | 1));
+  for (int i = 0; i < 15; ++i) b.add_symbol(U64Symbol::from_u64(rng.next() | 1));
+  PinSketch diff = a;
+  diff.subtract(b);
+  for (std::size_t j = 0; j < 6; ++j) {
+    EXPECT_EQ(diff.syndromes()[j], a.syndromes()[j] + b.syndromes()[j]);
+  }
+  // Subtracting twice restores the original (char 2).
+  diff.subtract(b);
+  for (std::size_t j = 0; j < 6; ++j) {
+    EXPECT_EQ(diff.syndromes()[j], a.syndromes()[j]);
+  }
+}
+
+TEST(PinSketchProperty, DeserializeRejectsGarbage) {
+  std::vector<std::byte> empty;
+  EXPECT_THROW((void)PinSketch::deserialize(empty), std::out_of_range);
+  ByteWriter w;
+  w.u32(0);  // zero capacity
+  EXPECT_THROW((void)PinSketch::deserialize(w.view()), std::invalid_argument);
+  ByteWriter w2;
+  w2.u32(4);
+  w2.u64(1);  // truncated: promises 4 syndromes, carries 1
+  EXPECT_THROW((void)PinSketch::deserialize(w2.view()), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace ribltx::pinsketch

@@ -1,0 +1,177 @@
+// Tests for the message-framed reconciliation protocol: loopback pump to
+// completion, batch-boundary behavior, stale in-flight batches, framing
+// validation, and geometry negotiation failures.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sync/protocol.hpp"
+#include "testutil.hpp"
+
+namespace ribltx::sync {
+namespace {
+
+using testing::make_set_pair;
+using Item = ByteSymbol<32>;
+
+/// Pumps the protocol over an in-memory loopback until DONE; returns the
+/// number of SYMBOLS frames exchanged.
+template <typename Server, typename Client>
+std::size_t pump(Server& server, Client& client, std::size_t max_frames) {
+  server.handle_message(client.hello());
+  std::size_t frames = 0;
+  while (!server.done() && frames < max_frames) {
+    const auto batch = server.next_batch();
+    if (!batch) break;
+    ++frames;
+    if (const auto done = client.handle_message(*batch)) {
+      server.handle_message(*done);
+    }
+  }
+  return frames;
+}
+
+TEST(Protocol, LoopbackReconciliation) {
+  const auto w = make_set_pair<Item>(500, 13, 9, 1);
+  ReconcileServer<Item> server({}, /*symbols_per_batch=*/16);
+  for (const auto& x : w.a) server.add_symbol(x);
+  ReconcileClient<Item> client;
+  for (const auto& y : w.b) client.add_local_symbol(y);
+
+  const auto frames = pump(server, client, 10'000);
+  ASSERT_TRUE(client.complete());
+  ASSERT_TRUE(server.done());
+  EXPECT_EQ(client.remote().size(), 13u);
+  EXPECT_EQ(client.local().size(), 9u);
+  EXPECT_GT(frames, 0u);
+  // The client reported exactly what it consumed.
+  EXPECT_EQ(server.symbols_reported(), client.symbols_consumed());
+  // Consumption is within the rateless overhead envelope.
+  EXPECT_LE(client.symbols_consumed(), 22u * 4u);
+}
+
+TEST(Protocol, SingleSymbolBatches) {
+  const auto w = make_set_pair<Item>(64, 3, 0, 2);
+  ReconcileServer<Item> server({}, 1);
+  for (const auto& x : w.a) server.add_symbol(x);
+  ReconcileClient<Item> client;
+  for (const auto& y : w.b) client.add_local_symbol(y);
+  pump(server, client, 10'000);
+  EXPECT_TRUE(client.complete());
+  EXPECT_EQ(client.remote().size(), 3u);
+}
+
+TEST(Protocol, HugeBatchesStopMidBatch) {
+  // A batch larger than needed: the client must stop consuming mid-batch
+  // and still report correct counts.
+  const auto w = make_set_pair<Item>(64, 2, 2, 3);
+  ReconcileServer<Item> server({}, 512);
+  for (const auto& x : w.a) server.add_symbol(x);
+  ReconcileClient<Item> client;
+  for (const auto& y : w.b) client.add_local_symbol(y);
+  pump(server, client, 100);
+  ASSERT_TRUE(client.complete());
+  EXPECT_LT(client.symbols_consumed(), 512u);
+}
+
+TEST(Protocol, StaleBatchAfterCompletionIgnored) {
+  const auto w = make_set_pair<Item>(32, 1, 0, 4);
+  ReconcileServer<Item> server({}, 8);
+  for (const auto& x : w.a) server.add_symbol(x);
+  ReconcileClient<Item> client;
+  for (const auto& y : w.b) client.add_local_symbol(y);
+  server.handle_message(client.hello());
+
+  // Produce several batches up-front (in-flight on a real link).
+  std::vector<std::vector<std::byte>> inflight;
+  for (int i = 0; i < 20; ++i) inflight.push_back(*server.next_batch());
+  bool finished = false;
+  for (const auto& frame : inflight) {
+    const auto done = client.handle_message(frame);
+    if (done) {
+      finished = true;
+      server.handle_message(*done);
+    }
+  }
+  EXPECT_TRUE(finished);
+  EXPECT_TRUE(client.complete());
+  EXPECT_EQ(client.remote().size(), 1u);
+}
+
+TEST(Protocol, IdenticalSetsFinishOnFirstBatch) {
+  const auto w = make_set_pair<Item>(100, 0, 0, 5);
+  ReconcileServer<Item> server({}, 4);
+  for (const auto& x : w.a) server.add_symbol(x);
+  ReconcileClient<Item> client;
+  for (const auto& y : w.b) client.add_local_symbol(y);
+  const auto frames = pump(server, client, 100);
+  EXPECT_EQ(frames, 1u);
+  EXPECT_EQ(client.symbols_consumed(), 1u);  // the empty cell 0
+}
+
+TEST(Protocol, RejectsVersionAndGeometryMismatch) {
+  ReconcileServer<Item> server;
+  ReconcileClient<Item> client;
+  // Tamper with version byte.
+  auto hello = client.hello();
+  hello[1] = std::byte{0x7f};
+  EXPECT_THROW(server.handle_message(hello), ProtocolError);
+  // Wrong item size: a client templated on a different symbol type.
+  ReconcileClient<ByteSymbol<8>> small_client;
+  EXPECT_THROW(server.handle_message(small_client.hello()), ProtocolError);
+}
+
+TEST(Protocol, RejectsMalformedFrames) {
+  ReconcileServer<Item> server;
+  ReconcileClient<Item> client;
+  EXPECT_THROW(server.handle_message({}), ProtocolError);
+  const std::vector<std::byte> junk{std::byte{0x99}, std::byte{0x01}};
+  EXPECT_THROW(server.handle_message(junk), ProtocolError);
+  EXPECT_THROW((void)client.handle_message(junk), ProtocolError);
+  EXPECT_THROW((void)client.handle_message({}), ProtocolError);
+
+  // Truncated SYMBOLS payload must surface as an exception, not UB. The
+  // difference is large enough that the client cannot finish before it
+  // reads into the cut.
+  server.handle_message(client.hello());
+  for (int i = 0; i < 100; ++i) server.add_symbol(Item::random(static_cast<std::uint64_t>(i)));
+  auto batch = *server.next_batch();
+  batch.resize(batch.size() / 2);
+  EXPECT_THROW((void)client.handle_message(batch), std::exception);
+}
+
+TEST(Protocol, NextBatchBeforeHelloThrows) {
+  ReconcileServer<Item> server;
+  server.add_symbol(Item::random(2));
+  EXPECT_THROW((void)server.next_batch(), ProtocolError);
+  EXPECT_THROW(ReconcileServer<Item>({}, 0), std::invalid_argument);
+}
+
+TEST(Protocol, KeyedSessionsInteroperate) {
+  const SipKey key{123, 456};
+  const auto w = make_set_pair<Item>(128, 5, 5, 6);
+  ReconcileServer<Item> server{SipHasher<Item>(key)};
+  for (const auto& x : w.a) server.add_symbol(x);
+  ReconcileClient<Item> client{SipHasher<Item>(key)};
+  for (const auto& y : w.b) client.add_local_symbol(y);
+  pump(server, client, 10'000);
+  EXPECT_TRUE(client.complete());
+  EXPECT_EQ(client.remote().size(), 5u);
+  EXPECT_EQ(client.local().size(), 5u);
+}
+
+TEST(Protocol, MismatchedKeysNeverComplete) {
+  // Different SipHash keys: streams are mutually meaningless; the client
+  // must not complete (and must not crash) within a generous budget.
+  const auto w = make_set_pair<Item>(64, 2, 2, 7);
+  ReconcileServer<Item> server{SipHasher<Item>(SipKey{1, 1})};
+  for (const auto& x : w.a) server.add_symbol(x);
+  ReconcileClient<Item> client{SipHasher<Item>(SipKey{2, 2})};
+  for (const auto& y : w.b) client.add_local_symbol(y);
+  const auto frames = pump(server, client, 200);
+  EXPECT_EQ(frames, 200u);  // budget exhausted
+  EXPECT_FALSE(client.complete());
+}
+
+}  // namespace
+}  // namespace ribltx::sync

@@ -1,0 +1,73 @@
+// Shared test/bench workload helpers: deterministic generation of set pairs
+// (A, B) with a prescribed overlap and difference split.
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/symbol.hpp"
+
+namespace ribltx::testing {
+
+/// A reconciliation workload: shared items plus items exclusive to each side.
+template <Symbol T>
+struct SetPair {
+  std::vector<T> a;             ///< Alice's full set (shared + only_a)
+  std::vector<T> b;             ///< Bob's full set (shared + only_b)
+  std::vector<T> only_a;        ///< A \ B
+  std::vector<T> only_b;        ///< B \ A
+};
+
+/// Builds |shared| common items, |only_a| items exclusive to Alice and
+/// |only_b| exclusive to Bob, all distinct, deterministically from `seed`.
+template <Symbol T>
+[[nodiscard]] SetPair<T> make_set_pair(std::size_t shared, std::size_t only_a,
+                                       std::size_t only_b,
+                                       std::uint64_t seed) {
+  SetPair<T> out;
+  out.a.reserve(shared + only_a);
+  out.b.reserve(shared + only_b);
+  out.only_a.reserve(only_a);
+  out.only_b.reserve(only_b);
+
+  // Unique u64 tags -> full-entropy symbols. Tag uniqueness guarantees
+  // symbol distinctness (ByteSymbol::random is injective-in-practice per
+  // seed; we key each symbol off a distinct counter).
+  std::uint64_t counter = 0;
+  const auto fresh = [&]() {
+    return T::random(derive_seed(seed, counter++));
+  };
+
+  for (std::size_t i = 0; i < shared; ++i) {
+    const T s = fresh();
+    out.a.push_back(s);
+    out.b.push_back(s);
+  }
+  for (std::size_t i = 0; i < only_a; ++i) {
+    const T s = fresh();
+    out.a.push_back(s);
+    out.only_a.push_back(s);
+  }
+  for (std::size_t i = 0; i < only_b; ++i) {
+    const T s = fresh();
+    out.b.push_back(s);
+    out.only_b.push_back(s);
+  }
+  return out;
+}
+
+/// Hash-set view of symbols for O(1) membership checks in assertions.
+template <Symbol T>
+[[nodiscard]] std::unordered_set<std::uint64_t> key_set(
+    const std::vector<T>& items) {
+  std::unordered_set<std::uint64_t> out;
+  out.reserve(items.size());
+  for (const T& s : items) {
+    out.insert(siphash24(SipKey{0x1234, 0x5678}, s.bytes()));
+  }
+  return out;
+}
+
+}  // namespace ribltx::testing
