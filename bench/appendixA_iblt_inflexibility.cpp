@@ -74,7 +74,7 @@ class PrefixableIblt {
 
 int main(int argc, char** argv) {
   const auto opts = bench::Options::parse(argc, argv);
-  const int trials = opts.trials > 0 ? opts.trials : (opts.full ? 2000 : 300);
+  const int trials = opts.trials > 0 ? opts.trials : opts.pick(20, 300, 2000);
   const SipHasher<U64Symbol> hasher;
 
   std::printf("# Theorem A.1: undersized IBLT (m=60, k=3): P(recover any)\n");

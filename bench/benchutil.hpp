@@ -24,8 +24,15 @@ namespace ribltx::bench {
 
 struct Options {
   bool full = false;
+  bool smoke = false;       ///< tiny-N ctest mode: full code path, seconds
   int trials = 0;           ///< 0 = bench-specific default
   std::uint64_t seed = 1;
+
+  /// Scale knob selector: --smoke < default < --full.
+  template <typename V>
+  [[nodiscard]] V pick(V smoke_value, V default_value, V full_value) const {
+    return smoke ? smoke_value : full ? full_value : default_value;
+  }
 
   static Options parse(int argc, char** argv) {
     Options o;
@@ -33,17 +40,24 @@ struct Options {
       const std::string arg = argv[i];
       if (arg == "--full") {
         o.full = true;
+      } else if (arg == "--smoke") {
+        o.smoke = true;
       } else if (arg.rfind("--trials=", 0) == 0) {
         o.trials = std::atoi(arg.c_str() + 9);
       } else if (arg.rfind("--seed=", 0) == 0) {
         o.seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
       } else if (arg == "--help" || arg == "-h") {
-        std::printf("usage: %s [--full] [--trials=N] [--seed=N]\n", argv[0]);
+        std::printf("usage: %s [--full|--smoke] [--trials=N] [--seed=N]\n",
+                    argv[0]);
         std::exit(0);
       } else {
         std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
         std::exit(2);
       }
+    }
+    if (o.full && o.smoke) {
+      std::fprintf(stderr, "--full and --smoke are mutually exclusive\n");
+      std::exit(2);
     }
     return o;
   }

@@ -34,9 +34,9 @@ int main(int argc, char** argv) {
   const auto opts = bench::Options::parse(argc, argv);
   // Both baselines are root-finding-bound at tiny d; CPI's O(d^3)
   // interpolation overtakes PinSketch's O(d^2) BM past d ~ 128.
-  const std::size_t cpi_max = opts.full ? 512 : 256;
-  const std::size_t pin_max = opts.full ? 2048 : 512;
-  const std::size_t max_d = opts.full ? 16384 : 4096;
+  const std::size_t cpi_max = opts.pick<std::size_t>(16, 256, 512);
+  const std::size_t pin_max = opts.pick<std::size_t>(32, 512, 2048);
+  const std::size_t max_d = opts.pick<std::size_t>(64, 4096, 16384);
 
   std::printf("# Extra: CPI vs PinSketch vs Rateless IBLT decode time "
               "(8-byte items)\n");

@@ -34,7 +34,7 @@ struct TruncatedHasher {
 
 int main(int argc, char** argv) {
   const auto opts = bench::Options::parse(argc, argv);
-  const int trials = opts.trials > 0 ? opts.trials : (opts.full ? 50 : 10);
+  const int trials = opts.trials > 0 ? opts.trials : opts.pick(2, 10, 50);
 
   std::printf("# Extra: wire ablations on 8-byte items (bytes per "
               "difference; item floor is 8)\n");

@@ -13,10 +13,12 @@
 int main(int argc, char** argv) {
   using namespace ribltx;
   const auto opts = bench::Options::parse(argc, argv);
-  const int trials = opts.trials > 0 ? opts.trials : (opts.full ? 100 : 10);
+  const int trials = opts.trials > 0 ? opts.trials : opts.pick(2, 10, 100);
   const std::vector<std::size_t> dsizes =
-      opts.full ? std::vector<std::size_t>{100, 1000, 10000, 100000, 1000000}
-                : std::vector<std::size_t>{100, 1000, 10000};
+      opts.smoke ? std::vector<std::size_t>{100}
+      : opts.full
+          ? std::vector<std::size_t>{100, 1000, 10000, 100000, 1000000}
+          : std::vector<std::size_t>{100, 1000, 10000};
 
   std::printf("# Fig 4: overhead eta* vs alpha (trials=%d%s)\n", trials,
               opts.full ? ", --full" : "");

@@ -9,7 +9,7 @@
 int main(int argc, char** argv) {
   using namespace ribltx;
   const auto opts = bench::Options::parse(argc, argv);
-  const std::size_t max_d = opts.full ? 1u << 20 : 1u << 16;
+  const std::size_t max_d = opts.pick<std::size_t>(1u << 6, 1u << 16, 1u << 20);
 
   std::printf("# Fig 5: overhead vs d, alpha=0.5 (DE limit 1.35)\n");
   std::printf("# paper: peak 1.72 @ d=4; <1.40 for d>128\n");
@@ -20,9 +20,9 @@ int main(int argc, char** argv) {
   for (std::size_t d = 1; d <= max_d; d *= 2) {
     // Fewer trials at large d (runs are long but variance shrinks).
     int trials = opts.trials > 0 ? opts.trials
-               : d <= 64      ? (opts.full ? 100 : 50)
-               : d <= 4096    ? (opts.full ? 100 : 20)
-                                : (opts.full ? 30 : 8);
+               : d <= 64      ? opts.pick(3, 50, 100)
+               : d <= 4096    ? opts.pick(2, 20, 100)
+                                : opts.pick(1, 8, 30);
     const auto s =
         bench::measure_overhead(d, trials, mf, derive_seed(opts.seed, d));
     std::printf("%-10zu %-8.4f %-10.4f %-10.4f %-8d\n", d, s.mean, s.stddev,

@@ -52,8 +52,10 @@ std::vector<double> progress_curve(std::size_t d, int trials,
 
 int main(int argc, char** argv) {
   const auto opts = bench::Options::parse(argc, argv);
-  const int trials = opts.trials > 0 ? opts.trials : (opts.full ? 200 : 20);
-  const std::vector<std::size_t> dsizes{500, 2000, 10000};
+  const int trials = opts.trials > 0 ? opts.trials : opts.pick(2, 20, 200);
+  const std::vector<std::size_t> dsizes =
+      opts.smoke ? std::vector<std::size_t>{500}
+                 : std::vector<std::size_t>{500, 2000, 10000};
 
   std::vector<double> etas;
   for (double e = 0.05; e <= 2.0001; e += 0.05) etas.push_back(e);

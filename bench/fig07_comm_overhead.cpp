@@ -104,13 +104,15 @@ std::size_t calibrate_iblt_cells(std::size_t d, int trials, int max_failures,
 
 int main(int argc, char** argv) {
   const auto opts = bench::Options::parse(argc, argv);
-  const int trials = opts.trials > 0 ? opts.trials : (opts.full ? 100 : 20);
-  const int iblt_trials = opts.full ? 3000 : 150;
-  const int iblt_max_fail = opts.full ? 1 : 1;  // ~1/3000 vs ~1/150
+  const int trials = opts.trials > 0 ? opts.trials : opts.pick(2, 20, 100);
+  const int iblt_trials = opts.pick(30, 150, 3000);
+  const int iblt_max_fail = 1;  // tolerated failures out of iblt_trials
 
-  const std::vector<std::size_t> ds = {1,  2,  3,  4,  5,  7,  10,  14,
-                                       20, 28, 40, 56, 80, 113, 160, 226,
-                                       320, 400};
+  const std::vector<std::size_t> ds =
+      opts.smoke ? std::vector<std::size_t>{1, 4, 10, 28}
+                 : std::vector<std::size_t>{1,  2,  3,  4,  5,  7,  10,  14,
+                                            20, 28, 40, 56, 80, 113, 160, 226,
+                                            320, 400};
 
   const iblt::StrataEstimator<Item32> estimator;  // recommended setup
   const double est_bytes = static_cast<double>(estimator.serialized_size());

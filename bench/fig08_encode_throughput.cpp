@@ -75,7 +75,9 @@ int main(int argc, char** argv) {
   const auto opts = bench::Options::parse(argc, argv);
   // PinSketch encode is O(N*d) field multiplies; cap d to keep the default
   // run interactive (--full raises the cap).
-  if (opts.full) {
+  if (opts.smoke) {
+    run_panel("a", 10'000, 1'000, 100, opts.seed);
+  } else if (opts.full) {
     run_panel("a", 1'000'000, 100'000, 1'000, opts.seed);
     run_panel("b", 10'000, 1'000, 1'000, opts.seed + 99);
   } else {

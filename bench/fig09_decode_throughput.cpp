@@ -56,8 +56,9 @@ double pinsketch_decode_seconds(std::size_t d, std::uint64_t seed,
 
 int main(int argc, char** argv) {
   const auto opts = bench::Options::parse(argc, argv);
-  const std::size_t riblt_max = opts.full ? 1'000'000 : 100'000;
-  const std::size_t pin_max = opts.full ? 2048 : 512;
+  const std::size_t riblt_max =
+      opts.pick<std::size_t>(1'000, 100'000, 1'000'000);
+  const std::size_t pin_max = opts.pick<std::size_t>(64, 512, 2048);
 
   std::printf("# Fig 9: decode throughput/time vs d (8-byte items)\n");
   std::printf("%-8s %-14s %-14s %-14s %-14s %-4s\n", "d", "riblt_s",

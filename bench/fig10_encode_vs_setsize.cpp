@@ -12,7 +12,8 @@
 int main(int argc, char** argv) {
   using namespace ribltx;
   const auto opts = bench::Options::parse(argc, argv);
-  const std::size_t max_n = opts.full ? 10'000'000 : 1'000'000;
+  const std::size_t max_n =
+      opts.pick<std::size_t>(10'000, 1'000'000, 10'000'000);
   constexpr std::size_t kD = 1000;
   const auto symbols = static_cast<std::size_t>(1.35 * kD) + 8;
 

@@ -37,7 +37,7 @@ int main(int argc, char** argv) {
   const auto opts = bench::Options::parse(argc, argv);
   // Large items shift cost into memory traffic; a moderate N keeps the
   // default run quick while preserving the per-item asymptotics.
-  const std::size_t n = opts.full ? 100'000 : 20'000;
+  const std::size_t n = opts.pick<std::size_t>(2'000, 20'000, 100'000);
   constexpr std::size_t kD = 1000;
 
   std::printf("# Fig 11: encode slowdown vs item size (N=%zu, d=%zu)\n", n,

@@ -44,10 +44,12 @@ void run_panel(const char* title, const bench::EthWorkbench& wb,
 
 int main(int argc, char** argv) {
   const auto opts = bench::Options::parse(argc, argv);
-  const auto params = bench::default_eth_params(opts.full);
-  // "Latest" sits 100 h past block 0 so every staleness fits before it.
+  const auto params = bench::default_eth_params(opts);
+  // "Latest" sits past block 0 far enough that every staleness in the
+  // sweep fits before it (100 h normally, 10 h under --smoke).
+  const double max_staleness_s = opts.smoke ? 10.0 * 3600.0 : 100.0 * 3600.0;
   const std::uint64_t latest =
-      ledger::blocks_for_staleness(params, 100.0 * 3600.0) + 10;
+      ledger::blocks_for_staleness(params, max_staleness_s) + 10;
   bench::EthWorkbench wb(params, latest);
 
   std::printf("# Fig 12: Ethereum sync vs staleness (N=%zu, %zu+%zu "
@@ -56,18 +58,25 @@ int main(int argc, char** argv) {
               params.creates_per_block);
 
   const std::vector<double> panel_a =
-      opts.full ? std::vector<double>{1200, 10 * 3600.0, 20 * 3600.0,
-                                      30 * 3600.0, 40 * 3600.0, 50 * 3600.0,
-                                      60 * 3600.0, 70 * 3600.0, 80 * 3600.0,
-                                      90 * 3600.0, 100 * 3600.0}
-                : std::vector<double>{1200, 10 * 3600.0, 30 * 3600.0,
-                                      50 * 3600.0, 70 * 3600.0, 100 * 3600.0};
-  run_panel("Fig 12a: staleness 20 min .. 100 h", wb, panel_a);
+      opts.smoke ? std::vector<double>{1200, 10 * 3600.0}
+      : opts.full
+          ? std::vector<double>{1200, 10 * 3600.0, 20 * 3600.0,
+                                30 * 3600.0, 40 * 3600.0, 50 * 3600.0,
+                                60 * 3600.0, 70 * 3600.0, 80 * 3600.0,
+                                90 * 3600.0, 100 * 3600.0}
+          : std::vector<double>{1200, 10 * 3600.0, 30 * 3600.0,
+                                50 * 3600.0, 70 * 3600.0, 100 * 3600.0};
+  char title_a[80];
+  std::snprintf(title_a, sizeof(title_a),
+                "Fig 12a: staleness %.0f min .. %.0f h", panel_a.front() / 60.0,
+                panel_a.back() / 3600.0);
+  run_panel(title_a, wb, panel_a);
 
   const std::vector<double> panel_b =
-      opts.full ? std::vector<double>{60,  120, 240, 360, 480, 600,
-                                      720, 840, 960, 1080, 1200}
-                : std::vector<double>{60, 240, 600, 1200};
+      opts.smoke ? std::vector<double>{60, 600}
+      : opts.full ? std::vector<double>{60,  120, 240, 360, 480, 600,
+                                        720, 840, 960, 1080, 1200}
+                  : std::vector<double>{60, 240, 600, 1200};
   run_panel("Fig 12b: staleness 1 .. 20 min", wb, panel_b);
   return 0;
 }

@@ -19,9 +19,9 @@ int main(int argc, char** argv) {
   using namespace ribltx;
   const auto opts = bench::Options::parse(argc, argv);
 
-  auto params = bench::default_eth_params(opts.full);
-  params.modifies_per_block = 2000;
-  params.creates_per_block = 100;
+  auto params = bench::default_eth_params(opts);
+  params.modifies_per_block = opts.smoke ? 200 : 2000;
+  params.creates_per_block = opts.smoke ? 10 : 100;
   const std::uint64_t latest = 32;
   bench::EthWorkbench wb(params, latest);
 

@@ -16,22 +16,28 @@
 int main(int argc, char** argv) {
   using namespace ribltx;
   const auto opts = bench::Options::parse(argc, argv);
-  const auto params = bench::default_eth_params(opts.full);
+  const auto params = bench::default_eth_params(opts);
+  // 10 h stale normally; 1 h under --smoke to keep plan construction quick.
+  const double staleness_s = opts.smoke ? 3600.0 : 10.0 * 3600.0;
   const std::uint64_t latest =
-      ledger::blocks_for_staleness(params, 10.0 * 3600.0) + 10;
+      ledger::blocks_for_staleness(params, staleness_s) + 10;
   bench::EthWorkbench wb(params, latest);
 
   const auto plans =
-      wb.plans_for(ledger::blocks_for_staleness(params, 10.0 * 3600.0));
+      wb.plans_for(ledger::blocks_for_staleness(params, staleness_s));
 
-  std::printf("# Fig 14: completion time vs bandwidth, 10 h stale "
+  std::printf("# Fig 14: completion time vs bandwidth, %.0f h stale "
               "(d=%zu, riblt %.2f MB, heal %.2f MB)\n",
-              plans.d, static_cast<double>(plans.riblt.total_bytes) / 1e6,
+              staleness_s / 3600.0, plans.d,
+              static_cast<double>(plans.riblt.total_bytes) / 1e6,
               static_cast<double>(plans.heal.total_bytes()) / 1e6);
   std::printf("%-10s %-10s %-10s %-8s\n", "Mbps", "riblt_s", "heal_s",
               "ratio");
 
-  std::vector<double> mbps{10, 20, 30, 40, 50, 60, 70, 80, 90, 100, 0};
+  const std::vector<double> mbps =
+      opts.smoke
+          ? std::vector<double>{20, 100, 0}
+          : std::vector<double>{10, 20, 30, 40, 50, 60, 70, 80, 90, 100, 0};
   for (const double bw : mbps) {
     netsim::LinkConfig link;
     link.bandwidth_bps = bw * 1e6;  // 0 = unlimited

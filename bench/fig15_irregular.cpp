@@ -36,8 +36,8 @@ double codec_seconds(std::size_t d, const MappingFactory& mf,
 
 int main(int argc, char** argv) {
   const auto opts = bench::Options::parse(argc, argv);
-  const int trials = opts.trials > 0 ? opts.trials : (opts.full ? 100 : 10);
-  const std::size_t max_d = opts.full ? 1'000'000 : 100'000;
+  const int trials = opts.trials > 0 ? opts.trials : opts.pick(2, 10, 100);
+  const std::size_t max_d = opts.pick<std::size_t>(1'000, 100'000, 1'000'000);
 
   const auto cfg = IrregularConfig::paper_optimal();
   const double de_regular = analysis::de_threshold(0.5);

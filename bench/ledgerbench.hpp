@@ -15,6 +15,7 @@
 #include <cstdio>
 #include <memory>
 
+#include "benchutil.hpp"
 #include "ledger/ledger.hpp"
 #include "merkle/heal.hpp"
 #include "sync/session.hpp"
@@ -74,6 +75,17 @@ inline ledger::LedgerParams default_eth_params(bool full) {
   ledger::LedgerParams p;
   p.base_accounts = full ? 2'000'000 : 400'000;
   p.modifies_per_block = full ? 4 : 2;
+  p.creates_per_block = 1;
+  return p;
+}
+
+/// Mode-aware overload: --smoke shrinks the ledger so trie construction
+/// stays in ctest-smoke territory while exercising the same code paths.
+inline ledger::LedgerParams default_eth_params(const Options& opts) {
+  if (!opts.smoke) return default_eth_params(opts.full);
+  ledger::LedgerParams p;
+  p.base_accounts = 20'000;
+  p.modifies_per_block = 2;
   p.creates_per_block = 1;
   return p;
 }

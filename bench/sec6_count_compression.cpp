@@ -13,11 +13,13 @@ int main(int argc, char** argv) {
     std::size_t n;
     std::size_t m;
   };
-  const std::vector<Case> cases = opts.full
-      ? std::vector<Case>{{100'000, 1'000},  {1'000'000, 10'000},
-                          {1'000'000, 1'000}, {1'000'000, 100'000},
-                          {10'000'000, 10'000}}
-      : std::vector<Case>{{100'000, 1'000}, {1'000'000, 10'000}};
+  const std::vector<Case> cases =
+      opts.smoke ? std::vector<Case>{{10'000, 100}}
+      : opts.full
+          ? std::vector<Case>{{100'000, 1'000},  {1'000'000, 10'000},
+                              {1'000'000, 1'000}, {1'000'000, 100'000},
+                              {10'000'000, 10'000}}
+          : std::vector<Case>{{100'000, 1'000}, {1'000'000, 10'000}};
 
   std::printf("# Sec 6: count-field wire cost via residual varints\n");
   std::printf("# paper: 1.05 B/symbol at N=1e6, m=1e4 (8 B fixed baseline)\n");

@@ -13,7 +13,8 @@
 int main(int argc, char** argv) {
   using namespace ribltx;
   const auto opts = bench::Options::parse(argc, argv);
-  const std::size_t max_cells = opts.full ? 5'000'000 : 500'000;
+  const std::size_t max_cells =
+      opts.pick<std::size_t>(50'000, 500'000, 5'000'000);
 
   std::printf("# Sec 7.3: incremental update of Alice's cached sequence\n");
   std::printf("# per updated item: O(log m) cell XORs of 92-byte items\n");

@@ -4,8 +4,8 @@
 // Neither side knows the difference size in advance -- Alice just streams
 // coded symbols until Bob says stop. Build & run:
 //
-//   cmake -B build -G Ninja && cmake --build build
-//   ./build/examples/quickstart
+//   cmake -B build -S . && cmake --build build -j
+//   ./build/example_quickstart
 #include <cstdio>
 #include <vector>
 

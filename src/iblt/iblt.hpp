@@ -102,6 +102,16 @@ class Iblt {
     return out;
   }
 
+  /// Replaces this table's cells with cells received off the wire (see
+  /// iblt_wire.hpp); the table must have been constructed with the sender's
+  /// geometry (same cell count, k, and salt) for decode to be meaningful.
+  void load_cells(std::span<const CodedSymbol<T>> cells) {
+    if (cells.size() != cells_.size()) {
+      throw std::invalid_argument("Iblt::load_cells: cell count mismatch");
+    }
+    for (std::size_t i = 0; i < cells_.size(); ++i) cells_[i] = cells[i];
+  }
+
   [[nodiscard]] std::size_t cell_count() const noexcept {
     return cells_.size();
   }

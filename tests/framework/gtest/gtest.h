@@ -1,0 +1,677 @@
+// Lightweight, header-only test framework exposing the subset of the
+// GoogleTest API this repository uses, so the test suite builds with zero
+// external dependencies.  Configure with -DRIBLT_USE_SYSTEM_GTEST=ON to
+// compile the same sources against real GoogleTest instead (the two must
+// stay behaviourally interchangeable; CI cross-checks them).
+//
+// Supported surface:
+//   TEST(Suite, Name)
+//   TEST_P(Fixture, Name) / ::testing::TestWithParam<T> / GetParam()
+//   INSTANTIATE_TEST_SUITE_P(Prefix, Fixture, ::testing::Values(...))
+//   EXPECT_/ASSERT_{TRUE,FALSE,EQ,NE,LT,LE,GT,GE}
+//   EXPECT_NEAR, EXPECT_DOUBLE_EQ, EXPECT_THROW, EXPECT_NO_THROW
+//   ADD_FAILURE(), SUCCEED(), streaming "<< msg" onto any assertion
+//
+// Runner flags (gtest-compatible spellings):
+//   --gtest_list_tests          list registered tests and exit
+//   --gtest_filter=PATTERN      ':'-separated globs, '-' section excludes
+//   --gtest_shuffle             randomise execution order
+//   --gtest_random_seed=N       seed for --gtest_shuffle
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+namespace testing {
+
+namespace internal {
+
+// ------------------------------------------------------------ value printing
+
+template <typename T>
+concept OStreamable = requires(std::ostream& os, const T& v) { os << v; };
+
+template <typename T>
+void print_value(std::ostream& os, const T& v) {
+  if constexpr (std::is_same_v<T, bool>) {
+    os << (v ? "true" : "false");
+  } else if constexpr (std::is_same_v<T, std::byte>) {
+    os << static_cast<int>(v);
+  } else if constexpr (std::is_enum_v<T>) {
+    os << static_cast<long long>(v);
+  } else if constexpr (std::is_same_v<T, char> ||
+                       std::is_same_v<T, unsigned char> ||
+                       std::is_same_v<T, signed char>) {
+    os << static_cast<int>(v);
+  } else if constexpr (OStreamable<T>) {
+    os << v;
+  } else {
+    os << "<" << sizeof(T) << "-byte value>";
+  }
+}
+
+template <typename T>
+std::string printed(const T& v) {
+  std::ostringstream os;
+  print_value(os, v);
+  return os.str();
+}
+
+// -------------------------------------------------------------- test results
+
+struct TestFailure {
+  std::string file;
+  int line = 0;
+  std::string message;
+};
+
+/// Mutable state for the test currently executing (one at a time; the
+/// runner is single-process, parallelism comes from `ctest -j`).
+struct CurrentTest {
+  std::vector<TestFailure> failures;
+  bool fatal_failure = false;
+
+  static CurrentTest& get() {
+    static CurrentTest t;
+    return t;
+  }
+  void reset() {
+    failures.clear();
+    fatal_failure = false;
+  }
+};
+
+inline void record_failure(const char* file, int line, bool fatal,
+                           const std::string& message) {
+  auto& cur = CurrentTest::get();
+  cur.failures.push_back({file, line, message});
+  if (fatal) cur.fatal_failure = true;
+  std::printf("%s:%d: Failure\n%s\n", file, line, message.c_str());
+  std::fflush(stdout);
+}
+
+// -------------------------------------------------------------- registration
+
+struct TestInfo {
+  std::string suite;                         ///< e.g. "Wire" or "Inst/Sweep"
+  std::string name;                          ///< e.g. "RoundTrip" or "Case/3"
+  std::function<void()> run;                 ///< constructs + runs the test
+
+  [[nodiscard]] std::string full_name() const { return suite + "." + name; }
+};
+
+struct Registry {
+  std::vector<TestInfo> tests;
+  // Deferred TEST_P expansion: INSTANTIATE_TEST_SUITE_P registrars queue a
+  // thunk here so they work regardless of static-init order relative to the
+  // TEST_P definitions they expand.
+  std::vector<std::function<void()>> param_expanders;
+
+  static Registry& get() {
+    static Registry r;
+    return r;
+  }
+};
+
+inline int register_test(std::string suite, std::string name,
+                         std::function<void()> run) {
+  Registry::get().tests.push_back(
+      {std::move(suite), std::move(name), std::move(run)});
+  return 0;
+}
+
+// Per-fixture-type registry of TEST_P bodies awaiting instantiation.
+template <typename Fixture>
+struct ParamTestRegistry {
+  struct Entry {
+    const char* suite;
+    const char* name;
+    std::function<std::unique_ptr<Fixture>()> make;
+  };
+  static std::vector<Entry>& entries() {
+    static std::vector<Entry> e;
+    return e;
+  }
+};
+
+}  // namespace internal
+
+// ------------------------------------------------------------------ messages
+
+/// Accumulates the `<< ...` trailer of an assertion.
+class Message {
+ public:
+  template <typename T>
+  Message& operator<<(const T& v) {
+    internal::print_value(stream_, v);
+    return *this;
+  }
+  [[nodiscard]] std::string str() const { return stream_.str(); }
+
+ private:
+  std::ostringstream stream_;
+};
+
+namespace internal {
+
+/// `AssertHelper(...) = Message() << ...` records a failure; returning the
+/// void result of operator= lets ASSERT_* macros `return` out of the
+/// enclosing (void) function, mirroring GoogleTest's fatal semantics.
+class AssertHelper {
+ public:
+  AssertHelper(bool fatal, const char* file, int line, std::string summary)
+      : fatal_(fatal), file_(file), line_(line), summary_(std::move(summary)) {}
+
+  void operator=(const Message& message) const {
+    std::string text = summary_;
+    const std::string extra = message.str();
+    if (!extra.empty()) {
+      text += "\n";
+      text += extra;
+    }
+    record_failure(file_, line_, fatal_, text);
+  }
+
+ private:
+  bool fatal_;
+  const char* file_;
+  int line_;
+  std::string summary_;
+};
+
+/// Swallows a `<< ...` trailer for assertions that succeeded (or SUCCEED()).
+struct MessageSink {
+  template <typename T>
+  MessageSink& operator<<(const T&) {
+    return *this;
+  }
+};
+
+// ------------------------------------------------------------- comparisons
+
+#pragma GCC diagnostic push
+#pragma GCC diagnostic ignored "-Wsign-compare"
+struct CmpEQ {
+  static constexpr const char* op = "==";
+  template <typename A, typename B>
+  static bool eval(const A& a, const B& b) {
+    return a == b;
+  }
+};
+struct CmpNE {
+  static constexpr const char* op = "!=";
+  template <typename A, typename B>
+  static bool eval(const A& a, const B& b) {
+    return a != b;
+  }
+};
+struct CmpLT {
+  static constexpr const char* op = "<";
+  template <typename A, typename B>
+  static bool eval(const A& a, const B& b) {
+    return a < b;
+  }
+};
+struct CmpLE {
+  static constexpr const char* op = "<=";
+  template <typename A, typename B>
+  static bool eval(const A& a, const B& b) {
+    return a <= b;
+  }
+};
+struct CmpGT {
+  static constexpr const char* op = ">";
+  template <typename A, typename B>
+  static bool eval(const A& a, const B& b) {
+    return a > b;
+  }
+};
+struct CmpGE {
+  static constexpr const char* op = ">=";
+  template <typename A, typename B>
+  static bool eval(const A& a, const B& b) {
+    return a >= b;
+  }
+};
+#pragma GCC diagnostic pop
+
+template <typename Cmp, typename A, typename B>
+bool compare(const A& a, const B& b, const char* a_txt, const char* b_txt,
+             std::string* summary) {
+  if (Cmp::eval(a, b)) return true;
+  std::ostringstream os;
+  os << "Expected: (" << a_txt << ") " << Cmp::op << " (" << b_txt
+     << "), actual: " << printed(a) << " vs " << printed(b);
+  *summary = os.str();
+  return false;
+}
+
+inline bool near_cmp(double a, double b, double tol, const char* a_txt,
+                     const char* b_txt, std::string* summary) {
+  if (std::fabs(a - b) <= tol) return true;
+  std::ostringstream os;
+  os << "The difference between " << a_txt << " and " << b_txt << " is "
+     << std::fabs(a - b) << ", which exceeds " << tol << ", where\n"
+     << a_txt << " evaluates to " << a << " and " << b_txt << " evaluates to "
+     << b << ".";
+  *summary = os.str();
+  return false;
+}
+
+/// GoogleTest-style almost-equality: within 4 units in the last place.
+inline bool double_ulp_eq(double a, double b) {
+  if (a == b) return true;
+  if (std::isnan(a) || std::isnan(b)) return false;
+  std::uint64_t ua, ub;
+  std::memcpy(&ua, &a, sizeof(a));
+  std::memcpy(&ub, &b, sizeof(b));
+  // Map sign-magnitude bit patterns onto a monotone unsigned scale.
+  constexpr std::uint64_t kSign = std::uint64_t{1} << 63;
+  const auto biased = [](std::uint64_t u) {
+    return (u & kSign) ? ~u + 1 : u | kSign;
+  };
+  const std::uint64_t x = biased(ua), y = biased(ub);
+  return (x > y ? x - y : y - x) <= 4;
+}
+
+}  // namespace internal
+
+// ------------------------------------------------------------------ fixtures
+
+/// Base class for all tests; TEST(...) bodies become TestBody overrides.
+class Test {
+ public:
+  virtual ~Test() = default;
+  virtual void TestBody() = 0;
+};
+
+/// Base class for value-parameterized fixtures used with TEST_P.
+template <typename T>
+class TestWithParam : public Test {
+ public:
+  using ParamType = T;
+
+  [[nodiscard]] const T& GetParam() const { return *current_param(); }
+
+  /// Slot the runner points at the active parameter before each run.
+  static const T*& current_param() {
+    static const T* param = nullptr;
+    return param;
+  }
+};
+
+namespace internal {
+
+/// Registers one TEST_P body into the per-fixture registry.
+template <typename Fixture, typename Derived>
+struct ParamTestRegistrar {
+  ParamTestRegistrar(const char* suite, const char* name) {
+    ParamTestRegistry<Fixture>::entries().push_back(
+        {suite, name, [] { return std::make_unique<Derived>(); }});
+  }
+};
+
+/// Holds the literal arguments of ::testing::Values until the fixture's
+/// ParamType is known at INSTANTIATE time.
+template <typename... Ts>
+struct ValueList {
+  std::tuple<Ts...> values;
+
+  template <typename P>
+  [[nodiscard]] std::vector<P> materialize() const {
+    std::vector<P> out;
+    out.reserve(sizeof...(Ts));
+    std::apply([&](const auto&... v) { (out.push_back(static_cast<P>(v)), ...); },
+               values);
+    return out;
+  }
+};
+
+/// INSTANTIATE_TEST_SUITE_P registrar: queues a deferred expansion so all
+/// TEST_P bodies are visible regardless of definition order.
+template <typename Fixture, typename Generator>
+struct Instantiator {
+  Instantiator(const char* prefix, const Generator& gen) {
+    using P = typename Fixture::ParamType;
+    auto values = gen.template materialize<P>();
+    Registry::get().param_expanders.push_back([prefix, values] {
+      for (const auto& entry : ParamTestRegistry<Fixture>::entries()) {
+        for (std::size_t i = 0; i < values.size(); ++i) {
+          auto make = entry.make;
+          // Capture the parameter by value: the registered closure must own
+          // it, because this expander (and its `values`) dies after running.
+          P param = values[i];
+          register_test(
+              std::string(prefix) + "/" + entry.suite,
+              std::string(entry.name) + "/" + std::to_string(i),
+              [make, param] {
+                TestWithParam<P>::current_param() = &param;
+                auto test = make();
+                test->TestBody();
+                TestWithParam<P>::current_param() = nullptr;
+              });
+        }
+      }
+    });
+  }
+};
+
+}  // namespace internal
+
+template <typename... Ts>
+internal::ValueList<std::decay_t<Ts>...> Values(Ts&&... vs) {
+  return {std::make_tuple(std::forward<Ts>(vs)...)};
+}
+
+// -------------------------------------------------------------------- runner
+
+namespace internal {
+
+inline bool glob_match(const char* pattern, const char* text) {
+  if (*pattern == '\0') return *text == '\0';
+  if (*pattern == '*') {
+    return glob_match(pattern + 1, text) ||
+           (*text != '\0' && glob_match(pattern, text + 1));
+  }
+  if (*text == '\0') return false;
+  return (*pattern == '?' || *pattern == *text) &&
+         glob_match(pattern + 1, text + 1);
+}
+
+/// gtest filter syntax: positive globs ':'-separated, then an optional
+/// '-'-prefixed list of negative globs.
+inline bool filter_match(const std::string& filter, const std::string& name) {
+  if (filter.empty()) return true;
+  const auto dash = filter.find('-');
+  const std::string positive =
+      dash == std::string::npos ? filter : filter.substr(0, dash);
+  const std::string negative =
+      dash == std::string::npos ? std::string() : filter.substr(dash + 1);
+  const auto any_match = [&](const std::string& globs) {
+    std::size_t start = 0;
+    while (start <= globs.size()) {
+      const auto end = globs.find(':', start);
+      const std::string glob =
+          globs.substr(start, end == std::string::npos ? end : end - start);
+      if (!glob.empty() && glob_match(glob.c_str(), name.c_str())) return true;
+      if (end == std::string::npos) break;
+      start = end + 1;
+    }
+    return false;
+  };
+  const bool pos_ok = positive.empty() || any_match(positive);
+  return pos_ok && !(negative.size() && any_match(negative));
+}
+
+inline int run_all_tests(int argc, char** argv) {
+  auto& registry = Registry::get();
+  for (auto& expand : registry.param_expanders) expand();
+  registry.param_expanders.clear();
+
+  std::string filter;
+  bool list_only = false, shuffle = false;
+  std::uint64_t seed = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--gtest_filter=", 0) == 0) {
+      filter = arg.substr(std::strlen("--gtest_filter="));
+    } else if (arg == "--gtest_list_tests") {
+      list_only = true;
+    } else if (arg == "--gtest_shuffle") {
+      shuffle = true;
+    } else if (arg.rfind("--gtest_random_seed=", 0) == 0) {
+      seed = std::strtoull(arg.c_str() + std::strlen("--gtest_random_seed="),
+                           nullptr, 10);
+    } else if (arg.rfind("--gtest_", 0) == 0) {
+      // Accept-and-ignore other gtest flags (color, brief, ...).
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf(
+          "usage: %s [--gtest_list_tests] [--gtest_filter=GLOBS]\n"
+          "          [--gtest_shuffle] [--gtest_random_seed=N]\n",
+          argv[0]);
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  std::vector<const TestInfo*> selected;
+  for (const auto& t : registry.tests) {
+    if (filter_match(filter, t.full_name())) selected.push_back(&t);
+  }
+
+  if (list_only) {
+    std::string last_suite;
+    for (const auto* t : selected) {
+      if (t->suite != last_suite) {
+        std::printf("%s.\n", t->suite.c_str());
+        last_suite = t->suite;
+      }
+      std::printf("  %s\n", t->name.c_str());
+    }
+    return 0;
+  }
+
+  if (shuffle) {
+    // xorshift64* keeps the header freestanding; seed 0 -> fixed constant.
+    std::uint64_t state = seed ? seed : 0x9e3779b97f4a7c15ULL;
+    for (std::size_t i = selected.size(); i > 1; --i) {
+      state ^= state >> 12;
+      state ^= state << 25;
+      state ^= state >> 27;
+      const std::size_t j = (state * 0x2545f4914f6cdd1dULL) % i;
+      std::swap(selected[i - 1], selected[j]);
+    }
+  }
+
+  std::printf("[==========] Running %zu tests.\n", selected.size());
+  std::vector<std::string> failed;
+  for (const auto* t : selected) {
+    const std::string name = t->full_name();
+    std::printf("[ RUN      ] %s\n", name.c_str());
+    std::fflush(stdout);
+    auto& cur = CurrentTest::get();
+    cur.reset();
+    try {
+      t->run();
+    } catch (const std::exception& e) {
+      record_failure("<framework>", 0, true,
+                     std::string("uncaught exception: ") + e.what());
+    } catch (...) {
+      record_failure("<framework>", 0, true, "uncaught non-std exception");
+    }
+    if (cur.failures.empty()) {
+      std::printf("[       OK ] %s\n", name.c_str());
+    } else {
+      std::printf("[  FAILED  ] %s\n", name.c_str());
+      failed.push_back(name);
+    }
+  }
+  std::printf("[==========] %zu tests ran.\n", selected.size());
+  std::printf("[  PASSED  ] %zu tests.\n", selected.size() - failed.size());
+  if (!failed.empty()) {
+    std::printf("[  FAILED  ] %zu tests, listed below:\n", failed.size());
+    for (const auto& name : failed) {
+      std::printf("[  FAILED  ] %s\n", name.c_str());
+    }
+  }
+  return failed.empty() ? 0 : 1;
+}
+
+}  // namespace internal
+
+inline void InitGoogleTest(int* /*argc*/, char** /*argv*/) {}
+
+}  // namespace testing
+
+// ---------------------------------------------------------------- the macros
+
+#define RIBLT_TF_CONCAT_(a, b) a##b
+#define RIBLT_TF_CONCAT(a, b) RIBLT_TF_CONCAT_(a, b)
+
+// gtest's ambiguous-else blocker: makes `if (x) EXPECT_...; else ...` parse.
+#define RIBLT_TF_BLOCKER_ \
+  switch (0)              \
+  case 0:                 \
+  default:
+
+#define RIBLT_TF_NONFATAL_(summary)                                         \
+  ::testing::internal::AssertHelper(false, __FILE__, __LINE__, (summary)) = \
+      ::testing::Message()
+
+#define RIBLT_TF_FATAL_(summary)                                          \
+  return ::testing::internal::AssertHelper(true, __FILE__, __LINE__,      \
+                                           (summary)) = ::testing::Message()
+
+#define TEST(suite, name)                                                   \
+  class RIBLT_TF_CONCAT(suite##_##name, _Test) : public ::testing::Test {   \
+   public:                                                                  \
+    void TestBody() override;                                               \
+  };                                                                        \
+  static const int RIBLT_TF_CONCAT(riblt_tf_reg_##suite##_##name, __LINE__) \
+      [[maybe_unused]] = ::testing::internal::register_test(#suite, #name,  \
+          [] { RIBLT_TF_CONCAT(suite##_##name, _Test)().TestBody(); });     \
+  void RIBLT_TF_CONCAT(suite##_##name, _Test)::TestBody()
+
+#define TEST_P(fixture, name)                                            \
+  class RIBLT_TF_CONCAT(fixture##_##name, _Test) : public fixture {      \
+   public:                                                               \
+    void TestBody() override;                                            \
+  };                                                                     \
+  static const ::testing::internal::ParamTestRegistrar<                  \
+      fixture, RIBLT_TF_CONCAT(fixture##_##name, _Test)>                 \
+      RIBLT_TF_CONCAT(riblt_tf_preg_##fixture##_##name, __LINE__)        \
+      [[maybe_unused]](#fixture, #name);                                 \
+  void RIBLT_TF_CONCAT(fixture##_##name, _Test)::TestBody()
+
+#define INSTANTIATE_TEST_SUITE_P(prefix, fixture, generator)            \
+  static const ::testing::internal::Instantiator<fixture,               \
+                                                 decltype(generator)>   \
+      RIBLT_TF_CONCAT(riblt_tf_inst_##prefix##_##fixture, __LINE__)     \
+      [[maybe_unused]](#prefix, generator)
+
+// ------------------------------------------------------ boolean assertions
+
+#define RIBLT_TF_BOOL_(cond, expected, fail_macro)                         \
+  RIBLT_TF_BLOCKER_                                                        \
+  if (static_cast<bool>(cond) == (expected))                               \
+    ;                                                                      \
+  else                                                                     \
+    fail_macro(std::string("Value of: " #cond "\n  Actual: ") +            \
+               ((expected) ? "false" : "true") + "\nExpected: " +          \
+               ((expected) ? "true" : "false"))
+
+#define EXPECT_TRUE(cond) RIBLT_TF_BOOL_(cond, true, RIBLT_TF_NONFATAL_)
+#define EXPECT_FALSE(cond) RIBLT_TF_BOOL_(cond, false, RIBLT_TF_NONFATAL_)
+#define ASSERT_TRUE(cond) RIBLT_TF_BOOL_(cond, true, RIBLT_TF_FATAL_)
+#define ASSERT_FALSE(cond) RIBLT_TF_BOOL_(cond, false, RIBLT_TF_FATAL_)
+
+// --------------------------------------------------- comparison assertions
+
+#define RIBLT_TF_CMP_(cmp, a, b, fail_macro)                              \
+  RIBLT_TF_BLOCKER_                                                       \
+  if (std::string riblt_tf_summary;                                       \
+      ::testing::internal::compare<::testing::internal::cmp>(             \
+          (a), (b), #a, #b, &riblt_tf_summary))                           \
+    ;                                                                     \
+  else                                                                    \
+    fail_macro(riblt_tf_summary)
+
+#define EXPECT_EQ(a, b) RIBLT_TF_CMP_(CmpEQ, a, b, RIBLT_TF_NONFATAL_)
+#define EXPECT_NE(a, b) RIBLT_TF_CMP_(CmpNE, a, b, RIBLT_TF_NONFATAL_)
+#define EXPECT_LT(a, b) RIBLT_TF_CMP_(CmpLT, a, b, RIBLT_TF_NONFATAL_)
+#define EXPECT_LE(a, b) RIBLT_TF_CMP_(CmpLE, a, b, RIBLT_TF_NONFATAL_)
+#define EXPECT_GT(a, b) RIBLT_TF_CMP_(CmpGT, a, b, RIBLT_TF_NONFATAL_)
+#define EXPECT_GE(a, b) RIBLT_TF_CMP_(CmpGE, a, b, RIBLT_TF_NONFATAL_)
+#define ASSERT_EQ(a, b) RIBLT_TF_CMP_(CmpEQ, a, b, RIBLT_TF_FATAL_)
+#define ASSERT_NE(a, b) RIBLT_TF_CMP_(CmpNE, a, b, RIBLT_TF_FATAL_)
+#define ASSERT_LT(a, b) RIBLT_TF_CMP_(CmpLT, a, b, RIBLT_TF_FATAL_)
+#define ASSERT_LE(a, b) RIBLT_TF_CMP_(CmpLE, a, b, RIBLT_TF_FATAL_)
+#define ASSERT_GT(a, b) RIBLT_TF_CMP_(CmpGT, a, b, RIBLT_TF_FATAL_)
+#define ASSERT_GE(a, b) RIBLT_TF_CMP_(CmpGE, a, b, RIBLT_TF_FATAL_)
+
+// ----------------------------------------------------- floating assertions
+
+#define EXPECT_NEAR(a, b, tol)                                          \
+  RIBLT_TF_BLOCKER_                                                     \
+  if (std::string riblt_tf_summary; ::testing::internal::near_cmp(      \
+          (a), (b), (tol), #a, #b, &riblt_tf_summary))                  \
+    ;                                                                   \
+  else                                                                  \
+    RIBLT_TF_NONFATAL_(riblt_tf_summary)
+
+#define EXPECT_DOUBLE_EQ(a, b)                                             \
+  RIBLT_TF_BLOCKER_                                                        \
+  if (::testing::internal::double_ulp_eq((a), (b)))                        \
+    ;                                                                      \
+  else                                                                     \
+    RIBLT_TF_NONFATAL_(std::string("Expected equality (4 ULP) of " #a      \
+                                   " and " #b ", actual: ") +              \
+                       ::testing::internal::printed(double(a)) + " vs " +  \
+                       ::testing::internal::printed(double(b)))
+
+// ----------------------------------------------------- exception assertions
+
+// The goto-into-else shape (borrowed from GoogleTest) lets the fail macro sit
+// in tail position so callers can stream `<< "context"` onto the assertion.
+#define RIBLT_TF_THROW_BODY_(stmt, exc, fail_macro)                         \
+  RIBLT_TF_BLOCKER_                                                         \
+  if (const char* riblt_tf_how = "") {                                      \
+    bool riblt_tf_caught = false;                                           \
+    try {                                                                   \
+      stmt;                                                                 \
+    } catch (const exc&) {                                                  \
+      riblt_tf_caught = true;                                               \
+    } catch (...) {                                                         \
+      riblt_tf_how = "it throws a different type.";                         \
+    }                                                                       \
+    if (!riblt_tf_caught) {                                                 \
+      if (!*riblt_tf_how) riblt_tf_how = "it throws nothing.";              \
+      goto RIBLT_TF_CONCAT(riblt_tf_throw_fail_, __LINE__);                 \
+    }                                                                       \
+  } else                                                                    \
+    RIBLT_TF_CONCAT(riblt_tf_throw_fail_, __LINE__)                         \
+        : fail_macro(std::string("Expected: " #stmt " throws " #exc         \
+                                 ".\n  Actual: ") +                         \
+                     riblt_tf_how)
+
+#define EXPECT_THROW(stmt, exc) \
+  RIBLT_TF_THROW_BODY_(stmt, exc, RIBLT_TF_NONFATAL_)
+#define ASSERT_THROW(stmt, exc) RIBLT_TF_THROW_BODY_(stmt, exc, RIBLT_TF_FATAL_)
+
+#define RIBLT_TF_NO_THROW_BODY_(stmt, fail_macro)                           \
+  RIBLT_TF_BLOCKER_                                                         \
+  if (bool riblt_tf_threw = false; true) {                                  \
+    try {                                                                   \
+      stmt;                                                                 \
+    } catch (...) {                                                         \
+      riblt_tf_threw = true;                                                \
+    }                                                                       \
+    if (riblt_tf_threw)                                                     \
+      goto RIBLT_TF_CONCAT(riblt_tf_nothrow_fail_, __LINE__);               \
+  } else                                                                    \
+    RIBLT_TF_CONCAT(riblt_tf_nothrow_fail_, __LINE__)                       \
+        : fail_macro("Expected: " #stmt                                     \
+                     " doesn't throw.\n  Actual: it throws.")
+
+#define EXPECT_NO_THROW(stmt) RIBLT_TF_NO_THROW_BODY_(stmt, RIBLT_TF_NONFATAL_)
+#define ASSERT_NO_THROW(stmt) RIBLT_TF_NO_THROW_BODY_(stmt, RIBLT_TF_FATAL_)
+
+// ------------------------------------------------------------ miscellaneous
+
+#define ADD_FAILURE() RIBLT_TF_NONFATAL_("Failed")
+#define GTEST_FAIL() RIBLT_TF_FATAL_("Failed")
+#define FAIL() GTEST_FAIL()
+#define SUCCEED() ::testing::internal::MessageSink {}

@@ -1,0 +1,9 @@
+// Entry point for test binaries built against the in-tree framework.
+// (When RIBLT_USE_SYSTEM_GTEST=ON, GTest::gtest_main supplies main instead.)
+#include <gtest/gtest.h>
+
+#ifdef RIBLT_IN_TREE_TEST_FRAMEWORK
+int main(int argc, char** argv) {
+  return ::testing::internal::run_all_tests(argc, argv);
+}
+#endif

@@ -1,5 +1,6 @@
 // Unit tests for the common substrate: SipHash, varint/zigzag, byte I/O,
-// hex, and deterministic RNG.
+// hex, and deterministic RNG — plus cross-implementation wire invariants
+// tying the core (rateless) and IBLT-baseline formats to the same substrate.
 #include <gtest/gtest.h>
 
 #include <cstddef>
@@ -11,6 +12,10 @@
 #include "common/rng.hpp"
 #include "common/siphash.hpp"
 #include "common/varint.hpp"
+#include "core/riblt.hpp"
+#include "iblt/iblt.hpp"
+#include "iblt/iblt_wire.hpp"
+#include "testutil.hpp"
 
 namespace ribltx {
 namespace {
@@ -239,6 +244,107 @@ TEST(Rng, DeriveSeedIndependence) {
   EXPECT_NE(derive_seed(1, 0), derive_seed(1, 1));
   EXPECT_NE(derive_seed(1, 0), derive_seed(2, 0));
   EXPECT_EQ(derive_seed(5, 3), derive_seed(5, 3));
+}
+
+// --------------------------------------- cross-implementation wire formats
+
+using Item32 = ByteSymbol<32>;
+
+TEST(CrossWire, CoreStreamSymbolRoundTrip) {
+  // A coded symbol streamed through core/wire.hpp must come back bit-exact,
+  // including negative counts (subtraction results) and empty cells.
+  const SipHasher<Item32> hasher;
+  CodedSymbol<Item32> cells[3];
+  cells[1].apply(hasher.hashed(Item32::random(1)), Direction::kAdd);
+  cells[2].apply(hasher.hashed(Item32::random(2)), Direction::kAdd);
+  cells[2].apply(hasher.hashed(Item32::random(3)), Direction::kRemove);
+  cells[2].apply(hasher.hashed(Item32::random(4)), Direction::kRemove);
+
+  for (const auto& cell : cells) {
+    ByteWriter w;
+    wire::write_stream_symbol(w, cell);
+    ByteReader r(w.view());
+    const auto back = wire::read_stream_symbol<Item32>(r);
+    EXPECT_EQ(back, cell);
+    EXPECT_TRUE(r.done());
+  }
+}
+
+TEST(CrossWire, IbltTableRoundTrip) {
+  const auto w = testing::make_set_pair<Item32>(200, 7, 5, 21);
+  iblt::Iblt<Item32> alice(64, 3), bob(64, 3);
+  for (const auto& x : w.a) alice.add_symbol(x);
+  for (const auto& y : w.b) bob.add_symbol(y);
+
+  const auto data = iblt::wire::serialize(alice, /*salt=*/0);
+  const auto parsed = iblt::wire::parse<Item32>(data);
+  EXPECT_EQ(parsed.k, alice.k());
+  EXPECT_EQ(parsed.salt, 0u);
+  ASSERT_EQ(parsed.cells.size(), alice.cell_count());
+  for (std::size_t i = 0; i < parsed.cells.size(); ++i) {
+    EXPECT_EQ(parsed.cells[i], alice.cells()[i]) << "cell " << i;
+  }
+
+  // End-to-end over the wire: Bob reconstructs Alice's table from bytes,
+  // subtracts his own, and decodes the exact symmetric difference.
+  iblt::Iblt<Item32> remote_view(parsed.cells.size(), parsed.k, {},
+                                 parsed.salt);
+  remote_view.load_cells(parsed.cells);
+  remote_view.subtract(bob);
+  const auto result = remote_view.decode();
+  ASSERT_TRUE(result.success);
+  EXPECT_EQ(result.remote.size(), w.only_a.size());
+  EXPECT_EQ(result.local.size(), w.only_b.size());
+}
+
+TEST(CrossWire, IbltMalformedInputThrows) {
+  iblt::Iblt<Item32> t(8, 3);
+  t.add_symbol(Item32::random(1));
+  const auto data = iblt::wire::serialize(t);
+  {
+    auto bad = data;
+    bad[0] = std::byte{0x00};  // clobber magic
+    EXPECT_THROW((void)iblt::wire::parse<Item32>(bad), std::invalid_argument);
+  }
+  {
+    auto truncated = data;
+    truncated.resize(truncated.size() - 1);
+    EXPECT_THROW((void)iblt::wire::parse<Item32>(truncated), std::exception);
+  }
+  {
+    auto trailing = data;
+    trailing.push_back(std::byte{0xff});
+    EXPECT_THROW((void)iblt::wire::parse<Item32>(trailing),
+                 std::invalid_argument);
+  }
+  {
+    // Wrong symbol width for the payload.
+    EXPECT_THROW((void)iblt::wire::parse<ByteSymbol<16>>(data),
+                 std::invalid_argument);
+  }
+}
+
+TEST(CrossWire, BothFormatsShareVarintAndByteOrder) {
+  // The two wire formats must stay on the same substrate: little-endian
+  // fixed ints and the shared uvarint. A sketch of one item and an IBLT of
+  // one item both embed the identical symbol bytes verbatim.
+  const auto item = Item32::random(99);
+
+  Sketch<Item32> sketch(4);
+  sketch.add_symbol(item);
+  const auto core_bytes = wire::serialize_sketch(sketch, 1);
+
+  iblt::Iblt<Item32> table(4, 3);
+  table.add_symbol(item);
+  const auto iblt_bytes = iblt::wire::serialize(table);
+
+  const auto contains = [](const std::vector<std::byte>& hay,
+                           std::span<const std::byte> needle) {
+    return std::search(hay.begin(), hay.end(), needle.begin(),
+                       needle.end()) != hay.end();
+  };
+  EXPECT_TRUE(contains(core_bytes, item.bytes()));
+  EXPECT_TRUE(contains(iblt_bytes, item.bytes()));
 }
 
 }  // namespace

@@ -68,6 +68,77 @@ INSTANTIATE_TEST_SUITE_P(
                       SweepCase{0, 64, 64}, SweepCase{500, 150, 7},
                       SweepCase{200, 0, 128}, SweepCase{1000, 250, 250}));
 
+// ------------------------------------------------- decade difference sweep
+
+TEST(CoreProperty, RoundTripDecadeSweep) {
+  // Round-trip reconciliation at d in {1, 10, 100, 1000}: the recovered
+  // remote() and local() sets must exactly equal the symmetric difference
+  // (both inclusions), deterministically from the fixed seed.
+  for (const std::size_t d : {1u, 10u, 100u, 1000u}) {
+    const std::size_t only_a = d / 2;
+    const std::size_t only_b = d - only_a;
+    const auto w =
+        make_set_pair<Item>(256, only_a, only_b, derive_seed(0xdecade, d));
+
+    Encoder<Item> alice;
+    for (const auto& x : w.a) alice.add_symbol(x);
+    Decoder<Item> bob;
+    for (const auto& y : w.b) bob.add_local_symbol(y);
+
+    std::size_t used = 0;
+    const std::size_t budget = 64 + 8 * d;
+    while (!bob.decoded() && used < budget) {
+      bob.add_coded_symbol(alice.produce_next());
+      ++used;
+    }
+    REQUIRE(bob.decoded()) << "d=" << d << " budget=" << budget;
+
+    std::unordered_set<std::uint64_t> got_remote, got_local;
+    for (const auto& s : bob.remote())
+      got_remote.insert(testing::symbol_key(s.symbol));
+    for (const auto& s : bob.local())
+      got_local.insert(testing::symbol_key(s.symbol));
+    // Exact equality both ways: nothing missing, nothing spurious, no dups.
+    CHECK_EQ(bob.remote().size(), only_a) << "d=" << d;
+    CHECK_EQ(bob.local().size(), only_b) << "d=" << d;
+    CHECK(got_remote == testing::key_set(w.only_a)) << "d=" << d;
+    CHECK(got_local == testing::key_set(w.only_b)) << "d=" << d;
+  }
+}
+
+TEST(CoreProperty, RandomizedRoundTripHolds) {
+  // Randomized shapes via the seeded property runner: any (shared, a, b)
+  // split must reconcile to exactly the symmetric difference.
+  testing::for_all(
+      "round-trip reconciliation", 12, 0xF00D, [](SplitMix64& rng) {
+        const auto shared = static_cast<std::size_t>(rng.next_below(300));
+        const auto only_a = static_cast<std::size_t>(rng.next_below(48));
+        const auto only_b = static_cast<std::size_t>(rng.next_below(48));
+        const auto w = make_set_pair<Item>(shared, only_a, only_b, rng.next());
+
+        Encoder<Item> alice;
+        for (const auto& x : w.a) alice.add_symbol(x);
+        Decoder<Item> bob;
+        for (const auto& y : w.b) bob.add_local_symbol(y);
+        std::size_t used = 0;
+        const std::size_t budget = 64 + 8 * (only_a + only_b + 1);
+        while (!bob.decoded() && used < budget) {
+          bob.add_coded_symbol(alice.produce_next());
+          ++used;
+        }
+        if (!bob.decoded()) return false;
+
+        std::unordered_set<std::uint64_t> got_remote, got_local;
+        for (const auto& s : bob.remote())
+          got_remote.insert(testing::symbol_key(s.symbol));
+        for (const auto& s : bob.local())
+          got_local.insert(testing::symbol_key(s.symbol));
+        return bob.remote().size() == only_a && bob.local().size() == only_b &&
+               got_remote == testing::key_set(w.only_a) &&
+               got_local == testing::key_set(w.only_b);
+      });
+}
+
 // ----------------------------------------------------------- invariants
 
 TEST(CoreProperty, LinearityOfSketches) {

@@ -1,6 +1,13 @@
-// Shared test/bench workload helpers: deterministic generation of set pairs
-// (A, B) with a prescribed overlap and difference split.
+// Shared test helpers: deterministic generation of set pairs (A, B) with a
+// prescribed overlap and difference split, a seeded property-test runner,
+// and CHECK/REQUIRE spellings of the assertion macros.
+//
+// The assertion macros themselves come from <gtest/gtest.h>, which resolves
+// to the in-tree framework (tests/framework/gtest/gtest.h) by default or to
+// real GoogleTest under -DRIBLT_USE_SYSTEM_GTEST=ON.
 #pragma once
+
+#include <gtest/gtest.h>
 
 #include <cstdint>
 #include <unordered_set>
@@ -9,7 +16,37 @@
 #include "common/rng.hpp"
 #include "core/symbol.hpp"
 
+// Terse aliases for tests written in CHECK/REQUIRE style: CHECK* failures
+// are recorded and the test continues; REQUIRE* failures abort the
+// enclosing function.
+#define CHECK(cond) EXPECT_TRUE(cond)
+#define CHECK_EQ(a, b) EXPECT_EQ(a, b)
+#define CHECK_NE(a, b) EXPECT_NE(a, b)
+#define REQUIRE(cond) ASSERT_TRUE(cond)
+#define REQUIRE_EQ(a, b) ASSERT_EQ(a, b)
+#define REQUIRE_NE(a, b) ASSERT_NE(a, b)
+
 namespace ribltx::testing {
+
+/// Seeded property-test runner: evaluates `property` on `cases` independent
+/// RNG streams derived from `base_seed`. A property returns true when it
+/// holds. On falsification the failure report carries the case index and
+/// the exact seed, so the counterexample replays as
+/// `SplitMix64 rng(seed)` in a debugger.
+template <typename Fn>
+void for_all(const char* name, std::size_t cases, std::uint64_t base_seed,
+             Fn&& property) {
+  for (std::size_t i = 0; i < cases; ++i) {
+    const std::uint64_t seed = derive_seed(base_seed, i);
+    SplitMix64 rng(seed);
+    if (!property(rng)) {
+      ADD_FAILURE() << "property \"" << name << "\" falsified at case " << i
+                    << " of " << cases << " (replay: SplitMix64 rng(" << seed
+                    << "ull))";
+      return;  // first counterexample is enough
+    }
+  }
+}
 
 /// A reconciliation workload: shared items plus items exclusive to each side.
 template <Symbol T>
@@ -58,6 +95,13 @@ template <Symbol T>
   return out;
 }
 
+/// Collision-resistant fingerprint of a symbol for set comparisons; the
+/// single source of the key so key_set() and per-test fingerprints agree.
+template <Symbol T>
+[[nodiscard]] std::uint64_t symbol_key(const T& s) {
+  return siphash24(SipKey{0x1234, 0x5678}, s.bytes());
+}
+
 /// Hash-set view of symbols for O(1) membership checks in assertions.
 template <Symbol T>
 [[nodiscard]] std::unordered_set<std::uint64_t> key_set(
@@ -65,7 +109,7 @@ template <Symbol T>
   std::unordered_set<std::uint64_t> out;
   out.reserve(items.size());
   for (const T& s : items) {
-    out.insert(siphash24(SipKey{0x1234, 0x5678}, s.bytes()));
+    out.insert(symbol_key(s));
   }
   return out;
 }
