@@ -15,6 +15,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <type_traits>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -27,6 +28,7 @@ struct Options {
   bool smoke = false;       ///< tiny-N ctest mode: full code path, seconds
   int trials = 0;           ///< 0 = bench-specific default
   std::uint64_t seed = 1;
+  std::string json_path;    ///< --json <path>: machine-readable output
 
   /// Scale knob selector: --smoke < default < --full.
   template <typename V>
@@ -46,9 +48,15 @@ struct Options {
         o.trials = std::atoi(arg.c_str() + 9);
       } else if (arg.rfind("--seed=", 0) == 0) {
         o.seed = std::strtoull(arg.c_str() + 7, nullptr, 10);
+      } else if (arg.rfind("--json=", 0) == 0) {
+        o.json_path = arg.substr(7);
+      } else if (arg == "--json" && i + 1 < argc) {
+        o.json_path = argv[++i];
       } else if (arg == "--help" || arg == "-h") {
-        std::printf("usage: %s [--full|--smoke] [--trials=N] [--seed=N]\n",
-                    argv[0]);
+        std::printf(
+            "usage: %s [--full|--smoke] [--trials=N] [--seed=N] "
+            "[--json <path>]\n",
+            argv[0]);
         std::exit(0);
       } else {
         std::fprintf(stderr, "unknown flag: %s\n", arg.c_str());
@@ -61,6 +69,103 @@ struct Options {
     }
     return o;
   }
+};
+
+/// Machine-readable sidecar for a bench run (--json <path>): collects flat
+/// key/value rows alongside the human-readable table and writes one JSON
+/// document on destruction:
+///
+///   {"bench": "...", "mode": "smoke", "seed": 1, "rows": [{...}, ...]}
+///
+/// Keys and string values must be plain identifiers (no quotes/escapes);
+/// that is all the perf-trajectory tooling needs. When no --json path was
+/// given every call is a no-op, so benches can log rows unconditionally.
+class JsonReport {
+ public:
+  JsonReport(const Options& opts, std::string bench_name)
+      : path_(opts.json_path), bench_(std::move(bench_name)), opts_(opts) {}
+
+  JsonReport(const JsonReport&) = delete;
+  JsonReport& operator=(const JsonReport&) = delete;
+
+  ~JsonReport() { write(); }
+
+  [[nodiscard]] bool enabled() const noexcept { return !path_.empty(); }
+
+  /// One output row built field by field; fields render in call order.
+  class Row {
+   public:
+    Row& str(const char* key, const std::string& value) {
+      field(key);
+      body_ += '"';
+      body_ += value;
+      body_ += '"';
+      return *this;
+    }
+
+    Row& num(const char* key, double value) {
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "%.8g", value);
+      field(key);
+      body_ += buf;
+      return *this;
+    }
+
+    template <typename V>
+      requires std::is_integral_v<V>
+    Row& num(const char* key, V value) {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%lld",
+                    static_cast<long long>(value));
+      field(key);
+      body_ += buf;
+      return *this;
+    }
+
+   private:
+    friend class JsonReport;
+    void field(const char* key) {
+      if (!body_.empty()) body_ += ',';
+      body_ += '"';
+      body_ += key;
+      body_ += "\":";
+    }
+    std::string body_;
+  };
+
+  /// Appends a new row and returns it for field chaining.
+  Row& row() {
+    rows_.emplace_back();
+    return rows_.back();
+  }
+
+  /// Writes the document now (also called by the destructor; idempotent).
+  void write() {
+    if (path_.empty() || written_) return;
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "JsonReport: cannot open %s\n", path_.c_str());
+      return;
+    }
+    std::fprintf(f, "{\"bench\":\"%s\",\"mode\":\"%s\",\"seed\":%llu,",
+                 bench_.c_str(),
+                 opts_.smoke ? "smoke" : opts_.full ? "full" : "default",
+                 static_cast<unsigned long long>(opts_.seed));
+    std::fprintf(f, "\"rows\":[");
+    for (std::size_t i = 0; i < rows_.size(); ++i) {
+      std::fprintf(f, "%s{%s}", i == 0 ? "" : ",", rows_[i].body_.c_str());
+    }
+    std::fprintf(f, "]}\n");
+    std::fclose(f);
+    written_ = true;
+  }
+
+ private:
+  std::string path_;
+  std::string bench_;
+  Options opts_;
+  std::vector<Row> rows_;
+  bool written_ = false;
 };
 
 class Timer {

@@ -1,0 +1,146 @@
+// Extension bench: the four reconciliation backends driven through the
+// SAME SyncEngine/SyncClient code path -- the repo's apples-to-apples
+// reproduction of the paper's §7 comparison. For each backend and each
+// difference size d it reports wire bytes down (SYMBOLS frames) and up
+// (HELLO/ROUND/DONE), interaction rounds, and end-to-end CPU time for one
+// full session.
+//
+// Expected shape (paper §7 + MTZ/L&M):
+//  * riblt: zero rounds, bytes ~1.35-1.7x d plus per-symbol framing, CPU
+//    flat in d (O(d log d) decode);
+//  * iblt+strata: a flat ~24 KB estimator charge plus a 2-4x-overshot
+//    table, 2+ rounds;
+//  * cpi: near-optimal bytes (8 B per unit capacity) but O(d^3) decode --
+//    CPU explodes orders of magnitude past the others;
+//  * met-iblt: sawtooth bytes (extension-block quantization), 1 round per
+//    extra block.
+//
+// CPI is capped at a smaller max d (like bench_extra_cpi_comparison) so
+// the sweep finishes; '-' marks skipped cells.
+#include <cstdio>
+#include <vector>
+
+#include "benchutil.hpp"
+#include "sync/engine.hpp"
+
+namespace {
+
+using namespace ribltx;
+using sync::BackendId;
+
+struct SessionOutcome {
+  bool ok = false;
+  std::uint64_t bytes_down = 0;
+  std::uint64_t bytes_up = 0;
+  std::uint32_t rounds = 0;
+  std::uint32_t frames = 0;
+  double cpu_s = 0;
+};
+
+/// One full engine session over an in-memory loopback: build server + one
+/// client, pump to completion, return the accounting.
+SessionOutcome run_session(BackendId backend, std::size_t shared,
+                           std::size_t d, std::uint64_t seed) {
+  std::vector<U64Symbol> both, only_a, only_b;
+  SplitMix64 rng(seed);
+  for (std::size_t i = 0; i < shared; ++i) {
+    both.push_back(U64Symbol::from_u64(rng.next() | 1));
+  }
+  for (std::size_t i = 0; i < d / 2; ++i) {
+    only_b.push_back(U64Symbol::from_u64(rng.next() | 1));
+  }
+  for (std::size_t i = 0; i < d - d / 2; ++i) {
+    only_a.push_back(U64Symbol::from_u64(rng.next() | 1));
+  }
+
+  SessionOutcome out;
+  bench::Timer timer;
+  sync::SyncEngine<U64Symbol> engine;
+  for (const auto& x : both) engine.add_item(x);
+  for (const auto& x : only_a) engine.add_item(x);
+  sync::SyncClient<U64Symbol> client(1, backend);
+  for (const auto& y : both) client.add_item(y);
+  for (const auto& y : only_b) client.add_item(y);
+
+  std::uint64_t up = 0;
+  const auto hello = client.hello();
+  up += hello.size();
+  for (const auto& response : engine.handle_frame(hello)) {
+    (void)client.handle_frame(response);
+  }
+  for (std::size_t guard = 0; guard < 1'000'000; ++guard) {
+    const auto frame = engine.next_frame(1);
+    if (!frame) break;
+    for (const auto& reply : client.handle_frame(*frame)) {
+      up += reply.size();
+      for (const auto& response : engine.handle_frame(reply)) {
+        (void)client.handle_frame(response);
+      }
+    }
+    if (client.complete() || client.failed()) break;
+  }
+  out.cpu_s = timer.elapsed();
+
+  const sync::SessionStats* stats = engine.session(1);
+  out.ok = client.complete() &&
+           client.diff().remote.size() + client.diff().local.size() == d;
+  out.bytes_down = stats->bytes_to_peer;
+  out.bytes_up = up;
+  out.rounds = stats->rounds;
+  out.frames = stats->frames_sent;
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opts = bench::Options::parse(argc, argv);
+  bench::JsonReport report(opts, "extra_backend_matrix");
+  const std::size_t shared = opts.pick<std::size_t>(200, 2000, 20000);
+  const std::size_t max_d = opts.pick<std::size_t>(16, 1000, 10000);
+  const std::size_t cpi_max_d = opts.pick<std::size_t>(16, 256, 1000);
+
+  constexpr BackendId kBackends[] = {BackendId::kRiblt, BackendId::kIbltStrata,
+                                     BackendId::kCpi, BackendId::kMetIblt};
+
+  std::printf("# Extra: backend matrix through one SyncEngine "
+              "(8-byte items, %zu shared)\n", shared);
+  std::printf("# bytes_down = SYMBOLS frames; bytes_up = HELLO+ROUND+DONE\n");
+  std::printf("%-12s %-7s %-12s %-9s %-7s %-7s %-10s\n", "backend", "d",
+              "bytes_down", "bytes_up", "rounds", "frames", "cpu_s");
+
+  bool all_ok = true;
+  for (std::size_t d = 1; d <= max_d; d *= 10) {
+    for (const BackendId backend : kBackends) {
+      if (backend == BackendId::kCpi && d > cpi_max_d) {
+        std::printf("%-12s %-7zu %-12s %-9s %-7s %-7s %-10s\n",
+                    sync::backend_name(backend), d, "-", "-", "-", "-", "-");
+        continue;
+      }
+      const auto r =
+          run_session(backend, shared, d, derive_seed(opts.seed, d));
+      if (!r.ok) {
+        std::printf("%-12s %-7zu FAILED\n", sync::backend_name(backend), d);
+        all_ok = false;
+        continue;
+      }
+      std::printf("%-12s %-7zu %-12llu %-9llu %-7u %-7u %-10.5f\n",
+                  sync::backend_name(backend), d,
+                  static_cast<unsigned long long>(r.bytes_down),
+                  static_cast<unsigned long long>(r.bytes_up), r.rounds,
+                  r.frames, r.cpu_s);
+      report.row()
+          .str("backend", sync::backend_name(backend))
+          .num("d", d)
+          .num("bytes_down", r.bytes_down)
+          .num("bytes_up", r.bytes_up)
+          .num("rounds", static_cast<std::uint64_t>(r.rounds))
+          .num("frames", static_cast<std::uint64_t>(r.frames))
+          .num("cpu_s", r.cpu_s);
+      std::fflush(stdout);
+    }
+  }
+  // Nonzero on any failed cell so the ctest smoke registration (and the CI
+  // JSON step) cannot rot silently.
+  return all_ok ? 0 : 1;
+}

@@ -9,6 +9,7 @@
 int main(int argc, char** argv) {
   using namespace ribltx;
   const auto opts = bench::Options::parse(argc, argv);
+  bench::JsonReport report(opts, "fig05_overhead_vs_d");
   const std::size_t max_d = opts.pick<std::size_t>(1u << 6, 1u << 16, 1u << 20);
 
   std::printf("# Fig 5: overhead vs d, alpha=0.5 (DE limit 1.35)\n");
@@ -27,6 +28,12 @@ int main(int argc, char** argv) {
         bench::measure_overhead(d, trials, mf, derive_seed(opts.seed, d));
     std::printf("%-10zu %-8.4f %-10.4f %-10.4f %-8d\n", d, s.mean, s.stddev,
                 s.median, trials);
+    report.row()
+        .num("d", d)
+        .num("mean", s.mean)
+        .num("stddev", s.stddev)
+        .num("median", s.median)
+        .num("trials", trials);
     std::fflush(stdout);
   }
   std::printf("# DE prediction: 1.35\n");

@@ -104,6 +104,7 @@ std::size_t calibrate_iblt_cells(std::size_t d, int trials, int max_failures,
 
 int main(int argc, char** argv) {
   const auto opts = bench::Options::parse(argc, argv);
+  bench::JsonReport report(opts, "fig07_comm_overhead");
   const int trials = opts.trials > 0 ? opts.trials : opts.pick(2, 20, 100);
   const int iblt_trials = opts.pick(30, 150, 3000);
   const int iblt_max_fail = 1;  // tolerated failures out of iblt_trials
@@ -146,6 +147,13 @@ int main(int argc, char** argv) {
 
     std::printf("%-6zu %-9.2f %-9.2f %-9.2f %-11.2f %-10.2f\n", d, riblt, met,
                 iblt_oh, iblt_est_oh, pin);
+    report.row()
+        .num("d", d)
+        .num("riblt", riblt)
+        .num("met", met)
+        .num("iblt", iblt_oh)
+        .num("iblt_est", iblt_est_oh)
+        .num("pinsketch", pin);
     std::fflush(stdout);
   }
   return 0;

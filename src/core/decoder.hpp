@@ -12,6 +12,14 @@
 //
 // Cost: O(log m) cell updates per recovered difference, matching the
 // paper's O(l log d) per-difference decode bound.
+//
+// Narrow wire checksums: when the peer transmits truncated (e.g. 4-byte)
+// checksums (wire.hpp, §7.1 "Scalability"), call set_checksum_mask() with
+// the matching mask before the first coded symbol. Masking commutes with
+// XOR, so the decoder keeps every received cell's checksum reduced modulo
+// the mask and verifies purity against the masked hash; the full 64-bit
+// hash that seeds the index mapping is recomputed from the recovered sum,
+// so mappings stay bit-identical with the encoder's.
 #pragma once
 
 #include <cstdint>
@@ -51,6 +59,20 @@ class Decoder {
     local_set_.add(s, factory_);
   }
 
+  /// Restricts checksum comparisons to the given mask (e.g. 0xffffffff for
+  /// 4-byte wire checksums). Must be set before the first coded symbol.
+  void set_checksum_mask(std::uint64_t mask) {
+    if (!cells_.empty()) {
+      throw std::logic_error(
+          "Decoder::set_checksum_mask: must precede coded symbols");
+    }
+    checksum_mask_ = mask;
+  }
+
+  [[nodiscard]] std::uint64_t checksum_mask() const noexcept {
+    return checksum_mask_;
+  }
+
   /// Consumes the next coded symbol of Alice's stream (stream order is part
   /// of the protocol; cells carry no explicit index). Peeling runs
   /// incrementally; check decoded() after each call.
@@ -60,6 +82,7 @@ class Decoder {
     local_set_.apply_at(index, cell, Direction::kRemove);
     recovered_remote_.apply_at(index, cell, Direction::kRemove);
     recovered_local_.apply_at(index, cell, Direction::kAdd);
+    cell.checksum &= checksum_mask_;
     cells_.push_back(cell);
     settled_flags_.push_back(0);
     enqueue_if_actionable(static_cast<std::size_t>(index));
@@ -108,10 +131,17 @@ class Decoder {
   }
 
  private:
+  /// is_pure under the wire checksum mask (equals CodedSymbol::is_pure when
+  /// the mask is all-ones).
+  [[nodiscard]] bool pure(const CodedSymbol<T>& c) const noexcept {
+    return (c.count == 1 || c.count == -1) &&
+           (hasher_(c.sum) & checksum_mask_) == c.checksum;
+  }
+
   void enqueue_if_actionable(std::size_t i) {
     if (settled_flags_[i]) return;
     const CodedSymbol<T>& c = cells_[i];
-    if (c.is_empty() || c.is_pure(hasher_)) queue_.push_back(i);
+    if (c.is_empty() || pure(c)) queue_.push_back(i);
   }
 
   void peel() {
@@ -124,11 +154,14 @@ class Decoder {
         ++settled_count_;
         continue;
       }
-      if (!cells_[i].is_pure(hasher_)) continue;  // stale queue entry
+      if (!pure(cells_[i])) continue;  // stale queue entry
 
       // Recover the lone symbol and peel it out of every received cell it
-      // maps to (including cell i itself, which thereby becomes empty).
-      const HashedSymbol<T> sym{cells_[i].sum, cells_[i].checksum};
+      // maps to (including cell i itself, which thereby becomes empty). The
+      // full hash is recomputed from the sum: under a narrow checksum mask
+      // the cell's checksum only holds the masked low bits, and the index
+      // mapping must be seeded with the same 64 bits the encoder used.
+      const HashedSymbol<T> sym{cells_[i].sum, hasher_(cells_[i].sum)};
       const bool is_remote = cells_[i].count == 1;
       const Direction dir = is_remote ? Direction::kRemove : Direction::kAdd;
 
@@ -136,6 +169,7 @@ class Decoder {
       while (mapping.index() < cells_.size()) {
         const auto ci = static_cast<std::size_t>(mapping.index());
         cells_[ci].apply(sym, dir);
+        cells_[ci].checksum &= checksum_mask_;
         enqueue_if_actionable(ci);
         mapping.advance();
       }
@@ -153,6 +187,7 @@ class Decoder {
 
   Hasher hasher_;
   MappingFactory factory_;
+  std::uint64_t checksum_mask_ = ~std::uint64_t{0};  // wire checksum width
 
   CodingWindow<T, mapping_type> local_set_;          // Bob's items
   CodingWindow<T, mapping_type> recovered_remote_;   // recovered, in A \ B

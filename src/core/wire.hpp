@@ -113,6 +113,15 @@ template <Symbol T>
   }
   const std::uint64_t num_cells = r.uvarint();
   const std::uint64_t set_size = r.uvarint();
+  // Every cell occupies at least sum + checksum (+1 residual byte when
+  // counts are present); a claimed cell count beyond what the frame can
+  // possibly hold is rejected before any allocation, so a hostile header
+  // cannot trigger a huge resize.
+  const std::size_t min_cell =
+      T::kSize + checksum_len + ((flags & kFlagHasCounts) ? 1 : 0);
+  if (num_cells > r.remaining() / min_cell) {
+    throw std::out_of_range("sketch: num_cells exceeds frame size");
+  }
 
   ParsedSketch<T> out;
   out.set_size = set_size;
@@ -127,6 +136,15 @@ template <Symbol T>
                                 : 0;
   }
   return out;
+}
+
+/// The checksum-compare mask for a wire checksum width. The single source
+/// of the width contract: throws std::invalid_argument for anything but 4
+/// or 8, and yields the mask Decoder::set_checksum_mask expects.
+[[nodiscard]] inline std::uint64_t checksum_mask(std::uint8_t checksum_len) {
+  if (checksum_len == 8) return ~std::uint64_t{0};
+  if (checksum_len == 4) return 0xffffffffULL;
+  throw std::invalid_argument("checksum width must be 4 or 8");
 }
 
 /// Bytes a single streamed coded symbol occupies on the wire (stream frames

@@ -61,6 +61,10 @@ template <Symbol T>
     throw std::invalid_argument("iblt: symbol size mismatch");
   }
   const std::uint64_t cells = r.uvarint();
+  // Reject cell counts the frame cannot possibly hold before allocating.
+  if (cells > r.remaining() / (T::kSize + 16)) {
+    throw std::out_of_range("iblt: num_cells exceeds frame size");
+  }
   out.cells.resize(cells);
   for (auto& cell : out.cells) {
     r.copy_to(cell.sum.data.data(), T::kSize);

@@ -16,9 +16,12 @@
 
 #include <bit>
 #include <cstdint>
+#include <span>
 #include <stdexcept>
 #include <vector>
 
+#include "common/bytes.hpp"
+#include "core/wire.hpp"
 #include "iblt/iblt.hpp"
 
 namespace ribltx::iblt {
@@ -26,6 +29,9 @@ namespace ribltx::iblt {
 template <Symbol T, typename Hasher = SipHasher<T>>
 class StrataEstimator {
  public:
+  static constexpr std::uint32_t kWireMagic = 0x45534252;  // "RBSE"
+  static constexpr std::uint8_t kWireVersion = 1;
+
   /// `num_strata` levels of `cells_per_stratum`-cell IBLTs with `k` hashes.
   /// Defaults follow the SIGCOMM'11 recommendation (80 cells, k=4, 16
   /// strata cover differences up to ~2^20).
@@ -80,6 +86,68 @@ class StrataEstimator {
     std::size_t total = 0;
     for (const auto& s : strata_) total += s.serialized_size();
     return total;
+  }
+
+  /// Actual wire form used by the sync backends: geometry header plus the
+  /// raw cells of every stratum. The receiver rebuilds an estimator of the
+  /// same geometry with deserialize() and subtracts its own.
+  [[nodiscard]] std::vector<std::byte> serialize() const {
+    ByteWriter w;
+    w.u32(kWireMagic);
+    w.u8(kWireVersion);
+    w.uvarint(num_strata_);
+    w.uvarint(strata_[0].cell_count());
+    w.u8(static_cast<std::uint8_t>(strata_[0].k()));
+    w.u32(static_cast<std::uint32_t>(T::kSize));
+    for (const auto& s : strata_) {
+      for (const auto& cell : s.cells()) {
+        ribltx::wire::write_stream_symbol(w, cell);
+      }
+    }
+    return std::move(w).take();
+  }
+
+  /// Parses a serialize()d estimator. Throws std::invalid_argument on
+  /// malformed input and std::out_of_range on truncation.
+  [[nodiscard]] static StrataEstimator deserialize(
+      std::span<const std::byte> data, Hasher hasher = Hasher{}) {
+    ByteReader r(data);
+    if (r.u32() != kWireMagic) {
+      throw std::invalid_argument("strata: bad magic");
+    }
+    if (r.u8() != kWireVersion) {
+      throw std::invalid_argument("strata: bad version");
+    }
+    const std::uint64_t num_strata = r.uvarint();
+    const std::uint64_t cells_per_stratum = r.uvarint();
+    const unsigned k = r.u8();
+    if (r.u32() != static_cast<std::uint32_t>(T::kSize)) {
+      throw std::invalid_argument("strata: symbol size mismatch");
+    }
+    if (num_strata == 0 || num_strata > 64 || cells_per_stratum == 0 ||
+        k == 0) {
+      throw std::invalid_argument("strata: bad geometry");
+    }
+    // Each cell occupies at least sum + checksum + 1 count byte; reject
+    // geometries the frame cannot possibly hold before allocating. The
+    // factor is bounded first so the product cannot wrap uint64 (a 20-byte
+    // frame claiming 64 x 2^58 cells must die here, not in the allocator).
+    const std::size_t min_cell = T::kSize + 8 + 1;
+    const std::size_t max_cells = r.remaining() / min_cell;
+    if (cells_per_stratum > max_cells ||
+        num_strata * cells_per_stratum > max_cells) {
+      throw std::out_of_range("strata: cell count exceeds frame size");
+    }
+    StrataEstimator out(num_strata, cells_per_stratum, k, hasher);
+    std::vector<CodedSymbol<T>> cells(out.strata_[0].cell_count());
+    for (auto& stratum : out.strata_) {
+      for (auto& cell : cells) {
+        cell = ribltx::wire::read_stream_symbol<T>(r);
+      }
+      stratum.load_cells(cells);
+    }
+    if (!r.done()) throw std::invalid_argument("strata: trailing bytes");
+    return out;
   }
 
  private:

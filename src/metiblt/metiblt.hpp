@@ -145,9 +145,26 @@ class MetIblt {
     if (level >= boundaries_.size()) {
       throw std::out_of_range("MetIblt::decode_prefix: no such level");
     }
-    const std::size_t limit = boundaries_[level];
-    std::vector<CodedSymbol<T>> cells(cells_.begin(),
-                                      cells_.begin() + static_cast<std::ptrdiff_t>(limit));
+    return decode_prefix_over(
+        std::span<const CodedSymbol<T>>(cells_.data(), boundaries_[level]),
+        level);
+  }
+
+  /// Peels externally supplied *difference* cells covering blocks 0..level
+  /// (exactly boundary(level) of them) under this table's geometry. This is
+  /// the receive path of the rate-compatible protocol: the peer streams its
+  /// cumulative prefix, the receiver subtracts its own cells block-wise and
+  /// re-tries the peel after each extension block.
+  [[nodiscard]] DecodeResult<T> decode_prefix_over(
+      std::span<const CodedSymbol<T>> diff, std::size_t level) const {
+    if (level >= boundaries_.size()) {
+      throw std::out_of_range("MetIblt::decode_prefix_over: no such level");
+    }
+    if (diff.size() != boundaries_[level]) {
+      throw std::invalid_argument(
+          "MetIblt::decode_prefix_over: cell count does not match level");
+    }
+    std::vector<CodedSymbol<T>> cells(diff.begin(), diff.end());
     DecodeResult<T> out;
 
     std::vector<std::size_t> queue;
@@ -181,6 +198,13 @@ class MetIblt {
   }
 
   [[nodiscard]] const MetConfig& config() const noexcept { return config_; }
+  [[nodiscard]] std::size_t num_levels() const noexcept {
+    return boundaries_.size();
+  }
+  /// Cumulative cell count after blocks 0..level.
+  [[nodiscard]] std::size_t boundary(std::size_t level) const {
+    return boundaries_.at(level);
+  }
   [[nodiscard]] std::size_t cell_count() const noexcept {
     return cells_.size();
   }

@@ -43,6 +43,35 @@ void CpiSketch::add_element(GF64 x) {
   ++set_size_;
 }
 
+GF64 CpiSketch::evaluate_at(std::span<const U64Symbol> items, std::size_t j) {
+  const GF64 e = eval_point(j);
+  GF64 acc = GF64::one();
+  for (const U64Symbol& s : items) {
+    const GF64 x = GF64::from_symbol(s);
+    if (x.is_zero()) {
+      throw std::invalid_argument("CpiSketch: items must be nonzero");
+    }
+    const GF64 factor = e + x;
+    if (factor.is_zero()) {
+      throw std::invalid_argument(
+          "CpiSketch: item collides with an evaluation point");
+    }
+    acc *= factor;
+  }
+  return acc;
+}
+
+CpiSketch CpiSketch::from_evaluations(std::span<const GF64> evals,
+                                      std::size_t set_size) {
+  if (evals.empty()) {
+    throw std::invalid_argument("CpiSketch::from_evaluations: need points");
+  }
+  CpiSketch out(evals.size());
+  out.evals_.assign(evals.begin(), evals.end());
+  out.set_size_ = set_size;
+  return out;
+}
+
 void CpiSketch::remove_symbol(const U64Symbol& s) {
   const GF64 x = GF64::from_symbol(s);
   if (x.is_zero() || set_size_ == 0) {
@@ -56,10 +85,13 @@ void CpiSketch::remove_symbol(const U64Symbol& s) {
 
 namespace {
 
-/// Solves the m x u system over GF(2^64) by Gaussian elimination. Returns
-/// false on inconsistency. Free variables (rank deficiency, which happens
-/// when the true difference is below capacity) are set to zero; the caller
-/// verifies the reconstruction regardless.
+/// Solves the m x u system over GF(2^64) by Gaussian elimination (forward
+/// elimination to row-echelon form, then back-substitution -- about a third
+/// of the field multiplies of full Gauss-Jordan, same O(m^3) class this
+/// baseline is meant to exhibit). Returns false on inconsistency. Free
+/// variables (rank deficiency, which happens when the true difference is
+/// below capacity) are set to zero; the caller verifies the reconstruction
+/// regardless.
 bool gaussian_solve(std::vector<std::vector<GF64>>& rows, std::size_t unknowns,
                     std::vector<GF64>& solution) {
   const std::size_t m = rows.size();
@@ -77,8 +109,8 @@ bool gaussian_solve(std::vector<std::vector<GF64>>& rows, std::size_t unknowns,
     std::swap(rows[rank], rows[pivot]);
     const GF64 inv = rows[rank][col].inverse();
     for (std::size_t c = col; c <= unknowns; ++c) rows[rank][c] *= inv;
-    for (std::size_t r = 0; r < m; ++r) {
-      if (r == rank || rows[r][col].is_zero()) continue;
+    for (std::size_t r = rank + 1; r < m; ++r) {
+      if (rows[r][col].is_zero()) continue;
       const GF64 f = rows[r][col];
       for (std::size_t c = col; c <= unknowns; ++c) {
         rows[r][c] += f * rows[rank][c];
@@ -87,15 +119,23 @@ bool gaussian_solve(std::vector<std::vector<GF64>>& rows, std::size_t unknowns,
     pivot_of_col[col] = rank;
     ++rank;
   }
-  // Inconsistent row: all-zero coefficients with nonzero RHS.
+  // Inconsistent row: all-zero coefficients with nonzero RHS (rows past the
+  // rank are fully eliminated -- any nonzero coefficient there would have
+  // been picked as a pivot when its column was scanned).
   for (std::size_t r = rank; r < m; ++r) {
     if (!rows[r][unknowns].is_zero()) return false;
   }
   solution.assign(unknowns, GF64::zero());
-  for (std::size_t col = 0; col < unknowns; ++col) {
-    if (pivot_of_col[col] != SIZE_MAX) {
-      solution[col] = rows[pivot_of_col[col]][unknowns];
+  for (std::size_t col = unknowns; col-- > 0;) {
+    const std::size_t pr = pivot_of_col[col];
+    if (pr == SIZE_MAX) continue;  // free variable: zero
+    GF64 v = rows[pr][unknowns];
+    for (std::size_t c = col + 1; c < unknowns; ++c) {
+      if (!solution[c].is_zero() && !rows[pr][c].is_zero()) {
+        v += rows[pr][c] * solution[c];
+      }
     }
+    solution[col] = v;
   }
   return true;
 }

@@ -68,8 +68,23 @@ class CpiSketch {
     return evals_;
   }
 
+  /// Rebuilds a sketch from evaluations received off the wire plus the
+  /// sender's set size. Because the evaluation points are fixed per index,
+  /// the evaluations of a capacity-c sketch are a prefix of those of any
+  /// larger sketch of the same set -- capacity escalation ships only the new
+  /// evaluations and the receiver re-assembles with this.
+  [[nodiscard]] static CpiSketch from_evaluations(
+      std::span<const pinsketch::GF64> evals, std::size_t set_size);
+
   /// The j-th shared evaluation point.
   [[nodiscard]] static pinsketch::GF64 eval_point(std::size_t j) noexcept;
+
+  /// chi_S(e_j) for the given item set -- one evaluation without building a
+  /// whole sketch. Capacity escalation uses this to compute only the new
+  /// points of a grown sketch (the prefix is already on the wire). Same
+  /// item restrictions as add_symbol.
+  [[nodiscard]] static pinsketch::GF64 evaluate_at(
+      std::span<const U64Symbol> items, std::size_t j);
 
  private:
   std::vector<pinsketch::GF64> evals_;  ///< chi_S(e_j), j = 0..m-1

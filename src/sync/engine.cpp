@@ -1,0 +1,118 @@
+#include "sync/engine.hpp"
+
+namespace ribltx::sync::v2 {
+
+namespace {
+
+[[nodiscard]] bool known_type(std::uint8_t t) {
+  return t >= static_cast<std::uint8_t>(FrameType::kHello) &&
+         t <= static_cast<std::uint8_t>(FrameType::kError);
+}
+
+/// Reads a length-prefixed payload, rejecting length claims the frame
+/// cannot possibly hold before any allocation.
+[[nodiscard]] std::vector<std::byte> read_payload(ByteReader& r) {
+  const std::uint64_t len = r.uvarint();
+  if (len > r.remaining()) {
+    throw ProtocolError("frame payload length exceeds frame size");
+  }
+  const auto view = r.bytes(static_cast<std::size_t>(len));
+  return std::vector<std::byte>(view.begin(), view.end());
+}
+
+}  // namespace
+
+Frame parse_frame(std::span<const std::byte> data) {
+  if (data.empty()) throw ProtocolError("empty frame");
+  try {
+    ByteReader r(data);
+    Frame out;
+    const std::uint8_t type = r.u8();
+    if (!known_type(type)) throw ProtocolError("unknown frame type");
+    out.type = static_cast<FrameType>(type);
+    out.session_id = r.uvarint();
+    if (out.session_id == 0) {
+      throw ProtocolError("session id 0 is reserved");
+    }
+    switch (out.type) {
+      case FrameType::kHello:
+        if (r.u8() != kVersion) throw ProtocolError("version mismatch");
+        out.backend = r.u8();
+        out.item_size = r.u32();
+        out.checksum_len = r.u8();
+        if (r.u8() != 0) throw ProtocolError("unknown HELLO flags");
+        break;
+      case FrameType::kHelloAck:
+        out.backend = r.u8();
+        out.checksum_len = r.u8();
+        break;
+      case FrameType::kSymbols:
+      case FrameType::kRound:
+      case FrameType::kError:
+        out.payload = read_payload(r);
+        break;
+      case FrameType::kDone:
+        out.value = r.uvarint();
+        break;
+    }
+    if (!r.done()) throw ProtocolError("trailing bytes in frame");
+    return out;
+  } catch (const ProtocolError&) {
+    throw;
+  } catch (const std::exception&) {
+    // ByteReader/varint overruns on truncated or garbage input.
+    throw ProtocolError("truncated frame");
+  }
+}
+
+std::vector<std::byte> encode_frame(const Frame& frame) {
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(frame.type));
+  w.uvarint(frame.session_id);
+  switch (frame.type) {
+    case FrameType::kHello:
+      w.u8(kVersion);
+      w.u8(frame.backend);
+      w.u32(frame.item_size);
+      w.u8(frame.checksum_len);
+      w.u8(0);  // flags, reserved
+      break;
+    case FrameType::kHelloAck:
+      w.u8(frame.backend);
+      w.u8(frame.checksum_len);
+      break;
+    case FrameType::kSymbols:
+    case FrameType::kRound:
+    case FrameType::kError:
+      w.uvarint(frame.payload.size());
+      w.bytes(frame.payload);
+      break;
+    case FrameType::kDone:
+      w.uvarint(frame.value);
+      break;
+  }
+  return std::move(w).take();
+}
+
+std::vector<std::byte> make_error_frame(std::uint64_t session_id,
+                                        const std::string& message) {
+  Frame frame;
+  frame.type = FrameType::kError;
+  frame.session_id = session_id;
+  frame.payload.reserve(message.size());
+  for (const char c : message) {
+    frame.payload.push_back(static_cast<std::byte>(c));
+  }
+  return encode_frame(frame);
+}
+
+std::string error_text(const Frame& frame) {
+  std::string out;
+  out.reserve(frame.payload.size());
+  for (const std::byte b : frame.payload) {
+    out.push_back(static_cast<char>(b));
+  }
+  return out;
+}
+
+}  // namespace ribltx::sync::v2

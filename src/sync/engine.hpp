@@ -1,0 +1,483 @@
+// Multi-session reconciliation engine over the v2 wire protocol.
+//
+// One SyncEngine instance owns one item set and reconciles it against many
+// peers concurrently -- the paper's universality argument (§2) made
+// operational: sessions are independent state machines multiplexed by a
+// session id carried in every frame, so a single server endpoint can serve
+// a fleet of peers of different staleness, each over a backend of its
+// choice (sync/reconciler.hpp).
+//
+// v2 framing (all client->server frames carry the session id; little
+// endian, uvarints per common/varint.hpp):
+//
+//   HELLO     c->s  0x11 | uvarint sid | u8 ver | u8 backend |
+//                   u32 item_size | u8 checksum_len | u8 flags
+//   HELLO_ACK s->c  0x12 | uvarint sid | u8 backend | u8 checksum_len
+//   SYMBOLS   s->c  0x13 | uvarint sid | uvarint len | payload
+//   ROUND     c->s  0x14 | uvarint sid | uvarint len | payload
+//   DONE      c->s  0x15 | uvarint sid | uvarint payload_bytes_consumed
+//   ERROR     both  0x16 | uvarint sid | uvarint len | utf-8 message
+//
+// Dialogue: the client opens with HELLO (negotiating backend id and
+// checksum width); the server ACKs and then pushes SYMBOLS frames --
+// continuously for the rateless backend, one round per ROUND request for
+// the others (ROUND is the NACK/escalation path: a bigger IBLT, more CPI
+// evaluations, the next MET extension block). DONE closes the session;
+// ERROR flows in either direction -- the server reporting a contained
+// per-session failure, or the client aborting a session whose decoder hit
+// a dead end -- without disturbing other sessions.
+//
+// Error containment: frames that cannot be attributed to a healthy session
+// (garbage, unknown/zero session ids, duplicate HELLOs, failed
+// negotiation) throw ProtocolError to the transport that delivered them.
+// Failures *inside* an established session (a backend rejecting a round
+// request, a malformed SYMBOLS/ROUND payload, a codec that cannot extend
+// further) mark only that session kFailed on both ends and produce an
+// ERROR frame; every other session keeps streaming.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "core/symbol.hpp"
+#include "sync/error.hpp"
+#include "sync/reconciler.hpp"
+
+namespace ribltx::sync {
+
+namespace v2 {
+
+inline constexpr std::uint8_t kVersion = 2;
+
+enum class FrameType : std::uint8_t {
+  kHello = 0x11,
+  kHelloAck = 0x12,
+  kSymbols = 0x13,
+  kRound = 0x14,
+  kDone = 0x15,
+  kError = 0x16,
+};
+
+/// A parsed v2 frame; which fields are meaningful depends on `type`.
+struct Frame {
+  FrameType type{};
+  std::uint64_t session_id = 0;
+  std::uint8_t backend = 0;        ///< HELLO, HELLO_ACK
+  std::uint32_t item_size = 0;     ///< HELLO
+  std::uint8_t checksum_len = 0;   ///< HELLO, HELLO_ACK
+  std::uint64_t value = 0;         ///< DONE: payload bytes consumed
+  std::vector<std::byte> payload;  ///< SYMBOLS, ROUND; ERROR: message
+};
+
+/// Parses and validates one frame. Throws ProtocolError with a specific
+/// message on anything malformed (empty frame, unknown type, version
+/// mismatch, zero session id, truncation, trailing bytes).
+[[nodiscard]] Frame parse_frame(std::span<const std::byte> data);
+
+/// Serializes a frame (the inverse of parse_frame).
+[[nodiscard]] std::vector<std::byte> encode_frame(const Frame& frame);
+
+/// The ERROR frame's message bytes as text.
+[[nodiscard]] std::string error_text(const Frame& frame);
+
+/// Builds an encoded ERROR frame carrying `message`.
+[[nodiscard]] std::vector<std::byte> make_error_frame(
+    std::uint64_t session_id, const std::string& message);
+
+}  // namespace v2
+
+enum class SessionState : std::uint8_t {
+  kActive,  ///< reconciling
+  kDone,    ///< client reported completion
+  kFailed,  ///< contained per-session error; see SessionStats::error
+};
+
+/// Per-session byte/round accounting and outcome.
+struct SessionStats {
+  SessionState state = SessionState::kActive;
+  BackendId backend{};
+  std::uint8_t checksum_len = 8;
+  std::uint64_t bytes_to_peer = 0;    ///< SYMBOLS frame bytes emitted
+  std::uint64_t bytes_from_peer = 0;  ///< HELLO/ROUND/DONE frame bytes
+  std::uint32_t rounds = 0;           ///< round requests honored
+  std::uint32_t frames_sent = 0;      ///< SYMBOLS frames emitted
+  std::uint64_t done_value = 0;       ///< client-reported consumed bytes
+  std::string error;                  ///< failure reason when kFailed
+};
+
+struct EngineOptions {
+  std::size_t frame_budget = 1024;  ///< target SYMBOLS payload bytes
+  std::uint32_t max_rounds = 32;    ///< escalation cap per session
+  std::size_t max_sessions = 4096;  ///< concurrent session cap
+  ReconcilerConfig config{};        ///< backend tuning shared by sessions
+};
+
+/// Server side: one item set, many concurrent sessions.
+template <Symbol T, typename Hasher = SipHasher<T>>
+class SyncEngine {
+ public:
+  explicit SyncEngine(Hasher hasher = Hasher{}, EngineOptions options = {})
+      : hasher_(std::move(hasher)), options_(std::move(options)) {}
+
+  /// Adds an item to the served set. Sessions snapshot the set at HELLO
+  /// time; items added later are seen only by sessions opened afterwards
+  /// (incremental serving across a changing set is an open item).
+  void add_item(const T& item) { items_.push_back(item); }
+
+  /// Feeds one client->server frame. Returns the server->client frames to
+  /// send back (HELLO_ACK on session open, ERROR on contained failures;
+  /// often empty). Throws ProtocolError on frames that cannot be attributed
+  /// to a healthy session -- see the containment contract above.
+  std::vector<std::vector<std::byte>> handle_frame(
+      std::span<const std::byte> data) {
+    const v2::Frame frame = v2::parse_frame(data);
+    std::vector<std::vector<std::byte>> out;
+    switch (frame.type) {
+      case v2::FrameType::kHello: {
+        if (sessions_.count(frame.session_id) != 0) {
+          throw ProtocolError("duplicate HELLO for session");
+        }
+        if (sessions_.size() >= options_.max_sessions) {
+          throw ProtocolError("session limit reached");
+        }
+        if (frame.item_size != static_cast<std::uint32_t>(T::kSize)) {
+          throw ProtocolError("item size mismatch");
+        }
+        if (!backend_known(frame.backend)) {
+          throw ProtocolError("unknown backend id");
+        }
+        if (frame.checksum_len != 4 && frame.checksum_len != 8) {
+          throw ProtocolError("unsupported checksum width");
+        }
+        const auto backend = static_cast<BackendId>(frame.backend);
+        const std::uint8_t effective =
+            negotiate_checksum_len(backend, frame.checksum_len);
+        ReconcilerConfig config = options_.config;
+        config.checksum_len = effective;
+        Session session;
+        session.encoder = make_reconciler_encoder<T>(backend, config, hasher_);
+        for (const T& x : items_) session.encoder->add_item(x);
+        session.stats.backend = backend;
+        session.stats.checksum_len = effective;
+        session.stats.bytes_from_peer = data.size();
+        sessions_.emplace(frame.session_id, std::move(session));
+        v2::Frame ack;
+        ack.type = v2::FrameType::kHelloAck;
+        ack.session_id = frame.session_id;
+        ack.backend = frame.backend;
+        ack.checksum_len = effective;
+        out.push_back(v2::encode_frame(ack));
+        return out;
+      }
+      case v2::FrameType::kRound: {
+        Session& session = established(frame.session_id);
+        session.stats.bytes_from_peer += data.size();
+        if (session.stats.state != SessionState::kActive) {
+          return out;  // stale request after DONE/failure: drop
+        }
+        if (session.stats.rounds + 1 > options_.max_rounds) {
+          out.push_back(fail(frame.session_id, session,
+                             "round limit exceeded"));
+          return out;
+        }
+        try {
+          session.encoder->handle_round_request(frame.payload);
+          ++session.stats.rounds;
+        } catch (const std::exception& e) {
+          out.push_back(fail(frame.session_id, session, e.what()));
+        }
+        return out;
+      }
+      case v2::FrameType::kDone: {
+        Session& session = established(frame.session_id);
+        session.stats.bytes_from_peer += data.size();
+        if (session.stats.state == SessionState::kActive) {
+          session.stats.state = SessionState::kDone;
+          session.stats.done_value = frame.value;
+        }
+        return out;
+      }
+      case v2::FrameType::kError: {
+        // The client aborted its side (e.g. its decoder hit a data-path
+        // dead end); contain it to this session.
+        Session& session = established(frame.session_id);
+        session.stats.bytes_from_peer += data.size();
+        if (session.stats.state == SessionState::kActive) {
+          session.stats.state = SessionState::kFailed;
+          session.stats.error = "peer abort: " + v2::error_text(frame);
+        }
+        return out;
+      }
+      default:
+        throw ProtocolError("unexpected server-to-client frame type");
+    }
+  }
+
+  /// Produces the next SYMBOLS frame for a session: continuously for a
+  /// rateless session, once per armed round otherwise. Returns nullopt when
+  /// the session is waiting on a round request, done, failed, or unknown.
+  /// A backend failure during emit is contained: the session fails and the
+  /// ERROR frame is returned in place of symbols.
+  std::optional<std::vector<std::byte>> next_frame(std::uint64_t session_id) {
+    auto it = sessions_.find(session_id);
+    if (it == sessions_.end()) return std::nullopt;
+    Session& session = it->second;
+    if (session.stats.state != SessionState::kActive) return std::nullopt;
+    ByteWriter payload;
+    try {
+      if (session.encoder->emit(payload, options_.frame_budget) == 0) {
+        return std::nullopt;
+      }
+    } catch (const std::exception& e) {
+      return fail(session_id, session, e.what());
+    }
+    v2::Frame frame;
+    frame.type = v2::FrameType::kSymbols;
+    frame.session_id = session_id;
+    frame.payload = std::move(payload).take();
+    auto encoded = v2::encode_frame(frame);
+    session.stats.bytes_to_peer += encoded.size();
+    ++session.stats.frames_sent;
+    return encoded;
+  }
+
+  [[nodiscard]] const SessionStats* session(std::uint64_t id) const {
+    auto it = sessions_.find(id);
+    return it == sessions_.end() ? nullptr : &it->second.stats;
+  }
+
+  [[nodiscard]] std::size_t session_count() const noexcept {
+    return sessions_.size();
+  }
+
+  [[nodiscard]] std::size_t active_count() const noexcept {
+    std::size_t n = 0;
+    for (const auto& [id, s] : sessions_) {
+      n += s.stats.state == SessionState::kActive ? 1 : 0;
+    }
+    return n;
+  }
+
+  [[nodiscard]] std::vector<std::uint64_t> session_ids() const {
+    std::vector<std::uint64_t> out;
+    out.reserve(sessions_.size());
+    for (const auto& [id, s] : sessions_) out.push_back(id);
+    return out;
+  }
+
+  /// Drops a finished/failed session's state (a long-lived server would do
+  /// this on disconnect). Returns false if the id is unknown.
+  bool close_session(std::uint64_t id) { return sessions_.erase(id) != 0; }
+
+  [[nodiscard]] std::size_t item_count() const noexcept {
+    return items_.size();
+  }
+
+ private:
+  struct Session {
+    std::unique_ptr<ReconcilerEncoder<T>> encoder;
+    SessionStats stats;
+  };
+
+  Session& established(std::uint64_t id) {
+    auto it = sessions_.find(id);
+    if (it == sessions_.end()) {
+      throw ProtocolError("unknown session id");
+    }
+    return it->second;
+  }
+
+  /// Marks the session failed and builds the ERROR frame -- the containment
+  /// boundary: only this session is affected.
+  [[nodiscard]] std::vector<std::byte> fail(std::uint64_t id, Session& session,
+                                            const std::string& reason) {
+    session.stats.state = SessionState::kFailed;
+    session.stats.error = reason;
+    return v2::make_error_frame(id, reason);
+  }
+
+  Hasher hasher_;
+  EngineOptions options_;
+  std::vector<T> items_;
+  std::map<std::uint64_t, Session> sessions_;
+};
+
+/// Client side of one engine session: produces HELLO, absorbs SYMBOLS,
+/// answers with ROUND requests (round-based backends) and the closing DONE.
+template <Symbol T, typename Hasher = SipHasher<T>>
+class SyncClient {
+ public:
+  SyncClient(std::uint64_t session_id, BackendId backend,
+             Hasher hasher = Hasher{}, ReconcilerConfig config = {})
+      : session_id_(session_id),
+        backend_(backend),
+        hasher_(std::move(hasher)),
+        config_(std::move(config)) {
+    if (session_id == 0) {
+      throw std::invalid_argument("SyncClient: session id 0 is reserved");
+    }
+  }
+
+  /// Adds a local set item; must precede hello().
+  void add_item(const T& item) {
+    if (state_ != State::kIdle) {
+      throw std::logic_error("SyncClient: items must precede hello()");
+    }
+    items_.push_back(item);
+  }
+
+  /// The opening frame; call exactly once.
+  [[nodiscard]] std::vector<std::byte> hello() {
+    if (state_ != State::kIdle) throw ProtocolError("duplicate HELLO");
+    state_ = State::kAwaitAck;
+    v2::Frame frame;
+    frame.type = v2::FrameType::kHello;
+    frame.session_id = session_id_;
+    frame.backend = static_cast<std::uint8_t>(backend_);
+    frame.item_size = static_cast<std::uint32_t>(T::kSize);
+    frame.checksum_len = config_.checksum_len;
+    return v2::encode_frame(frame);
+  }
+
+  /// Consumes one server->client frame; returns the client->server frames
+  /// to send back (ROUND escalations, the final DONE; often empty). Throws
+  /// ProtocolError on out-of-order or mis-addressed frames.
+  std::vector<std::vector<std::byte>> handle_frame(
+      std::span<const std::byte> data) {
+    const v2::Frame frame = v2::parse_frame(data);
+    if (frame.session_id != session_id_) {
+      throw ProtocolError("frame for a different session");
+    }
+    std::vector<std::vector<std::byte>> out;
+    switch (frame.type) {
+      case v2::FrameType::kHelloAck: {
+        if (state_ != State::kAwaitAck) {
+          throw ProtocolError("unexpected HELLO_ACK");
+        }
+        if (frame.backend != static_cast<std::uint8_t>(backend_)) {
+          throw ProtocolError("HELLO_ACK backend mismatch");
+        }
+        if (frame.checksum_len != 4 && frame.checksum_len != 8) {
+          throw ProtocolError("HELLO_ACK checksum width invalid");
+        }
+        // Adopt the server's effective checksum width (it may clamp our
+        // narrow-checksum request for backends that do not support it).
+        config_.checksum_len = frame.checksum_len;
+        decoder_ = make_reconciler_decoder<T>(backend_, config_, hasher_);
+        for (const T& x : items_) decoder_->add_item(x);
+        // The decoder owns the set now; holding a second copy for the
+        // session's lifetime would double per-client memory.
+        items_.clear();
+        items_.shrink_to_fit();
+        state_ = State::kActive;
+        return out;
+      }
+      case v2::FrameType::kSymbols: {
+        if (state_ == State::kIdle || state_ == State::kAwaitAck) {
+          throw ProtocolError("SYMBOLS before HELLO");
+        }
+        if (state_ != State::kActive) return out;  // stale in-flight frame
+        try {
+          decoder_->absorb(frame.payload);
+        } catch (const std::exception& e) {
+          // Malformed payloads AND data-path dead ends (e.g. a difference
+          // past MET-IBLT's deepest block) are contained: this session
+          // fails and the server is told to stop streaming, instead of an
+          // exception wedging the session open on both ends.
+          state_ = State::kFailed;
+          error_ = e.what();
+          out.push_back(v2::make_error_frame(session_id_, error_));
+          return out;
+        }
+        payload_bytes_ += frame.payload.size();
+        if (decoder_->decoded()) {
+          diff_ = decoder_->diff();
+          state_ = State::kComplete;
+          v2::Frame done;
+          done.type = v2::FrameType::kDone;
+          done.session_id = session_id_;
+          done.value = payload_bytes_;
+          out.push_back(v2::encode_frame(done));
+        } else if (auto request = decoder_->round_request()) {
+          ++rounds_;
+          v2::Frame round;
+          round.type = v2::FrameType::kRound;
+          round.session_id = session_id_;
+          round.payload = std::move(*request);
+          out.push_back(v2::encode_frame(round));
+        }
+        return out;
+      }
+      case v2::FrameType::kError: {
+        // Terminal states stick: a stale/crossing ERROR (e.g. the server's
+        // emit failure racing our DONE) must not unsettle a session that
+        // already completed or failed.
+        if (state_ == State::kComplete || state_ == State::kFailed) {
+          return out;
+        }
+        state_ = State::kFailed;
+        error_ = v2::error_text(frame);
+        return out;
+      }
+      default:
+        throw ProtocolError("unexpected client-to-server frame type");
+    }
+  }
+
+  /// True once hello() has been produced.
+  [[nodiscard]] bool started() const noexcept {
+    return state_ != State::kIdle;
+  }
+  [[nodiscard]] bool complete() const noexcept {
+    return state_ == State::kComplete;
+  }
+  [[nodiscard]] bool failed() const noexcept {
+    return state_ == State::kFailed;
+  }
+  [[nodiscard]] const std::string& error() const noexcept { return error_; }
+  /// The recovered symmetric difference; meaningful once complete().
+  [[nodiscard]] const SetDiff<T>& diff() const noexcept { return diff_; }
+  [[nodiscard]] std::uint64_t session_id() const noexcept {
+    return session_id_;
+  }
+  [[nodiscard]] BackendId backend() const noexcept { return backend_; }
+  /// SYMBOLS payload bytes absorbed (the DONE frame reports this number).
+  [[nodiscard]] std::uint64_t payload_bytes() const noexcept {
+    return payload_bytes_;
+  }
+  [[nodiscard]] std::uint32_t rounds() const noexcept { return rounds_; }
+  [[nodiscard]] std::uint8_t checksum_len() const noexcept {
+    return config_.checksum_len;
+  }
+
+ private:
+  enum class State : std::uint8_t {
+    kIdle,
+    kAwaitAck,
+    kActive,
+    kComplete,
+    kFailed,
+  };
+
+  std::uint64_t session_id_;
+  BackendId backend_;
+  Hasher hasher_;
+  ReconcilerConfig config_;
+  std::vector<T> items_;
+  std::unique_ptr<ReconcilerDecoder<T>> decoder_;
+  State state_ = State::kIdle;
+  std::uint64_t payload_bytes_ = 0;
+  std::uint32_t rounds_ = 0;
+  SetDiff<T> diff_;
+  std::string error_;
+};
+
+}  // namespace ribltx::sync

@@ -26,13 +26,9 @@
 
 #include "common/bytes.hpp"
 #include "core/riblt.hpp"
+#include "sync/error.hpp"
 
 namespace ribltx::sync {
-
-class ProtocolError : public std::runtime_error {
- public:
-  using std::runtime_error::runtime_error;
-};
 
 namespace proto {
 inline constexpr std::uint8_t kVersion = 1;
@@ -57,9 +53,11 @@ class ReconcileServer {
   /// Adds a set item; must precede the first next_batch().
   void add_symbol(const T& s) { encoder_.add_symbol(s); }
 
-  /// Validates the client's HELLO. Throws ProtocolError on version or
-  /// geometry mismatch (failing loudly beats silently mis-decoding).
+  /// Validates the client's HELLO and adopts its negotiated parameters.
+  /// Throws ProtocolError on version or geometry mismatch (failing loudly
+  /// beats silently mis-decoding) and on a repeated HELLO.
   void handle_hello(std::span<const std::byte> frame) {
+    if (hello_seen_) throw ProtocolError("duplicate HELLO");
     ByteReader r(frame);
     if (r.u8() != proto::kHello) throw ProtocolError("expected HELLO");
     if (r.u8() != proto::kVersion) throw ProtocolError("version mismatch");
@@ -67,8 +65,11 @@ class ReconcileServer {
       throw ProtocolError("item size mismatch");
     }
     const std::uint8_t checksum_len = r.u8();
-    if (checksum_len != 8) throw ProtocolError("unsupported checksum width");
+    if (checksum_len != 4 && checksum_len != 8) {
+      throw ProtocolError("unsupported checksum width");
+    }
     if (!r.done()) throw ProtocolError("trailing bytes in HELLO");
+    checksum_len_ = checksum_len;
     hello_seen_ = true;
   }
 
@@ -82,7 +83,7 @@ class ReconcileServer {
     w.u8(proto::kSymbols);
     w.uvarint(batch_);
     for (std::size_t i = 0; i < batch_; ++i) {
-      wire::write_stream_symbol(w, encoder_.produce_next());
+      wire::write_stream_symbol(w, encoder_.produce_next(), checksum_len_);
     }
     return std::move(w).take();
   }
@@ -95,6 +96,7 @@ class ReconcileServer {
         handle_hello(frame);
         return;
       case proto::kDone: {
+        if (!hello_seen_) throw ProtocolError("DONE before HELLO");
         ByteReader r(frame);
         (void)r.u8();
         symbols_reported_ = r.uvarint();
@@ -115,10 +117,15 @@ class ReconcileServer {
   [[nodiscard]] std::uint64_t symbols_sent() const noexcept {
     return encoder_.next_index();
   }
+  /// Checksum width adopted from the client's HELLO (8 until negotiated).
+  [[nodiscard]] std::uint8_t checksum_len() const noexcept {
+    return checksum_len_;
+  }
 
  private:
   Encoder<T, Hasher> encoder_;
   std::size_t batch_;
+  std::uint8_t checksum_len_ = 8;
   bool hello_seen_ = false;
   bool done_ = false;
   std::uint64_t symbols_reported_ = 0;
@@ -129,18 +136,27 @@ class ReconcileServer {
 template <Symbol T, typename Hasher = SipHasher<T>>
 class ReconcileClient {
  public:
-  explicit ReconcileClient(Hasher hasher = Hasher{}) : decoder_(hasher) {}
+  /// `checksum_len` is the wire checksum width this client proposes in its
+  /// HELLO (4 or 8 bytes; §7.1 "Scalability" -- 4 suffices for differences
+  /// up to tens of thousands and halves the per-cell fixed overhead).
+  explicit ReconcileClient(Hasher hasher = Hasher{},
+                           std::uint8_t checksum_len = 8)
+      : decoder_(hasher), checksum_len_(checksum_len) {
+    decoder_.set_checksum_mask(wire::checksum_mask(checksum_len));
+  }
 
   /// Adds a local set item; must precede handle_symbols().
   void add_local_symbol(const T& s) { decoder_.add_local_symbol(s); }
 
-  /// The opening frame.
-  [[nodiscard]] std::vector<std::byte> hello() const {
+  /// The opening frame. Must be produced (and delivered) before any SYMBOLS
+  /// frame is accepted.
+  [[nodiscard]] std::vector<std::byte> hello() {
     ByteWriter w;
     w.u8(proto::kHello);
     w.u8(proto::kVersion);
     w.u32(static_cast<std::uint32_t>(T::kSize));
-    w.u8(8);  // checksum width
+    w.u8(checksum_len_);
+    hello_sent_ = true;
     return std::move(w).take();
   }
 
@@ -154,12 +170,13 @@ class ReconcileClient {
     if (r.u8() != proto::kSymbols) {
       throw ProtocolError("unknown server frame type");
     }
+    if (!hello_sent_) throw ProtocolError("SYMBOLS before HELLO");
     if (decoder_.decoded() && symbols_consumed_ > 0) {
       return std::nullopt;  // stale in-flight batch after completion
     }
     const std::uint64_t count = r.uvarint();
     for (std::uint64_t i = 0; i < count; ++i) {
-      decoder_.add_coded_symbol(wire::read_stream_symbol<T>(r));
+      decoder_.add_coded_symbol(wire::read_stream_symbol<T>(r, checksum_len_));
       ++symbols_consumed_;
       if (decoder_.decoded()) break;  // remaining symbols in batch unused
     }
@@ -180,9 +197,14 @@ class ReconcileClient {
   [[nodiscard]] std::uint64_t symbols_consumed() const noexcept {
     return symbols_consumed_;
   }
+  [[nodiscard]] std::uint8_t checksum_len() const noexcept {
+    return checksum_len_;
+  }
 
  private:
   Decoder<T, Hasher> decoder_;
+  std::uint8_t checksum_len_;
+  bool hello_sent_ = false;
   std::uint64_t symbols_consumed_ = 0;
 };
 

@@ -1,0 +1,656 @@
+// Runtime-polymorphic reconciliation backends.
+//
+// The paper's headline comparison (§7) pits Rateless IBLT against regular
+// IBLT + strata estimator, CPI, and the rate-compatible MET-IBLT -- four
+// codecs with very different wire dialogues (one-way streaming vs.
+// estimator-then-sized-table vs. capacity escalation vs. extension blocks).
+// This header flattens all four behind one interface so a single session
+// layer (sync/engine.hpp) and a single benchmark harness
+// (bench/extra_backend_matrix.cpp) can drive them through the same code
+// path:
+//
+//   encode side (server):  add_item() -> emit(writer, budget)
+//                          [+ handle_round_request() for round-based codecs]
+//   decode side (client):  add_item() -> absorb(payload) -> decoded()/diff()
+//                          [+ round_request() to escalate a failed round]
+//
+// emit() appends an opaque payload chunk the matching decoder's absorb()
+// understands; the session layer never interprets it. Rateless backends
+// (RibltBackend) produce a chunk on every call, sized to ~`budget` bytes.
+// Round-based backends produce their pending round exactly once and then
+// return 0 until the peer's round request (carried in a v2 ROUND frame)
+// re-arms them -- that request/escalation loop is the NACK dialogue regular
+// IBLT, CPI, and MET-IBLT need and streaming Rateless IBLT does not.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <span>
+#include <type_traits>
+#include <utility>
+#include <vector>
+
+#include "common/bytes.hpp"
+#include "core/riblt.hpp"
+#include "iblt/iblt.hpp"
+#include "iblt/iblt_wire.hpp"
+#include "iblt/strata.hpp"
+#include "metiblt/metiblt.hpp"
+#include "pinsketch/cpi.hpp"
+#include "sync/error.hpp"
+
+namespace ribltx::sync {
+
+/// Wire identifiers of the reconciliation backends (negotiated in HELLO).
+enum class BackendId : std::uint8_t {
+  kRiblt = 1,       ///< Rateless IBLT streaming (the paper's scheme)
+  kIbltStrata = 2,  ///< strata estimator -> sized regular IBLT rounds
+  kCpi = 3,         ///< characteristic-polynomial with capacity escalation
+  kMetIblt = 4,     ///< MET-IBLT extension blocks
+};
+
+[[nodiscard]] constexpr bool backend_known(std::uint8_t id) noexcept {
+  return id >= 1 && id <= 4;
+}
+
+[[nodiscard]] constexpr const char* backend_name(BackendId id) noexcept {
+  switch (id) {
+    case BackendId::kRiblt: return "riblt";
+    case BackendId::kIbltStrata: return "iblt+strata";
+    case BackendId::kCpi: return "cpi";
+    case BackendId::kMetIblt: return "met-iblt";
+  }
+  return "unknown";
+}
+
+/// Backend tuning shared by both ends of a session. Geometry-bearing fields
+/// (strata shape, MET config, IBLT hash count) must match between peers;
+/// everything else is advisory.
+struct ReconcilerConfig {
+  std::uint8_t checksum_len = 8;  ///< riblt stream checksum width (4 or 8)
+  std::size_t cpi_initial_capacity = 16;    ///< first CPI round's capacity
+  std::size_t strata_num_strata = 16;       ///< SIGCOMM'11 defaults
+  std::size_t strata_cells_per_stratum = 80;
+  unsigned iblt_k = 4;                      ///< hash count for sized IBLTs
+  std::size_t iblt_min_cells = 64;          ///< floor for the first round
+  metiblt::MetConfig met = metiblt::MetConfig::recommended();
+};
+
+/// Which checksum width a backend actually puts on the wire: only the
+/// Rateless IBLT stream implements the §7.1 narrow-checksum option; the
+/// baselines keep the paper's fixed 8-byte accounting.
+[[nodiscard]] constexpr std::uint8_t negotiate_checksum_len(
+    BackendId backend, std::uint8_t requested) noexcept {
+  return backend == BackendId::kRiblt ? requested : std::uint8_t{8};
+}
+
+/// The symmetric difference from the decoder's point of view.
+template <Symbol T>
+struct SetDiff {
+  std::vector<T> remote;  ///< items only the encode side has (A \ B)
+  std::vector<T> local;   ///< items only the decode side has (B \ A)
+};
+
+/// Encode (server) side of a backend: owns the local set, produces payload
+/// chunks. Items must all be added before the first emit().
+template <Symbol T>
+class ReconcilerEncoder {
+ public:
+  virtual ~ReconcilerEncoder() = default;
+
+  virtual void add_item(const T& item) = 0;
+
+  /// Appends the next payload chunk to `w`; `budget` is a target size in
+  /// bytes (rateless backends emit at least one symbol and stop at the
+  /// first boundary past the budget; round payloads are atomic and ignore
+  /// it). Returns bytes appended; 0 means nothing to send until the next
+  /// round request (or, for rateless backends, never).
+  virtual std::size_t emit(ByteWriter& w, std::size_t budget) = 0;
+
+  /// Feeds a peer round request (opaque, backend-defined; arrived in a
+  /// ROUND frame), re-arming emit(). No-op dialect for rateless backends --
+  /// they throw ProtocolError, as a peer sending ROUND there is confused.
+  virtual void handle_round_request(std::span<const std::byte> request) = 0;
+
+  /// True when emit() can produce unboundedly many chunks with no peer
+  /// feedback (the defining property of the paper's scheme).
+  [[nodiscard]] virtual bool rateless() const noexcept = 0;
+};
+
+/// Decode (client) side of a backend: owns the local set, absorbs payload
+/// chunks, reports the recovered difference. Items must all be added before
+/// the first absorb().
+template <Symbol T>
+class ReconcilerDecoder {
+ public:
+  virtual ~ReconcilerDecoder() = default;
+
+  virtual void add_item(const T& item) = 0;
+
+  /// Consumes one payload chunk produced by the matching encoder's emit().
+  /// Throws ProtocolError (or the wire parsers' invalid_argument /
+  /// out_of_range) on malformed payloads.
+  virtual void absorb(std::span<const std::byte> payload) = 0;
+
+  [[nodiscard]] virtual bool decoded() const = 0;
+
+  /// The recovered symmetric difference; meaningful once decoded().
+  [[nodiscard]] virtual SetDiff<T> diff() const = 0;
+
+  /// After an absorb() that did not complete the decode, round-based
+  /// backends return the escalation request to ship to the encoder (at most
+  /// once per failed round); rateless backends always return nullopt.
+  [[nodiscard]] virtual std::optional<std::vector<std::byte>>
+  round_request() = 0;
+};
+
+// ---------------------------------------------------------------- Rateless
+
+/// Streaming Rateless IBLT (paper §4): emit() walks the universal coded
+/// symbol sequence; absorb() peels incrementally. Payloads are raw
+/// back-to-back stream symbols (wire.hpp framing) at the negotiated
+/// checksum width.
+template <Symbol T, typename Hasher = SipHasher<T>>
+class RibltEncoderBackend final : public ReconcilerEncoder<T> {
+ public:
+  explicit RibltEncoderBackend(Hasher hasher = Hasher{},
+                               std::uint8_t checksum_len = 8)
+      : encoder_(std::move(hasher)), checksum_len_(checksum_len) {
+    (void)wire::checksum_mask(checksum_len);  // validates the width
+  }
+
+  void add_item(const T& item) override { encoder_.add_symbol(item); }
+
+  std::size_t emit(ByteWriter& w, std::size_t budget) override {
+    const std::size_t start = w.size();
+    do {
+      wire::write_stream_symbol(w, encoder_.produce_next(), checksum_len_);
+    } while (w.size() - start < budget);
+    return w.size() - start;
+  }
+
+  void handle_round_request(std::span<const std::byte>) override {
+    throw ProtocolError("riblt: rateless backend takes no round requests");
+  }
+
+  [[nodiscard]] bool rateless() const noexcept override { return true; }
+
+ private:
+  Encoder<T, Hasher> encoder_;
+  std::uint8_t checksum_len_;
+};
+
+template <Symbol T, typename Hasher = SipHasher<T>>
+class RibltDecoderBackend final : public ReconcilerDecoder<T> {
+ public:
+  explicit RibltDecoderBackend(Hasher hasher = Hasher{},
+                               std::uint8_t checksum_len = 8)
+      : decoder_(std::move(hasher)), checksum_len_(checksum_len) {
+    decoder_.set_checksum_mask(wire::checksum_mask(checksum_len));
+  }
+
+  void add_item(const T& item) override { decoder_.add_local_symbol(item); }
+
+  void absorb(std::span<const std::byte> payload) override {
+    ByteReader r(payload);
+    while (!r.done() && !decoder_.decoded()) {
+      decoder_.add_coded_symbol(wire::read_stream_symbol<T>(r, checksum_len_));
+    }
+    // Symbols past completion (in-flight chunks) are ignored gracefully.
+  }
+
+  [[nodiscard]] bool decoded() const override { return decoder_.decoded(); }
+
+  [[nodiscard]] SetDiff<T> diff() const override {
+    SetDiff<T> out;
+    for (const auto& s : decoder_.remote()) out.remote.push_back(s.symbol);
+    for (const auto& s : decoder_.local()) out.local.push_back(s.symbol);
+    return out;
+  }
+
+  [[nodiscard]] std::optional<std::vector<std::byte>> round_request() override {
+    return std::nullopt;
+  }
+
+ private:
+  Decoder<T, Hasher> decoder_;
+  std::uint8_t checksum_len_;
+};
+
+// ------------------------------------------------- Regular IBLT + strata
+
+/// The deployed-systems baseline (paper Fig 7 "Regular IBLT + Estimator"):
+/// round 0 ships a strata estimator; the decoder sizes an IBLT from the
+/// estimate and requests it; undersized tables double until the peel
+/// succeeds. Round requests carry the requested cell count as a uvarint.
+template <Symbol T, typename Hasher = SipHasher<T>>
+class IbltStrataEncoderBackend final : public ReconcilerEncoder<T> {
+ public:
+  explicit IbltStrataEncoderBackend(Hasher hasher = Hasher{},
+                                    ReconcilerConfig config = {})
+      : hasher_(std::move(hasher)), config_(std::move(config)) {}
+
+  void add_item(const T& item) override { items_.push_back(item); }
+
+  std::size_t emit(ByteWriter& w, std::size_t) override {
+    if (!estimator_sent_) {
+      iblt::StrataEstimator<T, Hasher> est(config_.strata_num_strata,
+                                           config_.strata_cells_per_stratum,
+                                           config_.iblt_k, hasher_);
+      for (const T& x : items_) est.add_symbol(x);
+      const auto payload = est.serialize();
+      w.bytes(payload);
+      estimator_sent_ = true;
+      return payload.size();
+    }
+    if (pending_cells_ == 0) return 0;  // waiting for a round request
+    // Fresh salt each round decorrelates retry placements from the failed
+    // attempt (and from other sessions reusing the same cell count).
+    const std::uint64_t salt = 0x49424c5453414c54ULL ^ (round_ * 0x9e37ULL);
+    iblt::Iblt<T, Hasher> table(pending_cells_, config_.iblt_k, hasher_, salt);
+    for (const T& x : items_) table.add_symbol(x);
+    const auto payload = iblt::wire::serialize(table, salt);
+    w.bytes(payload);
+    pending_cells_ = 0;
+    return payload.size();
+  }
+
+  void handle_round_request(std::span<const std::byte> request) override {
+    ByteReader r(request);
+    const std::uint64_t cells = r.uvarint();
+    if (!r.done()) throw ProtocolError("iblt+strata: malformed round request");
+    if (cells == 0 || cells > kMaxRequestCells) {
+      throw ProtocolError("iblt+strata: requested cell count out of range");
+    }
+    pending_cells_ = static_cast<std::size_t>(cells);
+    ++round_;
+  }
+
+  [[nodiscard]] bool rateless() const noexcept override { return false; }
+
+  static constexpr std::uint64_t kMaxRequestCells = 1ull << 26;
+
+ private:
+  Hasher hasher_;
+  ReconcilerConfig config_;
+  std::vector<T> items_;
+  bool estimator_sent_ = false;
+  std::size_t pending_cells_ = 0;
+  std::uint64_t round_ = 0;
+};
+
+template <Symbol T, typename Hasher = SipHasher<T>>
+class IbltStrataDecoderBackend final : public ReconcilerDecoder<T> {
+ public:
+  explicit IbltStrataDecoderBackend(Hasher hasher = Hasher{},
+                                    ReconcilerConfig config = {})
+      : hasher_(std::move(hasher)), config_(std::move(config)) {}
+
+  void add_item(const T& item) override { items_.push_back(item); }
+
+  void absorb(std::span<const std::byte> payload) override {
+    if (decoded_) return;  // stale in-flight chunk
+    if (!estimate_) {
+      auto remote = iblt::StrataEstimator<T, Hasher>::deserialize(payload,
+                                                                  hasher_);
+      if (remote.num_strata() != config_.strata_num_strata) {
+        throw ProtocolError("iblt+strata: estimator shape mismatch");
+      }
+      iblt::StrataEstimator<T, Hasher> local(
+          config_.strata_num_strata, config_.strata_cells_per_stratum,
+          config_.iblt_k, hasher_);
+      for (const T& x : items_) local.add_symbol(x);
+      remote.subtract(local);
+      estimate_ = std::max<std::uint64_t>(remote.estimate(), 1);
+      // Strata estimates over/undershoot by ~1.5-2x (SIGCOMM'11 §3), so the
+      // first table over-provisions 2 cells per estimated difference; a
+      // failed peel doubles from there.
+      request_cells_ = std::max<std::size_t>(
+          config_.iblt_min_cells, 2 * static_cast<std::size_t>(*estimate_));
+      return;
+    }
+    const auto parsed = iblt::wire::parse<T>(payload);
+    iblt::Iblt<T, Hasher> diff(parsed.cells.size(), parsed.k, hasher_,
+                               parsed.salt);
+    diff.load_cells(parsed.cells);
+    iblt::Iblt<T, Hasher> local(parsed.cells.size(), parsed.k, hasher_,
+                                parsed.salt);
+    for (const T& x : items_) local.add_symbol(x);
+    diff.subtract(local);
+    auto result = diff.decode();
+    if (result.success) {
+      decoded_ = true;
+      diff_.remote.clear();
+      diff_.local.clear();
+      for (const auto& s : result.remote) diff_.remote.push_back(s.symbol);
+      for (const auto& s : result.local) diff_.local.push_back(s.symbol);
+    } else {
+      request_cells_ = parsed.cells.size() * 2;  // undersized: double
+    }
+  }
+
+  [[nodiscard]] bool decoded() const override { return decoded_; }
+
+  [[nodiscard]] SetDiff<T> diff() const override { return diff_; }
+
+  [[nodiscard]] std::optional<std::vector<std::byte>> round_request() override {
+    if (decoded_ || request_cells_ == 0) return std::nullopt;
+    ByteWriter w;
+    w.uvarint(request_cells_);
+    request_cells_ = 0;
+    return std::move(w).take();
+  }
+
+ private:
+  Hasher hasher_;
+  ReconcilerConfig config_;
+  std::vector<T> items_;
+  std::optional<std::uint64_t> estimate_;
+  std::size_t request_cells_ = 0;
+  bool decoded_ = false;
+  SetDiff<T> diff_;
+};
+
+// ------------------------------------------------------------------- CPI
+
+/// Characteristic-polynomial interpolation (MTZ'03) with capacity
+/// escalation. Because the evaluation points are fixed per index, a
+/// capacity-c sketch's evaluations are a prefix of any larger one's -- each
+/// round ships only the new evaluations (rate-compatible, like the
+/// Lazaro-Matuz framing). 8-byte items only; items must be nonzero.
+/// Payload: uvarint total_capacity | uvarint set_size | uvarint n | n * u64.
+/// Round request: uvarint new_capacity.
+class CpiEncoderBackend final : public ReconcilerEncoder<U64Symbol> {
+ public:
+  explicit CpiEncoderBackend(ReconcilerConfig config = {})
+      : capacity_(config.cpi_initial_capacity) {
+    if (capacity_ == 0) throw ProtocolError("cpi: zero initial capacity");
+  }
+
+  void add_item(const U64Symbol& item) override { items_.push_back(item); }
+
+  std::size_t emit(ByteWriter& w, std::size_t) override {
+    if (emitted_points_ >= capacity_) return 0;  // waiting for escalation
+    // Only the new evaluation points are computed (O(n) each); the prefix
+    // already went out in earlier rounds and is never recomputed.
+    const std::size_t start = w.size();
+    w.uvarint(capacity_);
+    w.uvarint(items_.size());
+    w.uvarint(capacity_ - emitted_points_);
+    for (std::size_t j = emitted_points_; j < capacity_; ++j) {
+      w.u64(cpi::CpiSketch::evaluate_at(items_, j).bits());
+    }
+    emitted_points_ = capacity_;
+    return w.size() - start;
+  }
+
+  void handle_round_request(std::span<const std::byte> request) override {
+    ByteReader r(request);
+    const std::uint64_t capacity = r.uvarint();
+    if (!r.done()) throw ProtocolError("cpi: malformed round request");
+    if (capacity <= capacity_ || capacity > kMaxCapacity) {
+      throw ProtocolError("cpi: requested capacity out of range");
+    }
+    capacity_ = static_cast<std::size_t>(capacity);
+  }
+
+  [[nodiscard]] bool rateless() const noexcept override { return false; }
+
+  static constexpr std::uint64_t kMaxCapacity = 1ull << 20;
+
+ private:
+  std::vector<U64Symbol> items_;
+  std::size_t capacity_;
+  std::size_t emitted_points_ = 0;
+};
+
+class CpiDecoderBackend final : public ReconcilerDecoder<U64Symbol> {
+ public:
+  explicit CpiDecoderBackend(ReconcilerConfig = {}) {}
+
+  void add_item(const U64Symbol& item) override { items_.push_back(item); }
+
+  void absorb(std::span<const std::byte> payload) override {
+    if (decoded_) return;
+    ByteReader r(payload);
+    const std::uint64_t capacity = r.uvarint();
+    const std::uint64_t remote_size = r.uvarint();
+    const std::uint64_t count = r.uvarint();
+    if (capacity > CpiEncoderBackend::kMaxCapacity ||
+        evals_.size() + count != capacity) {
+      throw ProtocolError("cpi: evaluation count out of sequence");
+    }
+    if (count > r.remaining() / 8) {
+      throw ProtocolError("cpi: evaluation count exceeds payload");
+    }
+    for (std::uint64_t i = 0; i < count; ++i) {
+      evals_.emplace_back(r.u64());
+    }
+    if (!r.done()) throw ProtocolError("cpi: trailing bytes in payload");
+
+    const auto remote = cpi::CpiSketch::from_evaluations(
+        evals_, static_cast<std::size_t>(remote_size));
+    // Extend the local evaluations incrementally (mirror of the encoder):
+    // only the new points cost O(n) each; earlier rounds' work is kept.
+    for (std::size_t j = local_evals_.size(); j < evals_.size(); ++j) {
+      local_evals_.push_back(cpi::CpiSketch::evaluate_at(items_, j));
+    }
+    const auto local =
+        cpi::CpiSketch::from_evaluations(local_evals_, items_.size());
+    auto result = cpi::CpiSketch::reconcile(remote, local);
+    if (result.success) {
+      decoded_ = true;
+      diff_.remote = std::move(result.alice_only);
+      diff_.local = std::move(result.bob_only);
+    } else if (evals_.size() >= CpiEncoderBackend::kMaxCapacity) {
+      // Dead end, not a protocol violation: report it as such instead of
+      // letting the encoder reject an over-the-cap escalation request.
+      throw ProtocolError("cpi: difference exceeds the maximum capacity");
+    } else {
+      request_capacity_ = std::min<std::size_t>(
+          evals_.size() * 2, CpiEncoderBackend::kMaxCapacity);
+    }
+  }
+
+  [[nodiscard]] bool decoded() const override { return decoded_; }
+
+  [[nodiscard]] SetDiff<U64Symbol> diff() const override { return diff_; }
+
+  [[nodiscard]] std::optional<std::vector<std::byte>> round_request() override {
+    if (decoded_ || request_capacity_ == 0) return std::nullopt;
+    ByteWriter w;
+    w.uvarint(request_capacity_);
+    request_capacity_ = 0;
+    return std::move(w).take();
+  }
+
+ private:
+  std::vector<U64Symbol> items_;
+  std::vector<pinsketch::GF64> evals_;        ///< peer's chi_A(e_j), cumulative
+  std::vector<pinsketch::GF64> local_evals_;  ///< own chi_B(e_j), cumulative
+  std::size_t request_capacity_ = 0;
+  bool decoded_ = false;
+  SetDiff<U64Symbol> diff_;
+};
+
+// -------------------------------------------------------------- MET-IBLT
+
+/// Rate-compatible MET-IBLT (paper's [16]): the table's extension blocks
+/// stream level by level; the decoder re-tries the peel over the cumulative
+/// prefix after each block. Both ends must construct from the same
+/// MetConfig. Payload: uvarint level | uvarint n | n raw cells.
+/// Round request: uvarint next_level.
+template <Symbol T, typename Hasher = SipHasher<T>>
+class MetIbltEncoderBackend final : public ReconcilerEncoder<T> {
+ public:
+  explicit MetIbltEncoderBackend(Hasher hasher = Hasher{},
+                                 ReconcilerConfig config = {})
+      : table_(config.met, std::move(hasher)) {}
+
+  void add_item(const T& item) override { table_.add_symbol(item); }
+
+  std::size_t emit(ByteWriter& w, std::size_t) override {
+    if (next_level_ > armed_level_ || next_level_ >= table_.num_levels()) {
+      return 0;  // waiting for the peer to request the next block
+    }
+    const std::size_t lo =
+        next_level_ == 0 ? 0 : table_.boundary(next_level_ - 1);
+    const std::size_t hi = table_.boundary(next_level_);
+    const std::size_t start = w.size();
+    w.uvarint(next_level_);
+    w.uvarint(hi - lo);
+    for (std::size_t i = lo; i < hi; ++i) {
+      wire::write_stream_symbol(w, table_.cells()[i]);
+    }
+    ++next_level_;
+    return w.size() - start;
+  }
+
+  void handle_round_request(std::span<const std::byte> request) override {
+    ByteReader r(request);
+    const std::uint64_t level = r.uvarint();
+    if (!r.done()) throw ProtocolError("met-iblt: malformed round request");
+    if (level != next_level_ || level >= table_.num_levels()) {
+      throw ProtocolError("met-iblt: round request out of sequence");
+    }
+    armed_level_ = static_cast<std::size_t>(level);
+  }
+
+  [[nodiscard]] bool rateless() const noexcept override { return false; }
+
+ private:
+  metiblt::MetIblt<T, Hasher> table_;
+  std::size_t next_level_ = 0;   ///< next block to transmit
+  std::size_t armed_level_ = 0;  ///< deepest block the peer asked for
+};
+
+template <Symbol T, typename Hasher = SipHasher<T>>
+class MetIbltDecoderBackend final : public ReconcilerDecoder<T> {
+ public:
+  explicit MetIbltDecoderBackend(Hasher hasher = Hasher{},
+                                 ReconcilerConfig config = {})
+      : table_(config.met, std::move(hasher)) {}
+
+  void add_item(const T& item) override { table_.add_symbol(item); }
+
+  void absorb(std::span<const std::byte> payload) override {
+    if (decoded_) return;
+    ByteReader r(payload);
+    const std::uint64_t level = r.uvarint();
+    const std::uint64_t count = r.uvarint();
+    if (level != levels_received_ || level >= table_.num_levels()) {
+      throw ProtocolError("met-iblt: block out of sequence");
+    }
+    const std::size_t lo = level == 0 ? 0 : table_.boundary(level - 1);
+    const std::size_t expect = table_.boundary(level) - lo;
+    if (count != expect) {
+      throw ProtocolError("met-iblt: block cell count mismatch");
+    }
+    const std::size_t min_cell = T::kSize + 8 + 1;
+    if (count > r.remaining() / min_cell) {
+      throw ProtocolError("met-iblt: block exceeds payload size");
+    }
+    for (std::uint64_t i = 0; i < count; ++i) {
+      CodedSymbol<T> cell = wire::read_stream_symbol<T>(r);
+      // Subtract the local table's matching cell on arrival: diff_cells_
+      // always holds difference cells for the received prefix.
+      cell.subtract(table_.cells()[diff_cells_.size()]);
+      diff_cells_.push_back(cell);
+    }
+    if (!r.done()) throw ProtocolError("met-iblt: trailing bytes in block");
+    levels_received_ = static_cast<std::size_t>(level) + 1;
+
+    auto result = table_.decode_prefix_over(
+        diff_cells_, static_cast<std::size_t>(level));
+    if (result.success) {
+      decoded_ = true;
+      diff_.remote.clear();
+      diff_.local.clear();
+      for (const auto& s : result.remote) diff_.remote.push_back(s.symbol);
+      for (const auto& s : result.local) diff_.local.push_back(s.symbol);
+    } else if (levels_received_ < table_.num_levels()) {
+      request_level_ = levels_received_;
+    } else {
+      throw ProtocolError(
+          "met-iblt: difference exceeds the deepest extension block");
+    }
+  }
+
+  [[nodiscard]] bool decoded() const override { return decoded_; }
+
+  [[nodiscard]] SetDiff<T> diff() const override { return diff_; }
+
+  [[nodiscard]] std::optional<std::vector<std::byte>> round_request() override {
+    if (decoded_ || !request_level_) return std::nullopt;
+    ByteWriter w;
+    w.uvarint(*request_level_);
+    request_level_.reset();
+    return std::move(w).take();
+  }
+
+ private:
+  metiblt::MetIblt<T, Hasher> table_;
+  std::vector<CodedSymbol<T>> diff_cells_;  ///< received minus local prefix
+  std::size_t levels_received_ = 0;
+  std::optional<std::size_t> request_level_;
+  bool decoded_ = false;
+  SetDiff<T> diff_;
+};
+
+// -------------------------------------------------------------- Factories
+
+/// Builds the encode side of `backend`. Throws ProtocolError for unusable
+/// combinations (CPI with non-8-byte items).
+template <Symbol T, typename Hasher = SipHasher<T>>
+[[nodiscard]] std::unique_ptr<ReconcilerEncoder<T>> make_reconciler_encoder(
+    BackendId backend, const ReconcilerConfig& config = {},
+    Hasher hasher = Hasher{}) {
+  switch (backend) {
+    case BackendId::kRiblt:
+      return std::make_unique<RibltEncoderBackend<T, Hasher>>(
+          std::move(hasher), config.checksum_len);
+    case BackendId::kIbltStrata:
+      return std::make_unique<IbltStrataEncoderBackend<T, Hasher>>(
+          std::move(hasher), config);
+    case BackendId::kCpi:
+      if constexpr (std::is_same_v<T, U64Symbol>) {
+        return std::make_unique<CpiEncoderBackend>(config);
+      } else {
+        throw ProtocolError("cpi backend requires 8-byte items");
+      }
+    case BackendId::kMetIblt:
+      return std::make_unique<MetIbltEncoderBackend<T, Hasher>>(
+          std::move(hasher), config);
+  }
+  throw ProtocolError("unknown backend id");
+}
+
+/// Builds the decode side of `backend`; same restrictions as the encoder
+/// factory.
+template <Symbol T, typename Hasher = SipHasher<T>>
+[[nodiscard]] std::unique_ptr<ReconcilerDecoder<T>> make_reconciler_decoder(
+    BackendId backend, const ReconcilerConfig& config = {},
+    Hasher hasher = Hasher{}) {
+  switch (backend) {
+    case BackendId::kRiblt:
+      return std::make_unique<RibltDecoderBackend<T, Hasher>>(
+          std::move(hasher), config.checksum_len);
+    case BackendId::kIbltStrata:
+      return std::make_unique<IbltStrataDecoderBackend<T, Hasher>>(
+          std::move(hasher), config);
+    case BackendId::kCpi:
+      if constexpr (std::is_same_v<T, U64Symbol>) {
+        return std::make_unique<CpiDecoderBackend>(config);
+      } else {
+        throw ProtocolError("cpi backend requires 8-byte items");
+      }
+    case BackendId::kMetIblt:
+      return std::make_unique<MetIbltDecoderBackend<T, Hasher>>(
+          std::move(hasher), config);
+  }
+  throw ProtocolError("unknown backend id");
+}
+
+}  // namespace ribltx::sync

@@ -1,0 +1,397 @@
+// Tests for the multi-session SyncEngine and its v2 wire protocol: the
+// cross-backend parity matrix (acceptance criterion: all four backends
+// through one engine recover the identical symmetric difference), the
+// 3-peer concurrent-session scenario, the per-session state machine, and
+// error containment.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "sync/engine.hpp"
+#include "testutil.hpp"
+
+namespace ribltx::sync {
+namespace {
+
+using testing::key_set;
+using testing::make_set_pair;
+using Item32 = ByteSymbol<32>;
+
+constexpr BackendId kAllBackends[] = {BackendId::kRiblt,
+                                      BackendId::kIbltStrata, BackendId::kCpi,
+                                      BackendId::kMetIblt};
+
+/// Round-robin loopback pump: interleaves one frame per client per pass so
+/// concurrent sessions genuinely overlap on the engine. Client responses
+/// (ROUND/DONE) are delivered to the engine inline; any engine responses
+/// (ERROR) go back to the client.
+template <Symbol T, typename Hasher>
+void pump_engine(SyncEngine<T, Hasher>& engine,
+                 std::vector<SyncClient<T, Hasher>*> clients,
+                 std::size_t max_frames = 1'000'000) {
+  for (auto* client : clients) {
+    if (client->started()) continue;  // caller already delivered HELLO
+    for (const auto& response : engine.handle_frame(client->hello())) {
+      (void)client->handle_frame(response);
+    }
+  }
+  std::size_t frames = 0;
+  bool progress = true;
+  while (progress && frames < max_frames) {
+    progress = false;
+    for (auto* client : clients) {
+      if (client->complete() || client->failed()) continue;
+      const auto frame = engine.next_frame(client->session_id());
+      if (!frame) continue;
+      progress = true;
+      ++frames;
+      for (const auto& reply : client->handle_frame(*frame)) {
+        for (const auto& response : engine.handle_frame(reply)) {
+          (void)client->handle_frame(response);
+        }
+      }
+    }
+  }
+}
+
+template <Symbol T>
+void expect_diff_matches(const SetDiff<T>& diff,
+                         const testing::SetPair<T>& w) {
+  REQUIRE_EQ(diff.remote.size(), w.only_a.size());
+  REQUIRE_EQ(diff.local.size(), w.only_b.size());
+  CHECK(key_set(diff.remote) == key_set(w.only_a));
+  CHECK(key_set(diff.local) == key_set(w.only_b));
+}
+
+// Acceptance criterion: for random sets with d in {1, 10, 100, 1000},
+// every backend driven through the same SyncEngine recovers the identical
+// symmetric difference.
+TEST(Engine, CrossBackendParityAcrossDifferenceSizes) {
+  struct Case {
+    std::size_t shared, only_a, only_b;
+  };
+  const Case cases[] = {
+      {500, 1, 0}, {500, 6, 4}, {800, 55, 45}, {1000, 520, 480}};
+  std::uint64_t seed = 100;
+  for (const Case& c : cases) {
+    const auto w =
+        make_set_pair<U64Symbol>(c.shared, c.only_a, c.only_b, ++seed);
+    const auto want_remote = key_set(w.only_a);
+    const auto want_local = key_set(w.only_b);
+    SyncEngine<U64Symbol> engine;
+    for (const auto& x : w.a) engine.add_item(x);
+    std::uint64_t sid = 0;
+    for (const BackendId backend : kAllBackends) {
+      SyncClient<U64Symbol> client(++sid, backend);
+      for (const auto& y : w.b) client.add_item(y);
+      pump_engine<U64Symbol, SipHasher<U64Symbol>>(engine, {&client});
+      REQUIRE(client.complete());
+      REQUIRE_EQ(client.diff().remote.size(), c.only_a);
+      REQUIRE_EQ(client.diff().local.size(), c.only_b);
+      CHECK(key_set(client.diff().remote) == want_remote);
+      CHECK(key_set(client.diff().local) == want_local);
+      const SessionStats* stats = engine.session(sid);
+      REQUIRE(stats != nullptr);
+      CHECK(stats->state == SessionState::kDone);
+      CHECK(stats->backend == backend);
+      CHECK(stats->bytes_to_peer > 0u);
+      CHECK_EQ(stats->done_value, client.payload_bytes());
+    }
+    CHECK_EQ(engine.session_count(), 4u);
+  }
+}
+
+// Acceptance criterion: three peers with divergent sets reconcile
+// concurrently against one server instance.
+TEST(Engine, ThreePeersReconcileConcurrently) {
+  constexpr std::size_t kShared = 2000;
+  const auto base = make_set_pair<Item32>(kShared, 40, 0, 7);  // server +40
+  SyncEngine<Item32> engine;
+  for (const auto& x : base.a) engine.add_item(x);
+
+  // Peer i is missing the last `missing[i]` shared items and holds
+  // `extra[i]` items of its own -- three different staleness profiles over
+  // three different backends.
+  const std::size_t missing[] = {5, 60, 700};
+  const std::size_t extra[] = {3, 17, 250};
+  const BackendId backends[] = {BackendId::kRiblt, BackendId::kIbltStrata,
+                                BackendId::kMetIblt};
+  std::vector<SyncClient<Item32>> clients;
+  clients.reserve(3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    clients.emplace_back(i + 1, backends[i]);
+    for (std::size_t j = 0; j < base.b.size() - missing[i]; ++j) {
+      clients[i].add_item(base.b[j]);
+    }
+    for (std::size_t j = 0; j < extra[i]; ++j) {
+      clients[i].add_item(Item32::random(derive_seed(990 + i, j)));
+    }
+  }
+  pump_engine<Item32, SipHasher<Item32>>(
+      engine, {&clients[0], &clients[1], &clients[2]});
+
+  for (std::size_t i = 0; i < 3; ++i) {
+    REQUIRE(clients[i].complete());
+    // Remote = the server's 40 exclusive items plus the peer's missing
+    // tail; local = the peer's extra items.
+    CHECK_EQ(clients[i].diff().remote.size(), 40 + missing[i]);
+    CHECK_EQ(clients[i].diff().local.size(), extra[i]);
+    const SessionStats* stats = engine.session(i + 1);
+    REQUIRE(stats != nullptr);
+    CHECK(stats->state == SessionState::kDone);
+  }
+  CHECK_EQ(engine.session_count(), 3u);
+  CHECK_EQ(engine.active_count(), 0u);
+}
+
+TEST(Engine, NarrowChecksumNegotiation) {
+  const auto w = make_set_pair<Item32>(300, 4, 4, 9);
+  SyncEngine<Item32> engine;
+  for (const auto& x : w.a) engine.add_item(x);
+
+  // riblt honors the narrow request end-to-end...
+  ReconcilerConfig narrow;
+  narrow.checksum_len = 4;
+  SyncClient<Item32> riblt(1, BackendId::kRiblt, {}, narrow);
+  for (const auto& y : w.b) riblt.add_item(y);
+  pump_engine<Item32, SipHasher<Item32>>(engine, {&riblt});
+  REQUIRE(riblt.complete());
+  CHECK_EQ(riblt.checksum_len(), 4);
+  CHECK_EQ(engine.session(1)->checksum_len, 4);
+  expect_diff_matches(riblt.diff(), w);
+
+  // ...while a fixed-width backend clamps the request back to 8.
+  SyncClient<Item32> strata(2, BackendId::kIbltStrata, {}, narrow);
+  for (const auto& y : w.b) strata.add_item(y);
+  pump_engine<Item32, SipHasher<Item32>>(engine, {&strata});
+  REQUIRE(strata.complete());
+  CHECK_EQ(strata.checksum_len(), 8);
+  CHECK_EQ(engine.session(2)->checksum_len, 8);
+}
+
+TEST(Engine, RejectsStateMachineViolations) {
+  SyncEngine<Item32> engine;
+  engine.add_item(Item32::random(1));
+  SyncClient<Item32> client(7, BackendId::kRiblt);
+  client.add_item(Item32::random(2));
+  const auto hello = client.hello();
+  (void)engine.handle_frame(hello);
+
+  // Duplicate HELLO for a live session.
+  EXPECT_THROW((void)engine.handle_frame(hello), ProtocolError);
+  // ROUND/DONE for sessions that never said HELLO.
+  v2::Frame round;
+  round.type = v2::FrameType::kRound;
+  round.session_id = 99;
+  EXPECT_THROW((void)engine.handle_frame(v2::encode_frame(round)),
+               ProtocolError);
+  v2::Frame done;
+  done.type = v2::FrameType::kDone;
+  done.session_id = 99;
+  EXPECT_THROW((void)engine.handle_frame(v2::encode_frame(done)),
+               ProtocolError);
+  // Session id 0 is reserved.
+  v2::Frame zero = done;
+  zero.session_id = 0;
+  EXPECT_THROW((void)engine.handle_frame(v2::encode_frame(zero)),
+               ProtocolError);
+  // Empty frame.
+  EXPECT_THROW((void)engine.handle_frame({}), ProtocolError);
+}
+
+TEST(Engine, ClientRejectsSymbolsBeforeHello) {
+  // A SYMBOLS frame arriving before the client ever said HELLO must be
+  // rejected by the client's own state machine.
+  v2::Frame symbols;
+  symbols.type = v2::FrameType::kSymbols;
+  symbols.session_id = 3;
+  symbols.payload.assign(4, std::byte{0x00});
+  SyncClient<Item32> idle(3, BackendId::kRiblt);
+  EXPECT_THROW((void)idle.handle_frame(v2::encode_frame(symbols)),
+               ProtocolError);
+  // Also rejected between HELLO and the server's ACK.
+  SyncClient<Item32> waiting(3, BackendId::kRiblt);
+  (void)waiting.hello();
+  EXPECT_THROW((void)waiting.handle_frame(v2::encode_frame(symbols)),
+               ProtocolError);
+  // And frames addressed to some other session never touch this one.
+  v2::Frame other = symbols;
+  other.session_id = 4;
+  EXPECT_THROW((void)idle.handle_frame(v2::encode_frame(other)),
+               ProtocolError);
+  // A non-conforming server's ACK (checksum width outside {4, 8}) is a
+  // ProtocolError too, not a leaked invalid_argument from the codec layer.
+  v2::Frame ack;
+  ack.type = v2::FrameType::kHelloAck;
+  ack.session_id = 3;
+  ack.backend = static_cast<std::uint8_t>(BackendId::kRiblt);
+  ack.checksum_len = 5;
+  EXPECT_THROW((void)waiting.handle_frame(v2::encode_frame(ack)),
+               ProtocolError);
+}
+
+TEST(Engine, RejectsNegotiationMismatches) {
+  SyncEngine<Item32> engine;
+  v2::Frame hello;
+  hello.type = v2::FrameType::kHello;
+  hello.session_id = 1;
+  hello.backend = static_cast<std::uint8_t>(BackendId::kRiblt);
+  hello.item_size = 16;  // engine serves 32-byte items
+  hello.checksum_len = 8;
+  EXPECT_THROW((void)engine.handle_frame(v2::encode_frame(hello)),
+               ProtocolError);
+  hello.item_size = 32;
+  hello.backend = 0x7f;  // unknown backend
+  EXPECT_THROW((void)engine.handle_frame(v2::encode_frame(hello)),
+               ProtocolError);
+  hello.backend = static_cast<std::uint8_t>(BackendId::kRiblt);
+  hello.checksum_len = 5;  // not 4 or 8
+  EXPECT_THROW((void)engine.handle_frame(v2::encode_frame(hello)),
+               ProtocolError);
+  // CPI needs 8-byte items: negotiation fails at HELLO, loudly.
+  hello.checksum_len = 8;
+  hello.backend = static_cast<std::uint8_t>(BackendId::kCpi);
+  EXPECT_THROW((void)engine.handle_frame(v2::encode_frame(hello)),
+               ProtocolError);
+}
+
+TEST(Engine, ContainsPerSessionFailures) {
+  // Session 1 (healthy) and session 2 (about to be poisoned) share the
+  // engine; session 2's failure must not disturb session 1.
+  const auto w = make_set_pair<Item32>(500, 8, 6, 11);
+  SyncEngine<Item32> engine;
+  for (const auto& x : w.a) engine.add_item(x);
+
+  SyncClient<Item32> healthy(1, BackendId::kRiblt);
+  for (const auto& y : w.b) healthy.add_item(y);
+  for (const auto& response : engine.handle_frame(healthy.hello())) {
+    (void)healthy.handle_frame(response);
+  }
+
+  SyncClient<Item32> victim(2, BackendId::kMetIblt);
+  for (const auto& y : w.b) victim.add_item(y);
+  for (const auto& response : engine.handle_frame(victim.hello())) {
+    (void)victim.handle_frame(response);
+  }
+
+  // Poison session 2 with a malformed ROUND request.
+  v2::Frame poison;
+  poison.type = v2::FrameType::kRound;
+  poison.session_id = 2;
+  poison.payload.assign(3, std::byte{0xff});
+  const auto responses = engine.handle_frame(v2::encode_frame(poison));
+  REQUIRE_EQ(responses.size(), 1u);
+  (void)victim.handle_frame(responses[0]);
+  CHECK(victim.failed());
+  CHECK(!victim.error().empty());
+  const SessionStats* poisoned = engine.session(2);
+  REQUIRE(poisoned != nullptr);
+  CHECK(poisoned->state == SessionState::kFailed);
+  CHECK(engine.next_frame(2) == std::nullopt);  // failed sessions go quiet
+
+  // The healthy session still reconciles to completion.
+  pump_engine<Item32, SipHasher<Item32>>(engine, {&healthy});
+  REQUIRE(healthy.complete());
+  expect_diff_matches(healthy.diff(), w);
+  CHECK(engine.session(1)->state == SessionState::kDone);
+}
+
+TEST(Engine, ClientAbortPropagatesToServer) {
+  // A difference past MET-IBLT's deepest extension block is a data-path
+  // dead end, not malformed input: the client contains it, aborts the
+  // session with an ERROR frame, and the server marks the session failed
+  // instead of holding it active forever.
+  ReconcilerConfig tiny;
+  tiny.met.targets = {4, 8};
+  tiny.met.level_overheads = {3.4, 2.0};
+  EngineOptions options;
+  options.config = tiny;
+  SyncEngine<U64Symbol> engine({}, options);
+  const auto w = make_set_pair<U64Symbol>(50, 30, 25, 13);  // d = 55 >> 8
+  for (const auto& x : w.a) engine.add_item(x);
+  SyncClient<U64Symbol> client(1, BackendId::kMetIblt, {}, tiny);
+  for (const auto& y : w.b) client.add_item(y);
+  pump_engine<U64Symbol, SipHasher<U64Symbol>>(engine, {&client});
+  CHECK(client.failed());
+  CHECK(!client.error().empty());
+  const SessionStats* stats = engine.session(1);
+  REQUIRE(stats != nullptr);
+  CHECK(stats->state == SessionState::kFailed);
+  CHECK_EQ(stats->error.rfind("peer abort", 0), 0u);
+  CHECK(engine.next_frame(1) == std::nullopt);
+}
+
+TEST(Engine, RoundLimitFailsTheSessionNotTheEngine) {
+  EngineOptions options;
+  options.max_rounds = 1;
+  SyncEngine<U64Symbol> engine({}, options);
+  const auto w = make_set_pair<U64Symbol>(100, 60, 50, 12);  // d=110
+  for (const auto& x : w.a) engine.add_item(x);
+  ReconcilerConfig config;
+  config.cpi_initial_capacity = 4;  // needs many escalations; cap is 1
+  SyncClient<U64Symbol> client(1, BackendId::kCpi, {}, config);
+  for (const auto& y : w.b) client.add_item(y);
+  pump_engine<U64Symbol, SipHasher<U64Symbol>>(engine, {&client});
+  CHECK(client.failed());
+  CHECK(engine.session(1)->state == SessionState::kFailed);
+  CHECK_EQ(engine.session(1)->error, "round limit exceeded");
+}
+
+TEST(Engine, FrameParserRejectsGarbage) {
+  // Empty frames, unknown types, truncations, trailing bytes, zero session
+  // ids: all specific ProtocolErrors, never UB (exercised under ASan).
+  EXPECT_THROW((void)v2::parse_frame({}), ProtocolError);
+  const std::vector<std::byte> unknown{std::byte{0x42}, std::byte{0x01}};
+  EXPECT_THROW((void)v2::parse_frame(unknown), ProtocolError);
+
+  v2::Frame frame;
+  frame.type = v2::FrameType::kSymbols;
+  frame.session_id = 5;
+  frame.payload.assign(32, std::byte{0xab});
+  const auto encoded = v2::encode_frame(frame);
+  const auto parsed = v2::parse_frame(encoded);
+  CHECK(parsed.type == v2::FrameType::kSymbols);
+  CHECK_EQ(parsed.session_id, 5u);
+  CHECK(parsed.payload == frame.payload);
+  for (std::size_t cut = 1; cut < encoded.size(); ++cut) {
+    std::vector<std::byte> truncated(encoded.begin(),
+                                     encoded.begin() + static_cast<std::ptrdiff_t>(cut));
+    EXPECT_THROW((void)v2::parse_frame(truncated), ProtocolError);
+  }
+  auto trailing = encoded;
+  trailing.push_back(std::byte{0});
+  EXPECT_THROW((void)v2::parse_frame(trailing), ProtocolError);
+
+  // A payload length claiming more bytes than the frame holds.
+  ByteWriter w;
+  w.u8(static_cast<std::uint8_t>(v2::FrameType::kRound));
+  w.uvarint(5);
+  w.uvarint(1u << 30);
+  w.u8(0xaa);
+  EXPECT_THROW((void)v2::parse_frame(w.view()), ProtocolError);
+
+  // Zero session id.
+  v2::Frame zero = frame;
+  zero.session_id = 0;
+  EXPECT_THROW((void)v2::parse_frame(v2::encode_frame(zero)), ProtocolError);
+}
+
+TEST(Engine, SessionLimitAndClose) {
+  EngineOptions options;
+  options.max_sessions = 1;
+  SyncEngine<U64Symbol> engine({}, options);
+  engine.add_item(U64Symbol::random(1));
+  SyncClient<U64Symbol> first(1, BackendId::kRiblt);
+  (void)engine.handle_frame(first.hello());
+  SyncClient<U64Symbol> second(2, BackendId::kRiblt);
+  const auto second_hello = second.hello();
+  EXPECT_THROW((void)engine.handle_frame(second_hello), ProtocolError);
+  CHECK(engine.close_session(1));
+  CHECK(!engine.close_session(1));
+  (void)engine.handle_frame(second_hello);
+  CHECK_EQ(engine.session_count(), 1u);
+}
+
+}  // namespace
+}  // namespace ribltx::sync

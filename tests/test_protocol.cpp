@@ -147,6 +147,74 @@ TEST(Protocol, NextBatchBeforeHelloThrows) {
   EXPECT_THROW(ReconcileServer<Item>({}, 0), std::invalid_argument);
 }
 
+TEST(Protocol, NarrowChecksumNegotiatedEndToEnd) {
+  // A 4-byte-checksum HELLO must be honored by the server (not rejected)
+  // and thread through write/read_stream_symbol on both ends.
+  const auto w = make_set_pair<Item>(400, 12, 9, 8);
+  ReconcileServer<Item> server({}, /*symbols_per_batch=*/16);
+  for (const auto& x : w.a) server.add_symbol(x);
+  ReconcileClient<Item> client({}, /*checksum_len=*/4);
+  for (const auto& y : w.b) client.add_local_symbol(y);
+  const auto frames = pump(server, client, 10'000);
+  ASSERT_TRUE(client.complete());
+  EXPECT_EQ(server.checksum_len(), 4);
+  EXPECT_EQ(client.remote().size(), 12u);
+  EXPECT_EQ(client.local().size(), 9u);
+  EXPECT_GT(frames, 0u);
+
+  // Each 16-symbol batch is 16 * 4 bytes smaller than the wide equivalent.
+  ReconcileServer<Item> wide({}, 16);
+  for (const auto& x : w.a) wide.add_symbol(x);
+  ReconcileClient<Item> wide_client;
+  for (const auto& y : w.b) wide_client.add_local_symbol(y);
+  wide.handle_message(wide_client.hello());
+  ReconcileServer<Item> narrow({}, 16);
+  for (const auto& x : w.a) narrow.add_symbol(x);
+  ReconcileClient<Item> narrow_client({}, 4);
+  for (const auto& y : w.b) narrow_client.add_local_symbol(y);
+  narrow.handle_message(narrow_client.hello());
+  EXPECT_EQ(wide.next_batch()->size() - narrow.next_batch()->size(),
+            16u * 4u);
+
+  EXPECT_THROW(ReconcileClient<Item>({}, 5), std::invalid_argument);
+}
+
+TEST(Protocol, DuplicateHelloRejected) {
+  ReconcileServer<Item> server;
+  ReconcileClient<Item> client;
+  const auto hello = client.hello();
+  server.handle_message(hello);
+  EXPECT_THROW(server.handle_message(hello), ProtocolError);
+}
+
+TEST(Protocol, DoneBeforeHelloRejected) {
+  // A DONE with no preceding HELLO must not silently close the session
+  // (which would make every later legitimate HELLO stream nothing).
+  ReconcileServer<Item> server;
+  ByteWriter w;
+  w.u8(proto::kDone);
+  w.uvarint(12);
+  EXPECT_THROW(server.handle_message(w.view()), ProtocolError);
+  EXPECT_FALSE(server.done());
+}
+
+TEST(Protocol, SymbolsBeforeHelloRejectedByClient) {
+  // Craft a SYMBOLS frame with a sibling session; a client that never sent
+  // HELLO must refuse it instead of silently decoding.
+  ReconcileServer<Item> server({}, 4);
+  server.add_symbol(Item::random(1));
+  ReconcileClient<Item> sender;
+  server.handle_message(sender.hello());
+  const auto batch = *server.next_batch();
+
+  ReconcileClient<Item> client;
+  client.add_local_symbol(Item::random(2));
+  EXPECT_THROW((void)client.handle_message(batch), ProtocolError);
+  // After HELLO the same frame is acceptable.
+  (void)client.hello();
+  EXPECT_NO_THROW((void)client.handle_message(batch));
+}
+
 TEST(Protocol, KeyedSessionsInteroperate) {
   const SipKey key{123, 456};
   const auto w = make_set_pair<Item>(128, 5, 5, 6);
