@@ -1,0 +1,200 @@
+// Extension bench (ISSUE 3 acceptance): server-side cost of opening and
+// starting a rateless session, shared-SequenceCache serving vs the old
+// per-session re-encode, across set sizes n and a fleet of sessions.
+//
+// "hello_us" is the server CPU from HELLO arrival to the first SYMBOLS
+// frame handed to the transport -- the paper's §2 serving model says this
+// must not depend on n (the coded-symbol prefix is universal and cached),
+// while the re-encode baseline pays an O(n) re-hash + heap build per
+// session. Expected shape: shared-cache hello_us flat in n (after the
+// first session materializes the prefix); re-encode hello_us growing
+// linearly; the ratio crossing 10x well before n = 10^6.
+//
+// Also reports cache churn cost (O(log m) per item) while sessions are
+// open, since that is the operation that replaces full re-encodes.
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "benchutil.hpp"
+#include "sync/engine.hpp"
+
+namespace {
+
+using namespace ribltx;
+
+/// Builds the HELLO frame for `sid` directly (no SyncClient: a client
+/// would pay O(n) itself and we are measuring the server).
+std::vector<std::byte> make_hello(std::uint64_t sid) {
+  sync::v2::Frame hello;
+  hello.type = sync::v2::FrameType::kHello;
+  hello.session_id = sid;
+  hello.backend = static_cast<std::uint8_t>(sync::BackendId::kRiblt);
+  hello.item_size = static_cast<std::uint32_t>(U64Symbol::kSize);
+  hello.checksum_len = 8;
+  return sync::v2::encode_frame(hello);
+}
+
+struct ModeResult {
+  double build_s = 0;        ///< one-time set build / hash / warm-up cost
+  double hello_us = 0;       ///< mean HELLO -> first SYMBOLS, per session
+  double sessions_per_s = 0;
+};
+
+/// Shared-cache path: one engine, `sessions` rateless sessions opened
+/// against it; each session measured from HELLO to its first frame. The
+/// very first session triggers the one-time lazy materialization of the
+/// cache prefix; that is warm-up (a server pays it once per lifetime, not
+/// per peer), so it is folded into build_s and the steady-state per-session
+/// cost is what hello_us reports.
+ModeResult run_shared(std::size_t n, std::size_t sessions,
+                      std::uint64_t seed) {
+  ModeResult out;
+  sync::EngineOptions options;
+  options.max_sessions = sessions + 16;
+  sync::SyncEngine<U64Symbol> engine({}, options);
+  bench::Timer build;
+  SplitMix64 rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    engine.add_item(U64Symbol::random(rng.next()));
+  }
+  {
+    const std::uint64_t warm_sid = sessions + 1;
+    (void)engine.handle_frame(make_hello(warm_sid));
+    if (!engine.next_frame(warm_sid)) std::abort();
+    (void)engine.close_session(warm_sid);
+  }
+  out.build_s = build.elapsed();
+
+  bench::Timer serve;
+  for (std::size_t s = 0; s < sessions; ++s) {
+    const std::uint64_t sid = s + 1;
+    (void)engine.handle_frame(make_hello(sid));
+    const auto frame = engine.next_frame(sid);
+    if (!frame) std::abort();  // rateless sessions always have symbols
+  }
+  const double total = serve.elapsed();
+  out.hello_us = total / static_cast<double>(sessions) * 1e6;
+  out.sessions_per_s = static_cast<double>(sessions) / total;
+  return out;
+}
+
+/// Re-encode baseline: what SyncEngine did before the shared cache -- a
+/// fresh standalone rateless encoder per session, fed the whole set, then
+/// the first ~frame worth of symbols.
+ModeResult run_reencode(std::size_t n, std::size_t sessions,
+                        std::uint64_t seed) {
+  ModeResult out;
+  std::vector<U64Symbol> items;
+  items.reserve(n);
+  bench::Timer build;
+  SplitMix64 rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    items.push_back(U64Symbol::random(rng.next()));
+  }
+  out.build_s = build.elapsed();
+
+  bench::Timer serve;
+  for (std::size_t s = 0; s < sessions; ++s) {
+    sync::RibltEncoderBackend<U64Symbol> enc;
+    for (const auto& x : items) enc.add_item(x);
+    ByteWriter payload;
+    if (enc.emit(payload, 1024) == 0) std::abort();
+  }
+  const double total = serve.elapsed();
+  out.hello_us = total / static_cast<double>(sessions) * 1e6;
+  out.sessions_per_s = static_cast<double>(sessions) / total;
+  return out;
+}
+
+/// Churn cost while `open_sessions` snapshot cursors are live: the O(log m)
+/// per-item update that replaces whole-set re-encodes.
+double churn_us_per_item(std::size_t n, std::size_t open_sessions,
+                         std::uint64_t seed) {
+  sync::EngineOptions options;
+  options.max_sessions = open_sessions + 16;
+  sync::SyncEngine<U64Symbol> engine({}, options);
+  SplitMix64 rng(seed);
+  std::vector<U64Symbol> items;
+  items.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    items.push_back(U64Symbol::random(rng.next()));
+    engine.add_item(items.back());
+  }
+  for (std::size_t s = 0; s < open_sessions; ++s) {
+    (void)engine.handle_frame(make_hello(s + 1));
+    (void)engine.next_frame(s + 1);  // pin each session's snapshot cursor
+  }
+  constexpr std::size_t kOps = 512;
+  bench::Timer timer;
+  for (std::size_t i = 0; i < kOps; ++i) {
+    engine.remove_item(items[i]);
+    engine.add_item(U64Symbol::random(rng.next()));
+  }
+  return timer.elapsed() / (2.0 * kOps) * 1e6;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opts = bench::Options::parse(argc, argv);
+  bench::JsonReport report(opts, "extra_serving_throughput");
+
+  std::vector<std::size_t> sizes;
+  if (opts.smoke) {
+    sizes = {1'000};
+  } else if (opts.full) {
+    sizes = {10'000, 100'000, 1'000'000};
+  } else {
+    sizes = {10'000, 100'000};
+  }
+  const std::size_t sessions = opts.pick<std::size_t>(8, 100, 100);
+
+  std::printf("# Extra: rateless serving throughput, shared SequenceCache "
+              "vs per-session re-encode\n");
+  std::printf("# hello_us = server CPU from HELLO to first SYMBOLS frame "
+              "(8-byte items, %zu sessions)\n", sessions);
+  std::printf("%-9s %-10s %-14s %-14s %-14s %-10s %-12s\n", "n", "mode",
+              "build_s", "hello_us", "sessions_per_s", "speedup",
+              "churn_us");
+
+  bool ok = true;
+  for (const std::size_t n : sizes) {
+    // The O(n)-per-session baseline gets a smaller fleet at huge n so the
+    // sweep terminates; per-session cost is what matters.
+    const std::size_t base_sessions =
+        n >= 1'000'000 ? std::min<std::size_t>(sessions, 10) : sessions;
+    const auto shared = run_shared(n, sessions, opts.seed + n);
+    const auto reencode = run_reencode(n, base_sessions, opts.seed + n);
+    const double speedup = reencode.hello_us / shared.hello_us;
+    const double churn_us = churn_us_per_item(n, 4, opts.seed + n + 1);
+
+    std::printf("%-9zu %-10s %-14.4f %-14.2f %-14.1f %-10s %-12s\n", n,
+                "shared", shared.build_s, shared.hello_us,
+                shared.sessions_per_s, "-", "-");
+    std::printf("%-9zu %-10s %-14.4f %-14.2f %-14.1f %-10.1f %-12.3f\n", n,
+                "reencode", reencode.build_s, reencode.hello_us,
+                reencode.sessions_per_s, speedup, churn_us);
+    report.row()
+        .str("mode", "shared")
+        .num("n", n)
+        .num("sessions", sessions)
+        .num("build_s", shared.build_s)
+        .num("hello_us", shared.hello_us)
+        .num("sessions_per_s", shared.sessions_per_s)
+        .num("churn_us", churn_us);
+    report.row()
+        .str("mode", "reencode")
+        .num("n", n)
+        .num("sessions", base_sessions)
+        .num("build_s", reencode.build_s)
+        .num("hello_us", reencode.hello_us)
+        .num("sessions_per_s", reencode.sessions_per_s)
+        .num("speedup", speedup);
+    std::fflush(stdout);
+    // Sanity floor rather than a perf assertion: shared serving must never
+    // be slower than re-encoding the set per session.
+    if (speedup < 1.0) ok = false;
+  }
+  return ok ? 0 : 1;
+}

@@ -1,0 +1,123 @@
+#!/usr/bin/env python3
+"""Perf-trend diff for the CI smoke-bench artifacts (ROADMAP "Perf
+trajectory").
+
+Compares every BENCH_smoke*.json in a baseline directory (the previous CI
+run's artifact) against the same-named file in the current directory and
+warns -- GitHub `::warning::` annotations, nonzero is never returned -- on
+metrics that regressed by more than the threshold (default 10%).
+
+Row matching: rows are keyed by the bench name plus every field that is
+not a known metric (backend, d, n, mode, ...). Metrics where lower is
+better are checked current-vs-baseline; rate metrics (higher is better)
+are checked in the opposite direction. CPU metrics on shared runners are
+noisy, so they use a slacker threshold (default 50%) -- the trend signal
+there is order-of-magnitude, not percent.
+
+Usage: perf_trend.py BASELINE_DIR CURRENT_DIR [--threshold 0.10]
+"""
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+# Lower is better. CPU-ish metrics get the slack threshold.
+METRICS_LOWER = {
+    "bytes_down", "bytes_up", "rounds", "frames",
+    "mean", "median", "stddev",
+    "riblt", "met", "iblt", "iblt_est", "pinsketch",
+}
+METRICS_LOWER_NOISY = {"cpu_s", "hello_us", "churn_us", "build_s"}
+# Higher is better (rates).
+METRICS_HIGHER = {"sessions_per_s", "speedup"}
+
+ALL_METRICS = METRICS_LOWER | METRICS_LOWER_NOISY | METRICS_HIGHER
+
+
+def row_key(row):
+    return tuple(sorted(
+        (k, v) for k, v in row.items() if k not in ALL_METRICS
+    ))
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    rows = {}
+    for row in doc.get("rows", []):
+        rows[row_key(row)] = row
+    return doc.get("bench", os.path.basename(path)), rows
+
+
+def fmt_key(key):
+    return " ".join(f"{k}={v}" for k, v in key)
+
+
+def main():
+    ap = argparse.ArgumentParser()
+    ap.add_argument("baseline_dir")
+    ap.add_argument("current_dir")
+    ap.add_argument("--threshold", type=float, default=0.10)
+    ap.add_argument("--noisy-threshold", type=float, default=0.50)
+    ap.add_argument("--pattern", default="BENCH_smoke*.json")
+    args = ap.parse_args()
+
+    baseline_files = {
+        os.path.basename(p): p
+        for p in glob.glob(os.path.join(args.baseline_dir, args.pattern))
+    }
+    current_files = sorted(
+        glob.glob(os.path.join(args.current_dir, args.pattern)))
+
+    if not baseline_files:
+        print(f"perf-trend: no baseline files in {args.baseline_dir}; "
+              "nothing to compare (first run?)")
+        return 0
+    if not current_files:
+        print(f"::warning::perf-trend: no current bench JSON in "
+              f"{args.current_dir}")
+        return 0
+
+    compared = regressions = 0
+    for cur_path in current_files:
+        name = os.path.basename(cur_path)
+        if name not in baseline_files:
+            print(f"perf-trend: {name} has no baseline counterpart; skipped")
+            continue
+        bench, base_rows = load(baseline_files[name])
+        _, cur_rows = load(cur_path)
+        for key, cur in cur_rows.items():
+            base = base_rows.get(key)
+            if base is None:
+                continue
+            for metric in ALL_METRICS:
+                if metric not in cur or metric not in base:
+                    continue
+                b, c = float(base[metric]), float(cur[metric])
+                if b <= 0:
+                    continue
+                compared += 1
+                threshold = (args.noisy_threshold
+                             if metric in METRICS_LOWER_NOISY
+                             else args.threshold)
+                if metric in METRICS_HIGHER:
+                    worse = c < b * (1.0 - threshold)
+                    change = (b - c) / b
+                else:
+                    worse = c > b * (1.0 + threshold)
+                    change = (c - b) / b
+                if worse:
+                    regressions += 1
+                    print(f"::warning title=perf regression ({bench})::"
+                          f"{metric} {fmt_key(key)}: {b:g} -> {c:g} "
+                          f"({change:+.0%}, threshold {threshold:.0%})")
+
+    print(f"perf-trend: compared {compared} metric points, "
+          f"{regressions} regression warning(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

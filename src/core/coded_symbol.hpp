@@ -5,7 +5,9 @@
 // negative counts appear only in *difference* cells, after subtraction).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <span>
 
 #include "core/symbol.hpp"
 
@@ -18,6 +20,11 @@ enum class Direction : std::int64_t {
   kAdd = 1,
   kRemove = -1,
 };
+
+/// The opposite direction (add <-> remove).
+[[nodiscard]] constexpr Direction invert(Direction dir) noexcept {
+  return static_cast<Direction>(-static_cast<std::int64_t>(dir));
+}
 
 template <Symbol T>
 struct CodedSymbol {
@@ -59,5 +66,26 @@ struct CodedSymbol {
 
   friend bool operator==(const CodedSymbol&, const CodedSymbol&) = default;
 };
+
+/// Cell-wise subtraction over two equal-length contiguous runs:
+/// dst[i] -= src[i]. The single tight loop over restrict-qualified pointers
+/// is the vectorizable spelling of the subtract loops every sketch family
+/// repeats (Sketch, Iblt, StrataEstimator, MetIblt, and the MET arrival
+/// path) -- the compiler can fuse the per-cell XOR words across cells
+/// instead of reloading `this`/`other` through the member function.
+template <Symbol T>
+inline void subtract_run(std::span<CodedSymbol<T>> dst,
+                         std::span<const CodedSymbol<T>> src) noexcept {
+  const std::size_t n = dst.size() < src.size() ? dst.size() : src.size();
+  if (dst.data() == src.data()) {
+    // Self-subtraction zeroes every cell; the restrict-qualified fast path
+    // below would be UB for aliasing arguments.
+    for (std::size_t i = 0; i < n; ++i) dst[i] = CodedSymbol<T>{};
+    return;
+  }
+  CodedSymbol<T>* __restrict__ d = dst.data();
+  const CodedSymbol<T>* __restrict__ s = src.data();
+  for (std::size_t i = 0; i < n; ++i) d[i].subtract(s[i]);
+}
 
 }  // namespace ribltx

@@ -36,16 +36,30 @@ class CodingWindow {
 
   /// Adds a symbol with an explicit mapping state. The decoder uses this to
   /// register a just-recovered symbol whose mapping has already been walked
-  /// past every received cell.
-  void add_with_mapping(const HashedSymbol<T>& s, Mapping mapping) {
+  /// past every received cell. `dir` is the entry's own direction: a
+  /// kRemove entry folds its symbol with the opposite sign on every future
+  /// cell -- the tombstone that cancels an earlier kAdd entry of the same
+  /// symbol (SequenceCache churn) or undoes a set change a snapshot must
+  /// not see (SequenceCache::Cursor overlays).
+  void add_with_mapping(const HashedSymbol<T>& s, Mapping mapping,
+                        Direction dir = Direction::kAdd) {
+    if (symbols_.size() >= kRemoveBit) {
+      throw std::length_error("CodingWindow: symbol capacity exhausted");
+    }
     const auto ordinal = static_cast<std::uint32_t>(symbols_.size());
     symbols_.push_back(s);
-    heap_.push_back(Entry{std::move(mapping), ordinal});
+    // The sign rides in the ordinal's top bit: widening Entry by even one
+    // byte measurably slows the sift-down swap chain (the encode hot path),
+    // and windows are memory-bounded far below 2^31 symbols anyway.
+    const std::uint32_t packed =
+        dir == Direction::kAdd ? ordinal : (ordinal | kRemoveBit);
+    heap_.push_back(Entry{std::move(mapping), packed});
     sift_up(heap_.size() - 1);
   }
 
   /// Folds every symbol mapped to stream index `index` into `cell`, then
-  /// advances those symbols to their next mapped index. Must be called with
+  /// advances those symbols to their next mapped index. `dir` composes with
+  /// each entry's own direction (signs multiply). Must be called with
   /// non-decreasing `index` values (stream order); throws std::logic_error
   /// if a symbol's next index was already passed.
   void apply_at(std::uint64_t index, CodedSymbol<T>& cell, Direction dir) {
@@ -55,7 +69,8 @@ class CodingWindow {
         throw std::logic_error(
             "CodingWindow::apply_at: indices must be visited in stream order");
       }
-      cell.apply(symbols_[top.ordinal], dir);
+      cell.apply(symbols_[top.ordinal & ~kRemoveBit],
+                 (top.ordinal & kRemoveBit) == 0 ? dir : invert(dir));
       top.mapping.advance();
       sift_down(0);
     }
@@ -74,9 +89,12 @@ class CodingWindow {
   }
 
  private:
+  /// Top ordinal bit marks a kRemove (tombstone/undo) entry.
+  static constexpr std::uint32_t kRemoveBit = 0x80000000u;
+
   struct Entry {
     Mapping mapping;
-    std::uint32_t ordinal;
+    std::uint32_t ordinal;  ///< symbol index, kRemoveBit-tagged
   };
 
   // Minimal binary min-heap on Entry::mapping.index(). Hand-rolled instead

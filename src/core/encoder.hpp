@@ -5,6 +5,12 @@
 // times as the peer needs; the first m outputs are exactly the length-m
 // prefix regardless of m (prefix property, Fig 3). Per §6, the per-symbol
 // cost is O(log m) thanks to the CodingWindow heap.
+//
+// One Encoder serves ONE stream. A server answering many peers should not
+// build an encoder per session: the sequence is universal (§2), so use
+// SequenceCache + its snapshot Cursors (core/sketch.hpp) -- cells are
+// materialized once, shared by every session, and survive set churn --
+// which is what sync::SyncEngine and sync::ReconcileServer do.
 #pragma once
 
 #include <cstdint>

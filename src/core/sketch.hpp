@@ -13,12 +13,14 @@
 
 #include <cstdint>
 #include <cstddef>
+#include <memory>
 #include <span>
 #include <stdexcept>
 #include <utility>
 #include <vector>
 
 #include "core/coded_symbol.hpp"
+#include "core/coding_window.hpp"
 #include "core/decoder.hpp"
 #include "core/mapping.hpp"
 #include "core/symbol.hpp"
@@ -71,9 +73,7 @@ class Sketch {
     if (other.cells_.size() != cells_.size()) {
       throw std::invalid_argument("Sketch::subtract: size mismatch");
     }
-    for (std::size_t i = 0; i < cells_.size(); ++i) {
-      cells_[i].subtract(other.cells_[i]);
-    }
+    subtract_run<T>(cells_, other.cells_);
     return *this;
   }
 
@@ -124,11 +124,286 @@ class Sketch {
   std::vector<CodedSymbol<T>> cells_;
 };
 
-/// Alice's universal coded-symbol cache (§2, §7.3): same structure as a
-/// sketch, read through prefix()/cell() and updated in place as the set
-/// changes.
+/// Alice's universal coded-symbol cache (§2, §7.3), the server's single
+/// source of truth for the rateless stream.
+///
+/// Unlike a fixed-length Sketch, the cache is *lazily extended*: cells are
+/// materialized in doubling blocks through a CodingWindow the first time a
+/// reader walks past the materialized prefix, so extension costs O(log m)
+/// amortized per cell and building the cache never pays for cells nobody
+/// asked for. Set churn (§7.3 linearity) updates the materialized prefix in
+/// place -- O(log m) cells per inserted/removed item -- and registers the
+/// item (or a cancelling tombstone) in the window so future blocks reflect
+/// the change too.
+///
+/// Every churn op is stamped with a monotonically increasing version and
+/// recorded in a journal. A Cursor opened at version v streams the
+/// *snapshot* of the set as it stood at v: it reads the live (current-set)
+/// cells and undoes the journal ops in (v, now] through a private overlay
+/// window, so one cache serves any number of concurrently open sessions of
+/// different staleness without copying cells or freezing the set. The
+/// journal is kept only while cursors are alive (it empties itself when the
+/// last cursor dies; SyncEngine additionally prunes it to the oldest active
+/// session).
+///
+/// Not thread-safe: one cache serves many *sessions*, not many threads.
 template <Symbol T, typename Hasher = SipHasher<T>,
           typename MappingFactory = DefaultMappingFactory>
-using SequenceCache = Sketch<T, Hasher, MappingFactory>;
+class SequenceCache {
+ public:
+  using mapping_type = typename MappingFactory::mapping_type;
+
+  /// First materialization block; subsequent blocks double.
+  static constexpr std::size_t kInitialBlock = 64;
+
+  explicit SequenceCache(Hasher hasher = Hasher{},
+                         MappingFactory factory = MappingFactory{})
+      : hasher_(std::move(hasher)), factory_(std::move(factory)) {}
+
+  /// Pre-materializes exactly `num_cells` cells up front (the fixed-size
+  /// working style of §7.3's 50M-cell Ethereum cache).
+  explicit SequenceCache(std::size_t num_cells, Hasher hasher = Hasher{},
+                         MappingFactory factory = MappingFactory{})
+      : hasher_(std::move(hasher)), factory_(std::move(factory)) {
+    grow_to(num_cells);
+  }
+
+  // ------------------------------------------------------------- set churn
+
+  void add_symbol(const T& s) { churn(hasher_.hashed(s), Direction::kAdd); }
+  void remove_symbol(const T& s) {
+    churn(hasher_.hashed(s), Direction::kRemove);
+  }
+  void add_hashed(const HashedSymbol<T>& s) { churn(s, Direction::kAdd); }
+  void remove_hashed(const HashedSymbol<T>& s) {
+    churn(s, Direction::kRemove);
+  }
+
+  /// Applies one set change: updates every materialized cell the item maps
+  /// to (O(log m)) and registers the item in the window -- with `dir`'s
+  /// sign, so a removal rides as a tombstone that exactly cancels the
+  /// still-queued kAdd entry on all future cells. Journaled for snapshot
+  /// cursors when any are alive.
+  void churn(const HashedSymbol<T>& s, Direction dir) {
+    mapping_type m = factory_(s.hash);
+    while (m.index() < cells_.size()) {
+      cells_[static_cast<std::size_t>(m.index())].apply(s, dir);
+      m.advance();
+    }
+    // The mapping now points at the item's first unmaterialized index, so
+    // the window folds it into every future block from there on.
+    window_.add_with_mapping(s, std::move(m), dir);
+    if (dir == Direction::kAdd) {
+      ++set_size_;
+    } else if (set_size_ > 0) {
+      --set_size_;
+    }
+    ++version_;
+    if (live_cursors_ > 0) {
+      journal_.push_back(ChurnOp{s, dir});
+    } else {
+      journal_base_ = version_;  // nobody can reference older ops
+    }
+  }
+
+  // ------------------------------------------------------------ cell reads
+
+  /// The coded symbol at stream index `i` for the *current* set,
+  /// materializing lazily (doubling blocks) as needed.
+  [[nodiscard]] const CodedSymbol<T>& cell(std::size_t i) {
+    ensure(i + 1);
+    return cells_[i];
+  }
+
+  /// Ensures cells [0, n) are materialized.
+  void ensure(std::size_t n) {
+    if (n <= cells_.size()) return;
+    std::size_t target = cells_.empty() ? kInitialBlock : cells_.size();
+    while (target < n) target *= 2;
+    grow_to(target);
+  }
+
+  /// The materialized prefix (grows over time; never shrinks).
+  [[nodiscard]] std::span<const CodedSymbol<T>> cells() const noexcept {
+    return cells_;
+  }
+
+  [[nodiscard]] std::size_t materialized() const noexcept {
+    return cells_.size();
+  }
+
+  /// Items currently encoded net of removals (adds minus tombstones).
+  [[nodiscard]] std::size_t set_size() const noexcept { return set_size_; }
+
+  [[nodiscard]] const Hasher& hasher() const noexcept { return hasher_; }
+  [[nodiscard]] const MappingFactory& mapping_factory() const noexcept {
+    return factory_;
+  }
+
+  // --------------------------------------------------- versions & journal
+
+  struct ChurnOp {
+    HashedSymbol<T> sym;
+    Direction dir = Direction::kAdd;
+  };
+
+  /// Total churn ops ever applied; the version a new Cursor snapshots.
+  [[nodiscard]] std::uint64_t version() const noexcept { return version_; }
+
+  /// The op that moved the cache from version `v` to `v + 1`. Throws
+  /// std::out_of_range if that op was pruned (a cursor outliving its
+  /// journal window is a caller bug).
+  [[nodiscard]] const ChurnOp& op(std::uint64_t v) const {
+    if (v < journal_base_ || v - journal_base_ >= journal_.size()) {
+      throw std::out_of_range("SequenceCache::op: journal entry pruned");
+    }
+    return journal_[static_cast<std::size_t>(v - journal_base_)];
+  }
+
+  /// Drops journal entries below `min_version` (no live cursor may still
+  /// need them). SyncEngine calls this with the oldest active session's
+  /// position; the last Cursor's destructor empties the journal outright.
+  void prune_journal(std::uint64_t min_version) {
+    if (min_version <= journal_base_) return;
+    const std::uint64_t limit = journal_base_ + journal_.size();
+    const std::uint64_t upto = min_version < limit ? min_version : limit;
+    journal_.erase(journal_.begin(),
+                   journal_.begin() +
+                       static_cast<std::ptrdiff_t>(upto - journal_base_));
+    journal_base_ = upto;
+  }
+
+  [[nodiscard]] std::size_t journal_size() const noexcept {
+    return journal_.size();
+  }
+
+  [[nodiscard]] std::size_t live_cursor_count() const noexcept {
+    return live_cursors_;
+  }
+
+  // --------------------------------------------------------------- Cursor
+
+  /// Snapshot-consistent reader: streams the coded-symbol sequence of the
+  /// set as it stood when the cursor was created, while the cache keeps
+  /// absorbing churn and serving other cursors. Cells already handed out
+  /// are never re-read, so churn can never mutate a cell out from under a
+  /// peer mid-stream: per cell the cursor copies the live value and undoes
+  /// the ops its snapshot must not see (each op registered once, O(log m),
+  /// through a private overlay CodingWindow holding the *inverse* ops).
+  class Cursor {
+   public:
+    Cursor() = default;
+
+    explicit Cursor(std::shared_ptr<SequenceCache> cache)
+        : cache_(std::move(cache)),
+          version_(cache_->version()),
+          seen_(version_) {
+      ++cache_->live_cursors_;
+    }
+
+    Cursor(const Cursor&) = delete;
+    Cursor& operator=(const Cursor&) = delete;
+
+    Cursor(Cursor&& other) noexcept
+        : cache_(std::move(other.cache_)),
+          overlay_(std::move(other.overlay_)),
+          index_(other.index_),
+          version_(other.version_),
+          seen_(other.seen_) {
+      other.cache_.reset();
+    }
+
+    Cursor& operator=(Cursor&& other) noexcept {
+      if (this != &other) {
+        release();
+        cache_ = std::move(other.cache_);
+        overlay_ = std::move(other.overlay_);
+        index_ = other.index_;
+        version_ = other.version_;
+        seen_ = other.seen_;
+        other.cache_.reset();
+      }
+      return *this;
+    }
+
+    ~Cursor() { release(); }
+
+    /// The next coded symbol of the snapshot's stream.
+    [[nodiscard]] CodedSymbol<T> next() {
+      catch_up();
+      CodedSymbol<T> cell = cache_->cell(static_cast<std::size_t>(index_));
+      overlay_.apply_at(index_, cell, Direction::kAdd);
+      ++index_;
+      return cell;
+    }
+
+    /// Stream index of the next coded symbol (== symbols already read).
+    [[nodiscard]] std::uint64_t index() const noexcept { return index_; }
+
+    /// The cache version this cursor's snapshot pinned.
+    [[nodiscard]] std::uint64_t snapshot_version() const noexcept {
+      return version_;
+    }
+
+    /// Oldest journal entry this cursor may still read (pruning floor).
+    [[nodiscard]] std::uint64_t journal_position() const noexcept {
+      return seen_;
+    }
+
+    [[nodiscard]] bool attached() const noexcept { return cache_ != nullptr; }
+
+   private:
+    /// Registers the inverse of every journal op in (seen_, now] into the
+    /// overlay, mapping pre-walked past the cells already handed out --
+    /// those were emitted before the op existed and are already consistent.
+    void catch_up() {
+      const std::uint64_t now = cache_->version();
+      for (; seen_ < now; ++seen_) {
+        const ChurnOp& op = cache_->op(seen_);
+        mapping_type m = cache_->factory_(op.sym.hash);
+        while (m.index() < index_) m.advance();
+        overlay_.add_with_mapping(op.sym, std::move(m), invert(op.dir));
+      }
+    }
+
+    void release() noexcept {
+      if (!cache_) return;
+      if (--cache_->live_cursors_ == 0) {
+        // Nobody left to replay history for; drop it.
+        cache_->journal_.clear();
+        cache_->journal_base_ = cache_->version_;
+      }
+      cache_.reset();
+    }
+
+    std::shared_ptr<SequenceCache> cache_;
+    CodingWindow<T, mapping_type> overlay_;  ///< inverse ops since snapshot
+    std::uint64_t index_ = 0;
+    std::uint64_t version_ = 0;
+    std::uint64_t seen_ = 0;
+  };
+
+ private:
+  friend class Cursor;
+
+  void grow_to(std::size_t target) {
+    const std::size_t old = cells_.size();
+    if (target <= old) return;
+    cells_.resize(target);
+    for (std::size_t i = old; i < target; ++i) {
+      window_.apply_at(i, cells_[i], Direction::kAdd);
+    }
+  }
+
+  Hasher hasher_;
+  MappingFactory factory_;
+  CodingWindow<T, mapping_type> window_;  ///< items not yet folded past m
+  std::vector<CodedSymbol<T>> cells_;     ///< materialized prefix, live set
+  std::vector<ChurnOp> journal_;          ///< ops [journal_base_, version_)
+  std::uint64_t journal_base_ = 0;
+  std::uint64_t version_ = 0;
+  std::size_t set_size_ = 0;
+  std::size_t live_cursors_ = 0;
+};
 
 }  // namespace ribltx

@@ -55,9 +55,7 @@ class Iblt {
         other.salt_ != salt_) {
       throw std::invalid_argument("Iblt::subtract: geometry mismatch");
     }
-    for (std::size_t i = 0; i < cells_.size(); ++i) {
-      cells_[i].subtract(other.cells_[i]);
-    }
+    subtract_run<T>(cells_, other.cells_);
     return *this;
   }
 
@@ -69,26 +67,45 @@ class Iblt {
   /// Peels this (difference) IBLT. success = fully decoded; on failure the
   /// partial recovery is returned (regular IBLTs usually recover *nothing*
   /// when undersized -- Theorem A.1).
-  [[nodiscard]] DecodeResult<T> decode() const {
+  ///
+  /// `checksum_mask` supports narrow wire checksums (the §7.1 trick, ported
+  /// from the rateless decoder): when the peer's cells carry truncated
+  /// (e.g. 4-byte) checksums, pass the matching mask. Every cell's checksum
+  /// is reduced modulo the mask up front (masking commutes with XOR, so
+  /// mixed masked-remote / full-local cells settle into the masked domain),
+  /// purity is verified against the masked keyed hash, and the full 64-bit
+  /// hash driving cell placement is recomputed from the recovered sum.
+  [[nodiscard]] DecodeResult<T> decode(
+      std::uint64_t checksum_mask = ~std::uint64_t{0}) const {
     std::vector<CodedSymbol<T>> cells(cells_.begin(), cells_.end());
+    if (checksum_mask != ~std::uint64_t{0}) {
+      for (auto& c : cells) c.checksum &= checksum_mask;
+    }
+    const auto pure = [&](const CodedSymbol<T>& c) {
+      return (c.count == 1 || c.count == -1) &&
+             (hasher_(c.sum) & checksum_mask) == c.checksum;
+    };
     DecodeResult<T> out;
 
     std::vector<std::size_t> queue;
     for (std::size_t i = 0; i < cells.size(); ++i) {
-      if (cells[i].is_pure(hasher_)) queue.push_back(i);
+      if (pure(cells[i])) queue.push_back(i);
     }
     while (!queue.empty()) {
       const std::size_t i = queue.back();
       queue.pop_back();
-      if (!cells[i].is_pure(hasher_)) continue;  // stale entry
-      const HashedSymbol<T> sym{cells[i].sum, cells[i].checksum};
+      if (!pure(cells[i])) continue;  // stale entry
+      // Recompute the full hash from the sum: under a narrow mask the cell
+      // only holds the low checksum bits, and cell placement needs all 64.
+      const HashedSymbol<T> sym{cells[i].sum, hasher_(cells[i].sum)};
       const bool is_remote = cells[i].count == 1;
       (is_remote ? out.remote : out.local).push_back(sym);
       const Direction dir = is_remote ? Direction::kRemove : Direction::kAdd;
       for (unsigned j = 0; j < k_; ++j) {
         const std::size_t ci = cell_index(sym.hash, j);
         cells[ci].apply(sym, dir);
-        if (cells[ci].is_pure(hasher_)) queue.push_back(ci);
+        cells[ci].checksum &= checksum_mask;
+        if (pure(cells[ci])) queue.push_back(ci);
       }
     }
 

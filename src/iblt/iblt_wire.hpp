@@ -1,11 +1,15 @@
 // Wire format for the regular-IBLT baseline (and, stratum by stratum, the
 // strata estimator). Mirrors the accounting used in the paper's Fig 7
-// baselines: fixed 8-byte checksum and 8-byte count per cell -- regular
-// IBLTs cannot exploit the expected-count trick of §6 because their cell
-// loads do not follow a position-dependent schedule.
+// baselines (8-byte count per cell -- regular IBLTs cannot exploit the
+// expected-count trick of §6 because their cell loads do not follow a
+// position-dependent schedule), but the checksum width is negotiable: the
+// §7.1 narrow-checksum trick ports to the table family, so cells may carry
+// 4-byte truncated checksums (the receiver peels under the matching mask,
+// iblt.hpp).
 //
-// Layout: magic "RBIB" | version u8 | k u8 | salt u64 | symbol_len u32 |
-//         num_cells uvarint | cells (sum | checksum u64 | count i64)
+// Layout: magic "RBIB" | version u8 | k u8 | checksum_len u8 | salt u64 |
+//         symbol_len u32 | num_cells uvarint |
+//         cells (sum | checksum u32/u64 | count i64)
 #pragma once
 
 #include <cstdint>
@@ -19,32 +23,42 @@
 namespace ribltx::iblt::wire {
 
 inline constexpr std::uint32_t kMagic = 0x42494252;  // "RBIB"
-inline constexpr std::uint8_t kVersion = 1;
+inline constexpr std::uint8_t kVersion = 2;
 
 template <Symbol T, typename Hasher>
 [[nodiscard]] std::vector<std::byte> serialize(const Iblt<T, Hasher>& table,
-                                               std::uint64_t salt = 0) {
+                                               std::uint64_t salt = 0,
+                                               std::uint8_t checksum_len = 8) {
+  if (checksum_len != 4 && checksum_len != 8) {
+    throw std::invalid_argument("iblt: checksum_len must be 4 or 8");
+  }
   ByteWriter w;
   w.u32(kMagic);
   w.u8(kVersion);
   w.u8(static_cast<std::uint8_t>(table.k()));
+  w.u8(checksum_len);
   w.u64(salt);
   w.u32(static_cast<std::uint32_t>(T::kSize));
   w.uvarint(table.cell_count());
   for (const auto& cell : table.cells()) {
     w.bytes(cell.sum.bytes());
-    w.u64(cell.checksum);
+    if (checksum_len == 8) {
+      w.u64(cell.checksum);
+    } else {
+      w.u32(static_cast<std::uint32_t>(cell.checksum));
+    }
     w.i64(cell.count);
   }
   return std::move(w).take();
 }
 
 /// Parsed geometry + cells; the receiver subtracts its own table of the
-/// same geometry before decoding.
+/// same geometry before decoding (under checksum_len's mask when narrow).
 template <Symbol T>
 struct Parsed {
   unsigned k = 0;
   std::uint64_t salt = 0;
+  std::uint8_t checksum_len = 8;
   std::vector<CodedSymbol<T>> cells;
 };
 
@@ -56,19 +70,23 @@ template <Symbol T>
   Parsed<T> out;
   out.k = r.u8();
   if (out.k == 0) throw std::invalid_argument("iblt: k must be positive");
+  out.checksum_len = r.u8();
+  if (out.checksum_len != 4 && out.checksum_len != 8) {
+    throw std::invalid_argument("iblt: bad checksum length");
+  }
   out.salt = r.u64();
   if (r.u32() != static_cast<std::uint32_t>(T::kSize)) {
     throw std::invalid_argument("iblt: symbol size mismatch");
   }
   const std::uint64_t cells = r.uvarint();
   // Reject cell counts the frame cannot possibly hold before allocating.
-  if (cells > r.remaining() / (T::kSize + 16)) {
+  if (cells > r.remaining() / (T::kSize + out.checksum_len + 8)) {
     throw std::out_of_range("iblt: num_cells exceeds frame size");
   }
   out.cells.resize(cells);
   for (auto& cell : out.cells) {
     r.copy_to(cell.sum.data.data(), T::kSize);
-    cell.checksum = r.u64();
+    cell.checksum = (out.checksum_len == 8) ? r.u64() : r.u32();
     cell.count = r.i64();
   }
   if (!r.done()) throw std::invalid_argument("iblt: trailing bytes");

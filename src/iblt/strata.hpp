@@ -30,7 +30,7 @@ template <Symbol T, typename Hasher = SipHasher<T>>
 class StrataEstimator {
  public:
   static constexpr std::uint32_t kWireMagic = 0x45534252;  // "RBSE"
-  static constexpr std::uint8_t kWireVersion = 1;
+  static constexpr std::uint8_t kWireVersion = 2;  ///< v2: checksum_len field
 
   /// `num_strata` levels of `cells_per_stratum`-cell IBLTs with `k` hashes.
   /// Defaults follow the SIGCOMM'11 recommendation (80 cells, k=4, 16
@@ -49,8 +49,11 @@ class StrataEstimator {
     }
   }
 
-  void add_symbol(const T& s) {
-    const auto hs = hasher_.hashed(s);
+  void add_symbol(const T& s) { add_hashed(hasher_.hashed(s)); }
+
+  /// Same, for a pre-hashed item (callers keep one HashedSymbol per item
+  /// and reuse it across the estimator, tables, and the rateless cache).
+  void add_hashed(const HashedSymbol<T>& hs) {
     strata_[stratum_of(hs.hash)].apply(hs, Direction::kAdd);
   }
 
@@ -61,16 +64,22 @@ class StrataEstimator {
     for (std::size_t i = 0; i < strata_.size(); ++i) {
       strata_[i].subtract(other.strata_[i]);
     }
+    // The difference cells only hold checksum bits both sides carry: peel
+    // under the narrower mask regardless of which side deserialized the
+    // narrow wire form.
+    checksum_mask_ &= other.checksum_mask_;
     return *this;
   }
 
   /// Estimates |A (-) B| from a subtracted estimator. Never returns 0 for a
   /// non-empty difference in expectation; can over/under-shoot by ~1.5-2x,
   /// which is why deployments over-provision the IBLT they size with it.
+  /// Peels under this estimator's checksum mask (narrow when deserialized
+  /// from a narrow-checksum wire form).
   [[nodiscard]] std::uint64_t estimate() const {
     std::uint64_t count = 0;
     for (std::size_t i = strata_.size(); i-- > 0;) {
-      const auto result = strata_[i].decode();
+      const auto result = strata_[i].decode(checksum_mask_);
       if (!result.success) {
         return count << (i + 1);
       }
@@ -89,19 +98,24 @@ class StrataEstimator {
   }
 
   /// Actual wire form used by the sync backends: geometry header plus the
-  /// raw cells of every stratum. The receiver rebuilds an estimator of the
-  /// same geometry with deserialize() and subtracts its own.
-  [[nodiscard]] std::vector<std::byte> serialize() const {
+  /// raw cells of every stratum (checksums truncated to `checksum_len`
+  /// bytes -- the §7.1 narrow-checksum option, honored by estimate()'s
+  /// masked peel on the receive side). The receiver rebuilds an estimator
+  /// of the same geometry with deserialize() and subtracts its own.
+  [[nodiscard]] std::vector<std::byte> serialize(
+      std::uint8_t checksum_len = 8) const {
+    (void)ribltx::wire::checksum_mask(checksum_len);  // validates the width
     ByteWriter w;
     w.u32(kWireMagic);
     w.u8(kWireVersion);
+    w.u8(checksum_len);
     w.uvarint(num_strata_);
     w.uvarint(strata_[0].cell_count());
     w.u8(static_cast<std::uint8_t>(strata_[0].k()));
     w.u32(static_cast<std::uint32_t>(T::kSize));
     for (const auto& s : strata_) {
       for (const auto& cell : s.cells()) {
-        ribltx::wire::write_stream_symbol(w, cell);
+        ribltx::wire::write_stream_symbol(w, cell, checksum_len);
       }
     }
     return std::move(w).take();
@@ -118,6 +132,10 @@ class StrataEstimator {
     if (r.u8() != kWireVersion) {
       throw std::invalid_argument("strata: bad version");
     }
+    const std::uint8_t checksum_len = r.u8();
+    if (checksum_len != 4 && checksum_len != 8) {
+      throw std::invalid_argument("strata: bad checksum length");
+    }
     const std::uint64_t num_strata = r.uvarint();
     const std::uint64_t cells_per_stratum = r.uvarint();
     const unsigned k = r.u8();
@@ -132,17 +150,18 @@ class StrataEstimator {
     // geometries the frame cannot possibly hold before allocating. The
     // factor is bounded first so the product cannot wrap uint64 (a 20-byte
     // frame claiming 64 x 2^58 cells must die here, not in the allocator).
-    const std::size_t min_cell = T::kSize + 8 + 1;
+    const std::size_t min_cell = T::kSize + checksum_len + 1;
     const std::size_t max_cells = r.remaining() / min_cell;
     if (cells_per_stratum > max_cells ||
         num_strata * cells_per_stratum > max_cells) {
       throw std::out_of_range("strata: cell count exceeds frame size");
     }
     StrataEstimator out(num_strata, cells_per_stratum, k, hasher);
+    out.checksum_mask_ = ribltx::wire::checksum_mask(checksum_len);
     std::vector<CodedSymbol<T>> cells(out.strata_[0].cell_count());
     for (auto& stratum : out.strata_) {
       for (auto& cell : cells) {
-        cell = ribltx::wire::read_stream_symbol<T>(r);
+        cell = ribltx::wire::read_stream_symbol<T>(r, checksum_len);
       }
       stratum.load_cells(cells);
     }
@@ -160,6 +179,9 @@ class StrataEstimator {
   Hasher hasher_;
   std::size_t num_strata_;
   std::vector<Iblt<T, Hasher>> strata_;
+  /// Checksum-compare mask for estimate(): all-ones for locally built
+  /// estimators; the wire width's mask after deserialize().
+  std::uint64_t checksum_mask_ = ~std::uint64_t{0};
 };
 
 }  // namespace ribltx::iblt

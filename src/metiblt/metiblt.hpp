@@ -113,9 +113,7 @@ class MetIblt {
         other.boundaries_ != boundaries_) {
       throw std::invalid_argument("MetIblt::subtract: geometry mismatch");
     }
-    for (std::size_t i = 0; i < cells_.size(); ++i) {
-      cells_[i].subtract(other.cells_[i]);
-    }
+    subtract_run<T>(cells_, other.cells_);
     return *this;
   }
 
@@ -155,8 +153,14 @@ class MetIblt {
   /// the receive path of the rate-compatible protocol: the peer streams its
   /// cumulative prefix, the receiver subtracts its own cells block-wise and
   /// re-tries the peel after each extension block.
+  ///
+  /// `checksum_mask` ports the §7.1 narrow-checksum trick (see
+  /// Iblt::decode): cells settle in the masked checksum domain, purity is
+  /// verified under the mask, and the placement hash is recomputed from the
+  /// recovered sum.
   [[nodiscard]] DecodeResult<T> decode_prefix_over(
-      std::span<const CodedSymbol<T>> diff, std::size_t level) const {
+      std::span<const CodedSymbol<T>> diff, std::size_t level,
+      std::uint64_t checksum_mask = ~std::uint64_t{0}) const {
     if (level >= boundaries_.size()) {
       throw std::out_of_range("MetIblt::decode_prefix_over: no such level");
     }
@@ -165,24 +169,32 @@ class MetIblt {
           "MetIblt::decode_prefix_over: cell count does not match level");
     }
     std::vector<CodedSymbol<T>> cells(diff.begin(), diff.end());
+    if (checksum_mask != ~std::uint64_t{0}) {
+      for (auto& c : cells) c.checksum &= checksum_mask;
+    }
+    const auto pure = [&](const CodedSymbol<T>& c) {
+      return (c.count == 1 || c.count == -1) &&
+             (hasher_(c.sum) & checksum_mask) == c.checksum;
+    };
     DecodeResult<T> out;
 
     std::vector<std::size_t> queue;
     for (std::size_t i = 0; i < cells.size(); ++i) {
-      if (cells[i].is_pure(hasher_)) queue.push_back(i);
+      if (pure(cells[i])) queue.push_back(i);
     }
     while (!queue.empty()) {
       const std::size_t i = queue.back();
       queue.pop_back();
-      if (!cells[i].is_pure(hasher_)) continue;
-      const HashedSymbol<T> sym{cells[i].sum, cells[i].checksum};
+      if (!pure(cells[i])) continue;
+      const HashedSymbol<T> sym{cells[i].sum, hasher_(cells[i].sum)};
       const bool is_remote = cells[i].count == 1;
       (is_remote ? out.remote : out.local).push_back(sym);
       const Direction dir = is_remote ? Direction::kRemove : Direction::kAdd;
       for (std::size_t l = 0; l <= level; ++l) {
         for_each_cell(sym.hash, l, [&](std::size_t ci) {
           cells[ci].apply(sym, dir);
-          if (cells[ci].is_pure(hasher_)) queue.push_back(ci);
+          cells[ci].checksum &= checksum_mask;
+          if (pure(cells[ci])) queue.push_back(ci);
         });
       }
     }

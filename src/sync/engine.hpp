@@ -36,6 +36,7 @@
 // ERROR frame; every other session keeps streaming.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
 #include <cstddef>
 #include <map>
@@ -43,10 +44,12 @@
 #include <optional>
 #include <span>
 #include <string>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "common/bytes.hpp"
+#include "core/sketch.hpp"
 #include "core/symbol.hpp"
 #include "sync/error.hpp"
 #include "sync/reconciler.hpp"
@@ -121,16 +124,69 @@ struct EngineOptions {
 };
 
 /// Server side: one item set, many concurrent sessions.
+///
+/// The engine owns ONE SequenceCache -- the universal coded-symbol prefix
+/// of §2 -- as the single source of truth for the rateless stream. Each
+/// rateless session is a snapshot cursor over that shared cache, so
+/// HELLO-to-first-SYMBOLS costs O(1) regardless of set size, steady-state
+/// serving costs O(cache growth + d per session) instead of O(n per
+/// session), and set churn (add_item/remove_item after sessions opened)
+/// updates the cache in place in O(log m) per item. Open sessions keep the
+/// consistent snapshot they negotiated at HELLO: the cache journals churn
+/// ops, and each cursor undoes the ops newer than its snapshot, so cells
+/// already streamed to a peer are never mutated out from under it. Items
+/// are hashed exactly once on add and the HashedSymbol is reused by every
+/// consumer (cache, strata, IBLT, MET).
 template <Symbol T, typename Hasher = SipHasher<T>>
 class SyncEngine {
  public:
   explicit SyncEngine(Hasher hasher = Hasher{}, EngineOptions options = {})
-      : hasher_(std::move(hasher)), options_(std::move(options)) {}
+      : hasher_(std::move(hasher)),
+        options_(std::move(options)),
+        cache_(std::make_shared<SequenceCache<T, Hasher>>(hasher_)) {}
 
-  /// Adds an item to the served set. Sessions snapshot the set at HELLO
-  /// time; items added later are seen only by sessions opened afterwards
-  /// (incremental serving across a changing set is an open item).
-  void add_item(const T& item) { items_.push_back(item); }
+  /// Adds an item to the served set. Returns false (and leaves every
+  /// structure untouched) if the item is already present -- a duplicate add
+  /// would corrupt the subtractive cache (its cells count items, so the
+  /// same item twice is indistinguishable from two distinct items).
+  /// Rateless sessions already open keep their HELLO-time snapshot;
+  /// sessions opened afterwards see the new item. O(log m).
+  bool add_item(const T& item) {
+    const HashedSymbol<T> hs = hasher_.hashed(item);
+    if (find_item(hs) != items_.size()) return false;  // duplicate: no-op
+    index_.emplace(hs.hash, items_.size());
+    items_.push_back(hs);
+    cache_->add_hashed(hs);
+    prune_cache_journal();
+    return true;
+  }
+
+  /// Removes an item from the served set. Returns false if absent. Open
+  /// rateless sessions keep streaming their snapshot (which still contains
+  /// the item); new sessions see the shrunken set. O(log m).
+  bool remove_item(const T& item) {
+    const HashedSymbol<T> hs = hasher_.hashed(item);
+    const std::size_t pos = find_item(hs);
+    if (pos == items_.size()) return false;
+    erase_index_entry(hs.hash, pos);
+    const std::size_t last = items_.size() - 1;
+    if (pos != last) {
+      // Swap-pop; re-point the moved item's index entry.
+      const std::uint64_t moved_hash = items_[last].hash;
+      erase_index_entry(moved_hash, last);
+      items_[pos] = items_[last];
+      index_.emplace(moved_hash, pos);
+    }
+    items_.pop_back();
+    cache_->remove_hashed(hs);
+    prune_cache_journal();
+    return true;
+  }
+
+  /// True iff the item is currently in the served set.
+  [[nodiscard]] bool contains(const T& item) const {
+    return find_item(hasher_.hashed(item)) != items_.size();
+  }
 
   /// Feeds one client->server frame. Returns the server->client frames to
   /// send back (HELLO_ACK on session open, ERROR on contained failures;
@@ -163,8 +219,20 @@ class SyncEngine {
         ReconcilerConfig config = options_.config;
         config.checksum_len = effective;
         Session session;
-        session.encoder = make_reconciler_encoder<T>(backend, config, hasher_);
-        for (const T& x : items_) session.encoder->add_item(x);
+        if (backend == BackendId::kRiblt) {
+          // O(1): a snapshot cursor over the shared cache -- no per-session
+          // re-hash/re-encode, no per-session coding-window heap.
+          auto rateless = std::make_unique<RibltEncoderBackend<T, Hasher>>(
+              cache_, effective);
+          session.rateless = rateless.get();
+          session.encoder = std::move(rateless);
+        } else {
+          // Table backends snapshot by construction: they fold the current
+          // set (pre-hashed, no re-hash) into their own structures.
+          session.encoder =
+              make_reconciler_encoder<T>(backend, config, hasher_);
+          for (const auto& hs : items_) session.encoder->add_hashed_item(hs);
+        }
         session.stats.backend = backend;
         session.stats.checksum_len = effective;
         session.stats.bytes_from_peer = data.size();
@@ -275,15 +343,32 @@ class SyncEngine {
 
   /// Drops a finished/failed session's state (a long-lived server would do
   /// this on disconnect). Returns false if the id is unknown.
-  bool close_session(std::uint64_t id) { return sessions_.erase(id) != 0; }
+  bool close_session(std::uint64_t id) {
+    const bool erased = sessions_.erase(id) != 0;
+    if (erased) prune_cache_journal(/*force=*/true);
+    return erased;
+  }
 
   [[nodiscard]] std::size_t item_count() const noexcept {
     return items_.size();
   }
 
+  /// Cells of the shared rateless stream materialized so far (diagnostics).
+  [[nodiscard]] std::size_t cache_cells() const noexcept {
+    return cache_->materialized();
+  }
+
+  /// Churn ops currently retained for open sessions' snapshots.
+  [[nodiscard]] std::size_t cache_journal_size() const noexcept {
+    return cache_->journal_size();
+  }
+
  private:
   struct Session {
     std::unique_ptr<ReconcilerEncoder<T>> encoder;
+    /// Non-owning view of `encoder` when it is the rateless cursor backend;
+    /// used for journal-pruning floors. Null for table backends.
+    RibltEncoderBackend<T, Hasher>* rateless = nullptr;
     SessionStats stats;
   };
 
@@ -293,6 +378,50 @@ class SyncEngine {
       throw ProtocolError("unknown session id");
     }
     return it->second;
+  }
+
+  /// Position of `hs` in items_, or items_.size() if absent. Hash-keyed
+  /// with a symbol-equality confirmation, so 64-bit hash collisions between
+  /// distinct items cannot mis-report membership.
+  [[nodiscard]] std::size_t find_item(const HashedSymbol<T>& hs) const {
+    auto [lo, hi] = index_.equal_range(hs.hash);
+    for (auto it = lo; it != hi; ++it) {
+      if (items_[it->second].symbol == hs.symbol) return it->second;
+    }
+    return items_.size();
+  }
+
+  void erase_index_entry(std::uint64_t hash, std::size_t pos) {
+    auto [lo, hi] = index_.equal_range(hash);
+    for (auto it = lo; it != hi; ++it) {
+      if (it->second == pos) {
+        index_.erase(it);
+        return;
+      }
+    }
+  }
+
+  /// Drops journal entries no active rateless session can still need. The
+  /// journal only accumulates while snapshot cursors are alive, and a
+  /// stalled session can pin its floor indefinitely, so rescan sessions
+  /// only once the journal has grown enough since the last scan (unless
+  /// forced) -- churn stays O(log m) amortized, not O(sessions) per op.
+  void prune_cache_journal(bool force = false) {
+    if (cache_->journal_size() == 0) {
+      journal_size_at_prune_ = 0;
+      return;
+    }
+    if (!force && cache_->journal_size() < journal_size_at_prune_ + 64) {
+      return;
+    }
+    std::uint64_t min_pos = cache_->version();
+    for (const auto& [id, s] : sessions_) {
+      if (s.rateless != nullptr && s.stats.state == SessionState::kActive) {
+        min_pos = std::min(min_pos, s.rateless->journal_position());
+      }
+    }
+    cache_->prune_journal(min_pos);
+    journal_size_at_prune_ = cache_->journal_size();
   }
 
   /// Marks the session failed and builds the ERROR frame -- the containment
@@ -306,7 +435,10 @@ class SyncEngine {
 
   Hasher hasher_;
   EngineOptions options_;
-  std::vector<T> items_;
+  std::vector<HashedSymbol<T>> items_;  ///< hashed once, reused everywhere
+  std::unordered_multimap<std::uint64_t, std::size_t> index_;  ///< hash->pos
+  std::shared_ptr<SequenceCache<T, Hasher>> cache_;  ///< the rateless stream
+  std::size_t journal_size_at_prune_ = 0;  ///< rescan throttle
   std::map<std::uint64_t, Session> sessions_;
 };
 

@@ -18,6 +18,7 @@
 
 #include <cstdint>
 #include <cstddef>
+#include <memory>
 #include <optional>
 #include <span>
 #include <stdexcept>
@@ -37,21 +38,48 @@ inline constexpr std::uint8_t kSymbols = 0x02;
 inline constexpr std::uint8_t kDone = 0x03;
 }  // namespace proto
 
-/// Server (Alice) side: owns an encoder over the local set and emits
-/// SYMBOLS frames on demand.
+/// Server (Alice) side: emits SYMBOLS frames on demand from a
+/// SequenceCache. By default the server owns a private cache; hand several
+/// servers one shared cache (the §2 serving model) and each session is a
+/// snapshot cursor over the same universal prefix -- coded symbols are
+/// materialized once, not once per peer, and the cache can keep absorbing
+/// churn while sessions stream.
 template <Symbol T, typename Hasher = SipHasher<T>>
 class ReconcileServer {
  public:
+  using Cache = SequenceCache<T, Hasher>;
+
   explicit ReconcileServer(Hasher hasher = Hasher{},
                            std::size_t symbols_per_batch = 64)
-      : encoder_(hasher), batch_(symbols_per_batch) {
+      : cache_(std::make_shared<Cache>(std::move(hasher))),
+        batch_(symbols_per_batch) {
     if (symbols_per_batch == 0) {
       throw std::invalid_argument("ReconcileServer: empty batch size");
     }
   }
 
+  /// Builds a server over a shared cache; the snapshot is pinned at the
+  /// first next_batch(), so cache churn before then is part of this
+  /// session. (Named factory rather than a constructor: `{}` would be
+  /// ambiguous between a default Hasher and a null cache.)
+  [[nodiscard]] static ReconcileServer serving(
+      std::shared_ptr<Cache> cache, std::size_t symbols_per_batch = 64) {
+    if (!cache) {
+      throw std::invalid_argument("ReconcileServer: null cache");
+    }
+    ReconcileServer out(Hasher{}, symbols_per_batch);
+    out.cache_ = std::move(cache);
+    return out;
+  }
+
   /// Adds a set item; must precede the first next_batch().
-  void add_symbol(const T& s) { encoder_.add_symbol(s); }
+  void add_symbol(const T& s) {
+    if (cursor_) {
+      throw std::logic_error(
+          "ReconcileServer: cannot add items after encoding started");
+    }
+    cache_->add_symbol(s);
+  }
 
   /// Validates the client's HELLO and adopts its negotiated parameters.
   /// Throws ProtocolError on version or geometry mismatch (failing loudly
@@ -79,11 +107,12 @@ class ReconcileServer {
   [[nodiscard]] std::optional<std::vector<std::byte>> next_batch() {
     if (!hello_seen_) throw ProtocolError("next_batch before HELLO");
     if (done_) return std::nullopt;
+    if (!cursor_) cursor_.emplace(cache_);  // pin this session's snapshot
     ByteWriter w;
     w.u8(proto::kSymbols);
     w.uvarint(batch_);
     for (std::size_t i = 0; i < batch_; ++i) {
-      wire::write_stream_symbol(w, encoder_.produce_next(), checksum_len_);
+      wire::write_stream_symbol(w, cursor_->next(), checksum_len_);
     }
     return std::move(w).take();
   }
@@ -115,15 +144,20 @@ class ReconcileServer {
     return symbols_reported_;
   }
   [[nodiscard]] std::uint64_t symbols_sent() const noexcept {
-    return encoder_.next_index();
+    return cursor_ ? cursor_->index() : 0;
   }
   /// Checksum width adopted from the client's HELLO (8 until negotiated).
   [[nodiscard]] std::uint8_t checksum_len() const noexcept {
     return checksum_len_;
   }
+  /// The cache this server streams from (share it across servers).
+  [[nodiscard]] const std::shared_ptr<Cache>& cache() const noexcept {
+    return cache_;
+  }
 
  private:
-  Encoder<T, Hasher> encoder_;
+  std::shared_ptr<Cache> cache_;
+  std::optional<typename Cache::Cursor> cursor_;
   std::size_t batch_;
   std::uint8_t checksum_len_ = 8;
   bool hello_seen_ = false;

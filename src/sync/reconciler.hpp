@@ -69,7 +69,7 @@ enum class BackendId : std::uint8_t {
 /// (strata shape, MET config, IBLT hash count) must match between peers;
 /// everything else is advisory.
 struct ReconcilerConfig {
-  std::uint8_t checksum_len = 8;  ///< riblt stream checksum width (4 or 8)
+  std::uint8_t checksum_len = 8;  ///< wire checksum width (4 or 8)
   std::size_t cpi_initial_capacity = 16;    ///< first CPI round's capacity
   std::size_t strata_num_strata = 16;       ///< SIGCOMM'11 defaults
   std::size_t strata_cells_per_stratum = 80;
@@ -78,12 +78,14 @@ struct ReconcilerConfig {
   metiblt::MetConfig met = metiblt::MetConfig::recommended();
 };
 
-/// Which checksum width a backend actually puts on the wire: only the
-/// Rateless IBLT stream implements the §7.1 narrow-checksum option; the
-/// baselines keep the paper's fixed 8-byte accounting.
+/// Which checksum width a backend actually puts on the wire. The Rateless
+/// IBLT stream and both table-family backends (regular IBLT + strata,
+/// MET-IBLT) implement the §7.1 narrow-checksum option via decoder-side
+/// masking; CPI carries no checksums at all, so its syndrome accounting
+/// stays pinned at the paper's fixed 8 bytes.
 [[nodiscard]] constexpr std::uint8_t negotiate_checksum_len(
     BackendId backend, std::uint8_t requested) noexcept {
-  return backend == BackendId::kRiblt ? requested : std::uint8_t{8};
+  return backend == BackendId::kCpi ? std::uint8_t{8} : requested;
 }
 
 /// The symmetric difference from the decoder's point of view.
@@ -101,6 +103,13 @@ class ReconcilerEncoder {
   virtual ~ReconcilerEncoder() = default;
 
   virtual void add_item(const T& item) = 0;
+
+  /// Adds a pre-hashed item. The engine hashes every item exactly once and
+  /// feeds the HashedSymbol to all consumers; backends that key their own
+  /// structures off the hash override this to skip the re-hash.
+  virtual void add_hashed_item(const HashedSymbol<T>& item) {
+    add_item(item.symbol);
+  }
 
   /// Appends the next payload chunk to `w`; `budget` is a target size in
   /// bytes (rateless backends emit at least one symbol and stop at the
@@ -129,6 +138,11 @@ class ReconcilerDecoder {
 
   virtual void add_item(const T& item) = 0;
 
+  /// Pre-hashed variant; see ReconcilerEncoder::add_hashed_item.
+  virtual void add_hashed_item(const HashedSymbol<T>& item) {
+    add_item(item.symbol);
+  }
+
   /// Consumes one payload chunk produced by the matching encoder's emit().
   /// Throws ProtocolError (or the wire parsers' invalid_argument /
   /// out_of_range) on malformed payloads.
@@ -152,21 +166,57 @@ class ReconcilerDecoder {
 /// symbol sequence; absorb() peels incrementally. Payloads are raw
 /// back-to-back stream symbols (wire.hpp framing) at the negotiated
 /// checksum width.
+///
+/// The sequence is universal (§4.1), so the backend does not own an
+/// encoder: it is a snapshot cursor over a SequenceCache. In shared mode
+/// (the SyncEngine serving path) the cache belongs to the engine and is
+/// shared by every rateless session -- opening a session costs O(1), not
+/// an O(n) re-hash/re-encode of the whole set, and set churn between
+/// sessions updates the one cache in O(log m) per item while this cursor
+/// keeps streaming its HELLO-time snapshot. In standalone mode (direct
+/// backend use, no engine) the backend owns a private cache and behaves
+/// like the old per-session encoder.
 template <Symbol T, typename Hasher = SipHasher<T>>
 class RibltEncoderBackend final : public ReconcilerEncoder<T> {
  public:
+  using Cache = SequenceCache<T, Hasher>;
+
+  /// Standalone mode: a private cache, populated via add_item().
   explicit RibltEncoderBackend(Hasher hasher = Hasher{},
                                std::uint8_t checksum_len = 8)
-      : encoder_(std::move(hasher)), checksum_len_(checksum_len) {
+      : cache_(std::make_shared<Cache>(std::move(hasher))),
+        checksum_len_(checksum_len),
+        shared_(false) {
     (void)wire::checksum_mask(checksum_len);  // validates the width
   }
 
-  void add_item(const T& item) override { encoder_.add_symbol(item); }
+  /// Shared mode: a cursor over an engine-owned cache, snapshotting the
+  /// set as it stands right now (HELLO time).
+  RibltEncoderBackend(std::shared_ptr<Cache> cache,
+                      std::uint8_t checksum_len)
+      : cache_(std::move(cache)), checksum_len_(checksum_len), shared_(true) {
+    if (!cache_) {
+      throw std::invalid_argument("riblt: null shared sequence cache");
+    }
+    (void)wire::checksum_mask(checksum_len);
+    cursor_.emplace(cache_);
+  }
+
+  void add_item(const T& item) override {
+    check_may_add();
+    cache_->add_symbol(item);
+  }
+
+  void add_hashed_item(const HashedSymbol<T>& item) override {
+    check_may_add();
+    cache_->add_hashed(item);
+  }
 
   std::size_t emit(ByteWriter& w, std::size_t budget) override {
+    if (!cursor_) cursor_.emplace(cache_);
     const std::size_t start = w.size();
     do {
-      wire::write_stream_symbol(w, encoder_.produce_next(), checksum_len_);
+      wire::write_stream_symbol(w, cursor_->next(), checksum_len_);
     } while (w.size() - start < budget);
     return w.size() - start;
   }
@@ -177,9 +227,34 @@ class RibltEncoderBackend final : public ReconcilerEncoder<T> {
 
   [[nodiscard]] bool rateless() const noexcept override { return true; }
 
+  /// Oldest cache-journal entry this session may still need (the engine's
+  /// pruning floor). Before the first emit the snapshot is still pending,
+  /// so the floor is the cache's current version.
+  [[nodiscard]] std::uint64_t journal_position() const noexcept {
+    return cursor_ ? cursor_->journal_position() : cache_->version();
+  }
+
+  /// Coded symbols streamed so far.
+  [[nodiscard]] std::uint64_t symbols_sent() const noexcept {
+    return cursor_ ? cursor_->index() : 0;
+  }
+
  private:
-  Encoder<T, Hasher> encoder_;
+  void check_may_add() {
+    if (shared_) {
+      throw std::logic_error(
+          "riblt: shared-cache sessions take items from the engine");
+    }
+    if (cursor_) {
+      throw std::logic_error(
+          "riblt: cannot add items after encoding started");
+    }
+  }
+
+  std::shared_ptr<Cache> cache_;
+  std::optional<typename Cache::Cursor> cursor_;
   std::uint8_t checksum_len_;
+  bool shared_;
 };
 
 template <Symbol T, typename Hasher = SipHasher<T>>
@@ -232,15 +307,21 @@ class IbltStrataEncoderBackend final : public ReconcilerEncoder<T> {
                                     ReconcilerConfig config = {})
       : hasher_(std::move(hasher)), config_(std::move(config)) {}
 
-  void add_item(const T& item) override { items_.push_back(item); }
+  void add_item(const T& item) override {
+    items_.push_back(hasher_.hashed(item));
+  }
+
+  void add_hashed_item(const HashedSymbol<T>& item) override {
+    items_.push_back(item);
+  }
 
   std::size_t emit(ByteWriter& w, std::size_t) override {
     if (!estimator_sent_) {
       iblt::StrataEstimator<T, Hasher> est(config_.strata_num_strata,
                                            config_.strata_cells_per_stratum,
                                            config_.iblt_k, hasher_);
-      for (const T& x : items_) est.add_symbol(x);
-      const auto payload = est.serialize();
+      for (const auto& x : items_) est.add_hashed(x);
+      const auto payload = est.serialize(config_.checksum_len);
       w.bytes(payload);
       estimator_sent_ = true;
       return payload.size();
@@ -250,8 +331,9 @@ class IbltStrataEncoderBackend final : public ReconcilerEncoder<T> {
     // attempt (and from other sessions reusing the same cell count).
     const std::uint64_t salt = 0x49424c5453414c54ULL ^ (round_ * 0x9e37ULL);
     iblt::Iblt<T, Hasher> table(pending_cells_, config_.iblt_k, hasher_, salt);
-    for (const T& x : items_) table.add_symbol(x);
-    const auto payload = iblt::wire::serialize(table, salt);
+    for (const auto& x : items_) table.apply(x, Direction::kAdd);
+    const auto payload = iblt::wire::serialize(table, salt,
+                                               config_.checksum_len);
     w.bytes(payload);
     pending_cells_ = 0;
     return payload.size();
@@ -275,7 +357,7 @@ class IbltStrataEncoderBackend final : public ReconcilerEncoder<T> {
  private:
   Hasher hasher_;
   ReconcilerConfig config_;
-  std::vector<T> items_;
+  std::vector<HashedSymbol<T>> items_;  ///< hashed once, reused every round
   bool estimator_sent_ = false;
   std::size_t pending_cells_ = 0;
   std::uint64_t round_ = 0;
@@ -288,7 +370,13 @@ class IbltStrataDecoderBackend final : public ReconcilerDecoder<T> {
                                     ReconcilerConfig config = {})
       : hasher_(std::move(hasher)), config_(std::move(config)) {}
 
-  void add_item(const T& item) override { items_.push_back(item); }
+  void add_item(const T& item) override {
+    items_.push_back(hasher_.hashed(item));
+  }
+
+  void add_hashed_item(const HashedSymbol<T>& item) override {
+    items_.push_back(item);
+  }
 
   void absorb(std::span<const std::byte> payload) override {
     if (decoded_) return;  // stale in-flight chunk
@@ -301,7 +389,10 @@ class IbltStrataDecoderBackend final : public ReconcilerDecoder<T> {
       iblt::StrataEstimator<T, Hasher> local(
           config_.strata_num_strata, config_.strata_cells_per_stratum,
           config_.iblt_k, hasher_);
-      for (const T& x : items_) local.add_symbol(x);
+      for (const auto& x : items_) local.add_hashed(x);
+      // remote carries wire-width (possibly masked) checksums; its masked
+      // estimate() peel reduces the full-width local contributions into the
+      // same domain.
       remote.subtract(local);
       estimate_ = std::max<std::uint64_t>(remote.estimate(), 1);
       // Strata estimates over/undershoot by ~1.5-2x (SIGCOMM'11 §3), so the
@@ -317,9 +408,9 @@ class IbltStrataDecoderBackend final : public ReconcilerDecoder<T> {
     diff.load_cells(parsed.cells);
     iblt::Iblt<T, Hasher> local(parsed.cells.size(), parsed.k, hasher_,
                                 parsed.salt);
-    for (const T& x : items_) local.add_symbol(x);
+    for (const auto& x : items_) local.apply(x, Direction::kAdd);
     diff.subtract(local);
-    auto result = diff.decode();
+    auto result = diff.decode(wire::checksum_mask(parsed.checksum_len));
     if (result.success) {
       decoded_ = true;
       diff_.remote.clear();
@@ -346,7 +437,7 @@ class IbltStrataDecoderBackend final : public ReconcilerDecoder<T> {
  private:
   Hasher hasher_;
   ReconcilerConfig config_;
-  std::vector<T> items_;
+  std::vector<HashedSymbol<T>> items_;  ///< hashed once, reused every round
   std::optional<std::uint64_t> estimate_;
   std::size_t request_cells_ = 0;
   bool decoded_ = false;
@@ -370,6 +461,10 @@ class CpiEncoderBackend final : public ReconcilerEncoder<U64Symbol> {
   }
 
   void add_item(const U64Symbol& item) override { items_.push_back(item); }
+
+  void add_hashed_item(const HashedSymbol<U64Symbol>& item) override {
+    items_.push_back(item.symbol);  // CPI syndromes never touch the hash
+  }
 
   std::size_t emit(ByteWriter& w, std::size_t) override {
     if (emitted_points_ >= capacity_) return 0;  // waiting for escalation
@@ -411,6 +506,10 @@ class CpiDecoderBackend final : public ReconcilerDecoder<U64Symbol> {
   explicit CpiDecoderBackend(ReconcilerConfig = {}) {}
 
   void add_item(const U64Symbol& item) override { items_.push_back(item); }
+
+  void add_hashed_item(const HashedSymbol<U64Symbol>& item) override {
+    items_.push_back(item.symbol);
+  }
 
   void absorb(std::span<const std::byte> payload) override {
     if (decoded_) return;
@@ -487,9 +586,16 @@ class MetIbltEncoderBackend final : public ReconcilerEncoder<T> {
  public:
   explicit MetIbltEncoderBackend(Hasher hasher = Hasher{},
                                  ReconcilerConfig config = {})
-      : table_(config.met, std::move(hasher)) {}
+      : table_(config.met, std::move(hasher)),
+        checksum_len_(config.checksum_len) {
+    (void)wire::checksum_mask(checksum_len_);  // validates the width
+  }
 
   void add_item(const T& item) override { table_.add_symbol(item); }
+
+  void add_hashed_item(const HashedSymbol<T>& item) override {
+    table_.apply(item, Direction::kAdd);
+  }
 
   std::size_t emit(ByteWriter& w, std::size_t) override {
     if (next_level_ > armed_level_ || next_level_ >= table_.num_levels()) {
@@ -502,7 +608,7 @@ class MetIbltEncoderBackend final : public ReconcilerEncoder<T> {
     w.uvarint(next_level_);
     w.uvarint(hi - lo);
     for (std::size_t i = lo; i < hi; ++i) {
-      wire::write_stream_symbol(w, table_.cells()[i]);
+      wire::write_stream_symbol(w, table_.cells()[i], checksum_len_);
     }
     ++next_level_;
     return w.size() - start;
@@ -522,6 +628,7 @@ class MetIbltEncoderBackend final : public ReconcilerEncoder<T> {
 
  private:
   metiblt::MetIblt<T, Hasher> table_;
+  std::uint8_t checksum_len_;
   std::size_t next_level_ = 0;   ///< next block to transmit
   std::size_t armed_level_ = 0;  ///< deepest block the peer asked for
 };
@@ -531,9 +638,15 @@ class MetIbltDecoderBackend final : public ReconcilerDecoder<T> {
  public:
   explicit MetIbltDecoderBackend(Hasher hasher = Hasher{},
                                  ReconcilerConfig config = {})
-      : table_(config.met, std::move(hasher)) {}
+      : table_(config.met, std::move(hasher)),
+        checksum_mask_(wire::checksum_mask(config.checksum_len)),
+        checksum_len_(config.checksum_len) {}
 
   void add_item(const T& item) override { table_.add_symbol(item); }
+
+  void add_hashed_item(const HashedSymbol<T>& item) override {
+    table_.apply(item, Direction::kAdd);
+  }
 
   void absorb(std::span<const std::byte> payload) override {
     if (decoded_) return;
@@ -548,22 +661,24 @@ class MetIbltDecoderBackend final : public ReconcilerDecoder<T> {
     if (count != expect) {
       throw ProtocolError("met-iblt: block cell count mismatch");
     }
-    const std::size_t min_cell = T::kSize + 8 + 1;
+    const std::size_t min_cell = T::kSize + checksum_len_ + 1;
     if (count > r.remaining() / min_cell) {
       throw ProtocolError("met-iblt: block exceeds payload size");
     }
     for (std::uint64_t i = 0; i < count; ++i) {
-      CodedSymbol<T> cell = wire::read_stream_symbol<T>(r);
-      // Subtract the local table's matching cell on arrival: diff_cells_
-      // always holds difference cells for the received prefix.
-      cell.subtract(table_.cells()[diff_cells_.size()]);
-      diff_cells_.push_back(cell);
+      diff_cells_.push_back(wire::read_stream_symbol<T>(r, checksum_len_));
     }
     if (!r.done()) throw ProtocolError("met-iblt: trailing bytes in block");
+    // Subtract the local table's matching cells as one contiguous run
+    // (vectorizable): diff_cells_ always holds difference cells for the
+    // received prefix.
+    subtract_run<T>(
+        std::span<CodedSymbol<T>>(diff_cells_.data() + lo, expect),
+        table_.cells().subspan(lo, expect));
     levels_received_ = static_cast<std::size_t>(level) + 1;
 
     auto result = table_.decode_prefix_over(
-        diff_cells_, static_cast<std::size_t>(level));
+        diff_cells_, static_cast<std::size_t>(level), checksum_mask_);
     if (result.success) {
       decoded_ = true;
       diff_.remote.clear();
@@ -593,6 +708,8 @@ class MetIbltDecoderBackend final : public ReconcilerDecoder<T> {
  private:
   metiblt::MetIblt<T, Hasher> table_;
   std::vector<CodedSymbol<T>> diff_cells_;  ///< received minus local prefix
+  std::uint64_t checksum_mask_;
+  std::uint8_t checksum_len_;
   std::size_t levels_received_ = 0;
   std::optional<std::size_t> request_level_;
   bool decoded_ = false;

@@ -80,11 +80,29 @@ TEST(IbltWire, RoundTripAndDecode) {
   for (const auto& x : w.a) a.add_symbol(x);
   for (const auto& y : w.b) b.add_symbol(y);
 
+  // Header: magic u32 | version u8 | k u8 | checksum_len u8 | salt u64 |
+  // symbol_len u32 | num_cells uvarint(1).
   const auto data = iblt::wire::serialize(a);
-  EXPECT_EQ(data.size(), 4u + 1 + 1 + 8 + 4 + 1 + 60u * (32 + 8 + 8));
+  EXPECT_EQ(data.size(), 4u + 1 + 1 + 1 + 8 + 4 + 1 + 60u * (32 + 8 + 8));
   const auto parsed = iblt::wire::parse<Item>(data);
   EXPECT_EQ(parsed.k, 3u);
+  EXPECT_EQ(parsed.checksum_len, 8u);
   ASSERT_EQ(parsed.cells.size(), a.cell_count());
+
+  // Narrow wire form: 4 bytes per cell shorter, and the masked peel of the
+  // received difference still recovers the full symmetric difference.
+  const auto narrow = iblt::wire::serialize(a, 0, 4);
+  EXPECT_EQ(narrow.size(), data.size() - 60u * 4u);
+  const auto nparsed = iblt::wire::parse<Item>(narrow);
+  EXPECT_EQ(nparsed.checksum_len, 4u);
+  iblt::Iblt<Item> ndiff(nparsed.cells.size(), nparsed.k, {}, nparsed.salt);
+  ndiff.load_cells(nparsed.cells);
+  ndiff.subtract(b);
+  const auto nresult =
+      ndiff.decode(ribltx::wire::checksum_mask(nparsed.checksum_len));
+  EXPECT_TRUE(nresult.success);
+  EXPECT_EQ(nresult.remote.size(), w.only_a.size());
+  EXPECT_EQ(nresult.local.size(), w.only_b.size());
 
   // Receiver reconstructs Alice's table and decodes the difference.
   iblt::Iblt<Item> rebuilt(parsed.cells.size(), parsed.k);

@@ -150,24 +150,32 @@ TEST(Engine, NarrowChecksumNegotiation) {
   SyncEngine<Item32> engine;
   for (const auto& x : w.a) engine.add_item(x);
 
-  // riblt honors the narrow request end-to-end...
+  // riblt and both table-family backends honor the narrow request
+  // end-to-end (decoder-side masking everywhere)...
   ReconcilerConfig narrow;
   narrow.checksum_len = 4;
-  SyncClient<Item32> riblt(1, BackendId::kRiblt, {}, narrow);
-  for (const auto& y : w.b) riblt.add_item(y);
-  pump_engine<Item32, SipHasher<Item32>>(engine, {&riblt});
-  REQUIRE(riblt.complete());
-  CHECK_EQ(riblt.checksum_len(), 4);
-  CHECK_EQ(engine.session(1)->checksum_len, 4);
-  expect_diff_matches(riblt.diff(), w);
+  std::uint64_t sid = 0;
+  for (const BackendId backend : {BackendId::kRiblt, BackendId::kIbltStrata,
+                                  BackendId::kMetIblt}) {
+    SyncClient<Item32> client(++sid, backend, {}, narrow);
+    for (const auto& y : w.b) client.add_item(y);
+    pump_engine<Item32, SipHasher<Item32>>(engine, {&client});
+    REQUIRE(client.complete());
+    CHECK_EQ(client.checksum_len(), 4);
+    CHECK_EQ(engine.session(sid)->checksum_len, 4);
+    expect_diff_matches(client.diff(), w);
+  }
 
-  // ...while a fixed-width backend clamps the request back to 8.
-  SyncClient<Item32> strata(2, BackendId::kIbltStrata, {}, narrow);
-  for (const auto& y : w.b) strata.add_item(y);
-  pump_engine<Item32, SipHasher<Item32>>(engine, {&strata});
-  REQUIRE(strata.complete());
-  CHECK_EQ(strata.checksum_len(), 8);
-  CHECK_EQ(engine.session(2)->checksum_len, 8);
+  // ...while CPI (no checksums in its syndromes) clamps the request to 8.
+  const auto u = make_set_pair<U64Symbol>(100, 3, 2, 10);
+  SyncEngine<U64Symbol> engine64;
+  for (const auto& x : u.a) engine64.add_item(x);
+  SyncClient<U64Symbol> cpi(1, BackendId::kCpi, {}, narrow);
+  for (const auto& y : u.b) cpi.add_item(y);
+  pump_engine<U64Symbol, SipHasher<U64Symbol>>(engine64, {&cpi});
+  REQUIRE(cpi.complete());
+  CHECK_EQ(cpi.checksum_len(), 8);
+  CHECK_EQ(engine64.session(1)->checksum_len, 8);
 }
 
 TEST(Engine, RejectsStateMachineViolations) {
@@ -375,6 +383,99 @@ TEST(Engine, FrameParserRejectsGarbage) {
   v2::Frame zero = frame;
   zero.session_id = 0;
   EXPECT_THROW((void)v2::parse_frame(v2::encode_frame(zero)), ProtocolError);
+}
+
+TEST(Engine, DuplicateAddItemIsRejected) {
+  // Once the serving cache is subtractive, a double-add is
+  // indistinguishable from two distinct items and corrupts counts; the
+  // engine must detect it via the item's hash and no-op.
+  SyncEngine<Item32> engine;
+  const Item32 item = Item32::random(1);
+  CHECK(engine.add_item(item));
+  CHECK(!engine.add_item(item));  // duplicate: rejected
+  CHECK_EQ(engine.item_count(), 1u);
+  CHECK(engine.contains(item));
+
+  // The cache holds the item exactly once: a client sharing no items
+  // recovers a difference of exactly 1.
+  SyncClient<Item32> client(1, BackendId::kRiblt);
+  pump_engine<Item32, SipHasher<Item32>>(engine, {&client});
+  REQUIRE(client.complete());
+  CHECK_EQ(client.diff().remote.size(), 1u);
+  CHECK_EQ(client.diff().local.size(), 0u);
+
+  // remove_item round-trips: absent items report false, removal then
+  // re-add works.
+  CHECK(!engine.remove_item(Item32::random(2)));
+  CHECK(engine.remove_item(item));
+  CHECK(!engine.contains(item));
+  CHECK_EQ(engine.item_count(), 0u);
+  CHECK(engine.add_item(item));
+  CHECK_EQ(engine.item_count(), 1u);
+}
+
+// Satellite: churn under concurrency. A session opened before the churn
+// keeps decoding against its HELLO-time snapshot; a session opened after
+// sees the churned set -- across the rateless paths (both checksum
+// widths), which share one SequenceCache inside the engine.
+TEST(Engine, ChurnKeepsConcurrentSessionsOnTheirSnapshots) {
+  for (const std::uint8_t width : {std::uint8_t{8}, std::uint8_t{4}}) {
+    // d = 60 >> one 1024-byte frame's worth of 32-byte cells, so session A
+    // cannot complete off a single frame -- the churn lands mid-stream.
+    const auto w = make_set_pair<Item32>(400, 35, 25, 17 + width);
+    SyncEngine<Item32> engine;
+    for (const auto& x : w.a) engine.add_item(x);
+
+    ReconcilerConfig config;
+    config.checksum_len = width;
+    SyncClient<Item32> before(1, BackendId::kRiblt, {}, config);
+    for (const auto& y : w.b) before.add_item(y);
+    for (const auto& r : engine.handle_frame(before.hello())) {
+      (void)before.handle_frame(r);
+    }
+    // Stream exactly one frame: session A is now mid-decode.
+    {
+      const auto frame = engine.next_frame(1);
+      REQUIRE(frame.has_value());
+      (void)before.handle_frame(*frame);
+      REQUIRE(!before.complete());
+    }
+
+    // Churn: drop one shared item and one of A's exclusives; add 3 fresh.
+    REQUIRE(engine.remove_item(w.a[0]));        // shared: flips to client
+    REQUIRE(engine.remove_item(w.only_a[0]));   // server-exclusive: gone
+    std::vector<Item32> fresh;
+    for (std::size_t i = 0; i < 3; ++i) {
+      fresh.push_back(Item32::random(derive_seed(9000 + width, i)));
+      REQUIRE(engine.add_item(fresh[i]));
+    }
+
+    SyncClient<Item32> after(2, BackendId::kRiblt, {}, config);
+    for (const auto& y : w.b) after.add_item(y);
+
+    // Interleaved pump: both sessions stream from the same cache.
+    pump_engine<Item32, SipHasher<Item32>>(engine, {&before, &after});
+
+    // Session A decodes its HELLO-time snapshot S0 = w.a.
+    REQUIRE(before.complete());
+    expect_diff_matches(before.diff(), w);
+
+    // Session B decodes the churned set S1.
+    REQUIRE(after.complete());
+    std::vector<Item32> want_remote(w.only_a.begin() + 1, w.only_a.end());
+    for (const auto& f : fresh) want_remote.push_back(f);
+    std::vector<Item32> want_local(w.only_b.begin(), w.only_b.end());
+    want_local.push_back(w.a[0]);  // removed shared item
+    REQUIRE_EQ(after.diff().remote.size(), want_remote.size());
+    REQUIRE_EQ(after.diff().local.size(), want_local.size());
+    CHECK(key_set(after.diff().remote) == key_set(want_remote));
+    CHECK(key_set(after.diff().local) == key_set(want_local));
+
+    // Both sessions closed: the cache journal shrinks back to nothing.
+    CHECK(engine.close_session(1));
+    CHECK(engine.close_session(2));
+    CHECK_EQ(engine.cache_journal_size(), 0u);
+  }
 }
 
 TEST(Engine, SessionLimitAndClose) {

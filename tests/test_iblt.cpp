@@ -8,6 +8,7 @@
 
 #include "common/rng.hpp"
 #include "iblt/iblt.hpp"
+#include "iblt/iblt_wire.hpp"
 #include "iblt/strata.hpp"
 #include "testutil.hpp"
 
@@ -33,6 +34,65 @@ TEST(Iblt, RoundTripWellSized) {
     EXPECT_TRUE(want_remote.contains(
         siphash24(SipKey{0x1234, 0x5678}, s.symbol.bytes())));
   }
+}
+
+TEST(Iblt, MaskedDecodeRecoversWithNarrowChecksums) {
+  // The §7.1 narrow-checksum trick on the table family: one side's cells
+  // pass through the 4-byte wire form (checksums truncated), the other
+  // side's stay full-width; the masked peel recovers the difference and
+  // recomputes full placement hashes from the recovered sums.
+  const auto w = make_set_pair<Item32>(400, 9, 7, 21);
+  Iblt<Item32> a(120, 4), b(120, 4);
+  for (const auto& x : w.a) a.add_symbol(x);
+  for (const auto& y : w.b) b.add_symbol(y);
+
+  const auto data = wire::serialize(a, /*salt=*/0, /*checksum_len=*/4);
+  const auto parsed = wire::parse<Item32>(data);
+  ASSERT_EQ(parsed.checksum_len, 4u);
+  Iblt<Item32> diff(parsed.cells.size(), parsed.k, {}, parsed.salt);
+  diff.load_cells(parsed.cells);
+  diff.subtract(b);
+  const auto result =
+      diff.decode(ribltx::wire::checksum_mask(parsed.checksum_len));
+  ASSERT_TRUE(result.success);
+  EXPECT_EQ(result.remote.size(), w.only_a.size());
+  EXPECT_EQ(result.local.size(), w.only_b.size());
+  // Recovered hashes are the full 64-bit keyed hashes, not the masked
+  // 32-bit wire residue.
+  const SipHasher<Item32> hasher;
+  for (const auto& s : result.remote) {
+    EXPECT_EQ(s.hash, hasher(s.symbol));
+  }
+}
+
+TEST(Strata, NarrowSerializeEstimatesThroughMaskedPeel) {
+  // A narrow-checksum estimator exchange: the receiver's full-width local
+  // estimator subtracts into the masked remote one, and the masked
+  // stratum peels still produce a usable (nonzero, same-magnitude)
+  // estimate.
+  const auto w = make_set_pair<Item32>(2000, 300, 250, 22);
+  StrataEstimator<Item32> alice, bob;
+  for (const auto& x : w.a) alice.add_symbol(x);
+  for (const auto& y : w.b) bob.add_symbol(y);
+
+  const auto narrow = alice.serialize(4);
+  const auto wide = alice.serialize(8);
+  EXPECT_EQ(wide.size() - narrow.size(), 16u * 80u * 4u);
+
+  auto remote = StrataEstimator<Item32>::deserialize(narrow);
+  remote.subtract(bob);
+  const std::uint64_t est = remote.estimate();
+  EXPECT_GE(est, 550u / 4);  // same tolerance band as the wide path
+  EXPECT_LE(est, 550u * 4);
+
+  // The opposite subtract order (full-width local minus masked remote)
+  // must adopt the narrower mask too, not peel masked cells under the
+  // full-width purity check and mis-estimate.
+  auto remote2 = StrataEstimator<Item32>::deserialize(narrow);
+  bob.subtract(remote2);
+  const std::uint64_t est2 = bob.estimate();
+  EXPECT_GE(est2, 550u / 4);
+  EXPECT_LE(est2, 550u * 4);
 }
 
 TEST(Iblt, EmptyDifferenceDecodesEmpty) {

@@ -50,6 +50,35 @@ TEST(MetIblt, EscalatesLevelsWithDifferenceSize) {
   EXPECT_GT(r_beyond.cells_used, r_small.cells_used);
 }
 
+TEST(MetIblt, MaskedPrefixDecodeRecoversWithNarrowChecksums) {
+  // Port of the §7.1 narrow-checksum masking to the MET peeler: the
+  // streamed prefix carries 4-byte-truncated checksums, the local table's
+  // contributions stay full width, and decode_prefix_over peels under the
+  // mask while recomputing full placement hashes.
+  const auto w = make_set_pair<Item32>(300, 6, 5, 9);
+  MetIblt<Item32> a, b;
+  for (const auto& x : w.a) a.add_symbol(x);
+  for (const auto& y : w.b) b.add_symbol(y);
+
+  constexpr std::uint64_t kMask = 0xffffffffULL;
+  const std::size_t level = 0;
+  std::vector<CodedSymbol<Item32>> diff;
+  for (std::size_t i = 0; i < a.boundary(level); ++i) {
+    CodedSymbol<Item32> cell = a.cells()[i];
+    cell.checksum &= kMask;  // what a 4-byte wire read yields
+    cell.subtract(b.cells()[i]);
+    diff.push_back(cell);
+  }
+  const auto result = a.decode_prefix_over(diff, level, kMask);
+  ASSERT_TRUE(result.success);
+  EXPECT_EQ(result.remote.size(), w.only_a.size());
+  EXPECT_EQ(result.local.size(), w.only_b.size());
+  const SipHasher<Item32> hasher;
+  for (const auto& s : result.remote) {
+    EXPECT_EQ(s.hash, hasher(s.symbol));
+  }
+}
+
 TEST(MetIblt, RecoversExactDifferenceAtHigherLevels) {
   const auto w = make_set_pair<Item32>(500, 150, 150, 4);  // d=300
   const auto r = reconcile_met(w.a, w.b);

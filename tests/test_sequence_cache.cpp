@@ -1,0 +1,297 @@
+// Tests for the shared serving path's core structure: SequenceCache (lazy
+// doubling materialization, O(log m) in-place churn, churn journal) and its
+// snapshot Cursor (per-session consistency under concurrent churn), plus
+// the v1 ReconcileServer serving many sessions from one shared cache.
+//
+// Acceptance property (ISSUE 3): a churned cache decodes identically to a
+// freshly-built sketch of the final set, under randomized add/remove
+// interleavings.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "core/riblt.hpp"
+#include "sync/protocol.hpp"
+#include "testutil.hpp"
+
+namespace ribltx {
+namespace {
+
+using testing::for_all;
+using testing::key_set;
+using testing::make_set_pair;
+using Item32 = ByteSymbol<32>;
+
+template <Symbol T>
+std::vector<CodedSymbol<T>> encoder_prefix(const std::vector<T>& items,
+                                           std::size_t m) {
+  Encoder<T> enc;
+  for (const auto& x : items) enc.add_symbol(x);
+  std::vector<CodedSymbol<T>> out;
+  out.reserve(m);
+  for (std::size_t i = 0; i < m; ++i) out.push_back(enc.produce_next());
+  return out;
+}
+
+TEST(SequenceCache, LazyPrefixMatchesEncoderAcrossBlockBoundaries) {
+  const auto w = make_set_pair<Item32>(500, 0, 0, 31);
+  SequenceCache<Item32> cache;  // lazy: nothing materialized yet
+  for (const auto& x : w.a) cache.add_symbol(x);
+  CHECK_EQ(cache.materialized(), 0u);
+  CHECK_EQ(cache.set_size(), w.a.size());
+
+  const auto want = encoder_prefix(w.a, 300);
+  // Read cells in an order that straddles several doubling blocks.
+  CHECK(cache.cell(0) == want[0]);
+  CHECK(cache.cell(65) == want[65]);    // forces 64 -> 128
+  CHECK(cache.cell(299) == want[299]);  // forces -> 512
+  for (std::size_t i = 0; i < 300; ++i) {
+    if (!(cache.cell(i) == want[i])) {
+      ADD_FAILURE() << "cell " << i << " diverges from the encoder stream";
+      break;
+    }
+  }
+  CHECK_EQ(cache.materialized(), 512u);
+}
+
+TEST(SequenceCache, PreMaterializedConstructorMatchesSketch) {
+  const auto w = make_set_pair<Item32>(200, 0, 0, 32);
+  constexpr std::size_t kCells = 100;
+  SequenceCache<Item32> cache(kCells);
+  Sketch<Item32> sketch(kCells);
+  for (const auto& x : w.a) {
+    cache.add_symbol(x);
+    sketch.add_symbol(x);
+  }
+  REQUIRE_EQ(cache.materialized(), kCells);
+  for (std::size_t i = 0; i < kCells; ++i) {
+    CHECK(cache.cells()[i] == sketch.cells()[i]);
+  }
+}
+
+// Acceptance criterion: a cache that lived through arbitrary interleaved
+// adds/removes (including removes of never-materialized items and re-adds
+// of removed ones) holds exactly the cells of a sketch built fresh from
+// the final set.
+TEST(SequenceCache, ChurnedCacheEqualsFreshSketchProperty) {
+  for_all("churned cache == fresh sketch of the final set", 30, 777,
+          [](SplitMix64& rng) {
+            const std::size_t kCells = 64 + rng.next() % 128;
+            SequenceCache<U64Symbol> cache;
+            std::vector<U64Symbol> live;
+            // Start with a base set.
+            for (std::size_t i = 0; i < 60; ++i) {
+              live.push_back(U64Symbol::random(rng.next()));
+              cache.add_symbol(live.back());
+            }
+            // Force partial materialization mid-history.
+            (void)cache.cell(kCells / 2);
+            // Random interleaved churn.
+            for (std::size_t step = 0; step < 120; ++step) {
+              if (!live.empty() && rng.next() % 3 == 0) {
+                const std::size_t victim = rng.next() % live.size();
+                cache.remove_symbol(live[victim]);
+                live[victim] = live.back();
+                live.pop_back();
+              } else {
+                live.push_back(U64Symbol::random(rng.next()));
+                cache.add_symbol(live.back());
+              }
+              if (step % 17 == 0) (void)cache.cell(rng.next() % kCells);
+            }
+            cache.ensure(kCells);
+            Sketch<U64Symbol> fresh(kCells);
+            for (const auto& x : live) fresh.add_symbol(x);
+            for (std::size_t i = 0; i < kCells; ++i) {
+              if (!(cache.cells()[i] == fresh.cells()[i])) return false;
+            }
+            return cache.set_size() == live.size();
+          });
+}
+
+TEST(SequenceCache, ChurnedCacheDecodesAgainstAPeer) {
+  // Decode path check on top of cell equality: subtract Bob's sketch from
+  // the churned cache's prefix and peel.
+  const auto w = make_set_pair<Item32>(300, 8, 5, 33);
+  SequenceCache<Item32> cache;
+  // Alice starts from B's shared part, then churns her way to A.
+  for (const auto& x : w.b) cache.add_symbol(x);
+  (void)cache.cell(10);  // some cells exist before the churn
+  for (const auto& x : w.only_b) cache.remove_symbol(x);
+  for (const auto& x : w.only_a) cache.add_symbol(x);
+
+  constexpr std::size_t kCells = 256;
+  cache.ensure(kCells);
+  Sketch<Item32> bob(kCells);
+  for (const auto& y : w.b) bob.add_symbol(y);
+
+  Decoder<Item32> dec;
+  std::size_t used = 0;
+  for (std::size_t i = 0; i < kCells && !dec.decoded(); ++i, ++used) {
+    CodedSymbol<Item32> diff = cache.cells()[i];
+    diff.subtract(bob.cells()[i]);
+    dec.add_coded_symbol(diff);
+  }
+  REQUIRE(dec.decoded());
+  CHECK_EQ(dec.remote().size(), w.only_a.size());
+  CHECK_EQ(dec.local().size(), w.only_b.size());
+}
+
+TEST(SequenceCacheCursor, SnapshotsSurviveConcurrentChurn) {
+  // Two cursors pinned to different set versions stream their own
+  // consistent snapshots from the one live cache.
+  const auto w = make_set_pair<Item32>(150, 6, 0, 34);
+  auto cache = std::make_shared<SequenceCache<Item32>>();
+  for (const auto& x : w.a) cache->add_symbol(x);
+
+  SequenceCache<Item32>::Cursor c0(cache);  // snapshot S0 = w.a
+  std::vector<CodedSymbol<Item32>> first;
+  for (int i = 0; i < 20; ++i) first.push_back(c0.next());
+
+  // Churn: remove 5 items of S0, add 7 new ones -> S1.
+  std::vector<Item32> s1(w.a.begin() + 5, w.a.end());
+  for (std::size_t i = 0; i < 5; ++i) cache->remove_symbol(w.a[i]);
+  for (std::size_t i = 0; i < 7; ++i) {
+    s1.push_back(Item32::random(derive_seed(3400, i)));
+    cache->add_symbol(s1.back());
+  }
+
+  SequenceCache<Item32>::Cursor c1(cache);  // snapshot S1
+  const auto want0 = encoder_prefix(w.a, 120);
+  const auto want1 = encoder_prefix(s1, 120);
+  // Interleave reads; both cursors must reproduce their snapshot's stream,
+  // and c0's pre-churn cells must agree with what it already handed out.
+  for (std::size_t i = 0; i < 20; ++i) {
+    CHECK(first[i] == want0[i]);
+  }
+  for (std::size_t i = 20, j = 0; i < 120; ++i, ++j) {
+    CHECK(c0.next() == want0[i]);
+    CHECK(c1.next() == want1[j]);
+  }
+
+  // The journal retains ops only while cursors that predate them live.
+  CHECK(cache->journal_size() > 0);
+  {
+    SequenceCache<Item32>::Cursor drop = std::move(c0);
+  }
+  {
+    SequenceCache<Item32>::Cursor drop = std::move(c1);
+  }
+  CHECK_EQ(cache->live_cursor_count(), 0u);
+  CHECK_EQ(cache->journal_size(), 0u);  // last cursor's death emptied it
+}
+
+TEST(SequenceCacheCursor, RemovedThenReaddedItemRoundTrips) {
+  // Tombstone + re-add: the cursor stream of the final snapshot matches a
+  // fresh encode even when the same item cycled out and back in.
+  auto cache = std::make_shared<SequenceCache<U64Symbol>>();
+  std::vector<U64Symbol> items;
+  for (std::size_t i = 0; i < 40; ++i) {
+    items.push_back(U64Symbol::random(derive_seed(35, i)));
+    cache->add_symbol(items.back());
+  }
+  (void)cache->cell(5);
+  cache->remove_symbol(items[3]);
+  cache->add_symbol(items[3]);
+  const auto want = encoder_prefix(items, 80);
+  SequenceCache<U64Symbol>::Cursor cur(cache);
+  for (std::size_t i = 0; i < 80; ++i) {
+    if (!(cur.next() == want[i])) {
+      ADD_FAILURE() << "cell " << i << " diverges after remove/re-add";
+      break;
+    }
+  }
+}
+
+TEST(SequenceCache, JournalPruningBounds) {
+  auto cache = std::make_shared<SequenceCache<U64Symbol>>();
+  cache->add_symbol(U64Symbol::random(1));
+  CHECK_EQ(cache->journal_size(), 0u);  // no cursors -> no history kept
+
+  SequenceCache<U64Symbol>::Cursor cur(cache);
+  for (std::uint64_t i = 2; i < 10; ++i) {
+    cache->add_symbol(U64Symbol::random(i));
+  }
+  CHECK_EQ(cache->journal_size(), 8u);
+  // Ops below the cursor's floor can go; the cursor still streams fine.
+  cache->prune_journal(cur.journal_position());
+  CHECK_EQ(cache->journal_size(), 8u);  // floor is the snapshot: keeps all
+  (void)cur.next();                     // catches up; floor advances
+  cache->prune_journal(cur.journal_position());
+  CHECK_EQ(cache->journal_size(), 0u);
+  EXPECT_THROW((void)cache->op(cur.snapshot_version()), std::out_of_range);
+}
+
+TEST(V1Protocol, SharedCacheServesSessionsAcrossChurn) {
+  // The §2 serving model through the v1 protocol: many ReconcileServer
+  // sessions over ONE cache, with churn between session opens. Each client
+  // must decode the diff against the server set as of its session start.
+  const auto w = make_set_pair<Item32>(250, 7, 4, 36);
+  auto cache = std::make_shared<SequenceCache<Item32>>();
+  for (const auto& x : w.a) cache->add_symbol(x);
+
+  // Pump a session (HELLO already delivered) to completion.
+  auto pump = [&](sync::ReconcileServer<Item32>& server,
+                  sync::ReconcileClient<Item32>& client) {
+    for (int i = 0; i < 1000 && !client.complete(); ++i) {
+      auto b = server.next_batch();
+      REQUIRE(b.has_value());
+      if (auto done = client.handle_message(*b)) {
+        server.handle_message(*done);
+      }
+    }
+    REQUIRE(client.complete());
+  };
+
+  // Session 1 pins its snapshot (S0 = w.a) at its first batch, so open it
+  // and pull one batch before churning.
+  auto s1 = sync::ReconcileServer<Item32>::serving(cache);
+  sync::ReconcileClient<Item32> c1;
+  for (const auto& y : w.b) c1.add_local_symbol(y);
+  s1.handle_message(c1.hello());
+  auto batch = s1.next_batch();
+  REQUIRE(batch.has_value());
+  if (auto done = c1.handle_message(*batch)) s1.handle_message(*done);
+
+  // Churn: S1 = S0 minus 3 shared items plus 2 fresh ones.
+  std::vector<Item32> set1(w.a.begin() + 3, w.a.end());
+  for (std::size_t i = 0; i < 3; ++i) cache->remove_symbol(w.a[i]);
+  for (std::size_t i = 0; i < 2; ++i) {
+    set1.push_back(Item32::random(derive_seed(3700, i)));
+    cache->add_symbol(set1.back());
+  }
+
+  // Session 2 snapshots S1.
+  auto s2 = sync::ReconcileServer<Item32>::serving(cache);
+  sync::ReconcileClient<Item32> c2;
+  for (const auto& y : w.b) c2.add_local_symbol(y);
+  s2.handle_message(c2.hello());
+  pump(s2, c2);
+
+  // Finish session 1 on its own S0 snapshot.
+  if (!c1.complete()) pump(s1, c1);
+
+  // Session 1 sees S0 \ B and B \ S0.
+  std::vector<Item32> c1_remote, c1_local;
+  for (const auto& s : c1.remote()) c1_remote.push_back(s.symbol);
+  for (const auto& s : c1.local()) c1_local.push_back(s.symbol);
+  CHECK(key_set(c1_remote) == key_set(w.only_a));
+  CHECK(key_set(c1_local) == key_set(w.only_b));
+
+  // Session 2 sees S1 \ B and B \ S1: the 3 removed shared items flip to
+  // the client side; the 2 fresh items join the server side.
+  std::vector<Item32> want_remote(w.only_a.begin(), w.only_a.end());
+  want_remote.push_back(set1[set1.size() - 2]);
+  want_remote.push_back(set1[set1.size() - 1]);
+  std::vector<Item32> want_local(w.only_b.begin(), w.only_b.end());
+  for (std::size_t i = 0; i < 3; ++i) want_local.push_back(w.a[i]);
+  std::vector<Item32> c2_remote, c2_local;
+  for (const auto& s : c2.remote()) c2_remote.push_back(s.symbol);
+  for (const auto& s : c2.local()) c2_local.push_back(s.symbol);
+  CHECK(key_set(c2_remote) == key_set(want_remote));
+  CHECK(key_set(c2_local) == key_set(want_local));
+}
+
+}  // namespace
+}  // namespace ribltx

@@ -85,6 +85,7 @@ TEST(WireFuzz, IbltRejectsOversizedCellCountBeforeAllocating) {
   w.u32(iblt::wire::kMagic);
   w.u8(iblt::wire::kVersion);
   w.u8(3);      // k
+  w.u8(8);      // checksum_len
   w.u64(0);     // salt
   w.u32(static_cast<std::uint32_t>(Item32::kSize));
   w.uvarint(1ull << 40);  // num_cells
@@ -108,6 +109,7 @@ TEST(WireFuzz, StrataRejectsOversizedGeometry) {
   ByteWriter w;
   w.u32(iblt::StrataEstimator<Item8>::kWireMagic);
   w.u8(iblt::StrataEstimator<Item8>::kWireVersion);
+  w.u8(8);                // checksum_len
   w.uvarint(64);          // num_strata
   w.uvarint(1ull << 32);  // cells_per_stratum
   w.u8(4);
@@ -120,6 +122,7 @@ TEST(WireFuzz, StrataRejectsOversizedGeometry) {
   ByteWriter wrap;
   wrap.u32(iblt::StrataEstimator<Item8>::kWireMagic);
   wrap.u8(iblt::StrataEstimator<Item8>::kWireVersion);
+  wrap.u8(8);                // checksum_len
   wrap.uvarint(64);          // num_strata
   wrap.uvarint(1ull << 58);  // cells_per_stratum: product overflows to 0
   wrap.u8(4);
