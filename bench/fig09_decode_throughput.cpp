@@ -56,6 +56,7 @@ double pinsketch_decode_seconds(std::size_t d, std::uint64_t seed,
 
 int main(int argc, char** argv) {
   const auto opts = bench::Options::parse(argc, argv);
+  bench::JsonReport report(opts, "fig09_decode_throughput");
   const std::size_t riblt_max =
       opts.pick<std::size_t>(1'000, 100'000, 1'000'000);
   const std::size_t pin_max = opts.pick<std::size_t>(64, 512, 2048);
@@ -66,12 +67,15 @@ int main(int argc, char** argv) {
   for (std::size_t d = 1; d <= riblt_max; d *= 4) {
     const double rt = riblt_decode_seconds(d, derive_seed(opts.seed, d));
     std::printf("%-8zu %-14.6f %-14.1f", d, rt, static_cast<double>(d) / rt);
+    auto& row = report.row().num("d", d).num("riblt_s", rt).num(
+        "riblt_d_per_s", static_cast<double>(d) / rt);
     if (d <= pin_max) {
       bool ok = false;
       const double pt =
           pinsketch_decode_seconds(d, derive_seed(opts.seed, d + 1), ok);
       std::printf(" %-14.6f %-14.1f %-4s\n", pt, static_cast<double>(d) / pt,
                   ok ? "y" : "N");
+      row.num("pinsketch_s", pt);
     } else {
       std::printf(" %-14s %-14s %-4s\n", "-", "-", "-");
     }

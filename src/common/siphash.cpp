@@ -93,4 +93,93 @@ std::uint64_t siphash24(SipKey key, std::span<const std::byte> data) noexcept {
   return siphash24(key, data.data(), data.size());
 }
 
+namespace {
+
+/// Four SipHash states in struct-of-arrays form: each line of round4() is a
+/// fixed four-trip loop over one operation, the layout a vectorizer can map
+/// onto 4x64-bit vector add/rotate/xor (and that never spills the way four
+/// interleaved scalar states do -- 16 live v-registers exceed the x86-64
+/// GPR file).
+struct SipState4 {
+  std::uint64_t v0[kSipHashLanes], v1[kSipHashLanes];
+  std::uint64_t v2[kSipHashLanes], v3[kSipHashLanes];
+
+  explicit SipState4(SipKey key) noexcept {
+    for (std::size_t l = 0; l < kSipHashLanes; ++l) {
+      v0[l] = 0x736f6d6570736575ULL ^ key.k0;
+      v1[l] = 0x646f72616e646f6dULL ^ key.k1;
+      v2[l] = 0x6c7967656e657261ULL ^ key.k0;
+      v3[l] = 0x7465646279746573ULL ^ key.k1;
+    }
+  }
+
+  void round4() noexcept {
+    constexpr std::size_t L = kSipHashLanes;
+    for (std::size_t l = 0; l < L; ++l) v0[l] += v1[l];
+    for (std::size_t l = 0; l < L; ++l) v1[l] = rotl64(v1[l], 13);
+    for (std::size_t l = 0; l < L; ++l) v1[l] ^= v0[l];
+    for (std::size_t l = 0; l < L; ++l) v0[l] = rotl64(v0[l], 32);
+    for (std::size_t l = 0; l < L; ++l) v2[l] += v3[l];
+    for (std::size_t l = 0; l < L; ++l) v3[l] = rotl64(v3[l], 16);
+    for (std::size_t l = 0; l < L; ++l) v3[l] ^= v2[l];
+    for (std::size_t l = 0; l < L; ++l) v0[l] += v3[l];
+    for (std::size_t l = 0; l < L; ++l) v3[l] = rotl64(v3[l], 21);
+    for (std::size_t l = 0; l < L; ++l) v3[l] ^= v0[l];
+    for (std::size_t l = 0; l < L; ++l) v2[l] += v1[l];
+    for (std::size_t l = 0; l < L; ++l) v1[l] = rotl64(v1[l], 17);
+    for (std::size_t l = 0; l < L; ++l) v1[l] ^= v2[l];
+    for (std::size_t l = 0; l < L; ++l) v2[l] = rotl64(v2[l], 32);
+  }
+};
+
+}  // namespace
+
+void siphash24_x4(SipKey key, const std::byte* const in[kSipHashLanes],
+                  std::size_t len, std::uint64_t out[kSipHashLanes]) noexcept {
+  SipState4 s(key);
+  const unsigned char* p[kSipHashLanes];
+  for (std::size_t l = 0; l < kSipHashLanes; ++l) {
+    p[l] = reinterpret_cast<const unsigned char*>(in[l]);
+  }
+
+  const std::size_t full_blocks = len / 8;
+  for (std::size_t i = 0; i < full_blocks; ++i) {
+    std::uint64_t m[kSipHashLanes];
+    for (std::size_t l = 0; l < kSipHashLanes; ++l) {
+      m[l] = load_le64(p[l] + i * 8);
+      s.v3[l] ^= m[l];
+    }
+    s.round4();
+    s.round4();
+    for (std::size_t l = 0; l < kSipHashLanes; ++l) s.v0[l] ^= m[l];
+  }
+
+  std::uint64_t b[kSipHashLanes];
+  for (std::size_t l = 0; l < kSipHashLanes; ++l) {
+    b[l] = static_cast<std::uint64_t>(len & 0xff) << 56;
+    const unsigned char* tail = p[l] + full_blocks * 8;
+    switch (len & 7) {
+      case 7: b[l] |= static_cast<std::uint64_t>(tail[6]) << 48; [[fallthrough]];
+      case 6: b[l] |= static_cast<std::uint64_t>(tail[5]) << 40; [[fallthrough]];
+      case 5: b[l] |= static_cast<std::uint64_t>(tail[4]) << 32; [[fallthrough]];
+      case 4: b[l] |= static_cast<std::uint64_t>(tail[3]) << 24; [[fallthrough]];
+      case 3: b[l] |= static_cast<std::uint64_t>(tail[2]) << 16; [[fallthrough]];
+      case 2: b[l] |= static_cast<std::uint64_t>(tail[1]) << 8; [[fallthrough]];
+      case 1: b[l] |= static_cast<std::uint64_t>(tail[0]); break;
+      case 0: break;
+    }
+    s.v3[l] ^= b[l];
+  }
+  s.round4();
+  s.round4();
+  for (std::size_t l = 0; l < kSipHashLanes; ++l) {
+    s.v0[l] ^= b[l];
+    s.v2[l] ^= 0xff;
+  }
+  for (int r = 0; r < 4; ++r) s.round4();
+  for (std::size_t l = 0; l < kSipHashLanes; ++l) {
+    out[l] = s.v0[l] ^ s.v1[l] ^ s.v2[l] ^ s.v3[l];
+  }
+}
+
 }  // namespace ribltx

@@ -30,4 +30,15 @@ struct SipKey {
 [[nodiscard]] std::uint64_t siphash24(SipKey key, const void* data,
                                       std::size_t len) noexcept;
 
+/// Lane count of the batched SipHash path.
+inline constexpr std::size_t kSipHashLanes = 4;
+
+/// Computes SipHash-2-4 of four equal-length messages in one interleaved
+/// pass: the four independent state chains pipeline through the rotate/add
+/// rounds, hiding the serial dependency that bounds the one-message path.
+/// Bit-identical to four siphash24() calls. The decoder's batched checksum
+/// verification (core/decoder.hpp) is the main consumer.
+void siphash24_x4(SipKey key, const std::byte* const in[kSipHashLanes],
+                  std::size_t len, std::uint64_t out[kSipHashLanes]) noexcept;
+
 }  // namespace ribltx

@@ -53,6 +53,7 @@ class CodingWindow {
     // and windows are memory-bounded far below 2^31 symbols anyway.
     const std::uint32_t packed =
         dir == Direction::kAdd ? ordinal : (ordinal | kRemoveBit);
+    keys_.push_back(mapping.index());
     heap_.push_back(Entry{std::move(mapping), packed});
     sift_up(heap_.size() - 1);
   }
@@ -63,15 +64,15 @@ class CodingWindow {
   /// non-decreasing `index` values (stream order); throws std::logic_error
   /// if a symbol's next index was already passed.
   void apply_at(std::uint64_t index, CodedSymbol<T>& cell, Direction dir) {
-    while (!heap_.empty() && heap_.front().mapping.index() <= index) {
+    while (!heap_.empty() && keys_[0] <= index) {
       Entry& top = heap_.front();
-      if (top.mapping.index() < index) {
+      if (keys_[0] < index) {
         throw std::logic_error(
             "CodingWindow::apply_at: indices must be visited in stream order");
       }
       cell.apply(symbols_[top.ordinal & ~kRemoveBit],
                  (top.ordinal & kRemoveBit) == 0 ? dir : invert(dir));
-      top.mapping.advance();
+      keys_[0] = top.mapping.advance();
       sift_down(0);
     }
   }
@@ -86,52 +87,95 @@ class CodingWindow {
   void clear() noexcept {
     symbols_.clear();
     heap_.clear();
+    keys_.clear();
+  }
+
+  /// Visits every entry as (symbol, direction, next mapped index) in
+  /// unspecified order. SequenceCache compaction uses this to recover the
+  /// live multiset (adds minus tombstones) without shadow bookkeeping.
+  template <typename Fn>
+  void for_each_entry(Fn&& fn) const {
+    for (std::size_t i = 0; i < heap_.size(); ++i) {
+      const Entry& e = heap_[i];
+      fn(symbols_[e.ordinal & ~kRemoveBit],
+         (e.ordinal & kRemoveBit) == 0 ? Direction::kAdd : Direction::kRemove,
+         keys_[i]);
+    }
   }
 
  private:
   /// Top ordinal bit marks a kRemove (tombstone/undo) entry.
   static constexpr std::uint32_t kRemoveBit = 0x80000000u;
+  /// Heap fan-out. Four children per node halves the sift depth of a binary
+  /// heap and puts all four child keys on one cache line of `keys_`, which
+  /// is what the decode/encode profile is bound by (sift_down of cold
+  /// 24-byte entries), not by comparison count.
+  static constexpr std::size_t kArity = 4;
 
   struct Entry {
     Mapping mapping;
     std::uint32_t ordinal;  ///< symbol index, kRemoveBit-tagged
   };
 
-  // Minimal binary min-heap on Entry::mapping.index(). Hand-rolled instead
-  // of std::priority_queue because apply_at mutates the top element in place
-  // (advance + sift_down), which the standard adapter cannot express without
-  // a pop/push pair per touched symbol.
+  // Minimal d-ary min-heap on the next mapped index. The keys live in a
+  // flat parallel array (`keys_[i] == heap_[i].mapping.index()`) so the
+  // compare path never touches the fat entries. Hand-rolled instead of
+  // std::priority_queue because apply_at mutates the top element in place
+  // (advance + sift_down), which the standard adapter cannot express
+  // without a pop/push pair per touched symbol.
+  // Hole-based sifts: the displaced node is held in a local and written
+  // once at its final position, one move per level instead of a three-move
+  // swap of the fat entries.
   void sift_up(std::size_t i) noexcept {
-    while (i > 0) {
-      const std::size_t parent = (i - 1) / 2;
-      if (heap_[parent].mapping.index() <= heap_[i].mapping.index()) break;
-      std::swap(heap_[parent], heap_[i]);
+    if (i == 0) return;
+    const std::uint64_t key = keys_[i];
+    std::size_t parent = (i - 1) / kArity;
+    if (keys_[parent] <= key) return;
+    Entry entry = std::move(heap_[i]);
+    do {
+      keys_[i] = keys_[parent];
+      heap_[i] = std::move(heap_[parent]);
       i = parent;
+      parent = (i - 1) / kArity;
+    } while (i > 0 && keys_[parent] > key);
+    keys_[i] = key;
+    heap_[i] = std::move(entry);
+  }
+
+  [[nodiscard]] std::size_t smallest_child(std::size_t first,
+                                           std::size_t n) const noexcept {
+    const std::size_t last = first + kArity < n ? first + kArity : n;
+    std::size_t smallest = first;
+    for (std::size_t c = first + 1; c < last; ++c) {
+      if (keys_[c] < keys_[smallest]) smallest = c;
     }
+    return smallest;
   }
 
   void sift_down(std::size_t i) noexcept {
     const std::size_t n = heap_.size();
+    const std::uint64_t key = keys_[i];
+    std::size_t first = kArity * i + 1;
+    if (first >= n) return;
+    std::size_t smallest = smallest_child(first, n);
+    if (keys_[smallest] >= key) return;
+    Entry entry = std::move(heap_[i]);
     for (;;) {
-      const std::size_t l = 2 * i + 1;
-      const std::size_t r = 2 * i + 2;
-      std::size_t smallest = i;
-      if (l < n &&
-          heap_[l].mapping.index() < heap_[smallest].mapping.index()) {
-        smallest = l;
-      }
-      if (r < n &&
-          heap_[r].mapping.index() < heap_[smallest].mapping.index()) {
-        smallest = r;
-      }
-      if (smallest == i) return;
-      std::swap(heap_[i], heap_[smallest]);
+      keys_[i] = keys_[smallest];
+      heap_[i] = std::move(heap_[smallest]);
       i = smallest;
+      first = kArity * i + 1;
+      if (first >= n) break;
+      smallest = smallest_child(first, n);
+      if (keys_[smallest] >= key) break;
     }
+    keys_[i] = key;
+    heap_[i] = std::move(entry);
   }
 
   std::vector<HashedSymbol<T>> symbols_;
   std::vector<Entry> heap_;
+  std::vector<std::uint64_t> keys_;  ///< heap_[i].mapping.index(), flat
 };
 
 }  // namespace ribltx

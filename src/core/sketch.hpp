@@ -15,6 +15,7 @@
 #include <cstddef>
 #include <memory>
 #include <span>
+#include <unordered_map>
 #include <stdexcept>
 #include <utility>
 #include <vector>
@@ -195,8 +196,9 @@ class SequenceCache {
     window_.add_with_mapping(s, std::move(m), dir);
     if (dir == Direction::kAdd) {
       ++set_size_;
-    } else if (set_size_ > 0) {
-      --set_size_;
+    } else {
+      if (set_size_ > 0) --set_size_;
+      ++tombstones_;
     }
     ++version_;
     if (live_cursors_ > 0) {
@@ -204,7 +206,93 @@ class SequenceCache {
     } else {
       journal_base_ = version_;  // nobody can reference older ops
     }
+    maybe_compact();
   }
+
+  // ---------------------------------------------------------- compaction
+
+  /// Entries currently in the coding window (live items + cancelled
+  /// add/tombstone pairs that compaction will drop).
+  [[nodiscard]] std::size_t window_size() const noexcept {
+    return window_.size();
+  }
+
+  /// Tombstone (removal) entries currently in the window.
+  [[nodiscard]] std::size_t window_tombstones() const noexcept {
+    return tombstones_;
+  }
+
+  /// Rebuilds the coding window from the net-live item multiset, dropping
+  /// every cancelled add/tombstone pair (ROADMAP "journal compaction under
+  /// sustained churn"). A cache that churns for weeks otherwise re-walks
+  /// each dead pair on every future block materialization. O(n log m):
+  /// each live item's mapping is re-walked past the materialized prefix.
+  /// Safe at any time -- materialized cells are already net-correct, and
+  /// snapshot Cursors replay history through their own private overlays,
+  /// never through this window.
+  void compact_window() {
+    // Net count per distinct symbol; bucketed by hash with symbol-equality
+    // confirmation so hash collisions cannot merge distinct items.
+    std::unordered_map<std::uint64_t,
+                       std::vector<std::pair<HashedSymbol<T>, std::int64_t>>>
+        net;
+    net.reserve(window_.size());
+    window_.for_each_entry([&](const HashedSymbol<T>& sym, Direction dir,
+                               std::uint64_t) {
+      auto& bucket = net[sym.hash];
+      for (auto& [existing, count] : bucket) {
+        if (existing.symbol == sym.symbol) {
+          count += static_cast<std::int64_t>(dir);
+          return;
+        }
+      }
+      bucket.emplace_back(sym, static_cast<std::int64_t>(dir));
+    });
+    CodingWindow<T, mapping_type> rebuilt;
+    std::size_t rebuilt_tombstones = 0;
+    for (const auto& [hash, bucket] : net) {
+      for (const auto& [sym, count] : bucket) {
+        // A set sees net 0 (dead pair) or +1 (live); the general loop
+        // preserves exact linearity for any multiset history (a
+        // net-negative symbol -- removal of a never-added item -- stays a
+        // tombstone and keeps counting as one).
+        const Direction dir =
+            count > 0 ? Direction::kAdd : Direction::kRemove;
+        for (std::int64_t c = count < 0 ? -count : count; c > 0; --c) {
+          mapping_type m = factory_(sym.hash);
+          while (m.index() < cells_.size()) m.advance();
+          rebuilt.add_with_mapping(sym, m, dir);
+          if (dir == Direction::kRemove) ++rebuilt_tombstones;
+        }
+      }
+    }
+    window_ = std::move(rebuilt);
+    tombstones_ = rebuilt_tombstones;
+    window_size_at_compact_ = window_.size();
+  }
+
+ private:
+  /// Compacts once tombstones and their cancelled adds make up at least
+  /// half the window (2t >= live, i.e. 4t >= entries), with a floor so
+  /// small windows never bother and a *multiplicative* growth cooldown
+  /// (the window must outgrow its post-compaction size by half) so
+  /// non-cancellable tombstones -- removals of never-added items, which a
+  /// rebuild cannot drop -- keep the amortized-doubling argument instead
+  /// of re-triggering a full O(n log m) rebuild every few ops.
+  void maybe_compact() {
+    const std::size_t cooldown =
+        window_size_at_compact_ / 2 > kCompactMinTombstones
+            ? window_size_at_compact_ / 2
+            : kCompactMinTombstones;
+    if (tombstones_ >= kCompactMinTombstones &&
+        4 * tombstones_ >= window_.size() &&
+        window_.size() >= window_size_at_compact_ + cooldown) {
+      compact_window();
+    }
+  }
+
+ public:
+  static constexpr std::size_t kCompactMinTombstones = 64;
 
   // ------------------------------------------------------------ cell reads
 
@@ -403,6 +491,8 @@ class SequenceCache {
   std::uint64_t journal_base_ = 0;
   std::uint64_t version_ = 0;
   std::size_t set_size_ = 0;
+  std::size_t tombstones_ = 0;  ///< removal entries in the window
+  std::size_t window_size_at_compact_ = 0;  ///< rebuild-frequency cooldown
   std::size_t live_cursors_ = 0;
 };
 

@@ -131,6 +131,18 @@ class SipHasher {
     return HashedSymbol<T>{s, (*this)(s)};
   }
 
+  /// Hashes four symbols in one interleaved SipHash pass (bit-identical to
+  /// four operator() calls, ~2x the throughput). The decoder's batched
+  /// checksum verification detects this method via a concept and falls back
+  /// to scalar hashing for hashers that lack it.
+  void hash4(const T* const s[kSipHashLanes],
+             std::uint64_t out[kSipHashLanes]) const noexcept {
+    const std::byte* in[kSipHashLanes] = {
+        s[0]->bytes().data(), s[1]->bytes().data(), s[2]->bytes().data(),
+        s[3]->bytes().data()};
+    siphash24_x4(key_, in, s[0]->bytes().size(), out);
+  }
+
   [[nodiscard]] SipKey key() const noexcept { return key_; }
 
  private:

@@ -35,13 +35,27 @@ Frame parse_frame(std::span<const std::byte> data) {
       throw ProtocolError("session id 0 is reserved");
     }
     switch (out.type) {
-      case FrameType::kHello:
+      case FrameType::kHello: {
         if (r.u8() != kVersion) throw ProtocolError("version mismatch");
         out.backend = r.u8();
         out.item_size = r.u32();
         out.checksum_len = r.u8();
-        if (r.u8() != 0) throw ProtocolError("unknown HELLO flags");
+        const std::uint8_t flags = r.u8();
+        if ((flags & ~kFlagSharded) != 0) {
+          throw ProtocolError("unknown HELLO flags");
+        }
+        if ((flags & kFlagSharded) != 0) {
+          const std::uint64_t shard_index = r.uvarint();
+          const std::uint64_t shard_count = r.uvarint();
+          if (shard_count == 0 || shard_count > 0xffffffffull ||
+              shard_index >= shard_count) {
+            throw ProtocolError("HELLO shard fields out of range");
+          }
+          out.shard_index = static_cast<std::uint32_t>(shard_index);
+          out.shard_count = static_cast<std::uint32_t>(shard_count);
+        }
         break;
+      }
       case FrameType::kHelloAck:
         out.backend = r.u8();
         out.checksum_len = r.u8();
@@ -65,6 +79,21 @@ Frame parse_frame(std::span<const std::byte> data) {
   }
 }
 
+std::uint64_t peek_session_id(std::span<const std::byte> data) {
+  if (data.empty()) throw ProtocolError("empty frame");
+  try {
+    ByteReader r(data);
+    if (!known_type(r.u8())) throw ProtocolError("unknown frame type");
+    const std::uint64_t sid = r.uvarint();
+    if (sid == 0) throw ProtocolError("session id 0 is reserved");
+    return sid;
+  } catch (const ProtocolError&) {
+    throw;
+  } catch (const std::exception&) {
+    throw ProtocolError("truncated frame");
+  }
+}
+
 std::vector<std::byte> encode_frame(const Frame& frame) {
   ByteWriter w;
   w.u8(static_cast<std::uint8_t>(frame.type));
@@ -75,7 +104,13 @@ std::vector<std::byte> encode_frame(const Frame& frame) {
       w.u8(frame.backend);
       w.u32(frame.item_size);
       w.u8(frame.checksum_len);
-      w.u8(0);  // flags, reserved
+      if (frame.shard_count != 0) {
+        w.u8(kFlagSharded);
+        w.uvarint(frame.shard_index);
+        w.uvarint(frame.shard_count);
+      } else {
+        w.u8(0);  // flags
+      }
       break;
     case FrameType::kHelloAck:
       w.u8(frame.backend);

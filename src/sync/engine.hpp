@@ -12,6 +12,8 @@
 //
 //   HELLO     c->s  0x11 | uvarint sid | u8 ver | u8 backend |
 //                   u32 item_size | u8 checksum_len | u8 flags
+//                   [flags & 0x01 (sharded): uvarint shard_index |
+//                    uvarint shard_count -- see sync/sharded.hpp]
 //   HELLO_ACK s->c  0x12 | uvarint sid | u8 backend | u8 checksum_len
 //   SYMBOLS   s->c  0x13 | uvarint sid | uvarint len | payload
 //   ROUND     c->s  0x14 | uvarint sid | uvarint len | payload
@@ -60,6 +62,13 @@ namespace v2 {
 
 inline constexpr std::uint8_t kVersion = 2;
 
+/// HELLO flag bit: the frame carries `uvarint shard_index | uvarint
+/// shard_count` after the flags byte. A client talking to a ShardedEngine
+/// splits its set with shard_of_hash() and opens one session per shard;
+/// the shard fields let the server verify both ends agree on the topology
+/// and route the session without a side channel.
+inline constexpr std::uint8_t kFlagSharded = 0x01;
+
 enum class FrameType : std::uint8_t {
   kHello = 0x11,
   kHelloAck = 0x12,
@@ -76,6 +85,8 @@ struct Frame {
   std::uint8_t backend = 0;        ///< HELLO, HELLO_ACK
   std::uint32_t item_size = 0;     ///< HELLO
   std::uint8_t checksum_len = 0;   ///< HELLO, HELLO_ACK
+  std::uint32_t shard_index = 0;   ///< HELLO (kFlagSharded)
+  std::uint32_t shard_count = 0;   ///< HELLO (kFlagSharded); 0 = unsharded
   std::uint64_t value = 0;         ///< DONE: payload bytes consumed
   std::vector<std::byte> payload;  ///< SYMBOLS, ROUND; ERROR: message
 };
@@ -84,6 +95,11 @@ struct Frame {
 /// message on anything malformed (empty frame, unknown type, version
 /// mismatch, zero session id, truncation, trailing bytes).
 [[nodiscard]] Frame parse_frame(std::span<const std::byte> data);
+
+/// Reads just the frame type byte and session id -- the routing prefix a
+/// ShardedEngine needs -- without copying the payload. Throws ProtocolError
+/// on anything too short or malformed to route.
+[[nodiscard]] std::uint64_t peek_session_id(std::span<const std::byte> data);
 
 /// Serializes a frame (the inverse of parse_frame).
 [[nodiscard]] std::vector<std::byte> encode_frame(const Frame& frame);
@@ -121,6 +137,37 @@ struct EngineOptions {
   std::uint32_t max_rounds = 32;    ///< escalation cap per session
   std::size_t max_sessions = 4096;  ///< concurrent session cap
   ReconcilerConfig config{};        ///< backend tuning shared by sessions
+  /// Shard identity (set by ShardedEngine on its per-shard engines). When
+  /// shard_count != 0 the engine only accepts HELLOs carrying the matching
+  /// (shard_index, shard_count); when 0 it rejects sharded HELLOs -- both
+  /// ends must agree on the topology before any symbols flow.
+  std::uint32_t shard_index = 0;
+  std::uint32_t shard_count = 0;
+};
+
+/// Whole-engine roll-up of the per-session accounting (the per-shard and
+/// cross-shard stats a ShardedEngine reports).
+struct EngineTotals {
+  std::size_t sessions = 0;
+  std::size_t active = 0;
+  std::size_t done = 0;
+  std::size_t failed = 0;
+  std::uint64_t bytes_to_peers = 0;
+  std::uint64_t bytes_from_peers = 0;
+  std::uint64_t rounds = 0;
+  std::uint64_t frames_sent = 0;
+
+  EngineTotals& operator+=(const EngineTotals& o) noexcept {
+    sessions += o.sessions;
+    active += o.active;
+    done += o.done;
+    failed += o.failed;
+    bytes_to_peers += o.bytes_to_peers;
+    bytes_from_peers += o.bytes_from_peers;
+    rounds += o.rounds;
+    frames_sent += o.frames_sent;
+    return *this;
+  }
 };
 
 /// Server side: one item set, many concurrent sessions.
@@ -151,8 +198,11 @@ class SyncEngine {
   /// same item twice is indistinguishable from two distinct items).
   /// Rateless sessions already open keep their HELLO-time snapshot;
   /// sessions opened afterwards see the new item. O(log m).
-  bool add_item(const T& item) {
-    const HashedSymbol<T> hs = hasher_.hashed(item);
+  bool add_item(const T& item) { return add_hashed_item(hasher_.hashed(item)); }
+
+  /// Pre-hashed variant: the ShardedEngine router hashes once to pick the
+  /// shard and hands the HashedSymbol straight through.
+  bool add_hashed_item(const HashedSymbol<T>& hs) {
     if (find_item(hs) != items_.size()) return false;  // duplicate: no-op
     index_.emplace(hs.hash, items_.size());
     items_.push_back(hs);
@@ -165,7 +215,11 @@ class SyncEngine {
   /// rateless sessions keep streaming their snapshot (which still contains
   /// the item); new sessions see the shrunken set. O(log m).
   bool remove_item(const T& item) {
-    const HashedSymbol<T> hs = hasher_.hashed(item);
+    return remove_hashed_item(hasher_.hashed(item));
+  }
+
+  /// Pre-hashed variant (the ShardedEngine router hashes once to route).
+  bool remove_hashed_item(const HashedSymbol<T>& hs) {
     const std::size_t pos = find_item(hs);
     if (pos == items_.size()) return false;
     erase_index_entry(hs.hash, pos);
@@ -185,7 +239,11 @@ class SyncEngine {
 
   /// True iff the item is currently in the served set.
   [[nodiscard]] bool contains(const T& item) const {
-    return find_item(hasher_.hashed(item)) != items_.size();
+    return contains_hashed(hasher_.hashed(item));
+  }
+
+  [[nodiscard]] bool contains_hashed(const HashedSymbol<T>& hs) const {
+    return find_item(hs) != items_.size();
   }
 
   /// Feeds one client->server frame. Returns the server->client frames to
@@ -212,6 +270,16 @@ class SyncEngine {
         }
         if (frame.checksum_len != 4 && frame.checksum_len != 8) {
           throw ProtocolError("unsupported checksum width");
+        }
+        if (frame.shard_count != options_.shard_count) {
+          throw ProtocolError(
+              options_.shard_count == 0
+                  ? "sharded HELLO to an unsharded engine"
+                  : "HELLO shard count does not match the engine topology");
+        }
+        if (frame.shard_count != 0 &&
+            frame.shard_index != options_.shard_index) {
+          throw ProtocolError("HELLO routed to the wrong shard");
         }
         const auto backend = static_cast<BackendId>(frame.backend);
         const std::uint8_t effective =
@@ -332,6 +400,24 @@ class SyncEngine {
       n += s.stats.state == SessionState::kActive ? 1 : 0;
     }
     return n;
+  }
+
+  /// Sums the per-session accounting (the ShardedEngine stats roll-up).
+  [[nodiscard]] EngineTotals totals() const {
+    EngineTotals t;
+    for (const auto& [id, s] : sessions_) {
+      ++t.sessions;
+      switch (s.stats.state) {
+        case SessionState::kActive: ++t.active; break;
+        case SessionState::kDone: ++t.done; break;
+        case SessionState::kFailed: ++t.failed; break;
+      }
+      t.bytes_to_peers += s.stats.bytes_to_peer;
+      t.bytes_from_peers += s.stats.bytes_from_peer;
+      t.rounds += s.stats.rounds;
+      t.frames_sent += s.stats.frames_sent;
+    }
+    return t;
   }
 
   [[nodiscard]] std::vector<std::uint64_t> session_ids() const {
@@ -458,12 +544,32 @@ class SyncClient {
     }
   }
 
-  /// Adds a local set item; must precede hello().
-  void add_item(const T& item) {
+  /// Adds a local set item; must precede hello(). The item is hashed once
+  /// here and the HashedSymbol reused end-to-end (decoder seeding included),
+  /// mirroring the server's hash-once discipline.
+  void add_item(const T& item) { add_hashed_item(hasher_.hashed(item)); }
+
+  /// Pre-hashed variant: a client opening a second session (or a
+  /// ShardedClient splitting one set across shards) reuses the hashes it
+  /// already computed instead of re-hashing the whole set per session.
+  void add_hashed_item(const HashedSymbol<T>& item) {
     if (state_ != State::kIdle) {
       throw std::logic_error("SyncClient: items must precede hello()");
     }
     items_.push_back(item);
+  }
+
+  /// Declares the sharded-topology identity this session's HELLO carries
+  /// (index within count). Must precede hello(); count 0 means unsharded.
+  void set_shard(std::uint32_t index, std::uint32_t count) {
+    if (state_ != State::kIdle) {
+      throw std::logic_error("SyncClient: set_shard must precede hello()");
+    }
+    if (count != 0 && index >= count) {
+      throw std::invalid_argument("SyncClient: shard index out of range");
+    }
+    shard_index_ = index;
+    shard_count_ = count;
   }
 
   /// The opening frame; call exactly once.
@@ -476,6 +582,8 @@ class SyncClient {
     frame.backend = static_cast<std::uint8_t>(backend_);
     frame.item_size = static_cast<std::uint32_t>(T::kSize);
     frame.checksum_len = config_.checksum_len;
+    frame.shard_index = shard_index_;
+    frame.shard_count = shard_count_;
     return v2::encode_frame(frame);
   }
 
@@ -504,7 +612,7 @@ class SyncClient {
         // narrow-checksum request for backends that do not support it).
         config_.checksum_len = frame.checksum_len;
         decoder_ = make_reconciler_decoder<T>(backend_, config_, hasher_);
-        for (const T& x : items_) decoder_->add_item(x);
+        for (const auto& x : items_) decoder_->add_hashed_item(x);
         // The decoder owns the set now; holding a second copy for the
         // session's lifetime would double per-client memory.
         items_.clear();
@@ -603,7 +711,9 @@ class SyncClient {
   BackendId backend_;
   Hasher hasher_;
   ReconcilerConfig config_;
-  std::vector<T> items_;
+  std::uint32_t shard_index_ = 0;
+  std::uint32_t shard_count_ = 0;  ///< 0 = unsharded
+  std::vector<HashedSymbol<T>> items_;  ///< hashed once, reused everywhere
   std::unique_ptr<ReconcilerDecoder<T>> decoder_;
   State state_ = State::kIdle;
   std::uint64_t payload_bytes_ = 0;

@@ -268,6 +268,10 @@ class RibltDecoderBackend final : public ReconcilerDecoder<T> {
 
   void add_item(const T& item) override { decoder_.add_local_symbol(item); }
 
+  void add_hashed_item(const HashedSymbol<T>& item) override {
+    decoder_.add_local_hashed_symbol(item);
+  }
+
   void absorb(std::span<const std::byte> payload) override {
     ByteReader r(payload);
     while (!r.done() && !decoder_.decoded()) {

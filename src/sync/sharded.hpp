@@ -1,0 +1,547 @@
+// Multi-core sharded serving: a session router over K per-shard engines.
+//
+// One SyncEngine is single-threaded by design (one SequenceCache, one
+// session table). To scale a server past one core, ShardedEngine partitions
+// the *item space* into K shards with a consistent keyed hash: shard k owns
+// a SyncEngine (with its own SequenceCache) holding exactly the items that
+// hash into shard k. A client splits its local set with the same hash --
+// both ends share the SipHash key already, so the partition is identical by
+// construction -- and opens one session per shard; the per-shard symmetric
+// differences are disjoint and their union is exactly the full difference,
+// so sharded reconciliation recovers the same diff as unsharded (the
+// cross-shard parity test pins this).
+//
+// Topology negotiation rides in HELLO: a sharded session's HELLO carries
+// (shard_index, shard_count) behind v2::kFlagSharded, the router routes it
+// to shard_index, and the shard engine rejects any topology mismatch
+// loudly (ProtocolError) before symbols flow. Non-HELLO frames route by the
+// session id the router recorded at HELLO time, read with
+// v2::peek_session_id (no payload copy on the router thread).
+//
+// Threaded serving: start() launches one worker per shard, each owning its
+// engine behind the shard mutex with an inbox of raw frames. A worker
+// drains its inbox, then pumps one SYMBOLS frame per active session per
+// round, handing output to the sink *outside* the shard lock (so a sink
+// may call submit() -- even back into the same shard -- without deadlock).
+// A blocking sink is the backpressure: the worker streams as fast as the
+// sink accepts, which is the paper's serve-at-line-rate model. Set churn
+// (add_item/remove_item) and stats() take the shard locks and are safe
+// while workers run.
+//
+// bench/extra_shard_scaling.cpp measures sessions/sec against shard count;
+// tests/test_sharded.cpp holds the parity and threaded-smoke coverage.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <stdexcept>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "sync/engine.hpp"
+
+namespace ribltx::sync {
+
+/// The consistent item->shard map: fixed-point scaling of the hash's high
+/// bits (deterministic across platforms, unbiased for any shard count, and
+/// keyed because the hash is the parties' shared SipHash).
+[[nodiscard]] constexpr std::size_t shard_of_hash(
+    std::uint64_t hash, std::size_t shard_count) noexcept {
+  return static_cast<std::size_t>(
+      ((hash >> 32) * static_cast<std::uint64_t>(shard_count)) >> 32);
+}
+
+/// Cross-shard stats roll-up (per shard plus totals).
+struct ShardedStats {
+  struct PerShard {
+    std::size_t items = 0;
+    std::size_t protocol_errors = 0;
+    EngineTotals totals{};
+  };
+  std::vector<PerShard> shards;
+  std::size_t items = 0;
+  std::size_t protocol_errors = 0;
+  EngineTotals totals{};
+};
+
+template <Symbol T, typename Hasher = SipHasher<T>>
+class ShardedEngine {
+ public:
+  /// Delivery callback for threaded serving; invoked concurrently from the
+  /// shard workers (one frame at a time per shard), never under a shard
+  /// lock. Frames carry their session id; block to apply backpressure.
+  using Sink = std::function<void(std::vector<std::byte> frame)>;
+
+  explicit ShardedEngine(std::size_t shard_count, Hasher hasher = Hasher{},
+                         EngineOptions options = EngineOptions{})
+      : hasher_(std::move(hasher)) {
+    if (shard_count == 0 || shard_count > kMaxShards) {
+      throw std::invalid_argument("ShardedEngine: shard count out of range");
+    }
+    shards_.reserve(shard_count);
+    for (std::size_t k = 0; k < shard_count; ++k) {
+      EngineOptions shard_options = options;
+      shard_options.shard_index = static_cast<std::uint32_t>(k);
+      shard_options.shard_count = static_cast<std::uint32_t>(shard_count);
+      shards_.push_back(std::make_unique<Shard>(hasher_, shard_options));
+    }
+  }
+
+  ~ShardedEngine() { stop(); }
+
+  ShardedEngine(const ShardedEngine&) = delete;
+  ShardedEngine& operator=(const ShardedEngine&) = delete;
+
+  [[nodiscard]] std::size_t shard_count() const noexcept {
+    return shards_.size();
+  }
+
+  /// The shard an item routes to (what a client must compute identically).
+  [[nodiscard]] std::size_t shard_of(const T& item) const {
+    return shard_of_hash(hasher_(item), shards_.size());
+  }
+
+  // ---------------------------------------------------------- set churn
+
+  /// Adds an item to its shard's engine (hashed once). Thread-safe against
+  /// running workers; false on duplicate.
+  bool add_item(const T& item) {
+    const HashedSymbol<T> hs = hasher_.hashed(item);
+    Shard& sh = *shards_[shard_of_hash(hs.hash, shards_.size())];
+    const std::lock_guard<std::mutex> lk(sh.mu);
+    return sh.engine.add_hashed_item(hs);
+  }
+
+  /// Removes an item from its shard's engine (hashed once); false if
+  /// absent.
+  bool remove_item(const T& item) {
+    const HashedSymbol<T> hs = hasher_.hashed(item);
+    Shard& sh = *shards_[shard_of_hash(hs.hash, shards_.size())];
+    const std::lock_guard<std::mutex> lk(sh.mu);
+    return sh.engine.remove_hashed_item(hs);
+  }
+
+  [[nodiscard]] bool contains(const T& item) const {
+    const HashedSymbol<T> hs = hasher_.hashed(item);
+    Shard& sh = *shards_[shard_of_hash(hs.hash, shards_.size())];
+    const std::lock_guard<std::mutex> lk(sh.mu);
+    return sh.engine.contains_hashed(hs);
+  }
+
+  [[nodiscard]] std::size_t item_count() const {
+    std::size_t n = 0;
+    for (const auto& sh : shards_) {
+      const std::lock_guard<std::mutex> lk(sh->mu);
+      n += sh->engine.item_count();
+    }
+    return n;
+  }
+
+  // ------------------------------------------- synchronous (router) path
+
+  /// Routes one client frame to its shard engine and returns the replies --
+  /// the single-threaded mirror of SyncEngine::handle_frame, used by tests
+  /// and in-process callers. Throws ProtocolError exactly where SyncEngine
+  /// would (unattributable frames, topology mismatches).
+  std::vector<std::vector<std::byte>> handle_frame(
+      std::span<const std::byte> data) {
+    Shard& sh = *shards_[route(data)];
+    try {
+      const std::lock_guard<std::mutex> lk(sh.mu);
+      return sh.engine.handle_frame(data);
+    } catch (...) {
+      // A HELLO the shard engine rejected must not leave its freshly
+      // recorded route behind.
+      if (is_hello(data)) drop_route(v2::peek_session_id(data));
+      throw;
+    }
+  }
+
+  /// Produces the next SYMBOLS frame for a session (synchronous path).
+  std::optional<std::vector<std::byte>> next_frame(std::uint64_t session_id) {
+    const std::optional<std::size_t> k = route_of(session_id);
+    if (!k) return std::nullopt;
+    Shard& sh = *shards_[*k];
+    const std::lock_guard<std::mutex> lk(sh.mu);
+    return sh.engine.next_frame(session_id);
+  }
+
+  bool close_session(std::uint64_t session_id) {
+    const std::optional<std::size_t> k = route_of(session_id);
+    if (!k) return false;
+    Shard& sh = *shards_[*k];
+    bool erased = false;
+    {
+      const std::lock_guard<std::mutex> lk(sh.mu);
+      erased = sh.engine.close_session(session_id);
+    }
+    // Drop the route only when the engine actually held the session: if
+    // the HELLO is still queued in the shard inbox, erasing here would
+    // orphan the session the worker is about to open (unreachable by any
+    // route_of-gated API, streaming forever). Leaving the route intact
+    // keeps the session addressable so a later close_session lands.
+    if (erased) drop_route(session_id);
+    return erased;
+  }
+
+  // ------------------------------------------------------ threaded path
+
+  /// Launches one worker thread per shard delivering output through `sink`.
+  void start(Sink sink) {
+    if (running_.load(std::memory_order_acquire)) {
+      throw std::logic_error("ShardedEngine: already started");
+    }
+    sink_ = std::move(sink);
+    if (!sink_) throw std::invalid_argument("ShardedEngine: null sink");
+    for (auto& sh : shards_) {
+      sh->stop = false;
+      sh->thread = std::thread([this, shard = sh.get()] { worker(*shard); });
+    }
+    running_.store(true, std::memory_order_release);
+  }
+
+  /// Stops and joins the workers; queued inbox frames may go unprocessed.
+  void stop() {
+    if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+    for (auto& sh : shards_) {
+      {
+        const std::lock_guard<std::mutex> lk(sh->mu);
+        sh->stop = true;
+      }
+      sh->cv.notify_all();
+    }
+    for (auto& sh : shards_) {
+      if (sh->thread.joinable()) sh->thread.join();
+    }
+  }
+
+  [[nodiscard]] bool running() const noexcept {
+    return running_.load(std::memory_order_acquire);
+  }
+
+  /// Enqueues one raw client frame for its shard's worker. Thread-safe.
+  /// Unroutable frames (garbage prefix, unknown session, bad topology)
+  /// throw ProtocolError to the caller, exactly like the synchronous path.
+  void submit(std::vector<std::byte> frame) {
+    Shard& sh = *shards_[route(frame)];
+    {
+      const std::lock_guard<std::mutex> lk(sh.mu);
+      sh.inbox.push_back(std::move(frame));
+    }
+    sh.cv.notify_one();
+  }
+
+  /// Locks each shard in turn and aggregates items/sessions/bytes.
+  [[nodiscard]] ShardedStats stats() const {
+    ShardedStats out;
+    out.shards.reserve(shards_.size());
+    for (const auto& sh : shards_) {
+      ShardedStats::PerShard row;
+      {
+        const std::lock_guard<std::mutex> lk(sh->mu);
+        row.items = sh->engine.item_count();
+        row.protocol_errors = sh->protocol_errors;
+        row.totals = sh->engine.totals();
+        row.totals += sh->retired;  // sessions the worker already evicted
+      }
+      out.items += row.items;
+      out.protocol_errors += row.protocol_errors;
+      out.totals += row.totals;
+      out.shards.push_back(row);
+    }
+    return out;
+  }
+
+  static constexpr std::size_t kMaxShards = 4096;
+
+ private:
+  struct Shard {
+    Shard(const Hasher& hasher, const EngineOptions& options)
+        : engine(hasher, options) {}
+
+    SyncEngine<T, Hasher> engine;
+    mutable std::mutex mu;
+    std::condition_variable cv;
+    std::deque<std::vector<std::byte>> inbox;
+    std::size_t protocol_errors = 0;
+    EngineTotals retired{};  ///< accounting of worker-retired sessions
+    bool stop = false;
+    std::thread thread;
+  };
+
+  [[nodiscard]] static bool is_hello(std::span<const std::byte> data) {
+    return !data.empty() &&
+           static_cast<std::uint8_t>(data[0]) ==
+               static_cast<std::uint8_t>(v2::FrameType::kHello);
+  }
+
+  /// Shard for a frame: HELLOs parse their shard fields (and are recorded
+  /// sid->shard -- rejecting a sid that is already routed, so a duplicate
+  /// HELLO can never hijack a live session's route); everything else
+  /// routes by the recorded session. If the shard engine then rejects a
+  /// recorded HELLO, drop_route() must undo the recording.
+  [[nodiscard]] std::size_t route(std::span<const std::byte> data) {
+    if (data.empty()) throw ProtocolError("empty frame");
+    if (is_hello(data)) {
+      const v2::Frame hello = v2::parse_frame(data);
+      if (hello.shard_count != shards_.size()) {
+        throw ProtocolError("HELLO shard count does not match this server");
+      }
+      const std::lock_guard<std::mutex> lk(routes_mu_);
+      const auto [it, inserted] =
+          routes_.emplace(hello.session_id, hello.shard_index);
+      if (!inserted) throw ProtocolError("duplicate HELLO for session");
+      return hello.shard_index;
+    }
+    const std::uint64_t sid = v2::peek_session_id(data);
+    const std::optional<std::size_t> k = route_of(sid);
+    if (!k) throw ProtocolError("unknown session id");
+    return *k;
+  }
+
+  void drop_route(std::uint64_t session_id) {
+    const std::lock_guard<std::mutex> lk(routes_mu_);
+    routes_.erase(session_id);
+  }
+
+  [[nodiscard]] std::optional<std::size_t> route_of(
+      std::uint64_t session_id) const {
+    const std::lock_guard<std::mutex> lk(routes_mu_);
+    const auto it = routes_.find(session_id);
+    if (it == routes_.end()) return std::nullopt;
+    return it->second;
+  }
+
+  void worker(Shard& sh) {
+    std::vector<std::vector<std::byte>> outgoing;
+    std::vector<std::uint64_t> retire;
+    std::deque<std::vector<std::byte>> batch;
+    bool streaming = false;
+    for (;;) {
+      {
+        std::unique_lock<std::mutex> lk(sh.mu);
+        if (!streaming) {
+          sh.cv.wait(lk, [&] { return sh.stop || !sh.inbox.empty(); });
+        }
+        if (sh.stop) return;
+        batch.clear();
+        batch.swap(sh.inbox);
+        for (const auto& frame : batch) {
+          try {
+            for (auto& reply : sh.engine.handle_frame(frame)) {
+              outgoing.push_back(std::move(reply));
+            }
+          } catch (const ProtocolError&) {
+            // No transport to throw to on the worker: count and drop (the
+            // sync path surfaces the same error to the submitter) -- and a
+            // rejected HELLO must not keep its route recording.
+            ++sh.protocol_errors;
+            if (is_hello(frame)) {
+              try {
+                drop_route(v2::peek_session_id(frame));
+              } catch (const ProtocolError&) {
+                // unroutable garbage: nothing was recorded
+              }
+            }
+          }
+        }
+        // One frame per active session per round keeps sessions fair and
+        // bounds how far the server runs ahead of in-flight DONEs.
+        // Sessions that reached a terminal state retire immediately --
+        // their accounting folds into the shard's running totals and
+        // their engine/route entries are dropped, so a long-running
+        // server neither re-scans dead sessions every round nor runs
+        // into the max_sessions cap from sessions long finished.
+        retire.clear();
+        for (const std::uint64_t sid : sh.engine.session_ids()) {
+          const SessionStats* stats = sh.engine.session(sid);
+          if (stats != nullptr && stats->state != SessionState::kActive) {
+            retire.push_back(sid);
+            continue;
+          }
+          if (auto frame = sh.engine.next_frame(sid)) {
+            outgoing.push_back(std::move(*frame));
+          }
+        }
+        for (const std::uint64_t sid : retire) {
+          const SessionStats* stats = sh.engine.session(sid);
+          ++sh.retired.sessions;
+          if (stats->state == SessionState::kDone) {
+            ++sh.retired.done;
+          } else {
+            ++sh.retired.failed;
+          }
+          sh.retired.bytes_to_peers += stats->bytes_to_peer;
+          sh.retired.bytes_from_peers += stats->bytes_from_peer;
+          sh.retired.rounds += stats->rounds;
+          sh.retired.frames_sent += stats->frames_sent;
+          (void)sh.engine.close_session(sid);
+        }
+        streaming = !outgoing.empty();
+      }
+      for (const std::uint64_t sid : retire) drop_route(sid);
+      // Deliver outside the lock: a sink may block (backpressure) or call
+      // submit() -- even into this shard -- without deadlocking. A sink
+      // that throws (e.g. it re-submits a reply whose session was retired
+      // moments earlier) is contained per frame and counted, not allowed
+      // to escape the thread entry point and terminate the process.
+      for (auto& frame : outgoing) {
+        try {
+          sink_(std::move(frame));
+        } catch (const std::exception&) {
+          const std::lock_guard<std::mutex> lk(sh.mu);
+          ++sh.protocol_errors;
+        }
+      }
+      outgoing.clear();
+    }
+  }
+
+  Hasher hasher_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  mutable std::mutex routes_mu_;
+  std::unordered_map<std::uint64_t, std::size_t> routes_;  ///< sid -> shard
+  Sink sink_;
+  std::atomic<bool> running_{false};
+};
+
+/// Client-side counterpart: splits one local set across K per-shard
+/// SyncClient sessions with the same consistent hash and merges the
+/// per-shard differences. Sub-session s of a client with base id B gets
+/// session id (B-1)*K + s + 1, so distinct bases never collide.
+///
+/// Thread-safety: handle_frame for different shards touches disjoint
+/// sub-clients, so the K shard workers of a ShardedEngine may call it
+/// concurrently (each worker only ever delivers its own shard's sessions);
+/// complete()/failed() are safe to poll from any thread, and diff() is
+/// valid once complete() returns true.
+template <Symbol T, typename Hasher = SipHasher<T>>
+class ShardedClient {
+ public:
+  ShardedClient(std::uint64_t base_session_id, std::size_t shard_count,
+                BackendId backend, Hasher hasher = Hasher{},
+                ReconcilerConfig config = ReconcilerConfig{})
+      : hasher_(std::move(hasher)),
+        base_(base_session_id),
+        shard_count_(shard_count) {
+    if (base_session_id == 0) {
+      throw std::invalid_argument("ShardedClient: session id 0 is reserved");
+    }
+    if (shard_count == 0 || shard_count > ShardedEngine<T>::kMaxShards) {
+      throw std::invalid_argument("ShardedClient: shard count out of range");
+    }
+    subs_.reserve(shard_count);
+    terminal_ = std::make_unique<std::atomic<std::size_t>>(0);
+    failures_ = std::make_unique<std::atomic<std::size_t>>(0);
+    for (std::size_t s = 0; s < shard_count; ++s) {
+      subs_.push_back(std::make_unique<SyncClient<T, Hasher>>(
+          sub_session_id(s), backend, hasher_, config));
+      subs_.back()->set_shard(static_cast<std::uint32_t>(s),
+                              static_cast<std::uint32_t>(shard_count));
+    }
+    counted_.assign(shard_count, 0);
+  }
+
+  [[nodiscard]] std::size_t shard_count() const noexcept {
+    return subs_.size();
+  }
+
+  [[nodiscard]] std::uint64_t sub_session_id(std::size_t shard) const {
+    return (base_ - 1) * shard_count_ + shard + 1;
+  }
+
+  /// Adds a local item: hashed once, routed to its shard's sub-client,
+  /// reused as HashedSymbol end-to-end.
+  void add_item(const T& item) {
+    const HashedSymbol<T> hs = hasher_.hashed(item);
+    subs_[shard_of_hash(hs.hash, subs_.size())]->add_hashed_item(hs);
+  }
+
+  /// The K opening frames (one sharded HELLO per shard), in shard order.
+  [[nodiscard]] std::vector<std::vector<std::byte>> hellos() {
+    std::vector<std::vector<std::byte>> out;
+    out.reserve(subs_.size());
+    for (auto& sub : subs_) out.push_back(sub->hello());
+    return out;
+  }
+
+  /// Consumes one server frame (routed to the owning sub-client by session
+  /// id); returns the client frames to send back.
+  std::vector<std::vector<std::byte>> handle_frame(
+      std::span<const std::byte> data) {
+    const std::uint64_t sid = v2::peek_session_id(data);
+    if (sid <= (base_ - 1) * subs_.size() ||
+        sid > base_ * subs_.size()) {
+      throw ProtocolError("frame for a different sharded client");
+    }
+    const std::size_t s =
+        static_cast<std::size_t>((sid - 1) % subs_.size());
+    SyncClient<T, Hasher>& sub = *subs_[s];
+    auto out = sub.handle_frame(data);
+    if (!counted_[s] && (sub.complete() || sub.failed())) {
+      counted_[s] = 1;  // only this shard's worker touches sub/counted_[s]
+      if (sub.failed()) failures_->fetch_add(1, std::memory_order_relaxed);
+      terminal_->fetch_add(1, std::memory_order_release);
+    }
+    return out;
+  }
+
+  /// True once every sub-session completed successfully.
+  [[nodiscard]] bool complete() const {
+    return terminal_->load(std::memory_order_acquire) == subs_.size() &&
+           failures_->load(std::memory_order_relaxed) == 0;
+  }
+
+  /// True as soon as any sub-session failed.
+  [[nodiscard]] bool failed() const {
+    return failures_->load(std::memory_order_relaxed) != 0;
+  }
+
+  /// True once no sub-session is still in flight (complete or failed).
+  [[nodiscard]] bool terminal() const {
+    return terminal_->load(std::memory_order_acquire) == subs_.size();
+  }
+
+  /// The merged symmetric difference; meaningful once complete().
+  [[nodiscard]] SetDiff<T> diff() const {
+    SetDiff<T> out;
+    for (const auto& sub : subs_) {
+      const SetDiff<T>& d = sub->diff();
+      out.remote.insert(out.remote.end(), d.remote.begin(), d.remote.end());
+      out.local.insert(out.local.end(), d.local.begin(), d.local.end());
+    }
+    return out;
+  }
+
+  /// Total SYMBOLS payload bytes absorbed across shards.
+  [[nodiscard]] std::uint64_t payload_bytes() const {
+    std::uint64_t n = 0;
+    for (const auto& sub : subs_) n += sub->payload_bytes();
+    return n;
+  }
+
+  [[nodiscard]] const SyncClient<T, Hasher>& sub(std::size_t shard) const {
+    return *subs_[shard];
+  }
+
+ private:
+  Hasher hasher_;
+  std::uint64_t base_;
+  std::size_t shard_count_;
+  std::vector<std::unique_ptr<SyncClient<T, Hasher>>> subs_;
+  std::vector<std::uint8_t> counted_;  ///< per-shard terminal latch
+  std::unique_ptr<std::atomic<std::size_t>> terminal_;
+  std::unique_ptr<std::atomic<std::size_t>> failures_;
+};
+
+}  // namespace ribltx::sync

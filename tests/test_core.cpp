@@ -254,10 +254,10 @@ TEST(Reconcile, FirstCellDecodesLast) {
     ASSERT_LT(bob.cells_received(), 4096u);
     if (!bob.decoded()) {
       // Not done => cell 0 still holds undecoded mass.
-      EXPECT_FALSE(bob.cells()[0].is_empty());
+      EXPECT_FALSE(bob.cell(0).is_empty());
     }
   }
-  EXPECT_TRUE(bob.cells()[0].is_empty());
+  EXPECT_TRUE(bob.cell(0).is_empty());
 }
 
 TEST(Encoder, RejectsAddAfterProduce) {

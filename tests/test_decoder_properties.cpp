@@ -1,0 +1,179 @@
+// Randomized decoder properties (ISSUE 4 satellite): the peel result is a
+// pure function of the coded-symbol stream and the local *set* -- it must
+// not depend on the order local items were added, on how the stream is
+// chunked into absorb batches, or on how far past completion the stream
+// runs. Pinned across d in {1, 100, 10000} (the 10^4 point exercises the
+// deep peel cascade, the interleaved recovery walks, and the calendar
+// re-bucketing under block growth).
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/riblt.hpp"
+#include "testutil.hpp"
+
+namespace ribltx {
+namespace {
+
+using testing::for_all;
+using testing::key_set;
+using testing::make_set_pair;
+
+/// Decodes `cells` against local set `local`, feeding the stream until
+/// decoded; returns (remote keys, local keys, cells consumed).
+struct PeelResult {
+  std::unordered_set<std::uint64_t> remote, local;
+  std::size_t used = 0;
+  bool ok = false;
+};
+
+template <Symbol T>
+PeelResult run_decode(const std::vector<CodedSymbol<T>>& cells,
+                      const std::vector<T>& local,
+                      std::uint64_t checksum_mask = ~std::uint64_t{0}) {
+  Decoder<T> dec;
+  dec.set_checksum_mask(checksum_mask);
+  for (const auto& y : local) dec.add_local_symbol(y);
+  PeelResult out;
+  for (const auto& c : cells) {
+    CodedSymbol<T> wire = c;
+    wire.checksum &= checksum_mask;
+    dec.add_coded_symbol(wire);
+    ++out.used;
+    if (dec.decoded()) break;
+  }
+  out.ok = dec.decoded();
+  std::vector<T> remote, local_only;
+  for (const auto& s : dec.remote()) remote.push_back(s.symbol);
+  for (const auto& s : dec.local()) local_only.push_back(s.symbol);
+  out.remote = key_set(remote);
+  out.local = key_set(local_only);
+  return out;
+}
+
+// Property: shuffling the local-item insertion order never changes the
+// recovered difference or the number of coded symbols needed.
+TEST(DecoderProperties, PeelInvariantUnderLocalInsertionOrder) {
+  for_all("peel result invariant under shuffled local-add order", 12, 4101,
+          [](SplitMix64& rng) {
+            const auto w = make_set_pair<U64Symbol>(
+                120 + rng.next() % 100, 5 + rng.next() % 20,
+                5 + rng.next() % 20, rng.next());
+            Encoder<U64Symbol> enc;
+            for (const auto& x : w.a) enc.add_symbol(x);
+            std::vector<CodedSymbol<U64Symbol>> cells;
+            for (std::size_t i = 0; i < 4096; ++i) {
+              cells.push_back(enc.produce_next());
+            }
+            const PeelResult base = run_decode(cells, w.b);
+            if (!base.ok) return false;
+            for (int shuffle = 0; shuffle < 3; ++shuffle) {
+              auto local = w.b;
+              for (std::size_t i = local.size(); i > 1; --i) {
+                std::swap(local[i - 1], local[rng.next() % i]);
+              }
+              const PeelResult got = run_decode(cells, local);
+              if (!got.ok || got.used != base.used ||
+                  got.remote != base.remote || got.local != base.local) {
+                return false;
+              }
+            }
+            return base.remote == key_set(w.only_a) &&
+                   base.local == key_set(w.only_b);
+          });
+}
+
+// Property: continuing to feed coded symbols after decoded() must not
+// disturb the result (in-flight frames past completion), and the 4-byte
+// masked path recovers the same difference as the full-width path.
+TEST(DecoderProperties, OverfeedAndNarrowMaskAgree) {
+  for_all("overfeed + narrow mask agree with the full-width peel", 10, 4102,
+          [](SplitMix64& rng) {
+            const auto w = make_set_pair<U64Symbol>(
+                150, 4 + rng.next() % 12, 4 + rng.next() % 12, rng.next());
+            Encoder<U64Symbol> enc;
+            for (const auto& x : w.a) enc.add_symbol(x);
+            std::vector<CodedSymbol<U64Symbol>> cells;
+            for (std::size_t i = 0; i < 2048; ++i) {
+              cells.push_back(enc.produce_next());
+            }
+            const PeelResult wide = run_decode(cells, w.b);
+            const PeelResult narrow =
+                run_decode(cells, w.b, 0xffffffffull);
+            if (!wide.ok || !narrow.ok) return false;
+            if (wide.remote != narrow.remote || wide.local != narrow.local) {
+              return false;
+            }
+            // Overfeed: a decoder that keeps eating past completion keeps
+            // its answer (Decoder ignores nothing -- the caller stops; here
+            // we emulate a stale in-flight batch by feeding 64 more cells
+            // through a fresh decoder run that does NOT break early).
+            Decoder<U64Symbol> dec;
+            for (const auto& y : w.b) dec.add_local_symbol(y);
+            for (std::size_t i = 0; i < wide.used + 64; ++i) {
+              dec.add_coded_symbol(cells[i]);
+            }
+            if (!dec.decoded()) return false;
+            std::vector<U64Symbol> remote;
+            for (const auto& s : dec.remote()) remote.push_back(s.symbol);
+            return key_set(remote) == wide.remote;
+          });
+}
+
+// Acceptance sweep: identical peel results across stream chunkings at
+// d in {1, 100, 10000}. Chunking only changes how many symbols arrive
+// between peel() cascades -- the incremental and batch peels must agree
+// cell for cell.
+TEST(DecoderProperties, ChunkingInvarianceAcrossDifferenceScales) {
+  for (const std::size_t d : {1ul, 100ul, 10'000ul}) {
+    const std::size_t half = d / 2;
+    const auto w = make_set_pair<U64Symbol>(64, d - half, half, 7777 + d);
+    Encoder<U64Symbol> enc;
+    for (const auto& x : w.a) enc.add_symbol(x);
+    std::vector<CodedSymbol<U64Symbol>> cells;
+    const std::size_t cap = static_cast<std::size_t>(2.5 * static_cast<double>(d)) + 128;
+    cells.reserve(cap);
+    for (std::size_t i = 0; i < cap; ++i) cells.push_back(enc.produce_next());
+
+    PeelResult base;
+    bool first = true;
+    for (const std::size_t chunk : {1ul, 7ul, 64ul, 1024ul}) {
+      Decoder<U64Symbol> dec;
+      dec.reserve(cap);
+      for (const auto& y : w.b) dec.add_local_symbol(y);
+      std::size_t used = 0;
+      for (std::size_t at = 0; at < cells.size() && !dec.decoded();
+           at += chunk) {
+        // One "frame" of `chunk` symbols; stop mid-frame once decoded,
+        // exactly like the wire absorb path.
+        const std::size_t end = std::min(cells.size(), at + chunk);
+        for (std::size_t i = at; i < end && !dec.decoded(); ++i) {
+          dec.add_coded_symbol(cells[i]);
+          ++used;
+        }
+      }
+      REQUIRE(dec.decoded()) << "d=" << d << " chunk=" << chunk;
+      std::vector<U64Symbol> remote, local;
+      for (const auto& s : dec.remote()) remote.push_back(s.symbol);
+      for (const auto& s : dec.local()) local.push_back(s.symbol);
+      PeelResult got;
+      got.remote = key_set(remote);
+      got.local = key_set(local);
+      got.used = used;
+      if (first) {
+        base = got;
+        first = false;
+        CHECK(got.remote == key_set(w.only_a));
+        CHECK(got.local == key_set(w.only_b));
+      } else {
+        CHECK(got.used == base.used) << "d=" << d << " chunk=" << chunk;
+        CHECK(got.remote == base.remote) << "d=" << d << " chunk=" << chunk;
+        CHECK(got.local == base.local) << "d=" << d << " chunk=" << chunk;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ribltx

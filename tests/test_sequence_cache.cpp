@@ -223,6 +223,69 @@ TEST(SequenceCache, JournalPruningBounds) {
   EXPECT_THROW((void)cache->op(cur.snapshot_version()), std::out_of_range);
 }
 
+// Satellite (ISSUE 4): sustained churn must not grow the coding window
+// without bound -- once tombstones and their cancelled adds dominate, the
+// window is rebuilt from the live set, and everything (cells, future
+// blocks, snapshots) stays exactly equivalent.
+TEST(SequenceCache, WindowCompactionBoundsSustainedChurn) {
+  auto cache = std::make_shared<SequenceCache<U64Symbol>>();
+  std::vector<U64Symbol> live;
+  SplitMix64 rng(909);
+  for (std::size_t i = 0; i < 300; ++i) {
+    live.push_back(U64Symbol::random(rng.next()));
+    cache->add_symbol(live.back());
+  }
+  (void)cache->cell(40);  // partially materialized before the churn
+
+  // Weeks of churn in miniature: 2000 replace cycles on a 300-item set.
+  for (std::size_t step = 0; step < 2000; ++step) {
+    const std::size_t victim = rng.next() % live.size();
+    cache->remove_symbol(live[victim]);
+    live[victim] = U64Symbol::random(rng.next());
+    cache->add_symbol(live[victim]);
+    if (step % 97 == 0) (void)cache->cell(rng.next() % 128);
+  }
+
+  // Without compaction the window would hold 300 + 2 * 2000 entries; the
+  // tombstone-ratio trigger keeps it within a small multiple of the live
+  // set (the bound below allows one full not-yet-triggered batch).
+  CHECK_EQ(cache->set_size(), live.size());
+  CHECK(cache->window_size() <
+        2 * live.size() + 4 * SequenceCache<U64Symbol>::kCompactMinTombstones)
+      << "window grew to " << cache->window_size();
+
+  // Cells (materialized and future) still equal a fresh sketch of the
+  // live set.
+  constexpr std::size_t kCells = 700;
+  cache->ensure(kCells);
+  Sketch<U64Symbol> fresh(kCells);
+  for (const auto& x : live) fresh.add_symbol(x);
+  for (std::size_t i = 0; i < kCells; ++i) {
+    if (!(cache->cells()[i] == fresh.cells()[i])) {
+      ADD_FAILURE() << "cell " << i << " diverges after compaction";
+      break;
+    }
+  }
+
+  // An explicit compaction drops every dead pair outright, and a snapshot
+  // cursor opened before more churn still streams its own set.
+  cache->compact_window();
+  CHECK_EQ(cache->window_tombstones(), 0u);
+  CHECK(cache->window_size() <= live.size());
+  SequenceCache<U64Symbol>::Cursor cur(cache);
+  const auto before = live;
+  cache->remove_symbol(live[0]);
+  cache->add_symbol(U64Symbol::random(rng.next()));
+  const auto want = encoder_prefix(before, 64);
+  for (std::size_t i = 0; i < 64; ++i) {
+    if (!(cur.next() == want[i])) {
+      ADD_FAILURE() << "snapshot cell " << i << " diverges across churn "
+                       "after compaction";
+      break;
+    }
+  }
+}
+
 TEST(V1Protocol, SharedCacheServesSessionsAcrossChurn) {
   // The §2 serving model through the v1 protocol: many ReconcileServer
   // sessions over ONE cache, with churn between session opens. Each client
