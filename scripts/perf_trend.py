@@ -28,10 +28,12 @@ METRICS_LOWER = {
     "bytes_down", "bytes_up", "rounds", "frames",
     "mean", "median", "stddev",
     "riblt", "met", "iblt", "iblt_est", "pinsketch",
+    "bytes_plain", "bytes_residual", "count_bytes_per_symbol",  # §6 wire cost
 }
 METRICS_LOWER_NOISY = {
     "cpu_s", "hello_us", "churn_us", "build_s", "wall_s",
     "riblt_s", "pinsketch_s",
+    "p50_ms", "p99_ms",  # transport sync latency (loopback jitter is real)
 }
 # Higher is better (rates). All of these are CPU-derived (sessions/sec,
 # decode items/sec, shard speedups), so they all take the slack threshold

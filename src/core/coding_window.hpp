@@ -1,12 +1,31 @@
-// CodingWindow: a set of source symbols plus a priority queue of their next
+// CodingWindow: a set of source symbols plus a schedule of their next
 // mapped coded-symbol indices.
 //
 // This is the paper's "efficient incremental encoding" structure (§6): the
-// symbols whose next mapped index is smallest sit at the heap head, so
-// producing the coded symbol at stream index i touches exactly the symbols
-// mapped to i (O(log n) heap maintenance each), never the whole set.
-// The decoder reuses the same structure to lazily subtract its local set --
-// and previously recovered symbols -- from newly arriving cells.
+// symbols mapped to the next stream index must be found in O(their count),
+// never by scanning the whole set. Stream indices are visited in
+// non-decreasing order (grow_to blocks, encoder produce_next, cursor
+// overlays), which admits the same calendar-queue trick the decoder uses --
+// but bounded: where the decoder keeps one bucket per received cell
+// (O(stream) memory it needs anyway for the cells), the window keeps a
+// fixed-size circular bucket array covering the next kHorizon indices, and
+// entries mapped beyond the horizon park in a "far" min-heap keyed by next
+// index. The common operations become:
+//
+//   * apply_at(i): drain bucket i & (kHorizon-1) -- O(1) per mapped symbol,
+//     no sift -- then re-bucket each advanced entry (O(1) when the next
+//     index lands inside the horizon, one far-heap push otherwise);
+//   * window advance: far entries whose key enters the horizon are pulled
+//     with one heap pop each (amortized: a symbol has O(log m) mapped
+//     indices below any horizon).
+//
+// The far heap sifts a flat (u64 key, u32 entry id) pair -- 12 bytes per
+// level -- where the old 4-ary entry heap moved 24-byte entries; the
+// near-horizon traffic (the dense, hot part of the mapping distribution)
+// bypasses the heap entirely. Stream-order misuse still throws: a skipped
+// index with a live entry is detected by scanning exactly the skipped
+// bucket slots, and far entries below the applied index are caught at the
+// heap head.
 #pragma once
 
 #include <cstdint>
@@ -40,7 +59,8 @@ class CodingWindow {
   /// kRemove entry folds its symbol with the opposite sign on every future
   /// cell -- the tombstone that cancels an earlier kAdd entry of the same
   /// symbol (SequenceCache churn) or undoes a set change a snapshot must
-  /// not see (SequenceCache::Cursor overlays).
+  /// not see (SequenceCache::Cursor overlays). The mapping must not point
+  /// at an index the window already visited.
   void add_with_mapping(const HashedSymbol<T>& s, Mapping mapping,
                         Direction dir = Direction::kAdd) {
     if (symbols_.size() >= kRemoveBit) {
@@ -48,14 +68,17 @@ class CodingWindow {
     }
     const auto ordinal = static_cast<std::uint32_t>(symbols_.size());
     symbols_.push_back(s);
-    // The sign rides in the ordinal's top bit: widening Entry by even one
-    // byte measurably slows the sift-down swap chain (the encode hot path),
-    // and windows are memory-bounded far below 2^31 symbols anyway.
+    // The sign rides in the ordinal's top bit: windows are memory-bounded
+    // far below 2^31 symbols, and a separate byte would widen the entry.
     const std::uint32_t packed =
         dir == Direction::kAdd ? ordinal : (ordinal | kRemoveBit);
-    keys_.push_back(mapping.index());
-    heap_.push_back(Entry{std::move(mapping), packed});
-    sift_up(heap_.size() - 1);
+    const std::uint64_t key = mapping.index();
+    if (key < pos_) {
+      throw std::logic_error(
+          "CodingWindow: entry mapped to an already-visited index");
+    }
+    entries_.push_back(Entry{std::move(mapping), packed, kNilEntry});
+    place(static_cast<std::uint32_t>(entries_.size() - 1), key);
   }
 
   /// Folds every symbol mapped to stream index `index` into `cell`, then
@@ -64,16 +87,27 @@ class CodingWindow {
   /// non-decreasing `index` values (stream order); throws std::logic_error
   /// if a symbol's next index was already passed.
   void apply_at(std::uint64_t index, CodedSymbol<T>& cell, Direction dir) {
-    while (!heap_.empty() && keys_[0] <= index) {
-      Entry& top = heap_.front();
-      if (keys_[0] < index) {
-        throw std::logic_error(
-            "CodingWindow::apply_at: indices must be visited in stream order");
-      }
-      cell.apply(symbols_[top.ordinal & ~kRemoveBit],
-                 (top.ordinal & kRemoveBit) == 0 ? dir : invert(dir));
-      keys_[0] = top.mapping.advance();
-      sift_down(0);
+    if (index + 1 < pos_) {
+      // A backward revisit would drain a bucket slot that now belongs to a
+      // different (future) key -- corruption, not a no-op. Re-applying the
+      // just-visited index is allowed (its slot is already drained).
+      throw std::logic_error(
+          "CodingWindow::apply_at: indices must be visited in stream order");
+    }
+    if (index + 1 > pos_) advance_to(index);
+    if (buckets_.empty()) return;  // no entry was ever in bucket range
+    const std::size_t slot = static_cast<std::size_t>(index) & (kHorizon - 1);
+    std::uint32_t id = buckets_[slot];
+    buckets_[slot] = kNilEntry;
+    while (id != kNilEntry) {
+      Entry& e = entries_[id];
+      const std::uint32_t chain = e.next;
+      cell.apply(symbols_[e.ordinal & ~kRemoveBit],
+                 (e.ordinal & kRemoveBit) == 0 ? dir : invert(dir));
+      const std::uint64_t next = e.mapping.advance();
+      e.next = kNilEntry;
+      place(id, next);
+      id = chain;
     }
   }
 
@@ -86,8 +120,12 @@ class CodingWindow {
 
   void clear() noexcept {
     symbols_.clear();
-    heap_.clear();
-    keys_.clear();
+    entries_.clear();
+    buckets_.clear();
+    far_keys_.clear();
+    far_ids_.clear();
+    base_ = 0;
+    pos_ = 0;
   }
 
   /// Visits every entry as (symbol, direction, next mapped index) in
@@ -95,87 +133,134 @@ class CodingWindow {
   /// live multiset (adds minus tombstones) without shadow bookkeeping.
   template <typename Fn>
   void for_each_entry(Fn&& fn) const {
-    for (std::size_t i = 0; i < heap_.size(); ++i) {
-      const Entry& e = heap_[i];
+    for (const Entry& e : entries_) {
       fn(symbols_[e.ordinal & ~kRemoveBit],
          (e.ordinal & kRemoveBit) == 0 ? Direction::kAdd : Direction::kRemove,
-         keys_[i]);
+         e.mapping.index());
     }
   }
+
+  /// Calendar span: indices in [base, base + kHorizon) resolve to buckets;
+  /// anything farther parks in the far heap until the window slides there.
+  static constexpr std::size_t kHorizon = 512;
 
  private:
   /// Top ordinal bit marks a kRemove (tombstone/undo) entry.
   static constexpr std::uint32_t kRemoveBit = 0x80000000u;
-  /// Heap fan-out. Four children per node halves the sift depth of a binary
-  /// heap and puts all four child keys on one cache line of `keys_`, which
-  /// is what the decode/encode profile is bound by (sift_down of cold
-  /// 24-byte entries), not by comparison count.
+  static constexpr std::uint32_t kNilEntry = 0xffffffffu;
+  /// Far-heap fan-out: four (key, id) pairs per node keep the child keys on
+  /// one cache line, same rationale as the decoder-side calendar.
   static constexpr std::size_t kArity = 4;
 
   struct Entry {
     Mapping mapping;
     std::uint32_t ordinal;  ///< symbol index, kRemoveBit-tagged
+    std::uint32_t next;     ///< intrusive bucket chain
   };
 
-  // Minimal d-ary min-heap on the next mapped index. The keys live in a
-  // flat parallel array (`keys_[i] == heap_[i].mapping.index()`) so the
-  // compare path never touches the fat entries. Hand-rolled instead of
-  // std::priority_queue because apply_at mutates the top element in place
-  // (advance + sift_down), which the standard adapter cannot express
-  // without a pop/push pair per touched symbol.
-  // Hole-based sifts: the displaced node is held in a local and written
-  // once at its final position, one move per level instead of a three-move
-  // swap of the fat entries.
-  void sift_up(std::size_t i) noexcept {
-    if (i == 0) return;
-    const std::uint64_t key = keys_[i];
-    std::size_t parent = (i - 1) / kArity;
-    if (keys_[parent] <= key) return;
-    Entry entry = std::move(heap_[i]);
-    do {
-      keys_[i] = keys_[parent];
-      heap_[i] = std::move(heap_[parent]);
+  static_assert((kHorizon & (kHorizon - 1)) == 0, "horizon must be 2^k");
+
+  /// Links entry `id` (with next mapped index `key`) into its calendar
+  /// bucket, or parks it in the far heap beyond the horizon.
+  void place(std::uint32_t id, std::uint64_t key) {
+    if (key < base_ + kHorizon) {
+      if (buckets_.empty()) buckets_.assign(kHorizon, kNilEntry);
+      const std::size_t slot = static_cast<std::size_t>(key) & (kHorizon - 1);
+      entries_[id].next = buckets_[slot];
+      buckets_[slot] = id;
+    } else {
+      far_push(key, id);
+    }
+  }
+
+  /// Slides the visit position (and, when needed, the window base) forward
+  /// to `index`: verifies every skipped bucket slot is empty (a live entry
+  /// there means the caller broke stream order) and pulls far entries whose
+  /// key now falls inside the horizon.
+  void advance_to(std::uint64_t index) {
+    if (!buckets_.empty() && index > pos_) {
+      // Each in-window slot holds exactly the key congruent to it, so the
+      // skipped values [pos_, index) -- at most kHorizon distinct slots --
+      // are checkable without touching any entry.
+      const std::uint64_t skipped = index - pos_;
+      const std::uint64_t scan =
+          skipped < kHorizon ? skipped : std::uint64_t{kHorizon};
+      for (std::uint64_t v = pos_; v < pos_ + scan; ++v) {
+        if (buckets_[static_cast<std::size_t>(v) & (kHorizon - 1)] !=
+            kNilEntry) {
+          throw std::logic_error(
+              "CodingWindow::apply_at: indices must be visited in stream "
+              "order");
+        }
+      }
+    }
+    pos_ = index + 1;
+    if (index >= base_ + kHorizon) base_ = index;
+    while (!far_keys_.empty() && far_keys_[0] < base_ + kHorizon) {
+      if (far_keys_[0] < index) {
+        throw std::logic_error(
+            "CodingWindow::apply_at: indices must be visited in stream "
+            "order");
+      }
+      const std::uint32_t id = far_ids_[0];
+      const std::uint64_t key = far_keys_[0];
+      far_pop();
+      if (buckets_.empty()) buckets_.assign(kHorizon, kNilEntry);
+      const std::size_t slot = static_cast<std::size_t>(key) & (kHorizon - 1);
+      entries_[id].next = buckets_[slot];
+      buckets_[slot] = id;
+    }
+  }
+
+  // Far heap: flat 4-ary min-heap over (key, id) pairs in parallel arrays;
+  // hole-based sifts move 12 bytes per level.
+  void far_push(std::uint64_t key, std::uint32_t id) {
+    far_keys_.push_back(key);
+    far_ids_.push_back(id);
+    std::size_t i = far_keys_.size() - 1;
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / kArity;
+      if (far_keys_[parent] <= key) break;
+      far_keys_[i] = far_keys_[parent];
+      far_ids_[i] = far_ids_[parent];
       i = parent;
-      parent = (i - 1) / kArity;
-    } while (i > 0 && keys_[parent] > key);
-    keys_[i] = key;
-    heap_[i] = std::move(entry);
-  }
-
-  [[nodiscard]] std::size_t smallest_child(std::size_t first,
-                                           std::size_t n) const noexcept {
-    const std::size_t last = first + kArity < n ? first + kArity : n;
-    std::size_t smallest = first;
-    for (std::size_t c = first + 1; c < last; ++c) {
-      if (keys_[c] < keys_[smallest]) smallest = c;
     }
-    return smallest;
+    far_keys_[i] = key;
+    far_ids_[i] = id;
   }
 
-  void sift_down(std::size_t i) noexcept {
-    const std::size_t n = heap_.size();
-    const std::uint64_t key = keys_[i];
-    std::size_t first = kArity * i + 1;
-    if (first >= n) return;
-    std::size_t smallest = smallest_child(first, n);
-    if (keys_[smallest] >= key) return;
-    Entry entry = std::move(heap_[i]);
+  void far_pop() {
+    const std::uint64_t key = far_keys_.back();
+    const std::uint32_t id = far_ids_.back();
+    far_keys_.pop_back();
+    far_ids_.pop_back();
+    const std::size_t n = far_keys_.size();
+    if (n == 0) return;
+    std::size_t i = 0;
     for (;;) {
-      keys_[i] = keys_[smallest];
-      heap_[i] = std::move(heap_[smallest]);
-      i = smallest;
-      first = kArity * i + 1;
+      const std::size_t first = kArity * i + 1;
       if (first >= n) break;
-      smallest = smallest_child(first, n);
-      if (keys_[smallest] >= key) break;
+      const std::size_t last = first + kArity < n ? first + kArity : n;
+      std::size_t smallest = first;
+      for (std::size_t c = first + 1; c < last; ++c) {
+        if (far_keys_[c] < far_keys_[smallest]) smallest = c;
+      }
+      if (far_keys_[smallest] >= key) break;
+      far_keys_[i] = far_keys_[smallest];
+      far_ids_[i] = far_ids_[smallest];
+      i = smallest;
     }
-    keys_[i] = key;
-    heap_[i] = std::move(entry);
+    far_keys_[i] = key;
+    far_ids_[i] = id;
   }
 
   std::vector<HashedSymbol<T>> symbols_;
-  std::vector<Entry> heap_;
-  std::vector<std::uint64_t> keys_;  ///< heap_[i].mapping.index(), flat
+  std::vector<Entry> entries_;          ///< flat arena, never reordered
+  std::vector<std::uint32_t> buckets_;  ///< circular calendar, chain heads
+  std::vector<std::uint64_t> far_keys_;  ///< far-heap keys (next index)
+  std::vector<std::uint32_t> far_ids_;   ///< far-heap entry ids
+  std::uint64_t base_ = 0;  ///< smallest index the calendar can hold
+  std::uint64_t pos_ = 0;   ///< next unvisited stream index
 };
 
 }  // namespace ribltx

@@ -179,4 +179,35 @@ template <Symbol T>
   return cell;
 }
 
+/// Serializes one stream symbol with the §6 count compression: the count
+/// rides as a residual against `anchor_set_size * rho(stream_index)`. Both
+/// ends must share the anchor (the v2 engine negotiates it in HELLO/ACK,
+/// pinned to the serving SequenceCache's snapshot set_size) and the
+/// absolute stream index (implicit: symbols are consumed in stream order).
+template <Symbol T>
+void write_stream_symbol_residual(ByteWriter& w, const CodedSymbol<T>& cell,
+                                  std::uint8_t checksum_len,
+                                  std::uint64_t anchor_set_size,
+                                  std::uint64_t stream_index) {
+  w.bytes(cell.sum.bytes());
+  if (checksum_len == 8) {
+    w.u64(cell.checksum);
+  } else {
+    w.u32(static_cast<std::uint32_t>(cell.checksum));
+  }
+  w.svarint(cell.count - expected_count(anchor_set_size, stream_index));
+}
+
+/// Parses one stream symbol written by write_stream_symbol_residual.
+template <Symbol T>
+[[nodiscard]] CodedSymbol<T> read_stream_symbol_residual(
+    ByteReader& r, std::uint8_t checksum_len, std::uint64_t anchor_set_size,
+    std::uint64_t stream_index) {
+  CodedSymbol<T> cell;
+  r.copy_to(cell.sum.data.data(), T::kSize);
+  cell.checksum = (checksum_len == 8) ? r.u64() : r.u32();
+  cell.count = r.svarint() + expected_count(anchor_set_size, stream_index);
+  return cell;
+}
+
 }  // namespace ribltx::wire

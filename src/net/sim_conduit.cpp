@@ -1,0 +1,179 @@
+#include "net/sim_conduit.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace ribltx::net {
+
+namespace {
+
+/// Derives a retransmission timeout from the two directions' link
+/// parameters: a couple of jittered RTTs plus the worst-case queueing of a
+/// full window behind one bottleneck, floored at 5 ms.
+[[nodiscard]] double derive_rto(const netsim::LinkConfig& fwd,
+                                const netsim::LinkConfig& rev,
+                                const SimConduitConfig& cfg) {
+  const double rtt = fwd.one_way_delay_s + rev.one_way_delay_s +
+                     fwd.reorder_jitter_s + rev.reorder_jitter_s;
+  const double queue =
+      static_cast<double>(cfg.window) *
+      fwd.tx_time(cfg.mtu + kSimPacketOverhead);
+  return std::max(2.0 * rtt + queue + 2.0 * rev.tx_time(kSimPacketOverhead),
+                  0.005);
+}
+
+}  // namespace
+
+// ------------------------------------------------------------ SimEndpoint
+
+void SimEndpoint::send_frame(std::vector<std::byte> frame) {
+  if (broken_) {
+    throw sync::ProtocolError("SimConduit: endpoint is broken");
+  }
+  framer_.send(std::move(frame));
+  pump_out();
+}
+
+void SimEndpoint::pump_out() {
+  while (!broken_ && unacked_.size() < cfg_.window && framer_.has_output()) {
+    std::vector<std::byte> bytes;
+    bytes.reserve(std::min(cfg_.mtu, framer_.pending_bytes()));
+    while (bytes.size() < cfg_.mtu && framer_.has_output()) {
+      std::span<const std::byte> chunks[1];
+      const std::size_t n = framer_.gather(chunks);
+      if (n == 0) break;
+      const std::size_t take =
+          std::min(chunks[0].size(), cfg_.mtu - bytes.size());
+      bytes.insert(bytes.end(), chunks[0].begin(),
+                   chunks[0].begin() + static_cast<std::ptrdiff_t>(take));
+      framer_.consume(take);
+    }
+    Segment seg;
+    seg.offset = next_send_off_;
+    seg.payload =
+        std::make_shared<const std::vector<std::byte>>(std::move(bytes));
+    next_send_off_ += seg.payload->size();
+    transmit(seg, /*retransmit=*/false);
+    unacked_.push_back(std::move(seg));
+  }
+}
+
+void SimEndpoint::transmit(const Segment& seg, bool retransmit) {
+  ++data_packets_;
+  if (retransmit) ++retransmits_;
+  tx_->send(seg.payload->size() + kSimPacketOverhead,
+            [peer = peer_, off = seg.offset,
+             payload = seg.payload](const netsim::Delivery&) {
+              peer->on_data(off, *payload);
+            });
+  last_tx_time_ = loop_->now();
+  arm_timer();
+}
+
+void SimEndpoint::send_ack() {
+  ++ack_packets_;
+  tx_->send(kSimPacketOverhead,
+            [peer = peer_, cum = recv_next_](const netsim::Delivery&) {
+              peer->on_ack(cum);
+            });
+}
+
+void SimEndpoint::arm_timer() {
+  if (broken_) return;
+  const double backoff =
+      static_cast<double>(1u << std::min<std::size_t>(retries_, 6));
+  const double deadline = last_tx_time_ + rto_ * backoff;
+  // An outstanding timer already fires at or before the current deadline:
+  // nothing to do. Otherwise schedule an additional, earlier timer -- the
+  // stale later one degrades to a no-op when it fires.
+  if (next_fire_ <= deadline + 1e-12) return;
+  next_fire_ = deadline;
+  loop_->schedule_in(std::max(deadline - loop_->now(), 0.0),
+                     [this] { on_timer(); });
+}
+
+void SimEndpoint::on_timer() {
+  next_fire_ = kNoTimer;
+  if (broken_ || unacked_.empty()) return;  // all acked: go quiet
+  const double backoff =
+      static_cast<double>(1u << std::min<std::size_t>(retries_, 6));
+  if (loop_->now() + 1e-12 >= last_tx_time_ + rto_ * backoff) {
+    if (++retries_ > cfg_.max_retries) {
+      broken_ = true;  // peer gone: stop scheduling, let the loop quiesce
+      return;
+    }
+    // Go-back-N burst: everything unacked goes again. Cumulative ACKs make
+    // duplicates harmless on the far side.
+    for (const Segment& seg : unacked_) transmit(seg, /*retransmit=*/true);
+  }
+  arm_timer();
+}
+
+void SimEndpoint::on_data(std::uint64_t offset,
+                          const std::vector<std::byte>& bytes) {
+  if (broken_) return;
+  if (offset + bytes.size() > recv_next_) {
+    reorder_.emplace(offset, bytes);  // may duplicate an entry: same bytes
+    deliver_ready();
+  }
+  // Always re-ack (cumulative): lost ACKs and duplicate data self-heal.
+  send_ack();
+}
+
+void SimEndpoint::deliver_ready() {
+  auto it = reorder_.begin();
+  while (it != reorder_.end() && it->first <= recv_next_) {
+    const std::uint64_t end = it->first + it->second.size();
+    if (end > recv_next_) {
+      const std::size_t skip = static_cast<std::size_t>(recv_next_ - it->first);
+      try {
+        framer_.feed(std::span<const std::byte>(it->second).subspan(skip));
+      } catch (const sync::ProtocolError&) {
+        broken_ = true;  // framing poisoned; nothing sane can follow
+        reorder_.clear();
+        return;
+      }
+      recv_next_ = end;
+    }
+    it = reorder_.erase(it);
+  }
+  while (handler_) {
+    auto frame = framer_.next_frame();
+    if (!frame) break;
+    handler_(std::move(*frame));
+  }
+}
+
+void SimEndpoint::on_ack(std::uint64_t cumulative) {
+  if (broken_) return;
+  bool progress = false;
+  while (!unacked_.empty() &&
+         unacked_.front().offset + unacked_.front().payload->size() <=
+             cumulative) {
+    unacked_.pop_front();
+    progress = true;
+  }
+  if (progress) {
+    retries_ = 0;
+    pump_out();
+    // The backoff reset moved the retransmission deadline up; make sure a
+    // timer exists at the new, earlier deadline even if pump_out had
+    // nothing fresh to transmit (stale far-future timers do not count).
+    if (!unacked_.empty()) arm_timer();
+    if (writable_ && writable()) writable_();
+  }
+}
+
+// ------------------------------------------------------------- SimConduit
+
+SimConduit::SimConduit(netsim::EventLoop& loop, netsim::LinkConfig a_to_b,
+                       netsim::LinkConfig b_to_a, SimConduitConfig cfg)
+    : ab_(loop, a_to_b, "a->b"), ba_(loop, b_to_a, "b->a") {
+  const double rto = cfg.rto_s > 0 ? cfg.rto_s : derive_rto(a_to_b, b_to_a, cfg);
+  a_.reset(new SimEndpoint(loop, ab_, cfg, rto));
+  b_.reset(new SimEndpoint(loop, ba_, cfg, rto));
+  a_->peer_ = b_.get();
+  b_->peer_ = a_.get();
+}
+
+}  // namespace ribltx::net

@@ -1,0 +1,167 @@
+// SimConduit: the FrameConduit byte-stream protocol carried over a pair of
+// simulated netsim links -- the third leg of the transport subsystem.
+//
+// The same framing codec that runs over loopback TCP (net/frame_conduit.hpp)
+// runs here over netsim::EventLoop links with loss, latency, bandwidth
+// caps, and reordering jitter; the engine/client code on top is byte-for-
+// byte identical, so loss/latency scenarios exercise exactly the serving
+// path the paper measures on Dummynet (Figs 12-14).
+//
+// Reliability layer (a deliberately small TCP analogue, since the frame
+// protocols assume an ordered reliable stream):
+//   * the outbound frame stream is byte-sequenced and chunked into
+//     segments of <= mtu payload bytes;
+//   * the receiver delivers bytes in order (out-of-order segments park in
+//     a reorder buffer) and returns cumulative ACKs carrying the next
+//     needed offset;
+//   * unacked segments retransmit in a burst when the retransmission
+//     timer expires (go-back-N; ACK loss self-heals cumulatively);
+//   * a bounded in-flight window provides flow control, and on_writable
+//     fires when the window reopens -- the event-driven analogue of the
+//     socket path's send-buffer backpressure, which is what paces a
+//     rateless server so it does not stream unboundedly ahead.
+//
+// Everything is deterministic: loss and jitter draw from the links' seeded
+// RNG streams, and the event loop is single-threaded.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "net/frame_conduit.hpp"
+#include "netsim/sim.hpp"
+
+namespace ribltx::net {
+
+struct SimConduitConfig {
+  std::size_t mtu = 1200;       ///< max payload bytes per data segment
+  std::size_t window = 64;      ///< max unacked segments in flight
+  double rto_s = 0;             ///< retransmission timeout; 0 = derive
+  std::size_t max_retries = 64; ///< give up (mark broken) after this many
+  std::size_t max_frame = FrameConduit::kDefaultMaxFrame;
+};
+
+/// Per-packet header cost charged to the link (seq/ack/len fields of a
+/// real datagram header).
+inline constexpr std::size_t kSimPacketOverhead = 16;
+
+class SimConduit;
+
+/// One end of the pipe. Not constructed directly; see SimConduit.
+class SimEndpoint {
+ public:
+  using FrameHandler = std::function<void(std::vector<std::byte>)>;
+
+  /// Queues a frame for reliable delivery to the peer.
+  void send_frame(std::vector<std::byte> frame);
+
+  /// Complete frames from the peer invoke `fn` (in order, exactly once).
+  void on_frame(FrameHandler fn) { handler_ = std::move(fn); }
+
+  /// Fires whenever the in-flight window reopens and queued output can
+  /// move (use to pace a rateless stream against the link).
+  void on_writable(std::function<void()> fn) { writable_ = std::move(fn); }
+
+  /// True while queued + in-flight output is below the window -- the
+  /// "send buffer has room" signal.
+  [[nodiscard]] bool writable() const noexcept {
+    return !broken_ && unacked_.size() < cfg_.window &&
+           !framer_.has_output();
+  }
+
+  /// The peer stopped acking for max_retries RTOs (or framing poisoned):
+  /// the pipe is dead.
+  [[nodiscard]] bool broken() const noexcept { return broken_; }
+
+  [[nodiscard]] std::size_t retransmits() const noexcept {
+    return retransmits_;
+  }
+  [[nodiscard]] std::size_t data_packets() const noexcept {
+    return data_packets_;
+  }
+  [[nodiscard]] std::size_t ack_packets() const noexcept {
+    return ack_packets_;
+  }
+
+ private:
+  friend class SimConduit;
+
+  struct Segment {
+    std::uint64_t offset = 0;
+    /// Shared with every in-flight delivery closure: a go-back-N burst
+    /// re-captures the pointer, not a copy of the window's payload bytes.
+    std::shared_ptr<const std::vector<std::byte>> payload;
+  };
+
+  SimEndpoint(netsim::EventLoop& loop, netsim::Link& tx,
+              const SimConduitConfig& cfg, double rto)
+      : loop_(&loop), tx_(&tx), cfg_(cfg), rto_(rto), framer_(cfg.max_frame) {}
+
+  void pump_out();
+  void transmit(const Segment& seg, bool retransmit);
+  void send_ack();
+  void arm_timer();
+  void on_timer();
+  void on_data(std::uint64_t offset, const std::vector<std::byte>& bytes);
+  void on_ack(std::uint64_t cumulative);
+  void deliver_ready();
+
+  netsim::EventLoop* loop_;
+  netsim::Link* tx_;          ///< this endpoint's transmit direction
+  SimEndpoint* peer_ = nullptr;
+  SimConduitConfig cfg_;
+  double rto_;
+  FrameConduit framer_;       ///< outbound queue + inbound reassembly
+
+  // Sender state.
+  std::deque<Segment> unacked_;
+  std::uint64_t next_send_off_ = 0;
+  double last_tx_time_ = 0;   ///< newest (re)transmission time
+  /// Earliest pending timer fire time (+inf when none). Timers cannot be
+  /// cancelled in the EventLoop, so a NEW earlier timer is scheduled
+  /// whenever the current retransmission deadline moves up (e.g. an ACK
+  /// reset the backoff while a stale far-future timer was outstanding);
+  /// late stale timers fire as no-ops.
+  double next_fire_ = kNoTimer;
+  std::size_t retries_ = 0;   ///< consecutive timeouts without progress
+  bool broken_ = false;
+
+  static constexpr double kNoTimer = 1e300;
+
+  // Receiver state.
+  std::uint64_t recv_next_ = 0;
+  std::map<std::uint64_t, std::vector<std::byte>> reorder_;
+
+  FrameHandler handler_;
+  std::function<void()> writable_;
+  std::size_t retransmits_ = 0;
+  std::size_t data_packets_ = 0;
+  std::size_t ack_packets_ = 0;
+};
+
+/// A full-duplex reliable frame pipe: endpoint a() transmits over the
+/// a->b link, b() over b->a. Owns both links and both endpoints; the
+/// EventLoop is the caller's (sessions usually share one).
+class SimConduit {
+ public:
+  SimConduit(netsim::EventLoop& loop, netsim::LinkConfig a_to_b,
+             netsim::LinkConfig b_to_a, SimConduitConfig cfg = {});
+
+  [[nodiscard]] SimEndpoint& a() noexcept { return *a_; }
+  [[nodiscard]] SimEndpoint& b() noexcept { return *b_; }
+  [[nodiscard]] netsim::Link& link_ab() noexcept { return ab_; }
+  [[nodiscard]] netsim::Link& link_ba() noexcept { return ba_; }
+
+ private:
+  netsim::Link ab_;
+  netsim::Link ba_;
+  std::unique_ptr<SimEndpoint> a_;
+  std::unique_ptr<SimEndpoint> b_;
+};
+
+}  // namespace ribltx::net

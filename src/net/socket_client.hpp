@@ -1,0 +1,91 @@
+// SocketClient: the peer end of the loopback transport -- a blocking TCP
+// connection wrapping a FrameConduit, plus drivers that run a SyncClient or
+// ShardedClient session dialogue over it to completion.
+//
+// The client side is deliberately simple (blocking fd, poll()-enforced
+// deadline): all the async machinery lives on the serving side, which is
+// where the paper's many-peers scaling question is. One SocketClient may
+// run many sessions back to back over one connection (the bench does), and
+// a ShardedClient's K sub-sessions multiplex over the single connection
+// exactly like they multiplex over the in-memory router.
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "net/frame_conduit.hpp"
+#include "net/tcp.hpp"
+#include "sync/sharded.hpp"
+
+namespace ribltx::net {
+
+class SocketClient {
+ public:
+  /// Connects to 127.0.0.1:`port` (blocking fd). `recv_buffer` != 0 caps
+  /// SO_RCVBUF before connecting: a small receive window is the client's
+  /// half of bounding how far a rateless server streams past the DONE.
+  explicit SocketClient(std::uint16_t port,
+                        std::size_t max_frame = FrameConduit::kDefaultMaxFrame,
+                        int recv_buffer = 64 << 10);
+
+  /// Queues and fully flushes one frame (blocking).
+  void send_frame(std::vector<std::byte> frame);
+
+  /// Next inbound frame, waiting up to `timeout_s`. nullopt on timeout;
+  /// throws ProtocolError when the server closes the stream or poisons
+  /// framing.
+  [[nodiscard]] std::optional<std::vector<std::byte>> recv_frame(
+      double timeout_s);
+
+  [[nodiscard]] bool open() const noexcept { return conn_.open(); }
+  void close() noexcept { conn_.close(); }
+
+ private:
+  TcpConn conn_;
+  FrameConduit conduit_;
+};
+
+/// Runs one SyncClient session over the socket to a terminal state.
+/// Returns true when the session completed (client.complete()); false on
+/// failure or deadline. The server must host a ShardedEngine, so an
+/// unsharded client should set_shard(0, 1) against a 1-shard server.
+/// Frames for other sessions -- the rateless tail of an earlier session on
+/// this connection still in flight when its DONE crossed the stream -- are
+/// dropped, exactly as the engine drops stale post-DONE client frames.
+template <Symbol T, typename Hasher>
+bool run_session(SocketClient& sock, sync::SyncClient<T, Hasher>& client,
+                 double timeout_s = 30.0) {
+  sock.send_frame(client.hello());
+  while (!client.complete() && !client.failed()) {
+    auto frame = sock.recv_frame(timeout_s);
+    if (!frame) return false;  // deadline
+    if (sync::v2::peek_session_id(*frame) != client.session_id()) continue;
+    for (auto& reply : client.handle_frame(*frame)) {
+      sock.send_frame(std::move(reply));
+    }
+  }
+  return client.complete();
+}
+
+/// Runs a ShardedClient's K sub-sessions (multiplexed over the one
+/// connection) to a terminal state. True when every sub-session completed.
+/// Stale frames from other sessions on the connection are dropped (see the
+/// SyncClient overload).
+template <Symbol T, typename Hasher>
+bool run_session(SocketClient& sock, sync::ShardedClient<T, Hasher>& client,
+                 double timeout_s = 30.0) {
+  for (auto& hello : client.hellos()) sock.send_frame(std::move(hello));
+  while (!client.terminal()) {
+    auto frame = sock.recv_frame(timeout_s);
+    if (!frame) return false;  // deadline
+    if (!client.owns(sync::v2::peek_session_id(*frame))) continue;
+    for (auto& reply : client.handle_frame(*frame)) {
+      sock.send_frame(std::move(reply));
+    }
+  }
+  return client.complete();
+}
+
+}  // namespace ribltx::net

@@ -1,0 +1,497 @@
+// SocketServer: the ShardedEngine served over real loopback TCP.
+//
+// One poll thread owns an epoll loop (net::Poller) with the listener, a
+// cross-thread wakeup eventfd, and every accepted connection. Each
+// connection carries a FrameConduit: inbound bytes reassemble into v2
+// frames that route to the engine via v2::peek_session_id + submit()
+// (recording sid -> connection so replies find their way back); outbound
+// frames from the shard workers' sink stage into the connection and drain
+// through writev as the socket accepts them.
+//
+// Backpressure end to end: a shard worker's sink call blocks while the
+// destination connection's queued output (staged + conduit) sits above the
+// high watermark, and resumes when the poll thread drains it below the low
+// watermark -- the worker streams exactly as fast as the peer's socket
+// accepts, which is the paper's serve-at-line-rate model with real kernel
+// send buffers as the rate signal. Slow peers therefore stall only their
+// own sessions' shard progress, never the poll thread (which never blocks
+// on the engine) and never other connections' drains.
+//
+// Error containment mirrors the engine contract: a frame whose routing
+// prefix cannot be parsed poisons only its connection (framing is intact,
+// so it is a hostile/broken client, and with no session id there is nobody
+// to ERROR); a frame the router rejects (unknown session, bad topology)
+// gets a v2 ERROR frame back on its connection; failures inside an
+// established session already produce in-band ERROR frames from the engine.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <stdexcept>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "net/frame_conduit.hpp"
+#include "net/tcp.hpp"
+#include "sync/sharded.hpp"
+
+namespace ribltx::net {
+
+struct SocketServerOptions {
+  std::uint16_t port = 0;            ///< 0 = ephemeral; see port()
+  std::size_t high_watermark = 64u << 10;  ///< sink blocks above this
+  std::size_t low_watermark = 16u << 10;   ///< sink resumes below this
+  /// SO_SNDBUF cap per accepted connection (0 = kernel default). The total
+  /// runway a rateless stream has before the worker's sink blocks is
+  /// watermark + this + the peer's receive buffer, so keep all three small
+  /// relative to the expected per-session transfer -- otherwise a server
+  /// on a fast link encodes megabytes of symbols the peer's DONE will
+  /// throw away (the measured default was ~600 KB of waste per session on
+  /// unbounded loopback buffers).
+  int send_buffer = 64 << 10;
+  std::size_t max_frame = FrameConduit::kDefaultMaxFrame;
+};
+
+/// Transport-layer counters (engine-layer stats live in ShardedStats).
+struct SocketServerStats {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t connections_closed = 0;
+  std::uint64_t frames_in = 0;
+  std::uint64_t frames_out = 0;
+  std::uint64_t frames_dropped = 0;   ///< outbound with no live route
+  std::uint64_t protocol_errors = 0;  ///< router rejects + framing poisons
+};
+
+template <Symbol T, typename Hasher = SipHasher<T>>
+class SocketServer {
+ public:
+  /// Binds the listener immediately (so port() is valid before start());
+  /// the engine must not be start()ed -- the server owns its sink.
+  explicit SocketServer(sync::ShardedEngine<T, Hasher>& engine,
+                        SocketServerOptions options = {})
+      : engine_(engine), options_(options), listener_(options.port) {
+    if (options_.low_watermark >= options_.high_watermark) {
+      throw std::invalid_argument("SocketServer: watermarks out of order");
+    }
+  }
+
+  ~SocketServer() { stop(); }
+
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  [[nodiscard]] std::uint16_t port() const noexcept {
+    return listener_.port();
+  }
+
+  /// Starts the shard workers (engine.start with this server's sink) and
+  /// the poll thread.
+  void start() {
+    if (running_) throw std::logic_error("SocketServer: already started");
+    stopping_.store(false, std::memory_order_release);
+    engine_.start([this](std::vector<std::byte> frame) {
+      sink(std::move(frame));
+    });
+    poll_thread_ = std::thread([this] { poll_loop(); });
+    running_ = true;
+  }
+
+  /// Unblocks and joins the shard workers, then the poll thread; closes
+  /// every connection. Idempotent.
+  void stop() {
+    if (!running_) return;
+    stopping_.store(true, std::memory_order_release);
+    {
+      const std::lock_guard<std::mutex> lk(conns_mu_);
+      for (auto& [id, conn] : conns_) {
+        // Take the conn mutex before notifying: a sink that evaluated its
+        // wait predicate just before stopping_ flipped must be fully
+        // parked (mutex released into the wait) before the notify fires,
+        // or the wakeup is lost and the worker sleeps forever.
+        { const std::lock_guard<std::mutex> conn_lk(conn->mu); }
+        conn->cv.notify_all();
+      }
+    }
+    engine_.stop();
+    wakeup_.signal();
+    if (poll_thread_.joinable()) poll_thread_.join();
+    {
+      const std::lock_guard<std::mutex> lk(conns_mu_);
+      conns_.clear();
+      routes_.clear();
+    }
+    running_ = false;
+  }
+
+  [[nodiscard]] bool running() const noexcept { return running_; }
+
+  [[nodiscard]] SocketServerStats stats() const {
+    SocketServerStats out;
+    out.connections_accepted = accepted_.load(std::memory_order_relaxed);
+    out.connections_closed = closed_.load(std::memory_order_relaxed);
+    out.frames_in = frames_in_.load(std::memory_order_relaxed);
+    out.frames_out = frames_out_.load(std::memory_order_relaxed);
+    out.frames_dropped = dropped_.load(std::memory_order_relaxed);
+    out.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+    return out;
+  }
+
+ private:
+  struct Conn {
+    explicit Conn(int fd, std::size_t max_frame)
+        : io(fd), conduit(max_frame) {}
+
+    TcpConn io;
+    FrameConduit conduit;  ///< poll thread only, both directions
+
+    std::mutex mu;  ///< guards staged/staged_bytes (sink <-> poll thread)
+    std::condition_variable cv;  ///< backpressure wait/wake
+    std::deque<std::vector<std::byte>> staged;  ///< sink -> poll thread
+    std::size_t staged_bytes = 0;
+    /// Conduit-side pending bytes mirrored for the sink's watermark check
+    /// (the conduit itself is poll-thread-only).
+    std::atomic<std::size_t> conduit_pending{0};
+    std::atomic<bool> dead{false};
+    bool want_write = false;  ///< poll thread: current epoll interest
+  };
+
+  static constexpr std::uint64_t kListenerKey = 0;
+  static constexpr std::uint64_t kWakeupKey = 1;
+  static constexpr std::uint64_t kFirstConnKey = 2;
+
+  // ------------------------------------------------------- worker-side sink
+
+  /// Delivery callback running on the shard workers. Blocking here is the
+  /// designed backpressure: the worker stops pumping this shard's sessions
+  /// until the peer's socket drains.
+  void sink(std::vector<std::byte> frame) {
+    std::uint64_t sid = 0;
+    try {
+      sid = sync::v2::peek_session_id(frame);
+    } catch (const sync::ProtocolError&) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return;  // engine frames are well-formed; defensive only
+    }
+    std::shared_ptr<Conn> conn;
+    {
+      const std::lock_guard<std::mutex> lk(conns_mu_);
+      const auto it = routes_.find(sid);
+      if (it != routes_.end()) conn = it->second;
+    }
+    if (!conn) {
+      dropped_.fetch_add(1, std::memory_order_relaxed);
+      return;  // peer disconnected (or finished) mid-stream
+    }
+    {
+      std::unique_lock<std::mutex> lk(conn->mu);
+      conn->cv.wait(lk, [&] {
+        return stopping_.load(std::memory_order_acquire) ||
+               conn->dead.load(std::memory_order_acquire) ||
+               conn->staged_bytes +
+                       conn->conduit_pending.load(std::memory_order_acquire) <
+                   options_.high_watermark;
+      });
+      if (stopping_.load(std::memory_order_acquire) ||
+          conn->dead.load(std::memory_order_acquire)) {
+        dropped_.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      conn->staged_bytes += frame.size();
+      conn->staged.push_back(std::move(frame));
+    }
+    frames_out_.fetch_add(1, std::memory_order_relaxed);
+    wakeup_.signal();
+  }
+
+  // --------------------------------------------------------- poll thread
+
+  void poll_loop() {
+    poller_.add(listener_.fd(), kPollIn, kListenerKey);
+    poller_.add(wakeup_.fd(), kPollIn, kWakeupKey);
+    Poller::Event events[64];
+    while (!stopping_.load(std::memory_order_acquire)) {
+      const std::size_t n = poller_.wait(events, /*timeout_ms=*/200);
+      for (std::size_t i = 0; i < n; ++i) {
+        const Poller::Event& ev = events[i];
+        if (ev.key == kListenerKey) {
+          accept_all();
+        } else if (ev.key == kWakeupKey) {
+          wakeup_.drain();
+          drain_staged_all();
+        } else {
+          on_conn_event(ev);
+        }
+      }
+      // Staged frames may land between epoll_wait returns; the wakeup fd
+      // covers the steady state, this covers the race at the edge.
+      drain_staged_all();
+    }
+  }
+
+  void accept_all() {
+    for (;;) {
+      const int fd = listener_.accept_conn();
+      if (fd < 0) return;
+      set_send_buffer(fd, options_.send_buffer);
+      const std::uint64_t key = next_conn_key_++;
+      auto conn = std::make_shared<Conn>(fd, options_.max_frame);
+      {
+        const std::lock_guard<std::mutex> lk(conns_mu_);
+        conns_.emplace(key, conn);
+      }
+      poller_.add(conn->io.fd(), kPollIn, key);
+      accepted_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  [[nodiscard]] std::shared_ptr<Conn> conn_of(std::uint64_t key) {
+    const std::lock_guard<std::mutex> lk(conns_mu_);
+    const auto it = conns_.find(key);
+    return it == conns_.end() ? nullptr : it->second;
+  }
+
+  void on_conn_event(const Poller::Event& ev) {
+    const std::shared_ptr<Conn> conn = conn_of(ev.key);
+    if (!conn) return;  // already closed this round
+    if (ev.broken()) {
+      close_conn(ev.key, *conn);
+      return;
+    }
+    if (ev.readable() && !read_ready(ev.key, conn)) return;
+    if (ev.writable()) flush_conn(ev.key, *conn);
+  }
+
+  /// Reads until EAGAIN, feeding the conduit and routing complete frames.
+  /// Returns false when the connection died (and was closed).
+  bool read_ready(std::uint64_t key, const std::shared_ptr<Conn>& conn) {
+    std::byte buf[64 * 1024];
+    for (;;) {
+      const TcpConn::IoResult r = conn->io.read_some(buf);
+      if (r.status == TcpConn::Io::kWouldBlock) break;
+      if (r.status == TcpConn::Io::kClosed) {
+        close_conn(key, *conn);
+        return false;
+      }
+      try {
+        conn->conduit.feed(std::span<const std::byte>(buf, r.bytes));
+      } catch (const sync::ProtocolError&) {
+        // Framing poisoned (oversized/garbled length): unrecoverable on a
+        // byte stream, and containment is per connection.
+        protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+        close_conn(key, *conn);
+        return false;
+      }
+      while (auto frame = conn->conduit.next_frame()) {
+        if (!route_inbound(key, conn, std::move(*frame))) return false;
+      }
+    }
+    return true;
+  }
+
+  /// Routes one reassembled frame into the engine. Returns false when the
+  /// connection was closed in response.
+  bool route_inbound(std::uint64_t key, const std::shared_ptr<Conn>& conn,
+                     std::vector<std::byte> frame) {
+    frames_in_.fetch_add(1, std::memory_order_relaxed);
+    std::uint64_t sid = 0;
+    try {
+      // Also rejects the empty (zero-length) frame, so the type read below
+      // is in bounds.
+      sid = sync::v2::peek_session_id(frame);
+    } catch (const sync::ProtocolError&) {
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      close_conn(key, *conn);  // valid framing, unparseable routing: hostile
+      return false;
+    }
+    const auto type = static_cast<std::uint8_t>(frame[0]);
+    bool inserted_route = false;
+    {
+      // Record the reply route up front: the HELLO_ACK can race out of the
+      // shard worker before submit() returns. A sid already routed to a
+      // DIFFERENT connection is a hijack attempt: reject without touching
+      // the live session.
+      const std::lock_guard<std::mutex> lk(conns_mu_);
+      const auto [it, inserted] = routes_.emplace(sid, conn);
+      if (!inserted && it->second.get() != conn.get()) {
+        protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+        stage_local(*conn, sync::v2::make_error_frame(
+                               sid, "session belongs to another connection"));
+        return true;
+      }
+      inserted_route = inserted;
+    }
+    try {
+      engine_.submit(std::move(frame));
+    } catch (const sync::ProtocolError& e) {
+      // Router-level reject (bad topology, unknown session, duplicate
+      // HELLO): contained to this session; tell the peer in-band. Only a
+      // route THIS frame created is undone -- a duplicate HELLO must not
+      // sever the live session's reply route.
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      if (inserted_route) drop_route_if_self(sid, *conn);
+      stage_local(*conn, sync::v2::make_error_frame(sid, e.what()));
+      return true;
+    }
+    if (type == static_cast<std::uint8_t>(sync::v2::FrameType::kDone) ||
+        type == static_cast<std::uint8_t>(sync::v2::FrameType::kError)) {
+      // The client ended the session; nothing meaningful flows back. The
+      // engine-side session went terminal on the same frame, so the worker
+      // retires it -- no abort needed.
+      drop_route_if_self(sid, *conn);
+    }
+    return true;
+  }
+
+  void drop_route_if_self(std::uint64_t sid, const Conn& conn) {
+    const std::lock_guard<std::mutex> lk(conns_mu_);
+    const auto it = routes_.find(sid);
+    if (it != routes_.end() && it->second.get() == &conn) routes_.erase(it);
+  }
+
+  /// Stages a poll-thread-generated frame (ERROR replies) onto `conn`,
+  /// bypassing the sink watermark: these are tiny and must get out even
+  /// when the peer is backpressured.
+  void stage_local(Conn& conn, std::vector<std::byte> frame) {
+    {
+      const std::lock_guard<std::mutex> lk(conn.mu);
+      conn.staged_bytes += frame.size();
+      conn.staged.push_back(std::move(frame));
+    }
+    frames_out_.fetch_add(1, std::memory_order_relaxed);
+    drain_staged(conn);
+  }
+
+  void drain_staged_all() {
+    // Snapshot the table, then work unlocked: flush_conn may close.
+    std::vector<std::pair<std::uint64_t, std::shared_ptr<Conn>>> snapshot;
+    {
+      const std::lock_guard<std::mutex> lk(conns_mu_);
+      snapshot.assign(conns_.begin(), conns_.end());
+    }
+    for (auto& [key, conn] : snapshot) {
+      drain_staged(*conn);
+      flush_conn(key, *conn);
+    }
+  }
+
+  /// Moves sink-staged frames into the conduit (poll thread only).
+  void drain_staged(Conn& conn) {
+    std::deque<std::vector<std::byte>> batch;
+    {
+      const std::lock_guard<std::mutex> lk(conn.mu);
+      batch.swap(conn.staged);
+      conn.staged_bytes = 0;
+    }
+    for (auto& frame : batch) conn.conduit.send(std::move(frame));
+    conn.conduit_pending.store(conn.conduit.pending_bytes(),
+                               std::memory_order_release);
+  }
+
+  /// writev-drains the conduit and maintains EPOLLOUT interest and the
+  /// backpressure watermark signal.
+  void flush_conn(std::uint64_t key, Conn& conn) {
+    if (!conn.io.open()) return;
+    while (conn.conduit.has_output()) {
+      std::span<const std::byte> chunks[TcpConn::kMaxIov];
+      const std::size_t n = conn.conduit.gather(chunks);
+      const TcpConn::IoResult r =
+          conn.io.write_gather(std::span<const std::span<const std::byte>>(
+              chunks, n));
+      if (r.status == TcpConn::Io::kClosed) {
+        close_conn(key, conn);
+        return;
+      }
+      if (r.status == TcpConn::Io::kWouldBlock || r.bytes == 0) break;
+      conn.conduit.consume(r.bytes);
+    }
+    conn.conduit_pending.store(conn.conduit.pending_bytes(),
+                               std::memory_order_release);
+    const bool want = conn.conduit.has_output();
+    if (want != conn.want_write) {
+      conn.want_write = want;
+      poller_.modify(conn.io.fd(), want ? (kPollIn | kPollOut) : kPollIn,
+                     key);
+    }
+    if (conn.conduit_pending.load(std::memory_order_relaxed) <
+        options_.low_watermark) {
+      // Resume backpressured sinks; lock-then-notify so a sink between
+      // predicate check and park cannot miss the drain.
+      { const std::lock_guard<std::mutex> lk(conn.mu); }
+      conn.cv.notify_all();
+    }
+  }
+
+  void close_conn(std::uint64_t key, Conn& conn) {
+    {
+      // Under the conn mutex so a sink mid-wait-entry cannot miss the
+      // dead flag (see the matching comment in stop()).
+      const std::lock_guard<std::mutex> lk(conn.mu);
+      conn.dead.store(true, std::memory_order_release);
+    }
+    if (conn.io.open()) {
+      poller_.remove(conn.io.fd());
+      conn.io.close();
+    }
+    std::vector<std::uint64_t> orphaned;
+    {
+      const std::lock_guard<std::mutex> lk(conns_mu_);
+      for (auto it = routes_.begin(); it != routes_.end();) {
+        if (it->second.get() == &conn) {
+          orphaned.push_back(it->first);
+          it = routes_.erase(it);
+        } else {
+          ++it;
+        }
+      }
+      conns_.erase(key);
+    }
+    conn.cv.notify_all();  // unblock any sink waiting on this connection
+    // Abort the engine side of every session this connection still owned:
+    // without this, a rateless session stays kActive forever, its shard
+    // worker spinning out SYMBOLS frames that drop on the floor (one
+    // disconnect pinned a core and generated ~160k dropped frames/sec).
+    // A synthetic in-band ERROR is FIFO-correct even when the session's
+    // HELLO is still queued in the shard inbox -- the worker opens the
+    // session, then fails and retires it on the very next frame.
+    for (const std::uint64_t sid : orphaned) {
+      try {
+        engine_.submit(sync::v2::make_error_frame(sid, "peer disconnected"));
+      } catch (const sync::ProtocolError&) {
+        // Router no longer knows the session (already retired): done.
+      }
+    }
+    closed_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  sync::ShardedEngine<T, Hasher>& engine_;
+  SocketServerOptions options_;
+  TcpListener listener_;
+  Poller poller_;
+  WakeupFd wakeup_;
+
+  std::mutex conns_mu_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<Conn>> conns_;
+  std::unordered_map<std::uint64_t, std::shared_ptr<Conn>> routes_;  ///< sid->
+  std::uint64_t next_conn_key_ = kFirstConnKey;  ///< poll thread only
+
+  std::thread poll_thread_;
+  std::atomic<bool> stopping_{false};
+  bool running_ = false;
+
+  std::atomic<std::uint64_t> accepted_{0};
+  std::atomic<std::uint64_t> closed_{0};
+  std::atomic<std::uint64_t> frames_in_{0};
+  std::atomic<std::uint64_t> frames_out_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+  std::atomic<std::uint64_t> protocol_errors_{0};
+};
+
+}  // namespace ribltx::net

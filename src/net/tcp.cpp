@@ -1,0 +1,237 @@
+#include "net/tcp.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <sys/uio.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <system_error>
+
+namespace ribltx::net {
+
+namespace {
+
+[[noreturn]] void throw_errno(const char* what) {
+  throw std::system_error(errno, std::generic_category(), what);
+}
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    throw_errno("fcntl(O_NONBLOCK)");
+  }
+}
+
+void set_nodelay(int fd) noexcept {
+  // Frames are latency-sensitive and self-contained; Nagle coalescing only
+  // adds RTTs. Failure is harmless (e.g. non-TCP fd in tests).
+  int one = 1;
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- Poller
+
+static_assert(kPollIn == EPOLLIN && kPollOut == EPOLLOUT,
+              "re-exported readiness bits must match epoll's");
+
+Poller::Poller() : epfd_(::epoll_create1(EPOLL_CLOEXEC)) {
+  if (epfd_ < 0) throw_errno("epoll_create1");
+}
+
+Poller::~Poller() {
+  if (epfd_ >= 0) ::close(epfd_);
+}
+
+void Poller::add(int fd, std::uint32_t events, std::uint64_t key) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.u64 = key;
+  if (::epoll_ctl(epfd_, EPOLL_CTL_ADD, fd, &ev) < 0) {
+    throw_errno("epoll_ctl(ADD)");
+  }
+}
+
+void Poller::modify(int fd, std::uint32_t events, std::uint64_t key) {
+  epoll_event ev{};
+  ev.events = events;
+  ev.data.u64 = key;
+  if (::epoll_ctl(epfd_, EPOLL_CTL_MOD, fd, &ev) < 0) {
+    throw_errno("epoll_ctl(MOD)");
+  }
+}
+
+void Poller::remove(int fd) {
+  // Best effort: the fd may already be closed (EBADF) on teardown paths.
+  (void)::epoll_ctl(epfd_, EPOLL_CTL_DEL, fd, nullptr);
+}
+
+std::size_t Poller::wait(std::span<Event> out, int timeout_ms) {
+  if (out.empty()) return 0;
+  epoll_event evs[64];
+  const int cap = static_cast<int>(
+      out.size() < std::size(evs) ? out.size() : std::size(evs));
+  int n;
+  do {
+    n = ::epoll_wait(epfd_, evs, cap, timeout_ms);
+  } while (n < 0 && errno == EINTR);
+  if (n < 0) throw_errno("epoll_wait");
+  for (int i = 0; i < n; ++i) {
+    out[static_cast<std::size_t>(i)] =
+        Event{evs[i].data.u64, evs[i].events};
+  }
+  return static_cast<std::size_t>(n);
+}
+
+// -------------------------------------------------------------- WakeupFd
+
+WakeupFd::WakeupFd() : fd_(::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK)) {
+  if (fd_ < 0) throw_errno("eventfd");
+}
+
+WakeupFd::~WakeupFd() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void WakeupFd::signal() noexcept {
+  const std::uint64_t one = 1;
+  // A full eventfd counter (EAGAIN) already guarantees a pending wakeup.
+  [[maybe_unused]] const auto n = ::write(fd_, &one, sizeof one);
+}
+
+void WakeupFd::drain() noexcept {
+  std::uint64_t value = 0;
+  [[maybe_unused]] const auto n = ::read(fd_, &value, sizeof value);
+}
+
+// ----------------------------------------------------------- TcpListener
+
+TcpListener::TcpListener(std::uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd_ < 0) throw_errno("socket");
+  int one = 1;
+  (void)::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    const int saved = errno;
+    ::close(fd_);
+    fd_ = -1;
+    errno = saved;
+    throw_errno("bind(127.0.0.1)");
+  }
+  if (::listen(fd_, 128) < 0) {
+    const int saved = errno;
+    ::close(fd_);
+    fd_ = -1;
+    errno = saved;
+    throw_errno("listen");
+  }
+  socklen_t len = sizeof addr;
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) < 0) {
+    throw_errno("getsockname");
+  }
+  port_ = ntohs(addr.sin_port);
+  set_nonblocking(fd_);
+}
+
+TcpListener::~TcpListener() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+int TcpListener::accept_conn() {
+  const int fd = ::accept4(fd_, nullptr, nullptr, SOCK_CLOEXEC);
+  if (fd < 0) return -1;  // EAGAIN or a transient accept failure: retry later
+  set_nonblocking(fd);
+  set_nodelay(fd);
+  return fd;
+}
+
+// --------------------------------------------------------------- TcpConn
+
+void set_send_buffer(int fd, int bytes) noexcept {
+  if (bytes > 0) {
+    (void)::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &bytes, sizeof bytes);
+  }
+}
+
+TcpConn TcpConn::connect_loopback(std::uint16_t port, bool nonblocking,
+                                  int recv_buffer) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) throw_errno("socket");
+  if (recv_buffer > 0) {
+    (void)::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &recv_buffer,
+                       sizeof recv_buffer);
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr);
+  } while (rc < 0 && errno == EINTR);
+  if (rc < 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_errno("connect(127.0.0.1)");
+  }
+  set_nodelay(fd);
+  if (nonblocking) set_nonblocking(fd);
+  return TcpConn(fd);
+}
+
+void TcpConn::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+TcpConn::IoResult TcpConn::read_some(std::span<std::byte> buf) noexcept {
+  ssize_t n;
+  do {
+    n = ::read(fd_, buf.data(), buf.size());
+  } while (n < 0 && errno == EINTR);
+  if (n > 0) return {Io::kProgress, static_cast<std::size_t>(n)};
+  if (n == 0) return {Io::kClosed, 0};
+  if (errno == EAGAIN || errno == EWOULDBLOCK) return {Io::kWouldBlock, 0};
+  return {Io::kClosed, 0};
+}
+
+TcpConn::IoResult TcpConn::write_gather(
+    std::span<const std::span<const std::byte>> chunks) noexcept {
+  iovec iov[kMaxIov];
+  const std::size_t niov = chunks.size() < kMaxIov ? chunks.size() : kMaxIov;
+  if (niov == 0) return {Io::kProgress, 0};
+  for (std::size_t i = 0; i < niov; ++i) {
+    iov[i].iov_base = const_cast<std::byte*>(chunks[i].data());
+    iov[i].iov_len = chunks[i].size();
+  }
+  msghdr msg{};
+  msg.msg_iov = iov;
+  msg.msg_iovlen = niov;
+  ssize_t n;
+  do {
+    // sendmsg + MSG_NOSIGNAL instead of writev: racing a peer close must
+    // come back as EPIPE (-> kClosed, contained per connection), not a
+    // process-killing SIGPIPE.
+    n = ::sendmsg(fd_, &msg, MSG_NOSIGNAL);
+  } while (n < 0 && errno == EINTR);
+  if (n >= 0) return {Io::kProgress, static_cast<std::size_t>(n)};
+  if (errno == EAGAIN || errno == EWOULDBLOCK) return {Io::kWouldBlock, 0};
+  return {Io::kClosed, 0};
+}
+
+}  // namespace ribltx::net

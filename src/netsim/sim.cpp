@@ -39,10 +39,24 @@ void Link::send(std::size_t bytes,
   busy_until_ = depart_end;
   total_bytes_ += bytes;
 
+  // The loss process drops the message *after* it occupied the wire (a
+  // corrupted/discarded packet still burned its serialization time): no
+  // delivery record, no callback -- reliability is the conduit's job.
+  if (config_.loss_rate > 0 && rng_.next_double() < config_.loss_rate) {
+    ++dropped_count_;
+    return;
+  }
+  // Per-message jitter shifts only propagation, so two back-to-back sends
+  // can arrive out of order -- the reordering model net::SimConduit's
+  // sequencing must absorb.
+  const double jitter = config_.reorder_jitter_s > 0
+                            ? rng_.next_double() * config_.reorder_jitter_s
+                            : 0.0;
+
   Delivery d;
   d.depart_start = depart_start;
-  d.arrive_start = depart_start + config_.one_way_delay_s;
-  d.arrive_end = depart_end + config_.one_way_delay_s;
+  d.arrive_start = depart_start + config_.one_way_delay_s + jitter;
+  d.arrive_end = depart_end + config_.one_way_delay_s + jitter;
   d.bytes = bytes;
   log_.push_back(d);
 

@@ -15,6 +15,8 @@
 #include <string>
 #include <vector>
 
+#include "common/rng.hpp"
+
 namespace ribltx::netsim {
 
 using SimTime = double;  ///< seconds since simulation start
@@ -56,8 +58,21 @@ struct LinkConfig {
   double one_way_delay_s = 0.05;  ///< propagation delay (paper: 50 ms)
   /// Bits per second; 0 means unlimited (the paper's "no cap" points).
   double bandwidth_bps = 20e6;
+  /// Probability each message is silently dropped in flight (lossy-link
+  /// scenarios for net::SimConduit; 0 keeps the link deterministic).
+  double loss_rate = 0.0;
+  /// Uniform extra propagation delay in [0, reorder_jitter_s] drawn per
+  /// message: with jitter > serialization time, deliveries arrive out of
+  /// order. 0 keeps strict FIFO arrival.
+  double reorder_jitter_s = 0.0;
+  /// Seed of the loss/jitter RNG stream (deterministic per link).
+  std::uint64_t seed = 0;
 
   [[nodiscard]] bool unlimited() const noexcept { return bandwidth_bps <= 0; }
+
+  [[nodiscard]] bool lossy() const noexcept {
+    return loss_rate > 0 || reorder_jitter_s > 0;
+  }
 
   /// Seconds to serialize `bytes` onto the wire.
   [[nodiscard]] double tx_time(std::size_t bytes) const noexcept {
@@ -80,7 +95,10 @@ struct Delivery {
 class Link {
  public:
   Link(EventLoop& loop, LinkConfig config, std::string name = {})
-      : loop_(&loop), config_(config), name_(std::move(name)) {}
+      : loop_(&loop),
+        config_(config),
+        name_(std::move(name)),
+        rng_(mix64(config.seed ^ 0x6c696e6bULL)) {}
 
   /// Queues `bytes` for transmission now; `on_delivered` fires when the
   /// last byte reaches the receiver.
@@ -99,12 +117,20 @@ class Link {
     return total_bytes_;
   }
 
+  /// Messages dropped by the loss process (they occupy the wire but never
+  /// arrive: no delivery record, no callback).
+  [[nodiscard]] std::size_t dropped_count() const noexcept {
+    return dropped_count_;
+  }
+
  private:
   EventLoop* loop_;
   LinkConfig config_;
   std::string name_;
+  SplitMix64 rng_{0};  ///< loss/jitter draws; seeded from config in ctor
   SimTime busy_until_ = 0;
   std::size_t total_bytes_ = 0;
+  std::size_t dropped_count_ = 0;
   std::vector<Delivery> log_;
 };
 

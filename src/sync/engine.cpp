@@ -41,9 +41,10 @@ Frame parse_frame(std::span<const std::byte> data) {
         out.item_size = r.u32();
         out.checksum_len = r.u8();
         const std::uint8_t flags = r.u8();
-        if ((flags & ~kFlagSharded) != 0) {
+        if ((flags & ~kKnownHelloFlags) != 0) {
           throw ProtocolError("unknown HELLO flags");
         }
+        out.count_residuals = (flags & kFlagCountResiduals) != 0;
         if ((flags & kFlagSharded) != 0) {
           const std::uint64_t shard_index = r.uvarint();
           const std::uint64_t shard_count = r.uvarint();
@@ -56,10 +57,17 @@ Frame parse_frame(std::span<const std::byte> data) {
         }
         break;
       }
-      case FrameType::kHelloAck:
+      case FrameType::kHelloAck: {
         out.backend = r.u8();
         out.checksum_len = r.u8();
+        const std::uint8_t flags = r.u8();
+        if ((flags & ~kFlagCountResiduals) != 0) {
+          throw ProtocolError("unknown HELLO_ACK flags");
+        }
+        out.count_residuals = (flags & kFlagCountResiduals) != 0;
+        if (out.count_residuals) out.value = r.uvarint();
         break;
+      }
       case FrameType::kSymbols:
       case FrameType::kRound:
       case FrameType::kError:
@@ -99,22 +107,26 @@ std::vector<std::byte> encode_frame(const Frame& frame) {
   w.u8(static_cast<std::uint8_t>(frame.type));
   w.uvarint(frame.session_id);
   switch (frame.type) {
-    case FrameType::kHello:
+    case FrameType::kHello: {
       w.u8(kVersion);
       w.u8(frame.backend);
       w.u32(frame.item_size);
       w.u8(frame.checksum_len);
+      std::uint8_t flags = 0;
+      if (frame.shard_count != 0) flags |= kFlagSharded;
+      if (frame.count_residuals) flags |= kFlagCountResiduals;
+      w.u8(flags);
       if (frame.shard_count != 0) {
-        w.u8(kFlagSharded);
         w.uvarint(frame.shard_index);
         w.uvarint(frame.shard_count);
-      } else {
-        w.u8(0);  // flags
       }
       break;
+    }
     case FrameType::kHelloAck:
       w.u8(frame.backend);
       w.u8(frame.checksum_len);
+      w.u8(frame.count_residuals ? kFlagCountResiduals : 0);
+      if (frame.count_residuals) w.uvarint(frame.value);
       break;
     case FrameType::kSymbols:
     case FrameType::kRound:

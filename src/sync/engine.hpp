@@ -14,7 +14,9 @@
 //                   u32 item_size | u8 checksum_len | u8 flags
 //                   [flags & 0x01 (sharded): uvarint shard_index |
 //                    uvarint shard_count -- see sync/sharded.hpp]
-//   HELLO_ACK s->c  0x12 | uvarint sid | u8 backend | u8 checksum_len
+//                   [flags & 0x02: request §6 count residuals]
+//   HELLO_ACK s->c  0x12 | uvarint sid | u8 backend | u8 checksum_len |
+//                   u8 flags [flags & 0x02: uvarint anchor_set_size]
 //   SYMBOLS   s->c  0x13 | uvarint sid | uvarint len | payload
 //   ROUND     c->s  0x14 | uvarint sid | uvarint len | payload
 //   DONE      c->s  0x15 | uvarint sid | uvarint payload_bytes_consumed
@@ -69,6 +71,18 @@ inline constexpr std::uint8_t kVersion = 2;
 /// and route the session without a side channel.
 inline constexpr std::uint8_t kFlagSharded = 0x01;
 
+/// HELLO flag bit: request the §6 count compression on the SYMBOLS stream.
+/// Granted only for the rateless backend (the other codecs own their
+/// payload formats): the HELLO_ACK echoes the flag and carries the anchor
+/// set size N -- the serving SequenceCache's snapshot set_size -- and every
+/// subsequent stream symbol's count rides as a svarint residual against
+/// N*rho(i) instead of a plain svarint (~1 byte at any N vs up to 3-5
+/// bytes for the large near-origin counts of a big set).
+inline constexpr std::uint8_t kFlagCountResiduals = 0x02;
+
+inline constexpr std::uint8_t kKnownHelloFlags =
+    kFlagSharded | kFlagCountResiduals;
+
 enum class FrameType : std::uint8_t {
   kHello = 0x11,
   kHelloAck = 0x12,
@@ -85,9 +99,12 @@ struct Frame {
   std::uint8_t backend = 0;        ///< HELLO, HELLO_ACK
   std::uint32_t item_size = 0;     ///< HELLO
   std::uint8_t checksum_len = 0;   ///< HELLO, HELLO_ACK
+  bool count_residuals = false;    ///< HELLO request / HELLO_ACK grant
   std::uint32_t shard_index = 0;   ///< HELLO (kFlagSharded)
   std::uint32_t shard_count = 0;   ///< HELLO (kFlagSharded); 0 = unsharded
-  std::uint64_t value = 0;         ///< DONE: payload bytes consumed
+  /// DONE: payload bytes consumed; HELLO_ACK with kFlagCountResiduals: the
+  /// residual anchor set size N.
+  std::uint64_t value = 0;
   std::vector<std::byte> payload;  ///< SYMBOLS, ROUND; ERROR: message
 };
 
@@ -284,6 +301,11 @@ class SyncEngine {
         const auto backend = static_cast<BackendId>(frame.backend);
         const std::uint8_t effective =
             negotiate_checksum_len(backend, frame.checksum_len);
+        // §6 count residuals: only the rateless stream has the implicit
+        // (index, anchor) the residual coding needs; other backends own
+        // their payload formats, so the request clamps off.
+        const bool residuals =
+            frame.count_residuals && backend == BackendId::kRiblt;
         ReconcilerConfig config = options_.config;
         config.checksum_len = effective;
         Session session;
@@ -292,6 +314,11 @@ class SyncEngine {
           // re-hash/re-encode, no per-session coding-window heap.
           auto rateless = std::make_unique<RibltEncoderBackend<T, Hasher>>(
               cache_, effective);
+          if (residuals) {
+            // The anchor is the snapshot the cursor just pinned: churn
+            // after this HELLO does not move this session's counts.
+            rateless->enable_count_residuals(cache_->set_size());
+          }
           session.rateless = rateless.get();
           session.encoder = std::move(rateless);
         } else {
@@ -310,6 +337,8 @@ class SyncEngine {
         ack.session_id = frame.session_id;
         ack.backend = frame.backend;
         ack.checksum_len = effective;
+        ack.count_residuals = residuals;
+        if (residuals) ack.value = cache_->set_size();
         out.push_back(v2::encode_frame(ack));
         return out;
       }
@@ -582,6 +611,8 @@ class SyncClient {
     frame.backend = static_cast<std::uint8_t>(backend_);
     frame.item_size = static_cast<std::uint32_t>(T::kSize);
     frame.checksum_len = config_.checksum_len;
+    frame.count_residuals =
+        config_.count_residuals && backend_ == BackendId::kRiblt;
     frame.shard_index = shard_index_;
     frame.shard_count = shard_count_;
     return v2::encode_frame(frame);
@@ -608,9 +639,15 @@ class SyncClient {
         if (frame.checksum_len != 4 && frame.checksum_len != 8) {
           throw ProtocolError("HELLO_ACK checksum width invalid");
         }
+        if (frame.count_residuals && !config_.count_residuals) {
+          throw ProtocolError("HELLO_ACK grants unrequested count residuals");
+        }
         // Adopt the server's effective checksum width (it may clamp our
-        // narrow-checksum request for backends that do not support it).
+        // narrow-checksum request for backends that do not support it) and
+        // its count-residual grant + anchor (it may clamp the request off).
         config_.checksum_len = frame.checksum_len;
+        config_.count_residuals = frame.count_residuals;
+        config_.residual_anchor = frame.count_residuals ? frame.value : 0;
         decoder_ = make_reconciler_decoder<T>(backend_, config_, hasher_);
         for (const auto& x : items_) decoder_->add_hashed_item(x);
         // The decoder owns the set now; holding a second copy for the

@@ -70,6 +70,13 @@ enum class BackendId : std::uint8_t {
 /// everything else is advisory.
 struct ReconcilerConfig {
   std::uint8_t checksum_len = 8;  ///< wire checksum width (4 or 8)
+  /// Request the §6 count compression on the rateless SYMBOLS stream
+  /// (v2::kFlagCountResiduals). Ignored by the other backends. The engine
+  /// grants it in HELLO_ACK together with the anchor set size.
+  bool count_residuals = false;
+  /// Decode-side anchor N for residual counts (set from the HELLO_ACK;
+  /// meaningful only when count_residuals is granted).
+  std::uint64_t residual_anchor = 0;
   std::size_t cpi_initial_capacity = 16;    ///< first CPI round's capacity
   std::size_t strata_num_strata = 16;       ///< SIGCOMM'11 defaults
   std::size_t strata_cells_per_stratum = 80;
@@ -216,7 +223,14 @@ class RibltEncoderBackend final : public ReconcilerEncoder<T> {
     if (!cursor_) cursor_.emplace(cache_);
     const std::size_t start = w.size();
     do {
-      wire::write_stream_symbol(w, cursor_->next(), checksum_len_);
+      const std::uint64_t index = cursor_->index();
+      const CodedSymbol<T> cell = cursor_->next();
+      if (residuals_) {
+        wire::write_stream_symbol_residual(w, cell, checksum_len_,
+                                           residual_anchor_, index);
+      } else {
+        wire::write_stream_symbol(w, cell, checksum_len_);
+      }
     } while (w.size() - start < budget);
     return w.size() - start;
   }
@@ -226,6 +240,22 @@ class RibltEncoderBackend final : public ReconcilerEncoder<T> {
   }
 
   [[nodiscard]] bool rateless() const noexcept override { return true; }
+
+  /// Switches the stream to §6 residual counts anchored on `anchor` (the
+  /// snapshot set size negotiated at HELLO). Must precede the first emit:
+  /// symbols already on the wire used the plain encoding. Pins the cursor
+  /// snapshot NOW (shared mode already pinned it at construction), so the
+  /// anchor cannot drift from the stream's true N via set changes between
+  /// this call and the first emit.
+  void enable_count_residuals(std::uint64_t anchor) {
+    if (symbols_sent() != 0) {
+      throw std::logic_error(
+          "riblt: count residuals must be enabled before streaming");
+    }
+    if (!cursor_) cursor_.emplace(cache_);
+    residuals_ = true;
+    residual_anchor_ = anchor;
+  }
 
   /// Oldest cache-journal entry this session may still need (the engine's
   /// pruning floor). Before the first emit the snapshot is still pending,
@@ -255,14 +285,21 @@ class RibltEncoderBackend final : public ReconcilerEncoder<T> {
   std::optional<typename Cache::Cursor> cursor_;
   std::uint8_t checksum_len_;
   bool shared_;
+  bool residuals_ = false;
+  std::uint64_t residual_anchor_ = 0;  ///< snapshot N for §6 residuals
 };
 
 template <Symbol T, typename Hasher = SipHasher<T>>
 class RibltDecoderBackend final : public ReconcilerDecoder<T> {
  public:
   explicit RibltDecoderBackend(Hasher hasher = Hasher{},
-                               std::uint8_t checksum_len = 8)
-      : decoder_(std::move(hasher)), checksum_len_(checksum_len) {
+                               std::uint8_t checksum_len = 8,
+                               bool count_residuals = false,
+                               std::uint64_t residual_anchor = 0)
+      : decoder_(std::move(hasher)),
+        checksum_len_(checksum_len),
+        residuals_(count_residuals),
+        residual_anchor_(residual_anchor) {
     decoder_.set_checksum_mask(wire::checksum_mask(checksum_len));
   }
 
@@ -275,7 +312,14 @@ class RibltDecoderBackend final : public ReconcilerDecoder<T> {
   void absorb(std::span<const std::byte> payload) override {
     ByteReader r(payload);
     while (!r.done() && !decoder_.decoded()) {
-      decoder_.add_coded_symbol(wire::read_stream_symbol<T>(r, checksum_len_));
+      // The running stream index is the residual anchor position; it only
+      // advances for symbols actually parsed, so it stays aligned with the
+      // encoder's cursor across frame boundaries.
+      decoder_.add_coded_symbol(
+          residuals_ ? wire::read_stream_symbol_residual<T>(
+                           r, checksum_len_, residual_anchor_, stream_index_)
+                     : wire::read_stream_symbol<T>(r, checksum_len_));
+      ++stream_index_;
     }
     // Symbols past completion (in-flight chunks) are ignored gracefully.
   }
@@ -296,6 +340,9 @@ class RibltDecoderBackend final : public ReconcilerDecoder<T> {
  private:
   Decoder<T, Hasher> decoder_;
   std::uint8_t checksum_len_;
+  bool residuals_;
+  std::uint64_t residual_anchor_;
+  std::uint64_t stream_index_ = 0;
 };
 
 // ------------------------------------------------- Regular IBLT + strata
@@ -757,7 +804,8 @@ template <Symbol T, typename Hasher = SipHasher<T>>
   switch (backend) {
     case BackendId::kRiblt:
       return std::make_unique<RibltDecoderBackend<T, Hasher>>(
-          std::move(hasher), config.checksum_len);
+          std::move(hasher), config.checksum_len, config.count_residuals,
+          config.residual_anchor);
     case BackendId::kIbltStrata:
       return std::make_unique<IbltStrataDecoderBackend<T, Hasher>>(
           std::move(hasher), config);

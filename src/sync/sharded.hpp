@@ -475,13 +475,20 @@ class ShardedClient {
     return out;
   }
 
+  /// True iff `session_id` is one of this client's sub-sessions. Transports
+  /// multiplexing several clients' sessions (or sequential sessions whose
+  /// rateless tails overlap) over one connection use this to route/drop.
+  [[nodiscard]] bool owns(std::uint64_t session_id) const noexcept {
+    return session_id > (base_ - 1) * subs_.size() &&
+           session_id <= base_ * subs_.size();
+  }
+
   /// Consumes one server frame (routed to the owning sub-client by session
   /// id); returns the client frames to send back.
   std::vector<std::vector<std::byte>> handle_frame(
       std::span<const std::byte> data) {
     const std::uint64_t sid = v2::peek_session_id(data);
-    if (sid <= (base_ - 1) * subs_.size() ||
-        sid > base_ * subs_.size()) {
+    if (!owns(sid)) {
       throw ProtocolError("frame for a different sharded client");
     }
     const std::size_t s =

@@ -178,6 +178,75 @@ TEST(Engine, NarrowChecksumNegotiation) {
   CHECK_EQ(engine64.session(1)->checksum_len, 8);
 }
 
+TEST(Engine, CountResidualNegotiationSavesBytesAndPreservesParity) {
+  // §6 count compression on the v2 stream: a rateless session that
+  // requests kFlagCountResiduals recovers the identical diff while its
+  // SYMBOLS frames shrink -- near the stream origin a plain count svarint
+  // costs ~ceil(log128(N)) bytes, the residual ~1. The frame budget of 100
+  // pins symbols-per-frame equal across modes (41-43-byte symbols: two fit
+  // under 100 either way, so both modes emit exactly three per frame), so
+  // the saving is strictly visible in bytes_to_peer instead of washing out
+  // into frame-fill quantization.
+  const auto w = make_set_pair<Item32>(20'000, 12, 8, 13);
+  EngineOptions options;
+  options.frame_budget = 100;
+  SyncEngine<Item32> engine({}, options);
+  for (const auto& x : w.a) engine.add_item(x);
+
+  SyncClient<Item32> plain(1, BackendId::kRiblt);
+  for (const auto& y : w.b) plain.add_item(y);
+  pump_engine<Item32, SipHasher<Item32>>(engine, {&plain});
+  REQUIRE(plain.complete());
+  expect_diff_matches(plain.diff(), w);
+
+  ReconcilerConfig want_residuals;
+  want_residuals.count_residuals = true;
+  SyncClient<Item32> compressed(2, BackendId::kRiblt, {}, want_residuals);
+  for (const auto& y : w.b) compressed.add_item(y);
+  pump_engine<Item32, SipHasher<Item32>>(engine, {&compressed});
+  REQUIRE(compressed.complete());
+  expect_diff_matches(compressed.diff(), w);
+
+  // Same symbols, smaller stream: the per-symbol count field shrank.
+  CHECK(engine.session(2)->bytes_to_peer < engine.session(1)->bytes_to_peer);
+  CHECK(compressed.payload_bytes() < plain.payload_bytes());
+
+  // Sharded sessions negotiate the flag per shard (each shard's own
+  // set_size anchors its stream), and churn after HELLO does not disturb
+  // an open residual session: its anchor is the snapshot.
+  SyncClient<Item32> snapshot(3, BackendId::kRiblt, {}, want_residuals);
+  for (const auto& y : w.b) snapshot.add_item(y);
+  for (const auto& r : engine.handle_frame(snapshot.hello())) {
+    (void)snapshot.handle_frame(r);
+  }
+  for (std::size_t i = 0; i < 64; ++i) {
+    engine.add_item(Item32::random(derive_seed(1313, i)));
+  }
+  pump_engine<Item32, SipHasher<Item32>>(engine, {&snapshot});
+  REQUIRE(snapshot.complete());
+  expect_diff_matches(snapshot.diff(), w);
+
+  // Round-based backends clamp the request off (their payloads are not
+  // the rateless stream) -- and still reconcile.
+  SyncClient<Item32> table(4, BackendId::kIbltStrata, {}, want_residuals);
+  for (const auto& y : w.b) table.add_item(y);
+  pump_engine<Item32, SipHasher<Item32>>(engine, {&table});
+  REQUIRE(table.complete());
+
+  // A server granting residuals nobody asked for is a protocol violation.
+  SyncClient<Item32> strict(5, BackendId::kRiblt);
+  (void)strict.hello();
+  v2::Frame ack;
+  ack.type = v2::FrameType::kHelloAck;
+  ack.session_id = 5;
+  ack.backend = static_cast<std::uint8_t>(BackendId::kRiblt);
+  ack.checksum_len = 8;
+  ack.count_residuals = true;
+  ack.value = 123;
+  EXPECT_THROW((void)strict.handle_frame(v2::encode_frame(ack)),
+               ProtocolError);
+}
+
 TEST(Engine, RejectsStateMachineViolations) {
   SyncEngine<Item32> engine;
   engine.add_item(Item32::random(1));

@@ -1,0 +1,192 @@
+// Tests for the netsim binding of the transport subsystem: lossy/reordering
+// Link behavior, SimConduit reliable delivery, and the satellite property --
+// reconciliation over SimConduit completes with correct diffs under 1-10%
+// loss and out-of-order delivery at d in {1, 100, 1000}.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "net/sim_conduit.hpp"
+#include "sync/engine.hpp"
+#include "testutil.hpp"
+
+namespace ribltx::net {
+namespace {
+
+using testing::key_set;
+using testing::make_set_pair;
+using sync::BackendId;
+using Item32 = ByteSymbol<32>;
+
+TEST(LossyLink, DropsTheConfiguredFraction) {
+  netsim::EventLoop loop;
+  netsim::LinkConfig cfg;
+  cfg.bandwidth_bps = 0;
+  cfg.loss_rate = 0.3;
+  cfg.seed = 5;
+  netsim::Link link(loop, cfg);
+  std::size_t delivered = 0;
+  for (int i = 0; i < 2000; ++i) {
+    link.send(100, [&](const netsim::Delivery&) { ++delivered; });
+  }
+  loop.run();
+  CHECK_EQ(delivered + link.dropped_count(), 2000u);
+  // 3-sigma band around the 30% mean.
+  CHECK(link.dropped_count() > 520u);
+  CHECK(link.dropped_count() < 680u);
+  // Dropped messages leave no delivery record (Fig 13 traces show only
+  // bytes that arrived).
+  CHECK_EQ(link.deliveries().size(), delivered);
+}
+
+TEST(LossyLink, JitterReordersDeliveries) {
+  netsim::EventLoop loop;
+  netsim::LinkConfig cfg;
+  cfg.one_way_delay_s = 0.01;
+  cfg.bandwidth_bps = 0;  // unlimited: arrivals differ only by jitter
+  cfg.reorder_jitter_s = 0.05;
+  cfg.seed = 6;
+  netsim::Link link(loop, cfg);
+  std::vector<int> order;
+  for (int i = 0; i < 50; ++i) {
+    link.send(10, [&, i](const netsim::Delivery&) { order.push_back(i); });
+  }
+  loop.run();
+  REQUIRE_EQ(order.size(), 50u);
+  bool reordered = false;
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    if (order[i] < order[i - 1]) reordered = true;
+  }
+  CHECK(reordered);
+  // Default config stays deterministic FIFO (no silent behavior change for
+  // the Fig 12-14 sessions).
+  CHECK(!netsim::LinkConfig{}.lossy());
+}
+
+TEST(SimConduit, DeliversFramesInOrderOverCleanLink) {
+  netsim::EventLoop loop;
+  netsim::LinkConfig link;
+  link.one_way_delay_s = 0.005;
+  link.bandwidth_bps = 8e6;
+  SimConduit pipe(loop, link, link);
+  std::vector<std::vector<std::byte>> got;
+  pipe.b().on_frame([&](std::vector<std::byte> f) { got.push_back(std::move(f)); });
+  std::vector<std::vector<std::byte>> sent;
+  SplitMix64 rng(17);
+  for (std::size_t i = 0; i < 30; ++i) {
+    std::vector<std::byte> f(1 + rng.next() % 3000);
+    for (auto& b : f) b = static_cast<std::byte>(rng.next());
+    sent.push_back(f);
+    pipe.a().send_frame(std::move(f));
+  }
+  loop.run();
+  REQUIRE_EQ(got.size(), sent.size());
+  for (std::size_t i = 0; i < sent.size(); ++i) CHECK(got[i] == sent[i]);
+  CHECK(!pipe.a().broken());
+  CHECK_EQ(pipe.a().retransmits(), 0u);  // clean link: no timer fires needed
+}
+
+TEST(SimConduit, RetransmitsThroughHeavyLossBothDirections) {
+  netsim::EventLoop loop;
+  netsim::LinkConfig fwd;
+  fwd.one_way_delay_s = 0.002;
+  fwd.bandwidth_bps = 50e6;
+  fwd.loss_rate = 0.25;  // brutal: data AND acks drop
+  fwd.seed = 21;
+  netsim::LinkConfig rev = fwd;
+  rev.seed = 22;
+  SimConduit pipe(loop, fwd, rev);
+  std::vector<std::vector<std::byte>> got;
+  pipe.b().on_frame([&](std::vector<std::byte> f) { got.push_back(std::move(f)); });
+  std::vector<std::vector<std::byte>> sent;
+  for (std::size_t i = 0; i < 10; ++i) {
+    std::vector<std::byte> f(2500, static_cast<std::byte>(i));
+    sent.push_back(f);
+    pipe.a().send_frame(std::move(f));
+  }
+  loop.run();
+  REQUIRE_EQ(got.size(), sent.size());
+  for (std::size_t i = 0; i < sent.size(); ++i) CHECK(got[i] == sent[i]);
+  CHECK(pipe.a().retransmits() > 0u);
+  CHECK(!pipe.a().broken());
+}
+
+/// Runs one full reconciliation (SyncEngine vs SyncClient) over a
+/// SimConduit with the given loss/jitter, event-driven: the server pumps
+/// SYMBOLS only while the conduit window is open (the backpressure signal),
+/// so a rateless stream never runs unboundedly ahead of the link.
+void reconcile_over_sim(std::size_t shared, std::size_t d, double loss,
+                        double jitter_s, BackendId backend,
+                        std::uint64_t seed) {
+  const auto w = make_set_pair<Item32>(shared, d, d / 3, seed);
+  sync::SyncEngine<Item32> engine;
+  for (const auto& x : w.a) engine.add_item(x);
+  sync::SyncClient<Item32> client(1, backend);
+  for (const auto& y : w.b) client.add_item(y);
+
+  netsim::EventLoop loop;
+  netsim::LinkConfig fwd;  // server -> client carries the symbol stream
+  fwd.one_way_delay_s = 0.002;
+  fwd.bandwidth_bps = 100e6;
+  fwd.loss_rate = loss;
+  fwd.reorder_jitter_s = jitter_s;
+  fwd.seed = seed;
+  netsim::LinkConfig rev = fwd;
+  rev.seed = seed ^ 0x5a5a;
+  SimConduit pipe(loop, fwd, rev);
+  SimEndpoint& client_end = pipe.a();
+  SimEndpoint& server_end = pipe.b();
+
+  const auto pump_server = [&] {
+    while (server_end.writable()) {
+      auto frame = engine.next_frame(1);
+      if (!frame) break;  // waiting on a round request, or session ended
+      server_end.send_frame(std::move(*frame));
+    }
+  };
+  server_end.on_frame([&](std::vector<std::byte> frame) {
+    for (auto& reply : engine.handle_frame(frame)) {
+      server_end.send_frame(std::move(reply));
+    }
+    pump_server();
+  });
+  server_end.on_writable(pump_server);
+  client_end.on_frame([&](std::vector<std::byte> frame) {
+    for (auto& reply : client.handle_frame(frame)) {
+      client_end.send_frame(std::move(reply));
+    }
+  });
+
+  client_end.send_frame(client.hello());
+  loop.run();
+
+  REQUIRE(client.complete());
+  CHECK(key_set(client.diff().remote) == key_set(w.only_a));
+  CHECK(key_set(client.diff().local) == key_set(w.only_b));
+  CHECK(!client_end.broken());
+  CHECK(!server_end.broken());
+}
+
+// Satellite property: correct diffs under 1-10% loss with reordering
+// jitter, at d in {1, 100, 1000}, for the rateless stream.
+TEST(SimTransport, RatelessSurvivesLossAndReordering) {
+  const double jitter = 0.008;  // 4x the propagation delay: heavy reorder
+  std::uint64_t seed = 95;
+  for (const std::size_t d : {1ul, 100ul, 1000ul}) {
+    for (const double loss : {0.01, 0.05, 0.10}) {
+      reconcile_over_sim(/*shared=*/2 * d + 50, d, loss, jitter,
+                         BackendId::kRiblt, ++seed);
+    }
+  }
+}
+
+// The round-based dialogue (estimator -> sized tables -> escalation) also
+// survives the lossy link: ROUND requests and table payloads retransmit
+// like any other bytes.
+TEST(SimTransport, RoundBasedBackendSurvivesLoss) {
+  reconcile_over_sim(/*shared=*/400, /*d=*/60, /*loss=*/0.08,
+                     /*jitter_s=*/0.006, BackendId::kIbltStrata, 77);
+}
+
+}  // namespace
+}  // namespace ribltx::net

@@ -11,6 +11,7 @@
 #include "core/riblt.hpp"
 #include "iblt/iblt_wire.hpp"
 #include "iblt/strata.hpp"
+#include "net/frame_conduit.hpp"
 #include "sync/engine.hpp"
 #include "testutil.hpp"
 
@@ -149,6 +150,87 @@ TEST(WireFuzz, StreamSymbolTruncationThrows) {
   }
 }
 
+TEST(WireFuzz, FrameConduitTruncatedPrefixesYieldNothing) {
+  // A record cut anywhere -- inside the length prefix or the body -- must
+  // produce no frame and no exception; the codec waits for more bytes.
+  net::FrameConduit tx;
+  tx.send(std::vector<std::byte>(200, std::byte{0x42}));
+  std::vector<std::byte> record;
+  {
+    std::span<const std::byte> chunks[4];
+    const std::size_t n = tx.gather(chunks);
+    for (std::size_t i = 0; i < n; ++i) {
+      record.insert(record.end(), chunks[i].begin(), chunks[i].end());
+    }
+  }
+  for (std::size_t cut = 0; cut < record.size(); ++cut) {
+    net::FrameConduit rx;
+    rx.feed(std::span<const std::byte>(record.data(), cut));
+    CHECK_EQ(rx.frames_pending(), 0u);
+    CHECK(!rx.poisoned());
+  }
+}
+
+TEST(WireFuzz, FrameConduitRejectsOversizedClaimBeforeAllocating) {
+  // A 2^40-byte length claim in a 12-byte buffer must throw on the prefix
+  // itself, never attempt the allocation (the ASan job would flag the
+  // resulting OOM path).
+  net::FrameConduit rx(/*max_frame=*/1 << 16);
+  std::vector<std::byte> evil;
+  put_uvarint(evil, 1ull << 40);
+  evil.push_back(std::byte{0x00});
+  EXPECT_THROW(rx.feed(evil), sync::ProtocolError);
+  CHECK(rx.poisoned());
+  // A poisoned stream is unrecoverable: further input is refused too.
+  EXPECT_THROW(rx.feed(std::vector<std::byte>(1)), sync::ProtocolError);
+  // An 11-byte continuation run (no uvarint terminator) is equally fatal.
+  net::FrameConduit rx2;
+  const std::vector<std::byte> forever(11, std::byte{0x80});
+  EXPECT_THROW(rx2.feed(forever), sync::ProtocolError);
+  // The send side refuses to produce what the peer would reject.
+  net::FrameConduit tx(/*max_frame=*/16);
+  EXPECT_THROW(tx.send(std::vector<std::byte>(17)), sync::ProtocolError);
+}
+
+TEST(WireFuzz, FrameConduitByteAtATimeParity) {
+  for_all("byte-at-a-time reassembly == whole-record delivery", 40, 6021,
+          [](SplitMix64& rng) {
+            net::FrameConduit tx;
+            std::vector<std::vector<std::byte>> frames;
+            const std::size_t count = 1 + rng.next() % 6;
+            for (std::size_t i = 0; i < count; ++i) {
+              frames.push_back(random_bytes(rng, 400));
+              tx.send(frames.back());
+            }
+            std::vector<std::byte> stream;
+            while (tx.has_output()) {
+              std::span<const std::byte> chunks[8];
+              const std::size_t n = tx.gather(chunks);
+              std::size_t copied = 0;
+              for (std::size_t i = 0; i < n; ++i) {
+                stream.insert(stream.end(), chunks[i].begin(),
+                              chunks[i].end());
+                copied += chunks[i].size();
+              }
+              tx.consume(copied);
+            }
+            net::FrameConduit whole;
+            whole.feed(stream);
+            net::FrameConduit trickle;
+            for (const std::byte b : stream) {
+              trickle.feed(std::span<const std::byte>(&b, 1));
+            }
+            for (const auto& want : frames) {
+              const auto a = whole.next_frame();
+              const auto b = trickle.next_frame();
+              if (!a || !b || *a != want || *b != want) return false;
+            }
+            return whole.frames_pending() == 0 &&
+                   trickle.frames_pending() == 0 &&
+                   trickle.reassembly_bytes() == 0;
+          });
+}
+
 TEST(WireFuzz, RandomBytesNeverCrashAnyParser) {
   for_all("random-byte frames are rejected or parsed, never UB", 500, 2024,
           [](SplitMix64& rng) {
@@ -175,6 +257,13 @@ TEST(WireFuzz, RandomBytesNeverCrashAnyParser) {
               ByteReader r(junk);
               (void)wire::read_stream_symbol<Item8>(r, 8);
             } catch (const std::exception&) {
+            }
+            try {
+              net::FrameConduit conduit(256);
+              conduit.feed(junk);
+              while (conduit.next_frame()) {
+              }
+            } catch (const sync::ProtocolError&) {
             }
             return true;
           });
