@@ -29,6 +29,10 @@ METRICS_LOWER = {
     "mean", "median", "stddev",
     "riblt", "met", "iblt", "iblt_est", "pinsketch",
     "bytes_plain", "bytes_residual", "count_bytes_per_symbol",  # §6 wire cost
+    # Adaptive-backend bench: total link traffic, bytes before the peer's
+    # first useful frame, pacing-credit round trips, and the adaptive/best-
+    # fixed cost ratio (all deterministic netsim numbers).
+    "link_bytes", "first_contact_bytes", "credits", "ratio",
 }
 METRICS_LOWER_NOISY = {
     "cpu_s", "hello_us", "churn_us", "build_s", "wall_s",

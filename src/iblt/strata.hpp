@@ -57,6 +57,13 @@ class StrataEstimator {
     strata_[stratum_of(hs.hash)].apply(hs, Direction::kAdd);
   }
 
+  /// Backs one item out of its stratum -- the subtractive cells make the
+  /// estimator fully incremental, so a long-lived engine can maintain a
+  /// live probe digest under churn instead of rebuilding it per HELLO.
+  void remove_hashed(const HashedSymbol<T>& hs) {
+    strata_[stratum_of(hs.hash)].apply(hs, Direction::kRemove);
+  }
+
   StrataEstimator& subtract(const StrataEstimator& other) {
     if (other.strata_.size() != strata_.size()) {
       throw std::invalid_argument("StrataEstimator::subtract: shape mismatch");

@@ -60,6 +60,7 @@ void SimEndpoint::pump_out() {
 
 void SimEndpoint::transmit(const Segment& seg, bool retransmit) {
   ++data_packets_;
+  data_bytes_ += seg.payload->size() + kSimPacketOverhead;
   if (retransmit) ++retransmits_;
   tx_->send(seg.payload->size() + kSimPacketOverhead,
             [peer = peer_, off = seg.offset,
@@ -72,6 +73,7 @@ void SimEndpoint::transmit(const Segment& seg, bool retransmit) {
 
 void SimEndpoint::send_ack() {
   ++ack_packets_;
+  ack_bytes_ += kSimPacketOverhead;
   tx_->send(kSimPacketOverhead,
             [peer = peer_, cum = recv_next_](const netsim::Delivery&) {
               peer->on_ack(cum);
@@ -160,6 +162,9 @@ void SimEndpoint::on_ack(std::uint64_t cumulative) {
     // timer exists at the new, earlier deadline even if pump_out had
     // nothing fresh to transmit (stale far-future timers do not count).
     if (!unacked_.empty()) arm_timer();
+    // Fire on window room alone: a sender draining a backlog larger than
+    // the window must still see progress ticks, not silence until total
+    // drain (writable() no longer conflates window-room with flushed()).
     if (writable_ && writable()) writable_();
   }
 }

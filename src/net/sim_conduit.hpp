@@ -67,11 +67,21 @@ class SimEndpoint {
   /// move (use to pace a rateless stream against the link).
   void on_writable(std::function<void()> fn) { writable_ = std::move(fn); }
 
-  /// True while queued + in-flight output is below the window -- the
-  /// "send buffer has room" signal.
+  /// True while the in-flight window has room -- the "send buffer has
+  /// room" pacing signal. Deliberately NOT conditioned on the outbound
+  /// framer being drained: a sender that queued one frame larger than the
+  /// window would otherwise read false until total drain and its pacing
+  /// loop would stall. Queued-but-unsent bytes are visible separately via
+  /// flushed().
   [[nodiscard]] bool writable() const noexcept {
-    return !broken_ && unacked_.size() < cfg_.window &&
-           !framer_.has_output();
+    return !broken_ && unacked_.size() < cfg_.window;
+  }
+
+  /// True once every queued frame has been handed to the link (the
+  /// outbound framer is drained; in-flight segments may still await ACKs).
+  /// The "did my backlog move" predicate -- distinct from writable().
+  [[nodiscard]] bool flushed() const noexcept {
+    return !framer_.has_output();
   }
 
   /// The peer stopped acking for max_retries RTOs (or framing poisoned):
@@ -86,6 +96,15 @@ class SimEndpoint {
   }
   [[nodiscard]] std::size_t ack_packets() const noexcept {
     return ack_packets_;
+  }
+  /// Link bytes charged to this endpoint's transmit direction for data
+  /// segments (payload + per-packet overhead, retransmissions included).
+  [[nodiscard]] std::uint64_t data_bytes() const noexcept {
+    return data_bytes_;
+  }
+  /// Link bytes charged for ACK packets.
+  [[nodiscard]] std::uint64_t ack_bytes() const noexcept {
+    return ack_bytes_;
   }
 
  private:
@@ -142,6 +161,8 @@ class SimEndpoint {
   std::size_t retransmits_ = 0;
   std::size_t data_packets_ = 0;
   std::size_t ack_packets_ = 0;
+  std::uint64_t data_bytes_ = 0;
+  std::uint64_t ack_bytes_ = 0;
 };
 
 /// A full-duplex reliable frame pipe: endpoint a() transmits over the

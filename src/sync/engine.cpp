@@ -55,17 +55,27 @@ Frame parse_frame(std::span<const std::byte> data) {
           out.shard_index = static_cast<std::uint32_t>(shard_index);
           out.shard_count = static_cast<std::uint32_t>(shard_count);
         }
+        if ((flags & kFlagAdaptive) != 0) {
+          out.adaptive = true;
+          out.peer_id = r.uvarint();
+          out.probe = read_payload(r);
+        }
         break;
       }
       case FrameType::kHelloAck: {
         out.backend = r.u8();
         out.checksum_len = r.u8();
         const std::uint8_t flags = r.u8();
-        if ((flags & ~kFlagCountResiduals) != 0) {
+        if ((flags & ~kKnownHelloAckFlags) != 0) {
           throw ProtocolError("unknown HELLO_ACK flags");
         }
         out.count_residuals = (flags & kFlagCountResiduals) != 0;
         if (out.count_residuals) out.value = r.uvarint();
+        if ((flags & kFlagAdaptive) != 0) {
+          out.adaptive = true;
+          out.d_estimate = r.uvarint();
+          out.pace_cap = r.uvarint();
+        }
         break;
       }
       case FrameType::kSymbols:
@@ -75,6 +85,9 @@ Frame parse_frame(std::span<const std::byte> data) {
         break;
       case FrameType::kDone:
         out.value = r.uvarint();
+        // Adaptive sessions append the recovered |diff|; the extension is
+        // optional so a pre-adaptive DONE still parses.
+        if (!r.done()) out.diff_count = r.uvarint();
         break;
     }
     if (!r.done()) throw ProtocolError("trailing bytes in frame");
@@ -115,19 +128,33 @@ std::vector<std::byte> encode_frame(const Frame& frame) {
       std::uint8_t flags = 0;
       if (frame.shard_count != 0) flags |= kFlagSharded;
       if (frame.count_residuals) flags |= kFlagCountResiduals;
+      if (frame.adaptive) flags |= kFlagAdaptive;
       w.u8(flags);
       if (frame.shard_count != 0) {
         w.uvarint(frame.shard_index);
         w.uvarint(frame.shard_count);
       }
+      if (frame.adaptive) {
+        w.uvarint(frame.peer_id);
+        w.uvarint(frame.probe.size());
+        w.bytes(frame.probe);
+      }
       break;
     }
-    case FrameType::kHelloAck:
+    case FrameType::kHelloAck: {
       w.u8(frame.backend);
       w.u8(frame.checksum_len);
-      w.u8(frame.count_residuals ? kFlagCountResiduals : 0);
+      std::uint8_t flags = 0;
+      if (frame.count_residuals) flags |= kFlagCountResiduals;
+      if (frame.adaptive) flags |= kFlagAdaptive;
+      w.u8(flags);
       if (frame.count_residuals) w.uvarint(frame.value);
+      if (frame.adaptive) {
+        w.uvarint(frame.d_estimate);
+        w.uvarint(frame.pace_cap);
+      }
       break;
+    }
     case FrameType::kSymbols:
     case FrameType::kRound:
     case FrameType::kError:
@@ -136,6 +163,7 @@ std::vector<std::byte> encode_frame(const Frame& frame) {
       break;
     case FrameType::kDone:
       w.uvarint(frame.value);
+      if (frame.diff_count) w.uvarint(*frame.diff_count);
       break;
   }
   return std::move(w).take();
@@ -146,9 +174,14 @@ std::vector<std::byte> make_error_frame(std::uint64_t session_id,
   Frame frame;
   frame.type = FrameType::kError;
   frame.session_id = session_id;
-  frame.payload.reserve(message.size());
-  for (const char c : message) {
-    frame.payload.push_back(static_cast<std::byte>(c));
+  // Clamp: an exception message of arbitrary length (e.g. one that embeds
+  // attacker-controlled input) must never produce an ERROR frame larger
+  // than a conduit's max_frame -- that would escalate a contained
+  // per-session failure into a dead connection.
+  const std::size_t n = std::min(message.size(), kMaxErrorBytes);
+  frame.payload.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    frame.payload.push_back(static_cast<std::byte>(message[i]));
   }
   return encode_frame(frame);
 }

@@ -55,6 +55,7 @@
 #include "common/bytes.hpp"
 #include "core/sketch.hpp"
 #include "core/symbol.hpp"
+#include "sync/adaptive.hpp"
 #include "sync/error.hpp"
 #include "sync/reconciler.hpp"
 
@@ -80,8 +81,32 @@ inline constexpr std::uint8_t kFlagSharded = 0x01;
 /// bytes for the large near-origin counts of a big set).
 inline constexpr std::uint8_t kFlagCountResiduals = 0x02;
 
+/// HELLO flag bit: request adaptive negotiation. The HELLO carries
+/// `uvarint peer_id | uvarint probe_len | probe bytes` after any shard
+/// fields -- peer_id is a stable client identity for the server's per-peer
+/// EWMA of past diffs, probe is an optional tiny strata digest
+/// (sync/adaptive.hpp) for a first-contact d estimate. The HELLO_ACK
+/// echoes the flag and carries `uvarint d_estimate | uvarint pace_cap`;
+/// its backend byte is the server's *choice* (cost model over d-estimate x
+/// link class), which may differ from the requested backend. A DONE from
+/// an adaptive session appends `uvarint diff_count` so the server can
+/// update the EWMA. Servers that predate the flag reject the HELLO with a
+/// clean ERROR ("unknown HELLO flags"); clients then retry without it.
+inline constexpr std::uint8_t kFlagAdaptive = 0x04;
+
+/// Per-frame-type known-flag masks. HELLO and HELLO_ACK grow flags
+/// independently (the adaptive grant is ACK-side), so each direction
+/// validates against its own mask -- an unknown bit from a newer peer
+/// fails as a clean ProtocolError instead of a mis-framed stream.
 inline constexpr std::uint8_t kKnownHelloFlags =
-    kFlagSharded | kFlagCountResiduals;
+    kFlagSharded | kFlagCountResiduals | kFlagAdaptive;
+inline constexpr std::uint8_t kKnownHelloAckFlags =
+    kFlagCountResiduals | kFlagAdaptive;
+
+/// ERROR frames clamp their message payload to this many bytes: an ERROR
+/// must always fit any conduit's max_frame, or reporting a contained
+/// per-session failure would poison the whole connection.
+inline constexpr std::size_t kMaxErrorBytes = 256;
 
 enum class FrameType : std::uint8_t {
   kHello = 0x11,
@@ -106,6 +131,14 @@ struct Frame {
   /// residual anchor set size N.
   std::uint64_t value = 0;
   std::vector<std::byte> payload;  ///< SYMBOLS, ROUND; ERROR: message
+  bool adaptive = false;           ///< HELLO request / HELLO_ACK grant
+  std::uint64_t peer_id = 0;       ///< HELLO (kFlagAdaptive); 0 = anonymous
+  std::vector<std::byte> probe;    ///< HELLO (kFlagAdaptive): strata digest
+  std::uint64_t d_estimate = 0;    ///< HELLO_ACK (kFlagAdaptive)
+  std::uint64_t pace_cap = 0;      ///< HELLO_ACK (kFlagAdaptive); 0 = unpaced
+  /// DONE: recovered |diff| when present (adaptive sessions feed the
+  /// server's per-peer EWMA with it).
+  std::optional<std::uint64_t> diff_count;
 };
 
 /// Parses and validates one frame. Throws ProtocolError with a specific
@@ -147,6 +180,10 @@ struct SessionStats {
   std::uint32_t frames_sent = 0;      ///< SYMBOLS frames emitted
   std::uint64_t done_value = 0;       ///< client-reported consumed bytes
   std::string error;                  ///< failure reason when kFailed
+  bool adaptive = false;              ///< session granted adaptive mode
+  std::uint64_t d_estimate = 0;       ///< adaptive: the d^ the grant used
+  std::uint64_t pace_cap = 0;         ///< adaptive: emission runway (0=off)
+  std::uint32_t credits = 0;          ///< adaptive: pacing renewals received
 };
 
 struct EngineOptions {
@@ -154,6 +191,10 @@ struct EngineOptions {
   std::uint32_t max_rounds = 32;    ///< escalation cap per session
   std::size_t max_sessions = 4096;  ///< concurrent session cap
   ReconcilerConfig config{};        ///< backend tuning shared by sessions
+  /// Adaptive negotiation (sync/adaptive.hpp): grants, EWMA, and pacing
+  /// tuning, plus the link class the cost model prices backends against.
+  adaptive::AdaptiveOptions adaptive{};
+  adaptive::LinkProfile link = adaptive::LinkProfile::loopback();
   /// Shard identity (set by ShardedEngine on its per-shard engines). When
   /// shard_count != 0 the engine only accepts HELLOs carrying the matching
   /// (shard_index, shard_count); when 0 it rejects sharded HELLOs -- both
@@ -207,7 +248,10 @@ class SyncEngine {
   explicit SyncEngine(Hasher hasher = Hasher{}, EngineOptions options = {})
       : hasher_(std::move(hasher)),
         options_(std::move(options)),
-        cache_(std::make_shared<SequenceCache<T, Hasher>>(hasher_)) {}
+        cache_(std::make_shared<SequenceCache<T, Hasher>>(hasher_)),
+        probe_(adaptive::make_probe<T, Hasher>(hasher_)),
+        peer_ewma_(options_.adaptive.ewma_alpha,
+                   options_.adaptive.max_peers) {}
 
   /// Adds an item to the served set. Returns false (and leaves every
   /// structure untouched) if the item is already present -- a duplicate add
@@ -224,6 +268,7 @@ class SyncEngine {
     index_.emplace(hs.hash, items_.size());
     items_.push_back(hs);
     cache_->add_hashed(hs);
+    probe_.add_hashed(hs);  // keep the live probe digest current (O(k))
     prune_cache_journal();
     return true;
   }
@@ -250,6 +295,7 @@ class SyncEngine {
     }
     items_.pop_back();
     cache_->remove_hashed(hs);
+    probe_.remove_hashed(hs);  // subtractive cells: churn backs out cleanly
     prune_cache_journal();
     return true;
   }
@@ -298,7 +344,20 @@ class SyncEngine {
             frame.shard_index != options_.shard_index) {
           throw ProtocolError("HELLO routed to the wrong shard");
         }
-        const auto backend = static_cast<BackendId>(frame.backend);
+        const auto requested = static_cast<BackendId>(frame.backend);
+        // Adaptive grant: estimate d (probe -> per-peer EWMA -> default),
+        // then let the cost model pick the backend for this link class.
+        // Without the flag (or with grants disabled) the requested backend
+        // is served verbatim -- the clean fallback old clients rely on.
+        const bool adaptive = frame.adaptive && options_.adaptive.enabled;
+        std::uint64_t d_est = 0;
+        BackendId backend = requested;
+        if (adaptive) {
+          d_est = estimate_diff(frame);
+          backend = adaptive::choose_backend<T>(
+              requested, d_est, items_.size(), frame.checksum_len,
+              options_.config, options_.adaptive, options_.link);
+        }
         const std::uint8_t effective =
             negotiate_checksum_len(backend, frame.checksum_len);
         // §6 count residuals: only the rateless stream has the implicit
@@ -308,6 +367,18 @@ class SyncEngine {
             frame.count_residuals && backend == BackendId::kRiblt;
         ReconcilerConfig config = options_.config;
         config.checksum_len = effective;
+        std::uint64_t pace_cap = 0;
+        if (adaptive && backend == BackendId::kRiblt) {
+          // The one backend that streams unboundedly gets a pacing runway.
+          pace_cap =
+              adaptive::pace_cap_for<T>(d_est, effective, options_.adaptive);
+        }
+        if (adaptive && backend == BackendId::kCpi) {
+          // One-shot capacity: ship the whole ladder prefix for d^ up
+          // front instead of walking the escalation round trips.
+          config.cpi_initial_capacity = static_cast<std::size_t>(
+              adaptive::cpi_capacity_for(d_est, options_.config));
+        }
         Session session;
         if (backend == BackendId::kRiblt) {
           // O(1): a snapshot cursor over the shared cache -- no per-session
@@ -331,22 +402,40 @@ class SyncEngine {
         session.stats.backend = backend;
         session.stats.checksum_len = effective;
         session.stats.bytes_from_peer = data.size();
+        session.stats.adaptive = adaptive;
+        session.stats.d_estimate = d_est;
+        session.stats.pace_cap = pace_cap;
+        session.peer_id = adaptive ? frame.peer_id : 0;
         sessions_.emplace(frame.session_id, std::move(session));
         v2::Frame ack;
         ack.type = v2::FrameType::kHelloAck;
         ack.session_id = frame.session_id;
-        ack.backend = frame.backend;
+        ack.backend = static_cast<std::uint8_t>(backend);
         ack.checksum_len = effective;
         ack.count_residuals = residuals;
         if (residuals) ack.value = cache_->set_size();
+        ack.adaptive = adaptive;
+        ack.d_estimate = d_est;
+        ack.pace_cap = pace_cap;
         out.push_back(v2::encode_frame(ack));
         return out;
       }
       case v2::FrameType::kRound: {
         Session& session = established(frame.session_id);
         session.stats.bytes_from_peer += data.size();
+        // Any inbound frame proves the peer is still consuming: reopen the
+        // pacing runway from the current emission position.
+        session.pace_mark = session.stats.bytes_to_peer;
         if (session.stats.state != SessionState::kActive) {
           return out;  // stale request after DONE/failure: drop
+        }
+        if (session.stats.pace_cap != 0 && frame.payload.empty()) {
+          // Pacing credit: an empty ROUND from a paced rateless session
+          // renews the runway and nothing else -- it is not an escalation,
+          // does not count against max_rounds, and never reaches the
+          // encoder (which owns no round protocol).
+          ++session.stats.credits;
+          return out;
         }
         if (session.stats.rounds + 1 > options_.max_rounds) {
           out.push_back(fail(frame.session_id, session,
@@ -364,9 +453,15 @@ class SyncEngine {
       case v2::FrameType::kDone: {
         Session& session = established(frame.session_id);
         session.stats.bytes_from_peer += data.size();
+        session.pace_mark = session.stats.bytes_to_peer;
         if (session.stats.state == SessionState::kActive) {
           session.stats.state = SessionState::kDone;
           session.stats.done_value = frame.value;
+          if (session.stats.adaptive && frame.diff_count) {
+            // The observed |diff| feeds this peer's EWMA: the next session
+            // from the same peer gets a history-grounded d^ with no probe.
+            peer_ewma_.observe(session.peer_id, *frame.diff_count);
+          }
         }
         return out;
       }
@@ -388,17 +483,36 @@ class SyncEngine {
 
   /// Produces the next SYMBOLS frame for a session: continuously for a
   /// rateless session, once per armed round otherwise. Returns nullopt when
-  /// the session is waiting on a round request, done, failed, or unknown.
-  /// A backend failure during emit is contained: the session fails and the
-  /// ERROR frame is returned in place of symbols.
+  /// the session is waiting on a round request, done, failed, or unknown --
+  /// or paused at its pacing cap (an adaptive rateless session emits at
+  /// most pace_cap bytes past the last inbound frame; an empty ROUND
+  /// credit reopens the runway). A backend failure during emit is
+  /// contained: the session fails and the ERROR frame is returned in place
+  /// of symbols.
   std::optional<std::vector<std::byte>> next_frame(std::uint64_t session_id) {
     auto it = sessions_.find(session_id);
     if (it == sessions_.end()) return std::nullopt;
     Session& session = it->second;
     if (session.stats.state != SessionState::kActive) return std::nullopt;
+    std::size_t budget = options_.frame_budget;
+    if (session.stats.pace_cap != 0) {
+      // Clamp so the whole encoded frame (header + payload, where emit()
+      // may overshoot its budget by at most one symbol) stays inside the
+      // runway: emitted-past-last-inbound never exceeds pace_cap.
+      const std::uint64_t since =
+          session.stats.bytes_to_peer - session.pace_mark;
+      const std::uint64_t slop =
+          adaptive::max_symbol_wire<T>(session.stats.checksum_len) +
+          adaptive::kFrameHeaderSlop;
+      if (session.stats.pace_cap <= since + slop) {
+        return std::nullopt;  // paused: waiting for a credit
+      }
+      budget = static_cast<std::size_t>(std::min<std::uint64_t>(
+          budget, session.stats.pace_cap - since - slop));
+    }
     ByteWriter payload;
     try {
-      if (session.encoder->emit(payload, options_.frame_budget) == 0) {
+      if (session.encoder->emit(payload, budget) == 0) {
         return std::nullopt;
       }
     } catch (const std::exception& e) {
@@ -485,7 +599,34 @@ class SyncEngine {
     /// used for journal-pruning floors. Null for table backends.
     RibltEncoderBackend<T, Hasher>* rateless = nullptr;
     SessionStats stats;
+    std::uint64_t peer_id = 0;    ///< adaptive: EWMA key (0 = anonymous)
+    /// bytes_to_peer at the last inbound frame -- the pacing runway origin.
+    std::uint64_t pace_mark = 0;
   };
+
+  /// The adaptive d^ for a HELLO: probe digest if carried (a valid digest
+  /// of mismatched geometry -- config skew -- degrades to the fallbacks,
+  /// a malformed one is a protocol error), else this peer's EWMA, else the
+  /// configured default.
+  [[nodiscard]] std::uint64_t estimate_diff(const v2::Frame& frame) {
+    if (!frame.probe.empty()) {
+      std::optional<iblt::StrataEstimator<T, Hasher>> remote;
+      try {
+        remote.emplace(iblt::StrataEstimator<T, Hasher>::deserialize(
+            frame.probe, hasher_));
+      } catch (const std::exception&) {
+        throw ProtocolError("malformed adaptive probe");
+      }
+      try {
+        remote->subtract(probe_);
+        return std::max<std::uint64_t>(1, remote->estimate());
+      } catch (const std::exception&) {
+        // Shape mismatch: the peer built a different probe geometry.
+      }
+    }
+    if (const std::uint64_t e = peer_ewma_.estimate(frame.peer_id)) return e;
+    return options_.adaptive.default_d;
+  }
 
   Session& established(std::uint64_t id) {
     auto it = sessions_.find(id);
@@ -555,6 +696,10 @@ class SyncEngine {
   std::shared_ptr<SequenceCache<T, Hasher>> cache_;  ///< the rateless stream
   std::size_t journal_size_at_prune_ = 0;  ///< rescan throttle
   std::map<std::uint64_t, Session> sessions_;
+  /// Live probe digest over the served set (adaptive d estimation); kept
+  /// incrementally under churn like the cache.
+  iblt::StrataEstimator<T, Hasher> probe_;
+  adaptive::PeerEwma peer_ewma_;  ///< per-peer diff history (adaptive)
 };
 
 /// Client side of one engine session: produces HELLO, absorbs SYMBOLS,
@@ -601,6 +746,21 @@ class SyncClient {
     shard_count_ = count;
   }
 
+  /// Requests adaptive negotiation: the HELLO carries the flag, this
+  /// peer_id (a stable identity for the server's per-peer EWMA; 0 =
+  /// anonymous), and -- when `send_probe` -- a tiny strata digest of the
+  /// local set for a first-contact d estimate. The server may then grant
+  /// a different backend than requested; handle_frame adopts it from the
+  /// HELLO_ACK. Must precede hello().
+  void set_adaptive(std::uint64_t peer_id, bool send_probe = true) {
+    if (state_ != State::kIdle) {
+      throw std::logic_error("SyncClient: set_adaptive must precede hello()");
+    }
+    adaptive_ = true;
+    peer_id_ = peer_id;
+    send_probe_ = send_probe;
+  }
+
   /// The opening frame; call exactly once.
   [[nodiscard]] std::vector<std::byte> hello() {
     if (state_ != State::kIdle) throw ProtocolError("duplicate HELLO");
@@ -615,6 +775,13 @@ class SyncClient {
         config_.count_residuals && backend_ == BackendId::kRiblt;
     frame.shard_index = shard_index_;
     frame.shard_count = shard_count_;
+    frame.adaptive = adaptive_;
+    frame.peer_id = peer_id_;
+    if (adaptive_ && send_probe_) {
+      auto probe = adaptive::make_probe<T, Hasher>(hasher_);
+      for (const auto& x : items_) probe.add_hashed(x);
+      frame.probe = probe.serialize(adaptive::kProbeChecksumLen);
+    }
     return v2::encode_frame(frame);
   }
 
@@ -633,7 +800,20 @@ class SyncClient {
         if (state_ != State::kAwaitAck) {
           throw ProtocolError("unexpected HELLO_ACK");
         }
-        if (frame.backend != static_cast<std::uint8_t>(backend_)) {
+        if (frame.adaptive && !adaptive_) {
+          throw ProtocolError("HELLO_ACK grants unrequested adaptive mode");
+        }
+        // An adaptive grant carries the server's backend *choice*; only a
+        // non-adaptive ACK must echo the requested backend verbatim.
+        if (frame.adaptive) {
+          if (!backend_known(frame.backend)) {
+            throw ProtocolError("HELLO_ACK grants unknown backend");
+          }
+          backend_ = static_cast<BackendId>(frame.backend);
+          granted_ = true;
+          d_estimate_ = frame.d_estimate;
+          pace_cap_ = frame.pace_cap;
+        } else if (frame.backend != static_cast<std::uint8_t>(backend_)) {
           throw ProtocolError("HELLO_ACK backend mismatch");
         }
         if (frame.checksum_len != 4 && frame.checksum_len != 8) {
@@ -682,6 +862,11 @@ class SyncClient {
           done.type = v2::FrameType::kDone;
           done.session_id = session_id_;
           done.value = payload_bytes_;
+          if (granted_) {
+            // Feed the server's per-peer EWMA (only a peer that granted
+            // adaptive mode understands the DONE extension).
+            done.diff_count = diff_.remote.size() + diff_.local.size();
+          }
           out.push_back(v2::encode_frame(done));
         } else if (auto request = decoder_->round_request()) {
           ++rounds_;
@@ -690,6 +875,19 @@ class SyncClient {
           round.session_id = session_id_;
           round.payload = std::move(*request);
           out.push_back(v2::encode_frame(round));
+        } else if (pace_cap_ != 0) {
+          // Paced stream: renew the server's emission runway with an empty
+          // ROUND credit once we are half a cap past the last one, so the
+          // next credit is in flight before the server stalls.
+          credit_bytes_ += data.size();
+          if (2 * credit_bytes_ >= pace_cap_) {
+            credit_bytes_ = 0;
+            ++credits_;
+            v2::Frame credit;
+            credit.type = v2::FrameType::kRound;
+            credit.session_id = session_id_;
+            out.push_back(v2::encode_frame(credit));
+          }
         }
         return out;
       }
@@ -734,6 +932,16 @@ class SyncClient {
   [[nodiscard]] std::uint8_t checksum_len() const noexcept {
     return config_.checksum_len;
   }
+  /// True once the server granted adaptive mode (HELLO_ACK flag).
+  [[nodiscard]] bool adaptive_granted() const noexcept { return granted_; }
+  /// The server's d estimate from the grant (0 until granted).
+  [[nodiscard]] std::uint64_t d_estimate() const noexcept {
+    return d_estimate_;
+  }
+  /// The emission runway granted (0 = unpaced session).
+  [[nodiscard]] std::uint64_t pace_cap() const noexcept { return pace_cap_; }
+  /// Pacing credits sent so far.
+  [[nodiscard]] std::uint32_t credits() const noexcept { return credits_; }
 
  private:
   enum class State : std::uint8_t {
@@ -750,6 +958,14 @@ class SyncClient {
   ReconcilerConfig config_;
   std::uint32_t shard_index_ = 0;
   std::uint32_t shard_count_ = 0;  ///< 0 = unsharded
+  bool adaptive_ = false;          ///< request adaptive negotiation
+  bool send_probe_ = false;        ///< attach the strata probe to HELLO
+  bool granted_ = false;           ///< server granted adaptive mode
+  std::uint64_t peer_id_ = 0;
+  std::uint64_t d_estimate_ = 0;   ///< server's d^ from the grant
+  std::uint64_t pace_cap_ = 0;     ///< emission runway (0 = unpaced)
+  std::uint64_t credit_bytes_ = 0; ///< bytes absorbed since last credit
+  std::uint32_t credits_ = 0;
   std::vector<HashedSymbol<T>> items_;  ///< hashed once, reused everywhere
   std::unique_ptr<ReconcilerDecoder<T>> decoder_;
   State state_ = State::kIdle;

@@ -467,6 +467,15 @@ class ShardedClient {
     subs_[shard_of_hash(hs.hash, subs_.size())]->add_hashed_item(hs);
   }
 
+  /// Requests adaptive negotiation on every sub-session. Each sub-client
+  /// probes only its own shard's slice, and the server's per-shard engines
+  /// keep independent EWMAs keyed by the same peer_id -- the adaptive
+  /// contract composes per shard with no cross-shard coordination. Must
+  /// precede hellos().
+  void set_adaptive(std::uint64_t peer_id, bool send_probe = true) {
+    for (auto& sub : subs_) sub->set_adaptive(peer_id, send_probe);
+  }
+
   /// The K opening frames (one sharded HELLO per shard), in shard order.
   [[nodiscard]] std::vector<std::vector<std::byte>> hellos() {
     std::vector<std::vector<std::byte>> out;

@@ -547,6 +547,369 @@ TEST(Engine, ChurnKeepsConcurrentSessionsOnTheirSnapshots) {
   }
 }
 
+// ---------------------------------------------------------------------
+// Wire robustness (PR 6 satellites): ERROR clamping and per-direction
+// flag masks -- plus the adaptive negotiation loop (probe -> cost model
+// -> backend grant -> pacing) end to end.
+
+/// Runs `fn`, returning the ProtocolError message it threw (tests that pin
+/// the SPECIFIC error, not just "some ProtocolError").
+template <typename Fn>
+std::string protocol_error_of(Fn&& fn) {
+  try {
+    fn();
+  } catch (const ProtocolError& e) {
+    return e.what();
+  }
+  return "<no ProtocolError>";
+}
+
+TEST(Engine, ErrorFrameClampsOversizedMessages) {
+  // Regression: an exception message of arbitrary length (it may embed
+  // peer-controlled input) must never yield an ERROR frame larger than a
+  // conduit's max_frame -- that would escalate a contained per-session
+  // failure into a dead connection.
+  const std::string huge(10'000, 'x');
+  const auto encoded = v2::make_error_frame(7, huge);
+  CHECK(encoded.size() <= v2::kMaxErrorBytes + 16);  // header slop
+  const auto frame = v2::parse_frame(encoded);
+  CHECK(frame.type == v2::FrameType::kError);
+  CHECK_EQ(frame.payload.size(), v2::kMaxErrorBytes);
+  CHECK_EQ(v2::error_text(frame), huge.substr(0, v2::kMaxErrorBytes));
+  // Short messages ride through untouched.
+  const auto small = v2::parse_frame(v2::make_error_frame(7, "boom"));
+  CHECK_EQ(v2::error_text(small), "boom");
+}
+
+TEST(Engine, VersionSkewUnknownFlagsRejectedBothDirections) {
+  // Server side: a HELLO carrying a flag bit this build does not know (a
+  // newer client's extension) fails as a specific error, not a mis-framed
+  // stream or a silently dropped feature.
+  ByteWriter hello;
+  hello.u8(static_cast<std::uint8_t>(v2::FrameType::kHello));
+  hello.uvarint(1);
+  hello.u8(v2::kVersion);
+  hello.u8(static_cast<std::uint8_t>(BackendId::kRiblt));
+  hello.u32(32);
+  hello.u8(8);
+  hello.u8(0x80);  // a future flag bit
+  CHECK_EQ(protocol_error_of([&] { (void)v2::parse_frame(hello.view()); }),
+           "unknown HELLO flags");
+  SyncEngine<Item32> engine;
+  EXPECT_THROW((void)engine.handle_frame(hello.view()), ProtocolError);
+
+  // Client side: HELLO_ACK validates against its OWN mask (regression for
+  // the hard-coded single-flag check), so ACK-direction extensions from a
+  // newer server fail just as cleanly.
+  ByteWriter ack;
+  ack.u8(static_cast<std::uint8_t>(v2::FrameType::kHelloAck));
+  ack.uvarint(3);
+  ack.u8(static_cast<std::uint8_t>(BackendId::kRiblt));
+  ack.u8(8);
+  ack.u8(0x80);
+  CHECK_EQ(protocol_error_of([&] { (void)v2::parse_frame(ack.view()); }),
+           "unknown HELLO_ACK flags");
+  SyncClient<Item32> waiting(3, BackendId::kRiblt);
+  (void)waiting.hello();
+  EXPECT_THROW((void)waiting.handle_frame(ack.view()), ProtocolError);
+
+  // The two masks are per-direction: the sharded bit is HELLO-only, so on
+  // an ACK it is an unknown flag.
+  ByteWriter sharded_ack;
+  sharded_ack.u8(static_cast<std::uint8_t>(v2::FrameType::kHelloAck));
+  sharded_ack.uvarint(3);
+  sharded_ack.u8(static_cast<std::uint8_t>(BackendId::kRiblt));
+  sharded_ack.u8(8);
+  sharded_ack.u8(v2::kFlagSharded);
+  CHECK_EQ(
+      protocol_error_of([&] { (void)v2::parse_frame(sharded_ack.view()); }),
+      "unknown HELLO_ACK flags");
+}
+
+TEST(Engine, AdaptiveFrameFieldsRoundTrip) {
+  v2::Frame hello;
+  hello.type = v2::FrameType::kHello;
+  hello.session_id = 9;
+  hello.backend = static_cast<std::uint8_t>(BackendId::kRiblt);
+  hello.item_size = 8;
+  hello.checksum_len = 8;
+  hello.adaptive = true;
+  hello.peer_id = 0xdeadbeef;
+  hello.probe.assign(5, std::byte{0x7e});
+  const auto h = v2::parse_frame(v2::encode_frame(hello));
+  CHECK(h.adaptive);
+  CHECK_EQ(h.peer_id, 0xdeadbeefull);
+  CHECK(h.probe == hello.probe);
+
+  v2::Frame ack;
+  ack.type = v2::FrameType::kHelloAck;
+  ack.session_id = 9;
+  ack.backend = static_cast<std::uint8_t>(BackendId::kCpi);
+  ack.checksum_len = 8;
+  ack.adaptive = true;
+  ack.d_estimate = 37;
+  ack.pace_cap = 2048;
+  const auto a = v2::parse_frame(v2::encode_frame(ack));
+  CHECK(a.adaptive);
+  CHECK_EQ(a.d_estimate, 37u);
+  CHECK_EQ(a.pace_cap, 2048u);
+
+  // DONE with and without the trailing diff count: the extension is
+  // optional, so a pre-adaptive DONE still parses -- and a non-granted
+  // client never appends it, so a pre-adaptive server never sees it.
+  v2::Frame done;
+  done.type = v2::FrameType::kDone;
+  done.session_id = 9;
+  done.value = 1234;
+  CHECK(!v2::parse_frame(v2::encode_frame(done)).diff_count.has_value());
+  done.diff_count = 42;
+  const auto d = v2::parse_frame(v2::encode_frame(done));
+  REQUIRE(d.diff_count.has_value());
+  CHECK_EQ(*d.diff_count, 42u);
+  CHECK_EQ(d.value, 1234u);
+}
+
+TEST(Engine, AdaptiveFallsBackCleanlyWhenEitherSideOptsOut) {
+  const auto w = make_set_pair<U64Symbol>(300, 6, 4, 61);
+
+  // A server with grants disabled serves the requested backend verbatim:
+  // no grant in the ACK, client keeps its backend, no pacing.
+  EngineOptions no_grants;
+  no_grants.adaptive.enabled = false;
+  SyncEngine<U64Symbol> off({}, no_grants);
+  for (const auto& x : w.a) off.add_item(x);
+  SyncClient<U64Symbol> wants(1, BackendId::kMetIblt);
+  wants.set_adaptive(0x77);
+  for (const auto& y : w.b) wants.add_item(y);
+  pump_engine<U64Symbol, SipHasher<U64Symbol>>(off, {&wants});
+  REQUIRE(wants.complete());
+  CHECK(!wants.adaptive_granted());
+  CHECK_EQ(wants.pace_cap(), 0u);
+  CHECK(wants.backend() == BackendId::kMetIblt);
+  const SessionStats* s1 = off.session(1);
+  REQUIRE(s1 != nullptr);
+  CHECK(!s1->adaptive);
+  CHECK(s1->backend == BackendId::kMetIblt);
+  expect_diff_matches(wants.diff(), w);
+
+  // A plain client against an adaptive-enabled server: the grant requires
+  // the request, so nothing adaptive happens either.
+  SyncEngine<U64Symbol> on;  // adaptive.enabled defaults to true
+  for (const auto& x : w.a) on.add_item(x);
+  SyncClient<U64Symbol> plain(2, BackendId::kIbltStrata);
+  for (const auto& y : w.b) plain.add_item(y);
+  pump_engine<U64Symbol, SipHasher<U64Symbol>>(on, {&plain});
+  REQUIRE(plain.complete());
+  CHECK(!plain.adaptive_granted());
+  CHECK(!on.session(2)->adaptive);
+  CHECK(on.session(2)->backend == BackendId::kIbltStrata);
+  expect_diff_matches(plain.diff(), w);
+
+  // A server granting adaptive mode nobody requested is a protocol
+  // violation...
+  SyncClient<U64Symbol> strict(5, BackendId::kRiblt);
+  (void)strict.hello();
+  v2::Frame rogue;
+  rogue.type = v2::FrameType::kHelloAck;
+  rogue.session_id = 5;
+  rogue.backend = static_cast<std::uint8_t>(BackendId::kRiblt);
+  rogue.checksum_len = 8;
+  rogue.adaptive = true;
+  rogue.d_estimate = 4;
+  rogue.pace_cap = 512;
+  CHECK_EQ(protocol_error_of([&] {
+             (void)strict.handle_frame(v2::encode_frame(rogue));
+           }),
+           "HELLO_ACK grants unrequested adaptive mode");
+
+  // ...and so is a grant naming a backend this client cannot decode.
+  SyncClient<U64Symbol> granted(6, BackendId::kRiblt);
+  granted.set_adaptive(1);
+  (void)granted.hello();
+  v2::Frame unknown = rogue;
+  unknown.session_id = 6;
+  unknown.backend = 0x7f;
+  CHECK_EQ(protocol_error_of([&] {
+             (void)granted.handle_frame(v2::encode_frame(unknown));
+           }),
+           "HELLO_ACK grants unknown backend");
+}
+
+TEST(Engine, AdaptiveGrantPicksCpiForTinyDiffAndStillReconciles) {
+  // 8-byte items, d = 5, loopback link class: the cost model's cheapest
+  // candidate is one-shot CPI with a probe-sized capacity, even though the
+  // client requested the rateless stream -- and the adopted backend
+  // recovers the identical diff.
+  const auto w = make_set_pair<U64Symbol>(300, 3, 2, 62);
+  SyncEngine<U64Symbol> engine;  // link defaults to loopback
+  for (const auto& x : w.a) engine.add_item(x);
+  SyncClient<U64Symbol> client(1, BackendId::kRiblt);
+  client.set_adaptive(0x1001);  // probe attached by default
+  for (const auto& y : w.b) client.add_item(y);
+  pump_engine<U64Symbol, SipHasher<U64Symbol>>(engine, {&client});
+  REQUIRE(client.complete());
+  REQUIRE(client.adaptive_granted());
+  const SessionStats* stats = engine.session(1);
+  REQUIRE(stats != nullptr);
+  CHECK(stats->adaptive);
+  CHECK(stats->backend == BackendId::kCpi);
+  CHECK(client.backend() == BackendId::kCpi);  // adopted from the grant
+  CHECK(stats->d_estimate >= 1u);
+  CHECK_EQ(stats->pace_cap, 0u);  // only the rateless stream gets paced
+  CHECK(stats->rounds <= 1u);     // one-shot capacity: escalation is rare
+  expect_diff_matches(client.diff(), w);
+}
+
+TEST(Engine, PeerEwmaConvergesOverRepeatedSessions) {
+  // No probe: the first session falls back to default_d; once a DONE
+  // carries the observed diff, later sessions from the same peer ride the
+  // EWMA -- which, fed a constant diff of 40, pins at exactly 40.
+  const auto w = make_set_pair<U64Symbol>(300, 25, 15, 63);  // d = 40
+  EngineOptions options;
+  options.adaptive.default_d = 64;
+  SyncEngine<U64Symbol> engine({}, options);
+  for (const auto& x : w.a) engine.add_item(x);
+  for (std::uint64_t sid = 1; sid <= 4; ++sid) {
+    SyncClient<U64Symbol> client(sid, BackendId::kRiblt);
+    client.set_adaptive(0x2002, /*send_probe=*/false);
+    for (const auto& y : w.b) client.add_item(y);
+    pump_engine<U64Symbol, SipHasher<U64Symbol>>(engine, {&client});
+    REQUIRE(client.complete());
+    REQUIRE(client.adaptive_granted());
+    const SessionStats* stats = engine.session(sid);
+    REQUIRE(stats != nullptr);
+    CHECK_EQ(stats->d_estimate, sid == 1 ? 64u : 40u);
+    expect_diff_matches(client.diff(), w);
+  }
+
+  // The EWMA itself: first observation seeds, later ones smooth with
+  // alpha, the anonymous peer id 0 is ignored, the table stays bounded.
+  adaptive::PeerEwma ewma(/*alpha=*/0.25, /*max_peers=*/2);
+  ewma.observe(0, 1000);
+  CHECK_EQ(ewma.size(), 0u);
+  CHECK_EQ(ewma.estimate(0), 0u);
+  ewma.observe(1, 100);
+  CHECK_EQ(ewma.estimate(1), 100u);
+  ewma.observe(1, 0);
+  CHECK_EQ(ewma.estimate(1), 75u);  // 0.75 * 100 + 0.25 * 0
+  ewma.observe(2, 8);
+  ewma.observe(3, 9);  // evicts an entry to stay within max_peers
+  CHECK_EQ(ewma.size(), 2u);
+  CHECK_EQ(ewma.estimate(3), 9u);
+}
+
+TEST(Engine, PacingCapBoundsEmissionPastLastInboundFrame) {
+  // The tentpole invariant at the engine layer: an adaptive rateless
+  // session never emits more than pace_cap bytes past the last inbound
+  // frame. Deliver NOTHING after the HELLO and drain -- emission stops at
+  // the cap; one empty-ROUND credit reopens exactly one more runway.
+  const auto w = make_set_pair<U64Symbol>(300, 200, 200, 64);  // d = 400
+  SyncEngine<U64Symbol> engine;
+  for (const auto& x : w.a) engine.add_item(x);
+  SyncClient<U64Symbol> client(1, BackendId::kRiblt);
+  client.set_adaptive(0x3003);
+  for (const auto& y : w.b) client.add_item(y);
+  for (const auto& r : engine.handle_frame(client.hello())) {
+    (void)client.handle_frame(r);
+  }
+  REQUIRE(client.adaptive_granted());
+  const SessionStats* stats = engine.session(1);
+  REQUIRE(stats != nullptr);
+  REQUIRE(stats->backend == BackendId::kRiblt);  // large d: stays rateless
+  const std::uint64_t cap = stats->pace_cap;
+  REQUIRE(cap > 0u);
+  CHECK_EQ(client.pace_cap(), cap);
+
+  std::size_t frames = 0;
+  while (engine.next_frame(1)) ++frames;  // drain; deliver nothing back
+  CHECK(frames > 0u);
+  CHECK(stats->bytes_to_peer <= cap);       // the hard overshoot bound
+  CHECK(stats->bytes_to_peer >= cap / 2);   // and the runway is used
+  CHECK(stats->state == SessionState::kActive);  // paused, not failed
+  CHECK(engine.next_frame(1) == std::nullopt);
+
+  // The credit renews the runway and nothing else: not an escalation, no
+  // encoder involvement, and another full cap of emission follows.
+  v2::Frame credit;
+  credit.type = v2::FrameType::kRound;
+  credit.session_id = 1;
+  CHECK(engine.handle_frame(v2::encode_frame(credit)).empty());
+  CHECK_EQ(stats->credits, 1u);
+  CHECK_EQ(stats->rounds, 0u);
+  const std::uint64_t mark = stats->bytes_to_peer;
+  while (engine.next_frame(1)) {
+  }
+  CHECK(stats->bytes_to_peer > mark);
+  CHECK(stats->bytes_to_peer - mark <= cap);
+}
+
+TEST(Engine, AdaptivePacedStreamCompletesWithCredits) {
+  // End to end in process: a granted paced session completes because the
+  // client's credit cadence (every cap/2 absorbed bytes) renews the runway
+  // before the server stalls -- and credits never count as rounds.
+  const auto w = make_set_pair<U64Symbol>(400, 120, 100, 65);  // d = 220
+  SyncEngine<U64Symbol> engine;
+  for (const auto& x : w.a) engine.add_item(x);
+  SyncClient<U64Symbol> client(1, BackendId::kRiblt);
+  client.set_adaptive(0x4004);
+  for (const auto& y : w.b) client.add_item(y);
+  pump_engine<U64Symbol, SipHasher<U64Symbol>>(engine, {&client});
+  REQUIRE(client.complete());
+  REQUIRE(client.adaptive_granted());
+  const SessionStats* stats = engine.session(1);
+  REQUIRE(stats != nullptr);
+  REQUIRE(stats->backend == BackendId::kRiblt);
+  REQUIRE(stats->pace_cap > 0u);
+  CHECK(client.credits() > 0u);
+  CHECK_EQ(stats->credits, client.credits());
+  CHECK_EQ(stats->rounds, 0u);
+  expect_diff_matches(client.diff(), w);
+
+  // The DONE's diff count fed the EWMA: a probe-less second session now
+  // estimates from history (exactly 220), not from the default.
+  SyncClient<U64Symbol> next(2, BackendId::kRiblt);
+  next.set_adaptive(0x4004, /*send_probe=*/false);
+  for (const auto& y : w.b) next.add_item(y);
+  for (const auto& r : engine.handle_frame(next.hello())) {
+    (void)next.handle_frame(r);
+  }
+  CHECK_EQ(engine.session(2)->d_estimate, 220u);
+}
+
+TEST(Engine, MalformedProbeRejectedButGeometrySkewDegrades) {
+  SyncEngine<U64Symbol> engine;
+  engine.add_item(U64Symbol::random(1));
+
+  // Garbage probe bytes: the frame lied about carrying a strata digest --
+  // a specific protocol error, not a crash and not a silent grant.
+  v2::Frame hello;
+  hello.type = v2::FrameType::kHello;
+  hello.session_id = 1;
+  hello.backend = static_cast<std::uint8_t>(BackendId::kRiblt);
+  hello.item_size = 8;
+  hello.checksum_len = 8;
+  hello.adaptive = true;
+  hello.peer_id = 5;
+  hello.probe.assign(16, std::byte{0xff});
+  CHECK_EQ(protocol_error_of([&] {
+             (void)engine.handle_frame(v2::encode_frame(hello));
+           }),
+           "malformed adaptive probe");
+
+  // A well-formed digest of a DIFFERENT geometry (config skew across
+  // builds) is not an error: the estimate degrades to the fallbacks.
+  iblt::StrataEstimator<U64Symbol, SipHasher<U64Symbol>> skewed(
+      8, 2, 2, SipHasher<U64Symbol>{});
+  v2::Frame skew = hello;
+  skew.session_id = 2;
+  skew.probe = skewed.serialize(adaptive::kProbeChecksumLen);
+  REQUIRE_EQ(engine.handle_frame(v2::encode_frame(skew)).size(), 1u);
+  const SessionStats* stats = engine.session(2);
+  REQUIRE(stats != nullptr);
+  CHECK(stats->adaptive);
+  CHECK_EQ(stats->d_estimate, adaptive::AdaptiveOptions{}.default_d);
+}
+
 TEST(Engine, SessionLimitAndClose) {
   EngineOptions options;
   options.max_sessions = 1;

@@ -174,6 +174,54 @@ TEST(SocketTransport, SingleSessionWithCountResiduals) {
   server.stop();
 }
 
+// PR 6 acceptance: an adaptive session across the real loopback socket
+// server. The grant negotiates over TCP (probe in the HELLO, backend +
+// pace_cap in the ACK), the paced stream completes on credits, and the
+// emission cap bounds serving overshoot: the server streams at most
+// pace_cap bytes past the last inbound frame, so total emission beyond
+// what the client consumed stays within a runway (generously: two) plus
+// per-frame header slop -- where an unpaced rateless server on a fat
+// loopback pipe would keep filling the socket buffer until the DONE won
+// the race.
+TEST(SocketTransport, AdaptiveSessionOverLoopbackBoundsOvershoot) {
+  const auto w = make_set_pair<Item8>(300, 200, 200, 96);  // d = 400
+  sync::ShardedEngine<Item8> engine(1);
+  for (const auto& x : w.a) engine.add_item(x);
+  SocketServer<Item8> server(engine);
+  server.start();
+
+  sync::SyncClient<Item8> client(21, BackendId::kRiblt);
+  client.set_shard(0, 1);
+  client.set_adaptive(0xfeed);
+  for (const auto& y : w.b) client.add_item(y);
+  SocketClient sock(server.port());
+  REQUIRE(run_session(sock, client, /*timeout_s=*/60.0));
+  REQUIRE(client.adaptive_granted());
+  REQUIRE(client.backend() == BackendId::kRiblt);  // large d stays rateless
+  const std::uint64_t cap = client.pace_cap();
+  REQUIRE(cap > 0u);
+  CHECK(client.credits() > 0u);  // the runway was renewed mid-stream
+  CHECK(key_set(client.diff().remote) == key_set(w.only_a));
+  CHECK(key_set(client.diff().local) == key_set(w.only_b));
+  // The client's DONE is still in flight when run_session returns: wait
+  // (bounded) for the worker to retire the session before stopping.
+  for (int spin = 0; spin < 20000 && engine.stats().totals.done == 0;
+       ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  server.stop();
+
+  // The overshoot bound, measured server-side (retired sessions fold into
+  // the roll-up): emitted frame bytes <= consumed payload + frame headers
+  // + two pacing runways.
+  const sync::ShardedStats stats = engine.stats();
+  CHECK_EQ(stats.totals.done, 1u);
+  CHECK(stats.totals.bytes_to_peers > 0u);
+  CHECK(stats.totals.bytes_to_peers <=
+        client.payload_bytes() + 8 * stats.totals.frames_sent + 2 * cap);
+  CHECK_EQ(server.stats().protocol_errors, 0u);
+}
+
 // Several clients on separate connections reconcile concurrently; the
 // per-connection routing keeps their sessions apart.
 TEST(SocketTransport, ConcurrentClientsOnSeparateConnections) {

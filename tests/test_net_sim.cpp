@@ -4,6 +4,9 @@
 // loss and out-of-order delivery at d in {1, 100, 1000}.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <functional>
+#include <utility>
 #include <vector>
 
 #include "net/sim_conduit.hpp"
@@ -109,6 +112,103 @@ TEST(SimConduit, RetransmitsThroughHeavyLossBothDirections) {
   for (std::size_t i = 0; i < sent.size(); ++i) CHECK(got[i] == sent[i]);
   CHECK(pipe.a().retransmits() > 0u);
   CHECK(!pipe.a().broken());
+}
+
+// PR 6 satellite (writable/flushed split): the two predicates answer
+// different questions -- "is there window room" vs "has the queued backlog
+// been handed to the link" -- and a sender that queued one frame larger
+// than the window sees them DIVERGE mid-drain: window full while the
+// outbound framer is already empty. The old conflated predicate could not
+// express that state. The test samples the pair on a timer (between
+// events, i.e. at post-pump observation points) and also pins pump_out's
+// postcondition: window room with a non-empty framer is never observable.
+TEST(SimConduit, WritableAndFlushedDivergeMidDrain) {
+  netsim::EventLoop loop;
+  netsim::LinkConfig link;
+  link.one_way_delay_s = 0.005;
+  link.bandwidth_bps = 10e6;  // ~1 ms per MTU segment: states are sampleable
+  SimConduit pipe(loop, link, link);
+  SimEndpoint& tx = pipe.a();
+  CHECK(tx.writable());  // idle endpoint: room and nothing queued
+  CHECK(tx.flushed());
+
+  std::size_t got = 0;
+  pipe.b().on_frame([&](std::vector<std::byte>) { ++got; });
+
+  // One frame = a full window of segments plus a 100-byte tail: the tail
+  // stays in the framer until the first ACK opens a window slot.
+  const SimConduitConfig cfg;  // defaults: mtu 1200, window 64
+  std::vector<std::byte> big(cfg.window * cfg.mtu + 100, std::byte{0x5c});
+  tx.send_frame(std::move(big));
+  CHECK(!tx.writable());  // the synchronous pump filled the window...
+  CHECK(!tx.flushed());   // ...and the tail is still queued
+
+  std::vector<std::pair<bool, bool>> seen;
+  std::function<void()> sample;
+  sample = [&] {
+    seen.emplace_back(tx.writable(), tx.flushed());
+    if (seen.size() < 400) loop.schedule_in(0.00025, sample);
+  };
+  loop.schedule_in(0.00025, sample);
+  loop.run();
+
+  REQUIRE_EQ(got, 1u);
+  const auto saw = [&](bool w, bool f) {
+    return std::find(seen.begin(), seen.end(), std::make_pair(w, f)) !=
+           seen.end();
+  };
+  CHECK(saw(false, false));  // window full, backlog still queued
+  CHECK(saw(false, true));   // the divergence: window full, framer drained
+  CHECK(saw(true, true));    // drained and room again
+  CHECK(!saw(true, false));  // pump_out postcondition: room => drained
+  CHECK(tx.writable());
+  CHECK(tx.flushed());
+}
+
+// PR 6 satellite: on_writable fires on window room alone (the pacing
+// signal a rateless server pumps on), keeps firing through loss-driven
+// retransmissions, never fires without room, and goes quiet once the
+// backlog is drained and acked.
+TEST(SimConduit, OnWritableFiresOnWindowRoomUnderLoss) {
+  netsim::EventLoop loop;
+  netsim::LinkConfig fwd;
+  fwd.one_way_delay_s = 0.002;
+  fwd.bandwidth_bps = 20e6;
+  fwd.loss_rate = 0.2;
+  fwd.seed = 31;
+  netsim::LinkConfig rev = fwd;
+  rev.seed = 32;
+  SimConduit pipe(loop, fwd, rev);
+
+  std::size_t fires = 0;
+  bool fired_without_room = false;
+  pipe.a().on_writable([&] {
+    ++fires;
+    if (!pipe.a().writable()) fired_without_room = true;
+  });
+  std::size_t got = 0;
+  pipe.b().on_frame([&](std::vector<std::byte>) { ++got; });
+
+  // A backlog of frames larger than the in-flight window, so progress
+  // depends on the callback's signal reaching a real sender.
+  constexpr std::size_t kFrames = 100;
+  for (std::size_t i = 0; i < kFrames; ++i) {
+    pipe.a().send_frame(
+        std::vector<std::byte>(1000, static_cast<std::byte>(i)));
+  }
+  loop.run();
+
+  REQUIRE_EQ(got, kFrames);
+  CHECK(fires > 0u);
+  CHECK(!fired_without_room);
+  CHECK(pipe.a().retransmits() > 0u);  // the loss was real
+  CHECK(pipe.a().writable());
+  CHECK(pipe.a().flushed());
+
+  // Quiescent link: no ACK progress, no fires.
+  const std::size_t settled = fires;
+  loop.run();
+  CHECK_EQ(fires, settled);
 }
 
 /// Runs one full reconciliation (SyncEngine vs SyncClient) over a

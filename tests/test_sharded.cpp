@@ -113,6 +113,40 @@ TEST(Sharded, ParityWithTableBackend) {
   CHECK(key_set(client.diff().local) == key_set(w.only_b));
 }
 
+// PR 6 satellite: cross-shard parity holds with adaptive negotiation on.
+// Each sub-session probes its own shard slice and gets its own grant (the
+// per-shard d's differ, so the granted backends may too); the union of the
+// per-shard diffs still equals the plain reference.
+TEST(Sharded, ParityWithAdaptiveNegotiation) {
+  const auto w = make_set_pair<Item32>(600, 45, 35, 55);
+  constexpr std::size_t kShards = 3;
+  ShardedEngine<Item32> engine(kShards);
+  for (const auto& x : w.a) engine.add_item(x);
+  ShardedClient<Item32> client(3, kShards, BackendId::kRiblt);
+  client.set_adaptive(0xbeef);
+  for (const auto& y : w.b) client.add_item(y);
+  pump_sharded(engine, client);
+  REQUIRE(client.complete());
+  REQUIRE_EQ(client.diff().remote.size(), w.only_a.size());
+  REQUIRE_EQ(client.diff().local.size(), w.only_b.size());
+  CHECK(key_set(client.diff().remote) == key_set(w.only_a));
+  CHECK(key_set(client.diff().local) == key_set(w.only_b));
+  const ShardedStats stats = engine.stats();
+  CHECK_EQ(stats.totals.done, kShards);
+  CHECK_EQ(stats.protocol_errors, 0u);
+
+  // A second, probe-less client under the same peer id rides each shard's
+  // independent EWMA (fed by the first client's per-shard DONE counts) and
+  // still reconciles to the same diff.
+  ShardedClient<Item32> repeat(4, kShards, BackendId::kRiblt);
+  repeat.set_adaptive(0xbeef, /*send_probe=*/false);
+  for (const auto& y : w.b) repeat.add_item(y);
+  pump_sharded(engine, repeat);
+  REQUIRE(repeat.complete());
+  CHECK(key_set(repeat.diff().remote) == key_set(w.only_a));
+  CHECK(key_set(repeat.diff().local) == key_set(w.only_b));
+}
+
 TEST(Sharded, ConsistentHashPartitionsBothEndsIdentically) {
   // Client and server compute the same shard for the same item under the
   // same key -- and churn routes to the right shard engine.
