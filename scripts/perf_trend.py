@@ -42,7 +42,10 @@ METRICS_LOWER_NOISY = {
 # Higher is better (rates). All of these are CPU-derived (sessions/sec,
 # decode items/sec, shard speedups), so they all take the slack threshold
 # on shared runners -- the trend signal is order-of-magnitude, not percent.
-METRICS_HIGHER = {"sessions_per_s", "speedup", "riblt_d_per_s"}
+METRICS_HIGHER = {
+    "sessions_per_s", "speedup", "riblt_d_per_s",
+    "ingest_items_per_s", "ingest_speedup_4w",
+}
 METRICS_NOISY = METRICS_LOWER_NOISY | METRICS_HIGHER
 
 ALL_METRICS = METRICS_LOWER | METRICS_LOWER_NOISY | METRICS_HIGHER

@@ -1,0 +1,89 @@
+// Atomic coded-symbol cell: the multi-writer variant of CodedSymbol.
+//
+// Coded-symbol cell updates are linear (§7.3): `sum` and `checksum` are
+// XOR accumulators and `count` is a signed sum, so updates from different
+// writers commute and a cell needs no lock -- only word-granular atomicity.
+// This is the speedex-IBLT idiom (SNIPPETS.md snippet 1): the sum is held
+// as 64-bit words updated with `fetch_xor`, the checksum is one more XOR
+// word, and the count publishes with a release `fetch_add`.
+//
+// Memory-order contract (see SequenceCache for the full protocol): the
+// XOR words are relaxed -- XOR needs no ordering against itself, and
+// readers never infer anything from a lone word. The count's release
+// fetch_add mirrors snippet 1's publication fence, but cross-thread
+// visibility of a *whole* op is established by SequenceCache's
+// reserved_/completed_ seqlock, not per cell: a reader that validated the
+// op window may assume every word of every completed op is visible; a
+// reader that lost the seqlock race discards the (atomically loaded, so
+// never UB) torn value and retries.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+
+#include "core/coded_symbol.hpp"
+#include "core/symbol.hpp"
+
+namespace ribltx {
+
+template <Symbol T>
+struct AtomicCodedCell {
+  // The word view of the sum is a byte image of T: pack/unpack are
+  // memcpys, which requires the symbol to *be* its bytes (true of every
+  // ByteSymbol; a symbol with padding or indirection would need its own
+  // packing).
+  static_assert(std::is_trivially_copyable_v<T>,
+                "AtomicCodedCell: symbol must be trivially copyable");
+  static_assert(sizeof(T) == T::kSize,
+                "AtomicCodedCell: symbol must be exactly its byte image");
+
+  static constexpr std::size_t kSumWords = (T::kSize + 7) / 8;
+
+  std::array<std::atomic<std::uint64_t>, kSumWords> sum{};
+  std::atomic<std::uint64_t> checksum{0};
+  std::atomic<std::int64_t> count{0};
+
+  /// Folds one hashed source symbol into this cell; safe from any number
+  /// of concurrent writers (updates commute).
+  void apply(const HashedSymbol<T>& s, Direction dir) noexcept {
+    std::array<std::uint64_t, kSumWords> w{};  // zero tail past kSize
+    std::memcpy(w.data(), static_cast<const void*>(&s.symbol), T::kSize);
+    for (std::size_t i = 0; i < kSumWords; ++i) {
+      sum[i].fetch_xor(w[i], std::memory_order_relaxed);
+    }
+    checksum.fetch_xor(s.hash, std::memory_order_relaxed);
+    count.fetch_add(static_cast<std::int64_t>(dir),
+                    std::memory_order_release);
+  }
+
+  /// Word-wise atomic load into a plain cell. Consistent only when the
+  /// caller has excluded (or validated the absence of) concurrent writers.
+  [[nodiscard]] CodedSymbol<T> load() const noexcept {
+    std::array<std::uint64_t, kSumWords> w;
+    for (std::size_t i = 0; i < kSumWords; ++i) {
+      w[i] = sum[i].load(std::memory_order_relaxed);
+    }
+    CodedSymbol<T> out;
+    std::memcpy(static_cast<void*>(&out.sum), w.data(), T::kSize);
+    out.checksum = checksum.load(std::memory_order_relaxed);
+    out.count = count.load(std::memory_order_acquire);
+    return out;
+  }
+
+  /// Plain overwrite; exclusive phases (materialization, rebuilds) only.
+  void store(const CodedSymbol<T>& v) noexcept {
+    std::array<std::uint64_t, kSumWords> w{};
+    std::memcpy(w.data(), static_cast<const void*>(&v.sum), T::kSize);
+    for (std::size_t i = 0; i < kSumWords; ++i) {
+      sum[i].store(w[i], std::memory_order_relaxed);
+    }
+    checksum.store(v.checksum, std::memory_order_relaxed);
+    count.store(v.count, std::memory_order_release);
+  }
+};
+
+}  // namespace ribltx

@@ -11,15 +11,20 @@
 //      of re-encoding.
 #pragma once
 
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <cstddef>
 #include <memory>
+#include <mutex>
 #include <span>
+#include <thread>
 #include <unordered_map>
 #include <stdexcept>
 #include <utility>
 #include <vector>
 
+#include "core/atomic_cell.hpp"
 #include "core/coded_symbol.hpp"
 #include "core/coding_window.hpp"
 #include "core/decoder.hpp"
@@ -129,12 +134,12 @@ class Sketch {
 /// source of truth for the rateless stream.
 ///
 /// Unlike a fixed-length Sketch, the cache is *lazily extended*: cells are
-/// materialized in doubling blocks through a CodingWindow the first time a
+/// materialized in doubling blocks through CodingWindows the first time a
 /// reader walks past the materialized prefix, so extension costs O(log m)
 /// amortized per cell and building the cache never pays for cells nobody
 /// asked for. Set churn (§7.3 linearity) updates the materialized prefix in
 /// place -- O(log m) cells per inserted/removed item -- and registers the
-/// item (or a cancelling tombstone) in the window so future blocks reflect
+/// item (or a cancelling tombstone) in a window so future blocks reflect
 /// the change too.
 ///
 /// Every churn op is stamped with a monotonically increasing version and
@@ -147,7 +152,37 @@ class Sketch {
 /// last cursor dies; SyncEngine additionally prunes it to the oldest active
 /// session).
 ///
-/// Not thread-safe: one cache serves many *sessions*, not many threads.
+/// Concurrency (the multi-writer churn design):
+///
+/// Cell updates commute (XOR sums/checksums, signed counts -- §7.3
+/// linearity), so steady-state churn is LOCK-FREE on the shared state:
+/// materialized cells are AtomicCodedCells updated with relaxed
+/// `fetch_xor` + release `fetch_add` (the speedex-IBLT idiom, SNIPPETS.md
+/// snippet 1), and the journal + not-yet-materialized window are striped
+/// into kWriterLanes per-thread lanes so appends contend only within a
+/// lane. Writers never take a global lock.
+///
+/// The op protocol is a seqlock over two global counters: a writer
+/// reserves a version from `reserved_` (inside its lane lock, so each
+/// lane's journal stays version-sorted), applies its cell XORs, then
+/// publishes with a release increment of `completed_`. A reader
+/// (Cursor::next, cell()) waits for reserved_ == completed_ == V, reads
+/// its cell with atomic word loads, and revalidates reserved_ == V -- a
+/// moved counter means a writer raced the read, so the (atomically
+/// loaded, never-UB) value is discarded and the read retries; after
+/// kReadRetries failures it escalates to the exclusive gate below.
+/// Readers are pure loads -- they never announce themselves anywhere:
+/// growth retires (keeps allocated) superseded cell arrays instead of
+/// freeing them, so a reader racing a grow safely finishes on the old
+/// copy (doubling keeps the total footprint under 2x the live array).
+///
+/// The rare structural phases -- block materialization (ensure/grow),
+/// compact_window(), cursor creation, last-cursor journal teardown, and
+/// reader escalation -- are EXCLUSIVE: they set `barrier_` and drain the
+/// per-lane active counters (an asymmetric Dekker gate: writers announce
+/// themselves in `lane.active` before checking the barrier, both seq_cst,
+/// so either the writer sees the barrier and parks or the gate sees the
+/// writer and waits). Steady-state churn never touches the gate's mutex.
 template <Symbol T, typename Hasher = SipHasher<T>,
           typename MappingFactory = DefaultMappingFactory>
 class SequenceCache {
@@ -156,6 +191,15 @@ class SequenceCache {
 
   /// First materialization block; subsequent blocks double.
   static constexpr std::size_t kInitialBlock = 64;
+
+  /// Writer lanes: each owns a mutex, a journal stripe, and a
+  /// CodingWindow stripe. Threads pick a lane by a round-robin
+  /// thread-local ordinal, so a writer thread almost always has its lane
+  /// to itself.
+  static constexpr std::size_t kWriterLanes = 8;
+
+  /// Seqlock retries before a reader escalates to the exclusive gate.
+  static constexpr int kReadRetries = 64;
 
   explicit SequenceCache(Hasher hasher = Hasher{},
                          MappingFactory factory = MappingFactory{})
@@ -166,8 +210,17 @@ class SequenceCache {
   explicit SequenceCache(std::size_t num_cells, Hasher hasher = Hasher{},
                          MappingFactory factory = MappingFactory{})
       : hasher_(std::move(hasher)), factory_(std::move(factory)) {
-    grow_to(num_cells);
+    if (num_cells > 0) {
+      // Exactly the requested count (ensure() would round up to a doubling
+      // block); no contention is possible in a constructor, the gate is
+      // just the required entry protocol for grow_exclusive.
+      ExclusiveGate gate(*this);
+      grow_exclusive(num_cells);
+    }
   }
+
+  SequenceCache(const SequenceCache&) = delete;
+  SequenceCache& operator=(const SequenceCache&) = delete;
 
   // ------------------------------------------------------------- set churn
 
@@ -181,147 +234,135 @@ class SequenceCache {
   }
 
   /// Applies one set change: updates every materialized cell the item maps
-  /// to (O(log m)) and registers the item in the window -- with `dir`'s
-  /// sign, so a removal rides as a tombstone that exactly cancels the
-  /// still-queued kAdd entry on all future cells. Journaled for snapshot
-  /// cursors when any are alive.
+  /// to (O(log m) atomic XORs) and registers the item in the lane's window
+  /// -- with `dir`'s sign, so a removal rides as a tombstone that exactly
+  /// cancels the still-queued kAdd entry on all future cells. Journaled for
+  /// snapshot cursors when any are alive. Safe from any number of threads
+  /// concurrently; the steady state takes no lock beyond the (usually
+  /// uncontended) per-lane mutex around the journal append.
   void churn(const HashedSymbol<T>& s, Direction dir) {
-    mapping_type m = factory_(s.hash);
-    while (m.index() < cells_.size()) {
-      cells_[static_cast<std::size_t>(m.index())].apply(s, dir);
-      m.advance();
+    Lane& lane = lanes_[lane_of_thread()];
+    enter_shared(lane);
+    // The materialized size is frozen for the whole op: growth is
+    // exclusive and this thread is announced in lane.active.
+    const std::size_t m = cells_size_.load(std::memory_order_acquire);
+    // The cursor count is stable for this whole op: cursor creation runs
+    // under the gate, which waits for this announced writer -- so a new
+    // cursor's pinned version necessarily covers this op's reservation and
+    // needs no journal entry for it.
+    if (live_cursors_.load(std::memory_order_relaxed) > 0) {
+      // Version reservation and journal append are atomic under the lane
+      // mutex, so each lane's journal is version-sorted -- what lets a
+      // cursor's catch-up consume a lane with a plain prefix scan.
+      const std::lock_guard<std::mutex> lk(lane.mu);
+      const std::uint64_t v =
+          reserved_.fetch_add(1, std::memory_order_seq_cst);
+      lane.journal.push_back(LaneOp{v, s, dir});
+      journal_entries_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      reserved_.fetch_add(1, std::memory_order_seq_cst);
     }
-    // The mapping now points at the item's first unmaterialized index, so
-    // the window folds it into every future block from there on.
-    window_.add_with_mapping(s, std::move(m), dir);
+    // Cell application strictly follows the reservation: a validated
+    // seqlock reader saw reserved_ == V before reading, so any XOR it can
+    // observe belongs to an op its journal catch-up accounted for.
+    mapping_type m_walk = factory_(s.hash);
+    AtomicCodedCell<T>* const cells = cells_.load(std::memory_order_relaxed);
+    while (m_walk.index() < m) {
+      cells[static_cast<std::size_t>(m_walk.index())].apply(s, dir);
+      m_walk.advance();
+    }
+    {
+      // The mapping now points at the item's first unmaterialized index;
+      // the lane window folds it into every future block from there on.
+      const std::lock_guard<std::mutex> lk(lane.mu);
+      lane.window.add_with_mapping(s, std::move(m_walk), dir);
+    }
     if (dir == Direction::kAdd) {
-      ++set_size_;
+      set_size_.fetch_add(1, std::memory_order_relaxed);
     } else {
-      if (set_size_ > 0) --set_size_;
-      ++tombstones_;
+      // May go transiently negative under a concurrent remove/add race on
+      // the same item (linearity makes the net correct); set_size() clamps.
+      set_size_.fetch_sub(1, std::memory_order_relaxed);
+      tombstones_.fetch_add(1, std::memory_order_relaxed);
     }
-    ++version_;
-    if (live_cursors_ > 0) {
-      journal_.push_back(ChurnOp{s, dir});
-    } else {
-      journal_base_ = version_;  // nobody can reference older ops
-    }
+    window_entries_.fetch_add(1, std::memory_order_relaxed);
+    completed_.fetch_add(1, std::memory_order_release);
+    exit_shared(lane);
     maybe_compact();
   }
 
   // ---------------------------------------------------------- compaction
 
-  /// Entries currently in the coding window (live items + cancelled
+  /// Entries currently in the coding windows (live items + cancelled
   /// add/tombstone pairs that compaction will drop).
   [[nodiscard]] std::size_t window_size() const noexcept {
-    return window_.size();
+    return window_entries_.load(std::memory_order_relaxed);
   }
 
-  /// Tombstone (removal) entries currently in the window.
+  /// Tombstone (removal) entries currently in the windows.
   [[nodiscard]] std::size_t window_tombstones() const noexcept {
-    return tombstones_;
+    return tombstones_.load(std::memory_order_relaxed);
   }
 
-  /// Rebuilds the coding window from the net-live item multiset, dropping
+  /// Rebuilds the coding windows from the net-live item multiset, dropping
   /// every cancelled add/tombstone pair (ROADMAP "journal compaction under
   /// sustained churn"). A cache that churns for weeks otherwise re-walks
   /// each dead pair on every future block materialization. O(n log m):
   /// each live item's mapping is re-walked past the materialized prefix.
-  /// Safe at any time -- materialized cells are already net-correct, and
-  /// snapshot Cursors replay history through their own private overlays,
-  /// never through this window.
+  /// Runs under the exclusive gate -- materialized cells are already
+  /// net-correct, and snapshot Cursors replay history through their own
+  /// private overlays, never through these windows.
   void compact_window() {
-    // Net count per distinct symbol; bucketed by hash with symbol-equality
-    // confirmation so hash collisions cannot merge distinct items.
-    std::unordered_map<std::uint64_t,
-                       std::vector<std::pair<HashedSymbol<T>, std::int64_t>>>
-        net;
-    net.reserve(window_.size());
-    window_.for_each_entry([&](const HashedSymbol<T>& sym, Direction dir,
-                               std::uint64_t) {
-      auto& bucket = net[sym.hash];
-      for (auto& [existing, count] : bucket) {
-        if (existing.symbol == sym.symbol) {
-          count += static_cast<std::int64_t>(dir);
-          return;
-        }
-      }
-      bucket.emplace_back(sym, static_cast<std::int64_t>(dir));
-    });
-    CodingWindow<T, mapping_type> rebuilt;
-    std::size_t rebuilt_tombstones = 0;
-    for (const auto& [hash, bucket] : net) {
-      for (const auto& [sym, count] : bucket) {
-        // A set sees net 0 (dead pair) or +1 (live); the general loop
-        // preserves exact linearity for any multiset history (a
-        // net-negative symbol -- removal of a never-added item -- stays a
-        // tombstone and keeps counting as one).
-        const Direction dir =
-            count > 0 ? Direction::kAdd : Direction::kRemove;
-        for (std::int64_t c = count < 0 ? -count : count; c > 0; --c) {
-          mapping_type m = factory_(sym.hash);
-          while (m.index() < cells_.size()) m.advance();
-          rebuilt.add_with_mapping(sym, m, dir);
-          if (dir == Direction::kRemove) ++rebuilt_tombstones;
-        }
-      }
-    }
-    window_ = std::move(rebuilt);
-    tombstones_ = rebuilt_tombstones;
-    window_size_at_compact_ = window_.size();
+    ExclusiveGate gate(*this);
+    compact_window_exclusive();
   }
 
- private:
-  /// Compacts once tombstones and their cancelled adds make up at least
-  /// half the window (2t >= live, i.e. 4t >= entries), with a floor so
-  /// small windows never bother and a *multiplicative* growth cooldown
-  /// (the window must outgrow its post-compaction size by half) so
-  /// non-cancellable tombstones -- removals of never-added items, which a
-  /// rebuild cannot drop -- keep the amortized-doubling argument instead
-  /// of re-triggering a full O(n log m) rebuild every few ops.
-  void maybe_compact() {
-    const std::size_t cooldown =
-        window_size_at_compact_ / 2 > kCompactMinTombstones
-            ? window_size_at_compact_ / 2
-            : kCompactMinTombstones;
-    if (tombstones_ >= kCompactMinTombstones &&
-        4 * tombstones_ >= window_.size() &&
-        window_.size() >= window_size_at_compact_ + cooldown) {
-      compact_window();
-    }
-  }
-
- public:
   static constexpr std::size_t kCompactMinTombstones = 64;
 
   // ------------------------------------------------------------ cell reads
 
   /// The coded symbol at stream index `i` for the *current* set,
-  /// materializing lazily (doubling blocks) as needed.
-  [[nodiscard]] const CodedSymbol<T>& cell(std::size_t i) {
+  /// materializing lazily (doubling blocks) as needed. Safe concurrently
+  /// with churn (seqlock-validated read).
+  [[nodiscard]] CodedSymbol<T> cell(std::size_t i) {
     ensure(i + 1);
-    return cells_[i];
+    return read_cell(i);
   }
 
   /// Ensures cells [0, n) are materialized.
   void ensure(std::size_t n) {
-    if (n <= cells_.size()) return;
-    std::size_t target = cells_.empty() ? kInitialBlock : cells_.size();
+    if (n <= cells_size_.load(std::memory_order_acquire)) return;
+    ExclusiveGate gate(*this);
+    const std::size_t old = cells_size_.load(std::memory_order_relaxed);
+    if (n <= old) return;  // another thread grew while we queued
+    std::size_t target = old == 0 ? kInitialBlock : old;
     while (target < n) target *= 2;
-    grow_to(target);
+    grow_exclusive(target);
   }
 
-  /// The materialized prefix (grows over time; never shrinks).
-  [[nodiscard]] std::span<const CodedSymbol<T>> cells() const noexcept {
-    return cells_;
+  /// Snapshot copy of the materialized prefix (grows over time; never
+  /// shrinks). Taken under the exclusive gate, so the copy is a consistent
+  /// point-in-time state even mid-churn. Diagnostics/tests; hot paths use
+  /// cell() or a Cursor.
+  [[nodiscard]] std::vector<CodedSymbol<T>> cells() {
+    ExclusiveGate gate(*this);
+    const std::size_t n = cells_size_.load(std::memory_order_relaxed);
+    std::vector<CodedSymbol<T>> out;
+    out.reserve(n);
+    AtomicCodedCell<T>* const cells = cells_.load(std::memory_order_relaxed);
+    for (std::size_t i = 0; i < n; ++i) out.push_back(cells[i].load());
+    return out;
   }
 
   [[nodiscard]] std::size_t materialized() const noexcept {
-    return cells_.size();
+    return cells_size_.load(std::memory_order_acquire);
   }
 
   /// Items currently encoded net of removals (adds minus tombstones).
-  [[nodiscard]] std::size_t set_size() const noexcept { return set_size_; }
+  [[nodiscard]] std::size_t set_size() const noexcept {
+    const std::int64_t n = set_size_.load(std::memory_order_relaxed);
+    return n > 0 ? static_cast<std::size_t>(n) : 0;
+  }
 
   [[nodiscard]] const Hasher& hasher() const noexcept { return hasher_; }
   [[nodiscard]] const MappingFactory& mapping_factory() const noexcept {
@@ -335,38 +376,64 @@ class SequenceCache {
     Direction dir = Direction::kAdd;
   };
 
-  /// Total churn ops ever applied; the version a new Cursor snapshots.
-  [[nodiscard]] std::uint64_t version() const noexcept { return version_; }
+  /// Total churn ops fully applied; the version a new Cursor snapshots.
+  [[nodiscard]] std::uint64_t version() const noexcept {
+    return completed_.load(std::memory_order_acquire);
+  }
 
-  /// The op that moved the cache from version `v` to `v + 1`. Throws
-  /// std::out_of_range if that op was pruned (a cursor outliving its
-  /// journal window is a caller bug).
-  [[nodiscard]] const ChurnOp& op(std::uint64_t v) const {
-    if (v < journal_base_ || v - journal_base_ >= journal_.size()) {
-      throw std::out_of_range("SequenceCache::op: journal entry pruned");
+  /// The op that moved the cache from version `v` to `v + 1` (a lane scan;
+  /// tests/diagnostics only). Throws std::out_of_range if that op was
+  /// pruned or has not completed (a cursor outliving its journal window is
+  /// a caller bug).
+  [[nodiscard]] ChurnOp op(std::uint64_t v) const {
+    for (const Lane& lane : lanes_) {
+      const std::lock_guard<std::mutex> lk(lane.mu);
+      // Per-lane journals are version-sorted: binary search.
+      std::size_t lo = 0, hi = lane.journal.size();
+      while (lo < hi) {
+        const std::size_t mid = (lo + hi) / 2;
+        if (lane.journal[mid].version < v) {
+          lo = mid + 1;
+        } else {
+          hi = mid;
+        }
+      }
+      if (lo < lane.journal.size() && lane.journal[lo].version == v) {
+        return ChurnOp{lane.journal[lo].sym, lane.journal[lo].dir};
+      }
     }
-    return journal_[static_cast<std::size_t>(v - journal_base_)];
+    throw std::out_of_range("SequenceCache::op: journal entry pruned");
   }
 
   /// Drops journal entries below `min_version` (no live cursor may still
   /// need them). SyncEngine calls this with the oldest active session's
   /// position; the last Cursor's destructor empties the journal outright.
+  /// Safe concurrently with churn and cursor reads (per-lane locking).
   void prune_journal(std::uint64_t min_version) {
-    if (min_version <= journal_base_) return;
-    const std::uint64_t limit = journal_base_ + journal_.size();
-    const std::uint64_t upto = min_version < limit ? min_version : limit;
-    journal_.erase(journal_.begin(),
-                   journal_.begin() +
-                       static_cast<std::ptrdiff_t>(upto - journal_base_));
-    journal_base_ = upto;
+    std::size_t erased = 0;
+    for (Lane& lane : lanes_) {
+      const std::lock_guard<std::mutex> lk(lane.mu);
+      auto it = lane.journal.begin();
+      while (it != lane.journal.end() && it->version < min_version) ++it;
+      const auto n = static_cast<std::size_t>(it - lane.journal.begin());
+      if (n != 0) {
+        lane.pruned += n;
+        lane.journal.erase(lane.journal.begin(), it);
+        erased += n;
+      }
+    }
+    if (erased != 0) {
+      journal_entries_.fetch_sub(erased, std::memory_order_relaxed);
+    }
   }
 
+  /// Entries retained across all lane journals.
   [[nodiscard]] std::size_t journal_size() const noexcept {
-    return journal_.size();
+    return journal_entries_.load(std::memory_order_relaxed);
   }
 
   [[nodiscard]] std::size_t live_cursor_count() const noexcept {
-    return live_cursors_;
+    return live_cursors_.load(std::memory_order_relaxed);
   }
 
   // --------------------------------------------------------------- Cursor
@@ -375,18 +442,31 @@ class SequenceCache {
   /// set as it stood when the cursor was created, while the cache keeps
   /// absorbing churn and serving other cursors. Cells already handed out
   /// are never re-read, so churn can never mutate a cell out from under a
-  /// peer mid-stream: per cell the cursor copies the live value and undoes
-  /// the ops its snapshot must not see (each op registered once, O(log m),
-  /// through a private overlay CodingWindow holding the *inverse* ops).
+  /// peer mid-stream: per cell the cursor copies the live value (seqlock-
+  /// validated against in-flight writers) and undoes the ops its snapshot
+  /// must not see (each op registered once, O(log m), through a private
+  /// overlay CodingWindow holding the *inverse* ops, gathered from the
+  /// per-lane journals).
+  ///
+  /// Creation is exclusive (it pins a version with no op in flight); next()
+  /// is concurrent with churn. One cursor is single-reader; distinct
+  /// cursors may run on distinct threads.
   class Cursor {
    public:
     Cursor() = default;
 
     explicit Cursor(std::shared_ptr<SequenceCache> cache)
-        : cache_(std::move(cache)),
-          version_(cache_->version()),
-          seen_(version_) {
-      ++cache_->live_cursors_;
+        : cache_(std::move(cache)) {
+      ExclusiveGate gate(*cache_);
+      // Drained: reserved_ == completed_, and every journal entry < V is
+      // in place, so per-lane positions pin the snapshot exactly.
+      version_ = cache_->reserved_.load(std::memory_order_relaxed);
+      seen_ = version_;
+      for (std::size_t k = 0; k < kWriterLanes; ++k) {
+        Lane& lane = cache_->lanes_[k];
+        pos_[k] = lane.pruned + lane.journal.size();
+      }
+      cache_->live_cursors_.fetch_add(1, std::memory_order_relaxed);
     }
 
     Cursor(const Cursor&) = delete;
@@ -397,7 +477,8 @@ class SequenceCache {
           overlay_(std::move(other.overlay_)),
           index_(other.index_),
           version_(other.version_),
-          seen_(other.seen_) {
+          seen_(other.seen_),
+          pos_(other.pos_) {
       other.cache_.reset();
     }
 
@@ -409,6 +490,7 @@ class SequenceCache {
         index_ = other.index_;
         version_ = other.version_;
         seen_ = other.seen_;
+        pos_ = other.pos_;
         other.cache_.reset();
       }
       return *this;
@@ -418,8 +500,31 @@ class SequenceCache {
 
     /// The next coded symbol of the snapshot's stream.
     [[nodiscard]] CodedSymbol<T> next() {
-      catch_up();
-      CodedSymbol<T> cell = cache_->cell(static_cast<std::size_t>(index_));
+      const auto i = static_cast<std::size_t>(index_);
+      cache_->ensure(i + 1);
+      CodedSymbol<T> cell;
+      for (int attempt = 0;; ++attempt) {
+        if (attempt >= kReadRetries) {
+          // Writer storm: take the gate and read at a quiescent point.
+          ExclusiveGate gate(*cache_);
+          catch_up(cache_->reserved_.load(std::memory_order_relaxed));
+          cell = cache_->cells_.load(std::memory_order_relaxed)[i].load();
+          break;
+        }
+        const std::uint64_t v =
+            cache_->reserved_.load(std::memory_order_seq_cst);
+        if (cache_->completed_.load(std::memory_order_seq_cst) != v) {
+          std::this_thread::yield();  // an op is mid-flight; let it land
+          continue;
+        }
+        catch_up(v);
+        // Load-only read: the retire list keeps any superseded array
+        // alive, and the version re-check rejects a racing writer.
+        cell = cache_->cells_.load(std::memory_order_acquire)[i].load();
+        if (cache_->reserved_.load(std::memory_order_seq_cst) == v) {
+          break;  // nothing started during the read: the value is exact
+        }
+      }
       overlay_.apply_at(index_, cell, Direction::kAdd);
       ++index_;
       return cell;
@@ -441,25 +546,49 @@ class SequenceCache {
     [[nodiscard]] bool attached() const noexcept { return cache_ != nullptr; }
 
    private:
-    /// Registers the inverse of every journal op in (seen_, now] into the
-    /// overlay, mapping pre-walked past the cells already handed out --
+    /// Registers the inverse of every journal op in (seen_, target) into
+    /// the overlay, mapping pre-walked past the cells already handed out --
     /// those were emitted before the op existed and are already consistent.
-    void catch_up() {
-      const std::uint64_t now = cache_->version();
-      for (; seen_ < now; ++seen_) {
-        const ChurnOp& op = cache_->op(seen_);
-        mapping_type m = cache_->factory_(op.sym.hash);
-        while (m.index() < index_) m.advance();
-        overlay_.add_with_mapping(op.sym, std::move(m), invert(op.dir));
+    /// Precondition: every op below `target` has fully completed (the
+    /// seqlock validated reserved_ == completed_ == target, or the caller
+    /// holds the gate), so each version-sorted lane yields its share with
+    /// a prefix scan from this cursor's saved position.
+    void catch_up(std::uint64_t target) {
+      if (seen_ >= target) return;
+      for (std::size_t k = 0; k < kWriterLanes; ++k) {
+        Lane& lane = cache_->lanes_[k];
+        const std::lock_guard<std::mutex> lk(lane.mu);
+        std::size_t idx = pos_[k] > lane.pruned
+                              ? static_cast<std::size_t>(pos_[k] - lane.pruned)
+                              : 0;
+        while (idx < lane.journal.size() &&
+               lane.journal[idx].version < target) {
+          const LaneOp& op = lane.journal[idx];
+          mapping_type m = cache_->factory_(op.sym.hash);
+          while (m.index() < index_) m.advance();
+          overlay_.add_with_mapping(op.sym, std::move(m), invert(op.dir));
+          ++idx;
+        }
+        pos_[k] = lane.pruned + idx;
       }
+      seen_ = target;
     }
 
     void release() noexcept {
       if (!cache_) return;
-      if (--cache_->live_cursors_ == 0) {
-        // Nobody left to replay history for; drop it.
-        cache_->journal_.clear();
-        cache_->journal_base_ = cache_->version_;
+      if (cache_->live_cursors_.fetch_sub(1, std::memory_order_acq_rel) ==
+          1) {
+        // Nobody left to replay history for; drop it. The gate excludes
+        // in-flight writers (whose journal check raced our decrement) and
+        // re-checks against a concurrently created cursor.
+        ExclusiveGate gate(*cache_);
+        if (cache_->live_cursors_.load(std::memory_order_relaxed) == 0) {
+          for (Lane& lane : cache_->lanes_) {
+            lane.pruned += lane.journal.size();
+            lane.journal.clear();
+          }
+          cache_->journal_entries_.store(0, std::memory_order_relaxed);
+        }
       }
       cache_.reset();
     }
@@ -469,31 +598,235 @@ class SequenceCache {
     std::uint64_t index_ = 0;
     std::uint64_t version_ = 0;
     std::uint64_t seen_ = 0;
+    /// Per-lane journal positions (absolute: lane.pruned + vector index)
+    /// up to which this cursor has consumed entries.
+    std::array<std::uint64_t, kWriterLanes> pos_{};
   };
 
  private:
   friend class Cursor;
 
-  void grow_to(std::size_t target) {
-    const std::size_t old = cells_.size();
-    if (target <= old) return;
-    cells_.resize(target);
-    for (std::size_t i = old; i < target; ++i) {
-      window_.apply_at(i, cells_[i], Direction::kAdd);
+  struct LaneOp {
+    std::uint64_t version = 0;
+    HashedSymbol<T> sym;
+    Direction dir = Direction::kAdd;
+  };
+
+  /// One writer lane: journal stripe + window stripe behind a lane mutex,
+  /// plus this lane's share of the shared/exclusive gate. Cache-line
+  /// aligned so lanes do not false-share their active counters.
+  struct alignas(64) Lane {
+    mutable std::mutex mu;
+    std::atomic<std::size_t> active{0};  ///< threads inside a shared section
+    std::vector<LaneOp> journal;         ///< version-sorted (reserve under mu)
+    std::uint64_t pruned = 0;            ///< entries ever erased at the front
+    CodingWindow<T, mapping_type> window;  ///< items not yet folded past m
+  };
+
+  /// Round-robin thread->lane assignment (stable per thread).
+  [[nodiscard]] static std::size_t lane_of_thread() noexcept {
+    static std::atomic<std::size_t> next{0};
+    thread_local const std::size_t ordinal =
+        next.fetch_add(1, std::memory_order_relaxed);
+    return ordinal % kWriterLanes;
+  }
+
+  /// Shared-side entry of the asymmetric gate: announce in the lane's
+  /// active counter first, THEN check the barrier (both seq_cst -- the
+  /// Dekker pattern). Either this thread sees the barrier and backs out to
+  /// park on the gate mutex, or the exclusive side's drain sees the
+  /// announcement and waits.
+  void enter_shared(Lane& lane) {
+    for (;;) {
+      lane.active.fetch_add(1, std::memory_order_seq_cst);
+      if (!barrier_.load(std::memory_order_seq_cst)) return;
+      lane.active.fetch_sub(1, std::memory_order_seq_cst);
+      // Park until the exclusive phase releases the mutex, then retry.
+      const std::lock_guard<std::mutex> park(exclusive_mu_);
     }
+  }
+
+  void exit_shared(Lane& lane) noexcept {
+    lane.active.fetch_sub(1, std::memory_order_seq_cst);
+  }
+
+  /// Exclusive phase: holds the gate mutex (serializing exclusive phases),
+  /// raises the barrier, and drains every lane's shared sections. On
+  /// destruction the barrier drops and parked writers re-enter.
+  class ExclusiveGate {
+   public:
+    explicit ExclusiveGate(SequenceCache& cache)
+        : cache_(cache), lock_(cache.exclusive_mu_) {
+      cache_.barrier_.store(true, std::memory_order_seq_cst);
+      for (Lane& lane : cache_.lanes_) {
+        while (lane.active.load(std::memory_order_seq_cst) != 0) {
+          std::this_thread::yield();
+        }
+      }
+    }
+
+    ~ExclusiveGate() {
+      cache_.barrier_.store(false, std::memory_order_seq_cst);
+    }
+
+    ExclusiveGate(const ExclusiveGate&) = delete;
+    ExclusiveGate& operator=(const ExclusiveGate&) = delete;
+
+   private:
+    SequenceCache& cache_;
+    std::lock_guard<std::mutex> lock_;
+  };
+
+  /// Seqlock-validated read of one materialized cell (bounds unchecked;
+  /// callers ensure()d). Entirely load-only in the common case -- readers
+  /// never announce themselves: the retire list keeps superseded arrays
+  /// alive, so a reader racing a grow just reads the old copy, and the
+  /// version-pair validation catches any racing writer. Only a read that
+  /// loses the race kReadRetries times in a row escalates to the gate
+  /// (quiescing writers) rather than spinning unboundedly.
+  [[nodiscard]] CodedSymbol<T> read_cell(std::size_t i) {
+    for (int attempt = 0; attempt < kReadRetries; ++attempt) {
+      const std::uint64_t v = reserved_.load(std::memory_order_seq_cst);
+      if (completed_.load(std::memory_order_seq_cst) != v) {
+        std::this_thread::yield();
+        continue;
+      }
+      const CodedSymbol<T> out =
+          cells_.load(std::memory_order_acquire)[i].load();
+      if (reserved_.load(std::memory_order_seq_cst) == v) return out;
+    }
+    ExclusiveGate gate(*this);
+    return cells_.load(std::memory_order_relaxed)[i].load();
+  }
+
+  /// Materializes cells [old, target) by draining every lane window
+  /// through them in stream order. Caller holds the gate (no writer can
+  /// observe the swap mid-way). The superseded array is *retired*, not
+  /// freed: un-announced readers may still be loading from it. Doubling
+  /// growth makes all retired arrays together smaller than the live one,
+  /// so the cache never holds more than 2x the final footprint.
+  void grow_exclusive(std::size_t target) {
+    const std::size_t old = cells_size_.load(std::memory_order_relaxed);
+    auto grown = std::make_unique<AtomicCodedCell<T>[]>(target);
+    AtomicCodedCell<T>* const prev = cells_.load(std::memory_order_relaxed);
+    for (std::size_t i = 0; i < old; ++i) {
+      grown[i].store(prev[i].load());
+    }
+    for (std::size_t i = old; i < target; ++i) {
+      CodedSymbol<T> cell;
+      for (Lane& lane : lanes_) {
+        lane.window.apply_at(i, cell, Direction::kAdd);
+      }
+      grown[i].store(cell);
+    }
+    // Pointer first, size second (both release): a reader that
+    // acquire-loads the new size is therefore guaranteed to see the new
+    // pointer; one that sees the old size reads old indices, valid in
+    // either array.
+    cells_.store(grown.get(), std::memory_order_release);
+    retired_.push_back(std::move(grown));
+    cells_size_.store(target, std::memory_order_release);
+  }
+
+  /// Compacts once tombstones and their cancelled adds make up at least
+  /// half the window (2t >= live, i.e. 4t >= entries), with a floor so
+  /// small windows never bother and a *multiplicative* growth cooldown
+  /// (the window must outgrow its post-compaction size by half) so
+  /// non-cancellable tombstones -- removals of never-added items, which a
+  /// rebuild cannot drop -- keep the amortized-doubling argument instead
+  /// of re-triggering a full O(n log m) rebuild every few ops. The
+  /// threshold test reads the atomic counters racily (cheap, per-op); a
+  /// hit re-checks under the gate, so concurrent writers cannot trigger
+  /// back-to-back rebuilds off the same stale counters.
+  void maybe_compact() {
+    if (!compact_eligible()) return;
+    ExclusiveGate gate(*this);
+    if (compact_eligible()) compact_window_exclusive();
+  }
+
+  [[nodiscard]] bool compact_eligible() const noexcept {
+    const std::size_t t = tombstones_.load(std::memory_order_relaxed);
+    const std::size_t w = window_entries_.load(std::memory_order_relaxed);
+    const std::size_t at =
+        window_size_at_compact_.load(std::memory_order_relaxed);
+    const std::size_t cooldown =
+        at / 2 > kCompactMinTombstones ? at / 2 : kCompactMinTombstones;
+    return t >= kCompactMinTombstones && 4 * t >= w && w >= at + cooldown;
+  }
+
+  /// Caller holds the gate.
+  void compact_window_exclusive() {
+    // Net count per distinct symbol across every lane window; bucketed by
+    // hash with symbol-equality confirmation so hash collisions cannot
+    // merge distinct items.
+    std::unordered_map<std::uint64_t,
+                       std::vector<std::pair<HashedSymbol<T>, std::int64_t>>>
+        net;
+    net.reserve(window_entries_.load(std::memory_order_relaxed));
+    for (Lane& lane : lanes_) {
+      lane.window.for_each_entry([&](const HashedSymbol<T>& sym,
+                                     Direction dir, std::uint64_t) {
+        auto& bucket = net[sym.hash];
+        for (auto& [existing, count] : bucket) {
+          if (existing.symbol == sym.symbol) {
+            count += static_cast<std::int64_t>(dir);
+            return;
+          }
+        }
+        bucket.emplace_back(sym, static_cast<std::int64_t>(dir));
+      });
+    }
+    const std::size_t m = cells_size_.load(std::memory_order_relaxed);
+    CodingWindow<T, mapping_type> rebuilt;
+    std::size_t rebuilt_tombstones = 0;
+    std::size_t rebuilt_entries = 0;
+    for (const auto& [hash, bucket] : net) {
+      for (const auto& [sym, count] : bucket) {
+        // A set sees net 0 (dead pair) or +1 (live); the general loop
+        // preserves exact linearity for any multiset history (a
+        // net-negative symbol -- removal of a never-added item -- stays a
+        // tombstone and keeps counting as one).
+        const Direction dir =
+            count > 0 ? Direction::kAdd : Direction::kRemove;
+        for (std::int64_t c = count < 0 ? -count : count; c > 0; --c) {
+          mapping_type walk = factory_(sym.hash);
+          while (walk.index() < m) walk.advance();
+          rebuilt.add_with_mapping(sym, walk, dir);
+          ++rebuilt_entries;
+          if (dir == Direction::kRemove) ++rebuilt_tombstones;
+        }
+      }
+    }
+    // The merged live set lands in lane 0's window; the other stripes
+    // restart empty (apply_at on an empty window is a cheap no-op).
+    for (Lane& lane : lanes_) lane.window.clear();
+    lanes_[0].window = std::move(rebuilt);
+    tombstones_.store(rebuilt_tombstones, std::memory_order_relaxed);
+    window_entries_.store(rebuilt_entries, std::memory_order_relaxed);
+    window_size_at_compact_.store(rebuilt_entries,
+                                  std::memory_order_relaxed);
   }
 
   Hasher hasher_;
   MappingFactory factory_;
-  CodingWindow<T, mapping_type> window_;  ///< items not yet folded past m
-  std::vector<CodedSymbol<T>> cells_;     ///< materialized prefix, live set
-  std::vector<ChurnOp> journal_;          ///< ops [journal_base_, version_)
-  std::uint64_t journal_base_ = 0;
-  std::uint64_t version_ = 0;
-  std::size_t set_size_ = 0;
-  std::size_t tombstones_ = 0;  ///< removal entries in the window
-  std::size_t window_size_at_compact_ = 0;  ///< rebuild-frequency cooldown
-  std::size_t live_cursors_ = 0;
+  std::array<Lane, kWriterLanes> lanes_;
+  /// Materialized cells of the live set. The raw pointer is what readers
+  /// load; every array ever published lives in retired_ (the newest entry
+  /// is the current one) until destruction, so un-announced readers can
+  /// never dangle across a grow.
+  std::atomic<AtomicCodedCell<T>*> cells_{nullptr};
+  std::vector<std::unique_ptr<AtomicCodedCell<T>[]>> retired_;
+  std::atomic<std::size_t> cells_size_{0};
+  std::atomic<std::uint64_t> reserved_{0};   ///< versions handed to writers
+  std::atomic<std::uint64_t> completed_{0};  ///< versions fully applied
+  std::atomic<std::int64_t> set_size_{0};
+  std::atomic<std::size_t> tombstones_{0};  ///< removal entries in windows
+  std::atomic<std::size_t> window_entries_{0};
+  std::atomic<std::size_t> journal_entries_{0};
+  std::atomic<std::size_t> window_size_at_compact_{0};  ///< rebuild cooldown
+  std::atomic<std::size_t> live_cursors_{0};
+  std::atomic<bool> barrier_{false};  ///< an exclusive phase wants the cache
+  std::mutex exclusive_mu_;
 };
 
 }  // namespace ribltx

@@ -64,6 +64,24 @@ class Iblt {
     return a;
   }
 
+  /// Cell-wise *addition*: folds `other`'s encoded multiset into this
+  /// table, as if every item had been applied here directly (cell updates
+  /// are linear, so add commutes exactly like subtract). Lets per-thread
+  /// replica tables be maintained independently and merged when a combined
+  /// view is needed. Geometries must match.
+  Iblt& absorb(const Iblt& other) {
+    if (other.cells_.size() != cells_.size() || other.k_ != k_ ||
+        other.salt_ != salt_) {
+      throw std::invalid_argument("Iblt::absorb: geometry mismatch");
+    }
+    for (std::size_t i = 0; i < cells_.size(); ++i) {
+      cells_[i].sum ^= other.cells_[i].sum;
+      cells_[i].checksum ^= other.cells_[i].checksum;
+      cells_[i].count += other.cells_[i].count;
+    }
+    return *this;
+  }
+
   /// Peels this (difference) IBLT. success = fully decoded; on failure the
   /// partial recovery is returned (regular IBLTs usually recover *nothing*
   /// when undersized -- Theorem A.1).

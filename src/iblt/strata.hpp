@@ -78,6 +78,21 @@ class StrataEstimator {
     return *this;
   }
 
+  /// Stratum-wise addition: merges `other`'s items into this estimator
+  /// (linearity again). SyncEngine keeps one probe replica per ingest lane
+  /// so concurrent churn never contends on one digest, then absorbs the
+  /// replicas into a scratch copy at HELLO time.
+  StrataEstimator& absorb(const StrataEstimator& other) {
+    if (other.strata_.size() != strata_.size()) {
+      throw std::invalid_argument("StrataEstimator::absorb: shape mismatch");
+    }
+    for (std::size_t i = 0; i < strata_.size(); ++i) {
+      strata_[i].absorb(other.strata_[i]);
+    }
+    checksum_mask_ &= other.checksum_mask_;
+    return *this;
+  }
+
   /// Estimates |A (-) B| from a subtracted estimator. Never returns 0 for a
   /// non-empty difference in expectation; can over/under-shoot by ~1.5-2x,
   /// which is why deployments over-provision the IBLT they size with it.

@@ -41,10 +41,13 @@
 #pragma once
 
 #include <algorithm>
+#include <array>
+#include <atomic>
 #include <cstdint>
 #include <cstddef>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
@@ -214,6 +217,9 @@ struct EngineTotals {
   std::uint64_t bytes_from_peers = 0;
   std::uint64_t rounds = 0;
   std::uint64_t frames_sent = 0;
+  std::uint64_t items_added = 0;    ///< lifetime successful add_item calls
+  std::uint64_t items_removed = 0;  ///< lifetime successful remove_item calls
+  std::uint64_t journal_depth = 0;  ///< churn ops retained for snapshots now
 
   EngineTotals& operator+=(const EngineTotals& o) noexcept {
     sessions += o.sessions;
@@ -224,8 +230,133 @@ struct EngineTotals {
     bytes_from_peers += o.bytes_from_peers;
     rounds += o.rounds;
     frames_sent += o.frames_sent;
+    items_added += o.items_added;
+    items_removed += o.items_removed;
+    journal_depth += o.journal_depth;
     return *this;
   }
+};
+
+/// Relaxed event counter that stays movable (std::atomic is not): moving
+/// an engine is only legal while nothing else touches it -- the same
+/// contract as every other member -- so a plain value copy is exact.
+struct MovableCounter {
+  MovableCounter() = default;
+  MovableCounter(MovableCounter&& o) noexcept
+      : n(o.n.load(std::memory_order_relaxed)) {}
+  MovableCounter& operator=(MovableCounter&& o) noexcept {
+    n.store(o.n.load(std::memory_order_relaxed), std::memory_order_relaxed);
+    return *this;
+  }
+  void fetch_add(std::uint64_t d, std::memory_order mo) noexcept {
+    n.fetch_add(d, mo);
+  }
+  [[nodiscard]] std::uint64_t load(std::memory_order mo) const noexcept {
+    return n.load(mo);
+  }
+  std::atomic<std::uint64_t> n{0};
+};
+
+/// Hash-keyed membership index for the served set, striped so concurrent
+/// ingest threads contend only when their items land in the same stripe.
+/// Entries are confirmed by symbol equality, so 64-bit hash collisions
+/// between distinct items cannot mis-report membership. The stripe
+/// selector uses bits the rest of the system leaves alone: shard routing
+/// consumes the high 32 bits (shard_of_hash) and strata placement the
+/// trailing zeros, so mid-bits keep the stripes balanced per shard.
+template <Symbol T>
+class StripedItemIndex {
+ public:
+  static constexpr std::size_t kStripes = 64;
+
+  StripedItemIndex() : stripes_(std::make_unique<StripeArray>()) {}
+
+  // Movable so the owning engine stays movable; moving is only legal while
+  // no other thread touches either side (same contract as every member),
+  // and a moved-from index is only destructible/assignable.
+  StripedItemIndex(StripedItemIndex&& other) noexcept
+      : stripes_(std::move(other.stripes_)),
+        size_(other.size_.exchange(0, std::memory_order_relaxed)) {}
+  StripedItemIndex& operator=(StripedItemIndex&& other) noexcept {
+    stripes_ = std::move(other.stripes_);
+    size_.store(other.size_.exchange(0, std::memory_order_relaxed),
+                std::memory_order_relaxed);
+    return *this;
+  }
+
+  /// Inserts unless an equal item is present. True on insert.
+  bool insert(const HashedSymbol<T>& hs) {
+    Stripe& s = stripe(hs.hash);
+    const std::lock_guard<std::mutex> lk(s.mu);
+    auto [lo, hi] = s.map.equal_range(hs.hash);
+    for (auto it = lo; it != hi; ++it) {
+      if (it->second == hs.symbol) return false;
+    }
+    s.map.emplace(hs.hash, hs.symbol);
+    size_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+  }
+
+  /// Erases the item if present. True on erase.
+  bool erase(const HashedSymbol<T>& hs) {
+    Stripe& s = stripe(hs.hash);
+    const std::lock_guard<std::mutex> lk(s.mu);
+    auto [lo, hi] = s.map.equal_range(hs.hash);
+    for (auto it = lo; it != hi; ++it) {
+      if (it->second == hs.symbol) {
+        s.map.erase(it);
+        size_.fetch_sub(1, std::memory_order_relaxed);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  [[nodiscard]] bool contains(const HashedSymbol<T>& hs) const {
+    const Stripe& s = stripe(hs.hash);
+    const std::lock_guard<std::mutex> lk(s.mu);
+    auto [lo, hi] = s.map.equal_range(hs.hash);
+    for (auto it = lo; it != hi; ++it) {
+      if (it->second == hs.symbol) return true;
+    }
+    return false;
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept {
+    return size_.load(std::memory_order_relaxed);
+  }
+
+  /// Visits every item, one stripe at a time under that stripe's lock.
+  /// Concurrent with ingest; an item added or removed *during* the walk
+  /// may or may not be visited (same snapshot fuzziness any concurrent
+  /// enumeration has -- callers wanting a frozen view serialize ingest).
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const Stripe& s : *stripes_) {
+      const std::lock_guard<std::mutex> lk(s.mu);
+      for (const auto& [hash, symbol] : s.map) {
+        fn(HashedSymbol<T>{symbol, hash});
+      }
+    }
+  }
+
+ private:
+  struct alignas(64) Stripe {
+    mutable std::mutex mu;
+    std::unordered_multimap<std::uint64_t, T> map;
+  };
+
+  using StripeArray = std::array<Stripe, kStripes>;
+
+  [[nodiscard]] Stripe& stripe(std::uint64_t hash) noexcept {
+    return (*stripes_)[(hash >> 20) % kStripes];
+  }
+  [[nodiscard]] const Stripe& stripe(std::uint64_t hash) const noexcept {
+    return (*stripes_)[(hash >> 20) % kStripes];
+  }
+
+  std::unique_ptr<StripeArray> stripes_;
+  std::atomic<std::size_t> size_{0};
 };
 
 /// Server side: one item set, many concurrent sessions.
@@ -242,71 +373,86 @@ struct EngineTotals {
 /// already streamed to a peer are never mutated out from under it. Items
 /// are hashed exactly once on add and the HashedSymbol is reused by every
 /// consumer (cache, strata, IBLT, MET).
+///
+/// Threading contract: the INGEST surface -- add_item/remove_item (and
+/// their hashed variants), contains, item_count -- is safe from any number
+/// of concurrent threads and never blocks on the session machinery: the
+/// membership index is striped (StripedItemIndex), the cache's churn path
+/// is lock-free (see SequenceCache), and the probe digest is replicated
+/// across kProbeLanes per-thread lanes merged only at HELLO time. The
+/// SESSION surface -- handle_frame, next_frame, close_session, session
+/// queries, totals -- is NOT internally synchronized; callers serialize it
+/// (ShardedEngine holds its per-shard mutex around it) while ingest runs
+/// concurrently underneath.
 template <Symbol T, typename Hasher = SipHasher<T>>
 class SyncEngine {
  public:
+  /// Probe-digest replicas for the ingest path (merged per HELLO).
+  static constexpr std::size_t kProbeLanes = 4;
+
   explicit SyncEngine(Hasher hasher = Hasher{}, EngineOptions options = {})
       : hasher_(std::move(hasher)),
         options_(std::move(options)),
         cache_(std::make_shared<SequenceCache<T, Hasher>>(hasher_)),
-        probe_(adaptive::make_probe<T, Hasher>(hasher_)),
         peer_ewma_(options_.adaptive.ewma_alpha,
-                   options_.adaptive.max_peers) {}
+                   options_.adaptive.max_peers) {
+    probe_lanes_.reserve(kProbeLanes);
+    for (std::size_t i = 0; i < kProbeLanes; ++i) {
+      probe_lanes_.push_back(std::make_unique<ProbeLane>(
+          adaptive::make_probe<T, Hasher>(hasher_)));
+    }
+  }
 
   /// Adds an item to the served set. Returns false (and leaves every
   /// structure untouched) if the item is already present -- a duplicate add
   /// would corrupt the subtractive cache (its cells count items, so the
   /// same item twice is indistinguishable from two distinct items).
   /// Rateless sessions already open keep their HELLO-time snapshot;
-  /// sessions opened afterwards see the new item. O(log m).
+  /// sessions opened afterwards see the new item. O(log m); thread-safe
+  /// (the index insert is the linearization point for duplicate races).
   bool add_item(const T& item) { return add_hashed_item(hasher_.hashed(item)); }
 
   /// Pre-hashed variant: the ShardedEngine router hashes once to pick the
   /// shard and hands the HashedSymbol straight through.
   bool add_hashed_item(const HashedSymbol<T>& hs) {
-    if (find_item(hs) != items_.size()) return false;  // duplicate: no-op
-    index_.emplace(hs.hash, items_.size());
-    items_.push_back(hs);
+    if (!index_.insert(hs)) return false;  // duplicate: no-op
     cache_->add_hashed(hs);
-    probe_.add_hashed(hs);  // keep the live probe digest current (O(k))
-    prune_cache_journal();
+    ProbeLane& lane = *probe_lanes_[ingest_lane()];
+    {
+      const std::lock_guard<std::mutex> lk(lane.mu);
+      lane.probe.add_hashed(hs);  // keep the live probe digest current
+    }
+    items_added_.fetch_add(1, std::memory_order_relaxed);
     return true;
   }
 
   /// Removes an item from the served set. Returns false if absent. Open
   /// rateless sessions keep streaming their snapshot (which still contains
-  /// the item); new sessions see the shrunken set. O(log m).
+  /// the item); new sessions see the shrunken set. O(log m); thread-safe.
   bool remove_item(const T& item) {
     return remove_hashed_item(hasher_.hashed(item));
   }
 
   /// Pre-hashed variant (the ShardedEngine router hashes once to route).
   bool remove_hashed_item(const HashedSymbol<T>& hs) {
-    const std::size_t pos = find_item(hs);
-    if (pos == items_.size()) return false;
-    erase_index_entry(hs.hash, pos);
-    const std::size_t last = items_.size() - 1;
-    if (pos != last) {
-      // Swap-pop; re-point the moved item's index entry.
-      const std::uint64_t moved_hash = items_[last].hash;
-      erase_index_entry(moved_hash, last);
-      items_[pos] = items_[last];
-      index_.emplace(moved_hash, pos);
-    }
-    items_.pop_back();
+    if (!index_.erase(hs)) return false;
     cache_->remove_hashed(hs);
-    probe_.remove_hashed(hs);  // subtractive cells: churn backs out cleanly
-    prune_cache_journal();
+    ProbeLane& lane = *probe_lanes_[ingest_lane()];
+    {
+      const std::lock_guard<std::mutex> lk(lane.mu);
+      lane.probe.remove_hashed(hs);  // subtractive cells back out cleanly
+    }
+    items_removed_.fetch_add(1, std::memory_order_relaxed);
     return true;
   }
 
-  /// True iff the item is currently in the served set.
+  /// True iff the item is currently in the served set. Thread-safe.
   [[nodiscard]] bool contains(const T& item) const {
     return contains_hashed(hasher_.hashed(item));
   }
 
   [[nodiscard]] bool contains_hashed(const HashedSymbol<T>& hs) const {
-    return find_item(hs) != items_.size();
+    return index_.contains(hs);
   }
 
   /// Feeds one client->server frame. Returns the server->client frames to
@@ -355,7 +501,7 @@ class SyncEngine {
         if (adaptive) {
           d_est = estimate_diff(frame);
           backend = adaptive::choose_backend<T>(
-              requested, d_est, items_.size(), frame.checksum_len,
+              requested, d_est, index_.size(), frame.checksum_len,
               options_.config, options_.adaptive, options_.link);
         }
         const std::uint8_t effective =
@@ -397,7 +543,9 @@ class SyncEngine {
           // set (pre-hashed, no re-hash) into their own structures.
           session.encoder =
               make_reconciler_encoder<T>(backend, config, hasher_);
-          for (const auto& hs : items_) session.encoder->add_hashed_item(hs);
+          index_.for_each([&](const HashedSymbol<T>& hs) {
+            session.encoder->add_hashed_item(hs);
+          });
         }
         session.stats.backend = backend;
         session.stats.checksum_len = effective;
@@ -490,6 +638,11 @@ class SyncEngine {
   /// contained: the session fails and the ERROR frame is returned in place
   /// of symbols.
   std::optional<std::vector<std::byte>> next_frame(std::uint64_t session_id) {
+    // Journal upkeep rides the serving path, not ingest: churn threads
+    // must never scan the session table, and this path is already
+    // serialized by the caller. The throttle makes the steady-state cost
+    // one atomic load per frame.
+    prune_cache_journal();
     auto it = sessions_.find(session_id);
     if (it == sessions_.end()) return std::nullopt;
     Session& session = it->second;
@@ -560,6 +713,9 @@ class SyncEngine {
       t.rounds += s.stats.rounds;
       t.frames_sent += s.stats.frames_sent;
     }
+    t.items_added = items_added_.load(std::memory_order_relaxed);
+    t.items_removed = items_removed_.load(std::memory_order_relaxed);
+    t.journal_depth = cache_->journal_size();
     return t;
   }
 
@@ -579,7 +735,15 @@ class SyncEngine {
   }
 
   [[nodiscard]] std::size_t item_count() const noexcept {
-    return items_.size();
+    return index_.size();
+  }
+
+  /// Lifetime ingest counters (successful adds/removes; thread-safe).
+  [[nodiscard]] std::uint64_t items_added() const noexcept {
+    return items_added_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t items_removed() const noexcept {
+    return items_removed_.load(std::memory_order_relaxed);
   }
 
   /// Cells of the shared rateless stream materialized so far (diagnostics).
@@ -618,7 +782,7 @@ class SyncEngine {
         throw ProtocolError("malformed adaptive probe");
       }
       try {
-        remote->subtract(probe_);
+        remote->subtract(merged_probe());
         return std::max<std::uint64_t>(1, remote->estimate());
       } catch (const std::exception&) {
         // Shape mismatch: the peer built a different probe geometry.
@@ -626,6 +790,24 @@ class SyncEngine {
     }
     if (const std::uint64_t e = peer_ewma_.estimate(frame.peer_id)) return e;
     return options_.adaptive.default_d;
+  }
+
+  /// The full-set probe digest: the per-lane replicas absorbed into one
+  /// (linearity; iblt::StrataEstimator::absorb). Built per HELLO-with-probe
+  /// -- a handful of small IBLT copies, amortized over a whole session --
+  /// so ingest lanes never contend on a single digest.
+  [[nodiscard]] iblt::StrataEstimator<T, Hasher> merged_probe() {
+    auto merged = [&] {
+      ProbeLane& first = *probe_lanes_[0];
+      const std::lock_guard<std::mutex> lk(first.mu);
+      return first.probe;  // copy under the lane lock
+    }();
+    for (std::size_t i = 1; i < probe_lanes_.size(); ++i) {
+      ProbeLane& lane = *probe_lanes_[i];
+      const std::lock_guard<std::mutex> lk(lane.mu);
+      merged.absorb(lane.probe);
+    }
+    return merged;
   }
 
   Session& established(std::uint64_t id) {
@@ -636,32 +818,12 @@ class SyncEngine {
     return it->second;
   }
 
-  /// Position of `hs` in items_, or items_.size() if absent. Hash-keyed
-  /// with a symbol-equality confirmation, so 64-bit hash collisions between
-  /// distinct items cannot mis-report membership.
-  [[nodiscard]] std::size_t find_item(const HashedSymbol<T>& hs) const {
-    auto [lo, hi] = index_.equal_range(hs.hash);
-    for (auto it = lo; it != hi; ++it) {
-      if (items_[it->second].symbol == hs.symbol) return it->second;
-    }
-    return items_.size();
-  }
-
-  void erase_index_entry(std::uint64_t hash, std::size_t pos) {
-    auto [lo, hi] = index_.equal_range(hash);
-    for (auto it = lo; it != hi; ++it) {
-      if (it->second == pos) {
-        index_.erase(it);
-        return;
-      }
-    }
-  }
-
   /// Drops journal entries no active rateless session can still need. The
   /// journal only accumulates while snapshot cursors are alive, and a
   /// stalled session can pin its floor indefinitely, so rescan sessions
   /// only once the journal has grown enough since the last scan (unless
-  /// forced) -- churn stays O(log m) amortized, not O(sessions) per op.
+  /// forced). Serving-path only (it walks sessions_): next_frame and
+  /// close_session call it; ingest threads never do.
   void prune_cache_journal(bool force = false) {
     if (cache_->journal_size() == 0) {
       journal_size_at_prune_ = 0;
@@ -689,16 +851,32 @@ class SyncEngine {
     return v2::make_error_frame(id, reason);
   }
 
+  /// One probe-digest replica per ingest lane (adaptive d estimation),
+  /// kept incrementally under churn like the cache; see merged_probe().
+  struct ProbeLane {
+    explicit ProbeLane(iblt::StrataEstimator<T, Hasher> p)
+        : probe(std::move(p)) {}
+    std::mutex mu;
+    iblt::StrataEstimator<T, Hasher> probe;
+  };
+
+  /// Round-robin thread->probe-lane assignment (stable per thread).
+  [[nodiscard]] static std::size_t ingest_lane() noexcept {
+    static std::atomic<std::size_t> next{0};
+    thread_local const std::size_t ordinal =
+        next.fetch_add(1, std::memory_order_relaxed);
+    return ordinal % kProbeLanes;
+  }
+
   Hasher hasher_;
   EngineOptions options_;
-  std::vector<HashedSymbol<T>> items_;  ///< hashed once, reused everywhere
-  std::unordered_multimap<std::uint64_t, std::size_t> index_;  ///< hash->pos
+  StripedItemIndex<T> index_;  ///< served-set membership (hash + symbol)
   std::shared_ptr<SequenceCache<T, Hasher>> cache_;  ///< the rateless stream
   std::size_t journal_size_at_prune_ = 0;  ///< rescan throttle
   std::map<std::uint64_t, Session> sessions_;
-  /// Live probe digest over the served set (adaptive d estimation); kept
-  /// incrementally under churn like the cache.
-  iblt::StrataEstimator<T, Hasher> probe_;
+  std::vector<std::unique_ptr<ProbeLane>> probe_lanes_;
+  MovableCounter items_added_;
+  MovableCounter items_removed_;
   adaptive::PeerEwma peer_ewma_;  ///< per-peer diff history (adaptive)
 };
 

@@ -25,8 +25,11 @@
 // may call submit() -- even back into the same shard -- without deadlock).
 // A blocking sink is the backpressure: the worker streams as fast as the
 // sink accepts, which is the paper's serve-at-line-rate model. Set churn
-// (add_item/remove_item) and stats() take the shard locks and are safe
-// while workers run.
+// (add_item/remove_item/contains/item_count) bypasses the shard mutex
+// entirely -- SyncEngine's ingest surface is internally synchronized
+// (striped index, lock-free cache churn, per-lane probes), so any number
+// of writer threads can churn a shard while its worker streams sessions;
+// only the session machinery (and stats()) takes the shard locks.
 //
 // bench/extra_shard_scaling.cpp measures sessions/sec against shard count;
 // tests/test_sharded.cpp holds the parity and threaded-smoke coverage.
@@ -113,37 +116,34 @@ class ShardedEngine {
 
   // ---------------------------------------------------------- set churn
 
-  /// Adds an item to its shard's engine (hashed once). Thread-safe against
-  /// running workers; false on duplicate.
+  /// Adds an item to its shard's engine (hashed once). Concurrent-ingest
+  /// path: no shard mutex -- SyncEngine's ingest surface is internally
+  /// synchronized, so writer threads never queue behind a worker that is
+  /// streaming sessions (nor behind each other, beyond a striped-index
+  /// bucket). Safe from any thread while workers run; false on duplicate.
   bool add_item(const T& item) {
     const HashedSymbol<T> hs = hasher_.hashed(item);
-    Shard& sh = *shards_[shard_of_hash(hs.hash, shards_.size())];
-    const std::lock_guard<std::mutex> lk(sh.mu);
-    return sh.engine.add_hashed_item(hs);
+    return shards_[shard_of_hash(hs.hash, shards_.size())]
+        ->engine.add_hashed_item(hs);
   }
 
-  /// Removes an item from its shard's engine (hashed once); false if
-  /// absent.
+  /// Removes an item from its shard's engine (hashed once); same lock-free
+  /// ingest path as add_item. False if absent.
   bool remove_item(const T& item) {
     const HashedSymbol<T> hs = hasher_.hashed(item);
-    Shard& sh = *shards_[shard_of_hash(hs.hash, shards_.size())];
-    const std::lock_guard<std::mutex> lk(sh.mu);
-    return sh.engine.remove_hashed_item(hs);
+    return shards_[shard_of_hash(hs.hash, shards_.size())]
+        ->engine.remove_hashed_item(hs);
   }
 
   [[nodiscard]] bool contains(const T& item) const {
     const HashedSymbol<T> hs = hasher_.hashed(item);
-    Shard& sh = *shards_[shard_of_hash(hs.hash, shards_.size())];
-    const std::lock_guard<std::mutex> lk(sh.mu);
-    return sh.engine.contains_hashed(hs);
+    return shards_[shard_of_hash(hs.hash, shards_.size())]
+        ->engine.contains_hashed(hs);
   }
 
   [[nodiscard]] std::size_t item_count() const {
     std::size_t n = 0;
-    for (const auto& sh : shards_) {
-      const std::lock_guard<std::mutex> lk(sh->mu);
-      n += sh->engine.item_count();
-    }
+    for (const auto& sh : shards_) n += sh->engine.item_count();
     return n;
   }
 

@@ -8,7 +8,10 @@
 // interleavings.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <memory>
+#include <set>
+#include <thread>
 #include <vector>
 
 #include "core/riblt.hpp"
@@ -281,6 +284,210 @@ TEST(SequenceCache, WindowCompactionBoundsSustainedChurn) {
     if (!(cur.next() == want[i])) {
       ADD_FAILURE() << "snapshot cell " << i << " diverges across churn "
                        "after compaction";
+      break;
+    }
+  }
+}
+
+// --------------------------------------------------------------------------
+// Multi-writer churn (ISSUE 7). The SequenceCacheConcurrent suite is the
+// TSan CI target: every test drives real threads through the lock-free
+// churn path (atomic cells + striped journals + the exclusive gate) and
+// then checks exact equality against single-threaded reference structures
+// -- linearity says the interleaving must not matter at all.
+
+// Seeded property: K writer threads churning concurrently (adds + removes
+// of their own items, with lazy growth forced mid-churn) leave the cache
+// byte-equal to a fresh sketch of the net multiset.
+TEST(SequenceCacheConcurrent, MultiWriterChurnEqualsFreshSketch) {
+  for_all("K-writer concurrent churn == fresh sketch of the net set", 5,
+          4242, [](SplitMix64& rng) {
+            const std::size_t writers = 2 + rng.next() % 3;  // 2..4
+            constexpr std::size_t kOps = 300;
+            constexpr std::size_t kCells = 256;
+            SequenceCache<U64Symbol> cache(192);  // growth forced below
+            std::vector<std::uint64_t> seeds;
+            for (std::size_t w = 0; w < writers; ++w) {
+              seeds.push_back(rng.next());
+            }
+            std::vector<std::vector<U64Symbol>> live(writers);
+            std::vector<std::thread> fleet;
+            for (std::size_t w = 0; w < writers; ++w) {
+              fleet.emplace_back([&cache, &live, &seeds, w] {
+                SplitMix64 wrng(seeds[w]);
+                auto& mine = live[w];
+                for (std::size_t i = 0; i < kOps; ++i) {
+                  if (!mine.empty() && wrng.next() % 3 == 0) {
+                    const std::size_t victim = wrng.next() % mine.size();
+                    cache.remove_symbol(mine[victim]);
+                    mine[victim] = mine.back();
+                    mine.pop_back();
+                  } else {
+                    mine.push_back(U64Symbol::random(wrng.next()));
+                    cache.add_symbol(mine.back());
+                  }
+                  if (i % 64 == 63) {
+                    // Block materialization races steady-state churn.
+                    (void)cache.cell(kCells - 1 - (w % 8));
+                  }
+                }
+              });
+            }
+            for (auto& t : fleet) t.join();
+
+            cache.ensure(kCells);
+            Sketch<U64Symbol> fresh(kCells);
+            std::size_t net = 0;
+            for (const auto& mine : live) {
+              for (const auto& x : mine) fresh.add_symbol(x);
+              net += mine.size();
+            }
+            const auto cells = cache.cells();
+            for (std::size_t i = 0; i < kCells; ++i) {
+              if (!(cells[i] == fresh.cells()[i])) return false;
+            }
+            return cache.set_size() == net;
+          });
+}
+
+// A cursor opened WHILE writers churn pins some completed-op prefix; the
+// test recovers exactly which set that was (by decoding the snapshot
+// stream against a quiesced final-set stream) and demands the cursor's
+// cells be byte-equal to a fresh sketch of that set.
+TEST(SequenceCacheConcurrent, CursorSnapshotConsistentUnderConcurrentChurn) {
+  constexpr std::size_t kWriters = 3;
+  constexpr std::size_t kOps = 150;
+  constexpr std::size_t kRead = 1024;
+  auto cache = std::make_shared<SequenceCache<U64Symbol>>(128);
+  std::vector<U64Symbol> base;
+  SplitMix64 rng(5151);
+  for (std::size_t i = 0; i < 100; ++i) {
+    base.push_back(U64Symbol::random(rng.next()));
+    cache->add_symbol(base.back());
+  }
+
+  std::vector<std::uint64_t> seeds;
+  for (std::size_t w = 0; w < kWriters; ++w) seeds.push_back(rng.next());
+  std::vector<std::vector<U64Symbol>> live(kWriters);
+  std::atomic<bool> started{false};
+  std::vector<std::thread> fleet;
+  for (std::size_t w = 0; w < kWriters; ++w) {
+    fleet.emplace_back([&, w] {
+      SplitMix64 wrng(seeds[w]);
+      auto& mine = live[w];
+      for (std::size_t i = 0; i < kOps; ++i) {
+        if (i == 4 && w == 0) started.store(true, std::memory_order_release);
+        if (!mine.empty() && wrng.next() % 4 == 0) {
+          const std::size_t victim = wrng.next() % mine.size();
+          cache->remove_symbol(mine[victim]);
+          mine[victim] = mine.back();
+          mine.pop_back();
+        } else {
+          mine.push_back(U64Symbol::random(wrng.next()));
+          cache->add_symbol(mine.back());
+        }
+      }
+    });
+  }
+
+  // Snapshot mid-churn and stream it while writers keep going: seqlock
+  // retries, journal catch-up, and lazy growth all race live churn here.
+  while (!started.load(std::memory_order_acquire)) std::this_thread::yield();
+  SequenceCache<U64Symbol>::Cursor mid(cache);
+  std::vector<CodedSymbol<U64Symbol>> mid_cells;
+  mid_cells.reserve(kRead);
+  for (std::size_t i = 0; i < kRead; ++i) mid_cells.push_back(mid.next());
+  for (auto& t : fleet) t.join();
+
+  // Quiesced final stream, then decode (snapshot - final).
+  SequenceCache<U64Symbol>::Cursor fin(cache);
+  Decoder<U64Symbol> dec;
+  for (std::size_t i = 0; i < kRead && !dec.decoded(); ++i) {
+    CodedSymbol<U64Symbol> diff = mid_cells[i];
+    diff.subtract(fin.next());
+    dec.add_coded_symbol(diff);
+  }
+  REQUIRE(dec.decoded());
+
+  // Reconstruct the snapshot set S = (F \ local) | remote and pin the
+  // cursor's whole output to a fresh sketch of S.
+  std::set<U64Symbol> snap(base.begin(), base.end());
+  for (const auto& mine : live) snap.insert(mine.begin(), mine.end());
+  for (const auto& s : dec.local()) snap.erase(s.symbol);
+  for (const auto& s : dec.remote()) snap.insert(s.symbol);
+  Sketch<U64Symbol> fresh(kRead);
+  for (const auto& x : snap) fresh.add_symbol(x);
+  for (std::size_t i = 0; i < kRead; ++i) {
+    if (!(mid_cells[i] == fresh.cells()[i])) {
+      ADD_FAILURE() << "snapshot cell " << i
+                    << " diverges from the recovered snapshot set";
+      break;
+    }
+  }
+  CHECK_EQ(cache->live_cursor_count(), 2u);
+}
+
+// Satellite (ISSUE 7): the compaction threshold reads tombstone counters
+// that concurrent writers bump -- compaction must be able to fire (both
+// from the racy maybe_compact trigger and an explicit call on another
+// thread) while writers are mid-churn, without corrupting anything.
+TEST(SequenceCacheConcurrent, CompactionDuringConcurrentChurn) {
+  constexpr std::size_t kWriters = 3;
+  constexpr std::size_t kOps = 400;
+  SequenceCache<U64Symbol> cache(128);
+  SplitMix64 rng(6767);
+  std::vector<std::uint64_t> seeds;
+  for (std::size_t w = 0; w < kWriters; ++w) seeds.push_back(rng.next());
+  std::vector<std::vector<U64Symbol>> live(kWriters);
+  for (std::size_t w = 0; w < kWriters; ++w) {
+    SplitMix64 wrng(seeds[w] ^ 1);
+    for (std::size_t i = 0; i < 50; ++i) {
+      live[w].push_back(U64Symbol::random(wrng.next()));
+      cache.add_symbol(live[w].back());
+    }
+  }
+
+  std::atomic<bool> churning{true};
+  std::thread compactor([&] {
+    // Explicit compactions racing the writers' own maybe_compact triggers.
+    while (churning.load(std::memory_order_acquire)) {
+      cache.compact_window();
+      std::this_thread::yield();
+    }
+  });
+  std::vector<std::thread> fleet;
+  for (std::size_t w = 0; w < kWriters; ++w) {
+    fleet.emplace_back([&cache, &live, &seeds, w] {
+      SplitMix64 wrng(seeds[w]);
+      auto& mine = live[w];
+      for (std::size_t i = 0; i < kOps; ++i) {
+        // Pure replacement churn: maximal tombstone pressure.
+        const std::size_t victim = wrng.next() % mine.size();
+        cache.remove_symbol(mine[victim]);
+        mine[victim] = U64Symbol::random(wrng.next());
+        cache.add_symbol(mine[victim]);
+      }
+    });
+  }
+  for (auto& t : fleet) t.join();
+  churning.store(false, std::memory_order_release);
+  compactor.join();
+
+  std::size_t net = 0;
+  Sketch<U64Symbol> fresh(128);
+  for (const auto& mine : live) {
+    for (const auto& x : mine) fresh.add_symbol(x);
+    net += mine.size();
+  }
+  CHECK_EQ(cache.set_size(), net);
+  cache.compact_window();
+  CHECK_EQ(cache.window_tombstones(), 0u);
+  CHECK(cache.window_size() <= net);
+  const auto cells = cache.cells();
+  for (std::size_t i = 0; i < 128; ++i) {
+    if (!(cells[i] == fresh.cells()[i])) {
+      ADD_FAILURE() << "cell " << i << " diverges after concurrent "
+                       "compaction + churn";
       break;
     }
   }

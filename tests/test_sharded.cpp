@@ -258,5 +258,104 @@ TEST(Sharded, ThreadedServingReconcilesManyClients) {
   CHECK_EQ(stats.protocol_errors, 0u);
 }
 
+// ISSUE 7 tentpole: churn bypasses the shard mutex. Writer threads hammer
+// add_item/remove_item while worker threads serve live sessions from the
+// same engine; mid-churn sessions must still decode a superset of the
+// planted difference with an empty local side, the quiesced engine must
+// reconcile the exact difference, and the new EngineTotals ingest counters
+// (items_added / items_removed / journal_depth) must agree with what the
+// writers actually did. Runs under ASan in CI; the cache-level races are
+// covered separately by SequenceCacheConcurrent under TSan.
+TEST(Sharded, ConcurrentIngestWhileServing) {
+  constexpr std::size_t kShards = 2;
+  constexpr std::size_t kClients = 2;
+  constexpr std::size_t kWriters = 3;
+  constexpr std::size_t kPerWriter = 400;
+  const auto base = make_set_pair<Item32>(300, 20, 0, 57);
+  ShardedEngine<Item32> engine(kShards);
+  for (const auto& x : base.a) CHECK(engine.add_item(x));
+
+  std::vector<std::unique_ptr<ShardedClient<Item32>>> clients;
+  for (std::size_t c = 0; c < kClients; ++c) {
+    clients.push_back(std::make_unique<ShardedClient<Item32>>(
+        c + 1, kShards, BackendId::kRiblt));
+    for (const auto& y : base.b) clients[c]->add_item(y);
+  }
+  std::mutex submit_mu;
+  engine.start([&](std::vector<std::byte> frame) {
+    const std::uint64_t sid = v2::peek_session_id(frame);
+    const std::size_t c = static_cast<std::size_t>((sid - 1) / kShards);
+    ASSERT_LT(c, kClients);
+    for (auto& reply : clients[c]->handle_frame(frame)) {
+      const std::lock_guard<std::mutex> lk(submit_mu);
+      engine.submit(std::move(reply));
+    }
+  });
+
+  // Writers start first so the sessions below snapshot mid-churn. Every
+  // writer item is later removed by the same writer, so the quiesced set
+  // is exactly base.a again.
+  std::atomic<bool> writers_ok{true};
+  std::vector<std::thread> writers;
+  for (std::size_t w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&engine, &writers_ok, w] {
+      bool ok = true;
+      std::vector<Item32> mine;
+      mine.reserve(kPerWriter);
+      for (std::size_t i = 0; i < kPerWriter; ++i) {
+        mine.push_back(Item32::random(derive_seed(580 + w, i)));
+        ok = engine.add_item(mine.back()) && ok;
+        if (i % 2 == 1) ok = engine.remove_item(mine[i - 1]) && ok;
+      }
+      for (std::size_t i = 1; i < kPerWriter; i += 2) {
+        ok = engine.remove_item(mine[i]) && ok;
+      }
+      if (!ok) writers_ok.store(false, std::memory_order_relaxed);
+    });
+  }
+  for (auto& client : clients) {
+    for (auto& hello : client->hellos()) engine.submit(std::move(hello));
+  }
+  for (auto& t : writers) t.join();
+  CHECK(writers_ok.load());
+
+  for (int spin = 0; spin < 20000; ++spin) {
+    bool all = true;
+    for (const auto& client : clients) all = all && client->terminal();
+    if (all) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  engine.stop();
+
+  // Mid-churn sessions: snapshot isolation means each decoded against a
+  // consistent cut that contains all of base.a plus whatever writer items
+  // were live then -- so remote is a superset of the planted difference
+  // and local is empty.
+  const auto want_remote = key_set(base.only_a);
+  for (const auto& client : clients) {
+    REQUIRE(client->complete());
+    const auto diff = client->diff();
+    CHECK_EQ(diff.local.size(), 0u);
+    CHECK(diff.remote.size() >= base.only_a.size());
+    const auto got = key_set(diff.remote);
+    for (const auto& k : want_remote) CHECK(got.count(k) == 1u);
+  }
+
+  // Quiesced exact check through the synchronous pump.
+  ShardedClient<Item32> after(kClients + 1, kShards, BackendId::kRiblt);
+  for (const auto& y : base.b) after.add_item(y);
+  pump_sharded(engine, after);
+  REQUIRE(after.complete());
+  CHECK(key_set(after.diff().remote) == want_remote);
+  CHECK_EQ(after.diff().local.size(), 0u);
+
+  // Ingest counters roll up exactly across shards and writer threads.
+  const ShardedStats stats = engine.stats();
+  CHECK_EQ(stats.items, base.a.size());
+  CHECK_EQ(stats.totals.items_added, base.a.size() + kWriters * kPerWriter);
+  CHECK_EQ(stats.totals.items_removed, kWriters * kPerWriter);
+  CHECK_EQ(stats.protocol_errors, 0u);
+}
+
 }  // namespace
 }  // namespace ribltx::sync
