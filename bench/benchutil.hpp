@@ -26,6 +26,7 @@ namespace ribltx::bench {
 struct Options {
   bool full = false;
   bool smoke = false;       ///< tiny-N ctest mode: full code path, seconds
+  bool sweep = false;       ///< opt-in extra sweep (bench-specific meaning)
   int trials = 0;           ///< 0 = bench-specific default
   std::uint64_t seed = 1;
   std::string json_path;    ///< --json <path>: machine-readable output
@@ -44,6 +45,8 @@ struct Options {
         o.full = true;
       } else if (arg == "--smoke") {
         o.smoke = true;
+      } else if (arg == "--sweep") {
+        o.sweep = true;
       } else if (arg.rfind("--trials=", 0) == 0) {
         o.trials = std::atoi(arg.c_str() + 9);
       } else if (arg.rfind("--seed=", 0) == 0) {
@@ -54,7 +57,7 @@ struct Options {
         o.json_path = argv[++i];
       } else if (arg == "--help" || arg == "-h") {
         std::printf(
-            "usage: %s [--full|--smoke] [--trials=N] [--seed=N] "
+            "usage: %s [--full|--smoke] [--sweep] [--trials=N] [--seed=N] "
             "[--json <path>]\n",
             argv[0]);
         std::exit(0);

@@ -14,6 +14,17 @@
 // Sessions run back to back (one in flight), so sessions_per_s ~=
 // 1/latency and the p50/p99 spread isolates transport jitter rather than
 // queueing from concurrent load (extra_shard_scaling covers concurrency).
+//
+// --sweep (ISSUE 8 acceptance) adds the connection-count sweep: 100 -> 1k
+// -> 10k open connections running paced sessions against the epoll server
+// and the io_uring server (when the kernel has it), reporting sessions/s,
+// p50/p99 latency, and syscalls/session from SocketServerStats. In default
+// (non-smoke) mode the sweep gates that at the top tier uring serves at
+// least as many sessions/s as epoll while issuing at most half the
+// syscalls per session; the gate auto-skips without io_uring or under
+// sanitizers (whose syscall interception distorts both sides).
+#include <sys/resource.h>
+
 #include <algorithm>
 #include <atomic>
 #include <chrono>
@@ -25,6 +36,18 @@
 #include "benchutil.hpp"
 #include "net/socket_client.hpp"
 #include "net/socket_server.hpp"
+#include "net/uring_server.hpp"
+
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define RIBLT_BENCH_SANITIZED 1
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer)
+#define RIBLT_BENCH_SANITIZED 1
+#endif
+#endif
+#ifndef RIBLT_BENCH_SANITIZED
+#define RIBLT_BENCH_SANITIZED 0
+#endif
 
 namespace {
 
@@ -155,6 +178,139 @@ RunResult run_loopback(const Workload& w) {
   return summarize(std::move(latencies), wall, correct);
 }
 
+// ------------------------------------------------------ connection sweep
+
+struct SweepResult {
+  std::size_t conns = 0;
+  std::size_t sessions = 0;
+  double wall_s = 0;
+  double sessions_per_s = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+  double syscalls_per_session = 0;
+  std::uint64_t sqe_submits = 0;
+  bool ok = false;
+};
+
+/// Raises the soft RLIMIT_NOFILE to the hard cap and returns the largest
+/// connection count that fits: each open connection costs two fds in this
+/// process (client end + accepted end), and the engine, rings, eventfds,
+/// and stdio need headroom.
+std::size_t clamp_conns_to_nofile(std::size_t want) {
+  rlimit rl{};
+  if (getrlimit(RLIMIT_NOFILE, &rl) != 0) return want;
+  if (rl.rlim_cur < rl.rlim_max) {
+    rl.rlim_cur = rl.rlim_max;
+    (void)setrlimit(RLIMIT_NOFILE, &rl);
+    (void)getrlimit(RLIMIT_NOFILE, &rl);
+  }
+  const auto cur = static_cast<std::size_t>(rl.rlim_cur);
+  const std::size_t budget = cur > 256 ? (cur - 256) / 2 : 8;
+  return std::min(want, budget);
+}
+
+/// One sweep tier: `conns` open connections, each running
+/// `sessions_per_conn` small reconciliations (n=256, d=16, 2 shards) paced
+/// round-robin by a fixed pool of client threads. Most connections sit
+/// idle at any instant -- exactly the many-peers shape the serving loop
+/// has to scale across -- while syscalls/session comes from the server's
+/// own counters (connection setup amortizes into it).
+SweepResult run_sweep_tier(bool use_uring, std::size_t conns,
+                           std::size_t sessions_per_conn,
+                           std::uint64_t seed) {
+  constexpr std::size_t kN = 256;
+  constexpr std::size_t kD = 16;
+  constexpr std::size_t kShards = 2;
+
+  std::vector<U64Symbol> items;
+  items.reserve(kN);
+  SplitMix64 rng(seed);
+  for (std::size_t i = 0; i < kN; ++i) {
+    items.push_back(U64Symbol::random(rng.next()));
+  }
+
+  sync::ShardedEngine<U64Symbol> engine(kShards);
+  for (const auto& x : items) engine.add_item(x);
+  net::AnyServer<U64Symbol> server(engine, {}, use_uring);
+  server.start();
+  const std::uint16_t port = server.port();
+
+  const std::size_t pool = std::min<std::size_t>(conns, 8);
+  std::vector<std::unique_ptr<net::SocketClient>> socks(conns);
+  std::atomic<std::size_t> connect_failures{0};
+
+  const auto connect_range = [&](std::size_t t) {
+    for (std::size_t c = t; c < conns; c += pool) {
+      try {
+        socks[c] = std::make_unique<net::SocketClient>(port);
+      } catch (...) {
+        connect_failures.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  };
+  {
+    std::vector<std::thread> ts;
+    ts.reserve(pool);
+    for (std::size_t t = 0; t < pool; ++t) ts.emplace_back(connect_range, t);
+    for (auto& th : ts) th.join();
+  }
+
+  const std::size_t total = conns * sessions_per_conn;
+  std::vector<double> lat(total, 0.0);
+  std::vector<unsigned char> okv(total, 0);
+
+  bench::Timer wall;
+  const auto serve_range = [&](std::size_t t) {
+    for (std::size_t k = 0; k < sessions_per_conn; ++k) {
+      for (std::size_t c = t; c < conns; c += pool) {
+        if (!socks[c]) continue;
+        const std::size_t g = c * sessions_per_conn + k;
+        sync::ShardedClient<U64Symbol> client(g + 1, kShards,
+                                              sync::BackendId::kRiblt);
+        const std::size_t start = (g * kD) % kN;
+        for (std::size_t i = 0; i < kN; ++i) {
+          if (((i + kN - start) % kN) >= kD) client.add_item(items[i]);
+        }
+        bench::Timer timer;
+        const bool done = run_session(*socks[c], client, /*timeout_s=*/120.0);
+        lat[g] = timer.elapsed();
+        okv[g] = done && client.diff().remote.size() == kD &&
+                 client.diff().local.empty();
+      }
+    }
+  };
+  {
+    std::vector<std::thread> ts;
+    ts.reserve(pool);
+    for (std::size_t t = 0; t < pool; ++t) ts.emplace_back(serve_range, t);
+    for (auto& th : ts) th.join();
+  }
+  const double wall_s = wall.elapsed();
+
+  for (auto& s : socks) s.reset();  // disconnect before stopping the server
+  server.stop();
+  const net::SocketServerStats stats = server.stats();
+
+  bool correct = connect_failures.load() == 0 &&
+                 stats.protocol_errors == 0 &&
+                 stats.connections_accepted == conns;
+  for (const unsigned char o : okv) correct = correct && o != 0;
+
+  const RunResult base = summarize(std::move(lat), wall_s, correct);
+  SweepResult r;
+  r.conns = conns;
+  r.sessions = total;
+  r.wall_s = base.wall_s;
+  r.sessions_per_s = base.sessions_per_s;
+  r.p50_ms = base.p50_ms;
+  r.p99_ms = base.p99_ms;
+  r.syscalls_per_session =
+      static_cast<double>(stats.syscalls()) / static_cast<double>(total);
+  r.sqe_submits = stats.sqe_submits;
+  r.ok = base.ok;
+  return r;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -216,5 +372,86 @@ int main(int argc, char** argv) {
         .num("p50_ms", r.p50_ms)
         .num("p99_ms", r.p99_ms);
   }
-  return (mem.ok && loop.ok && same_magnitude) ? 0 : 1;
+
+  bool sweep_ok = true;
+  if (opts.sweep) {
+    const std::vector<std::size_t> tiers =
+        opts.smoke ? std::vector<std::size_t>{8, 32}
+                   : std::vector<std::size_t>{100, 1'000, 10'000};
+    const std::size_t session_target = opts.pick<std::size_t>(64, 2'048, 4'096);
+    const bool have_uring = net::uring_available();
+
+    std::printf("\n# Connection-count sweep: paced sessions over many open "
+                "connections, epoll vs io_uring\n");
+    if (!have_uring) {
+      std::printf("# io_uring unavailable on this kernel/build: sweeping the "
+                  "epoll server only, crossover gate skipped\n");
+    }
+    std::printf("%-8s %-7s %-9s %-10s %-16s %-10s %-10s %-18s %-12s %-4s\n",
+                "backend", "conns", "sessions", "wall_s", "sessions_per_s",
+                "p50_ms", "p99_ms", "syscalls_per_sess", "sqe_submits", "ok");
+
+    SweepResult top_epoll;
+    SweepResult top_uring;
+    for (const std::size_t tier : tiers) {
+      const std::size_t conns = clamp_conns_to_nofile(tier);
+      if (conns != tier) {
+        std::printf("# tier %zu clamped to %zu connections by RLIMIT_NOFILE\n",
+                    tier, conns);
+      }
+      const std::size_t per_conn = std::max<std::size_t>(
+          1, session_target / std::max<std::size_t>(1, conns));
+      for (const bool use_uring : {false, true}) {
+        if (use_uring && !have_uring) continue;
+        const SweepResult r = run_sweep_tier(use_uring, conns, per_conn,
+                                             opts.seed + tier);
+        const char* backend = use_uring ? "uring" : "epoll";
+        std::printf(
+            "%-8s %-7zu %-9zu %-10.4f %-16.1f %-10.3f %-10.3f %-18.2f "
+            "%-12llu %-4s\n",
+            backend, r.conns, r.sessions, r.wall_s, r.sessions_per_s,
+            r.p50_ms, r.p99_ms, r.syscalls_per_session,
+            static_cast<unsigned long long>(r.sqe_submits), r.ok ? "y" : "N");
+        std::fflush(stdout);
+        sweep_ok = sweep_ok && r.ok;
+        if (tier == tiers.back()) (use_uring ? top_uring : top_epoll) = r;
+        report.row()
+            .str("transport", backend)
+            .num("tier", tier)
+            .num("conns", r.conns)
+            .num("sessions", r.sessions)
+            .num("wall_s", r.wall_s)
+            .num("sessions_per_s", r.sessions_per_s)
+            .num("p50_ms", r.p50_ms)
+            .num("p99_ms", r.p99_ms)
+            .num("syscalls_per_session", r.syscalls_per_session)
+            .num("sqe_submits", r.sqe_submits);
+      }
+    }
+
+    // Crossover gate (default mode only): at the top tier the uring server
+    // must serve at least as many sessions/s as epoll -- 5% tolerance for
+    // the run-to-run noise of a shared box -- while issuing at most half
+    // the syscalls per session. Sanitizer builds intercept every syscall
+    // and distort both sides, so they report without gating.
+    if (!opts.smoke && have_uring && !RIBLT_BENCH_SANITIZED) {
+      const bool rate_ok =
+          top_uring.sessions_per_s >= 0.95 * top_epoll.sessions_per_s;
+      const bool syscall_ok = top_epoll.syscalls_per_session >=
+                              2.0 * top_uring.syscalls_per_session;
+      std::printf("# top-tier crossover: uring %.1f vs epoll %.1f sessions/s "
+                  "(%s), syscalls/session %.2f vs %.2f (%s)\n",
+                  top_uring.sessions_per_s, top_epoll.sessions_per_s,
+                  rate_ok ? "ok" : "REGRESSION",
+                  top_uring.syscalls_per_session,
+                  top_epoll.syscalls_per_session,
+                  syscall_ok ? ">=2x reduction" : "UNDER 2x");
+      sweep_ok = sweep_ok && rate_ok && syscall_ok;
+    } else if (!opts.smoke) {
+      std::printf("# crossover gate skipped (%s)\n",
+                  have_uring ? "sanitizer build" : "no io_uring");
+    }
+  }
+
+  return (mem.ok && loop.ok && same_magnitude && sweep_ok) ? 0 : 1;
 }

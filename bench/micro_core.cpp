@@ -27,6 +27,7 @@
 #include "common/rng.hpp"
 #include "core/atomic_cell.hpp"
 #include "core/riblt.hpp"
+#include "net/frame_conduit.hpp"
 #include "pinsketch/pinsketch.hpp"
 
 namespace {
@@ -239,6 +240,41 @@ void BM_SketchAddSymbol(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_SketchAddSymbol);
+
+void BM_FrameConduitEmit(benchmark::State& state) {
+  // The serving path's per-frame allocation cost: send() materializes a
+  // length-prefix buffer and feed() materializes each inbound frame, both
+  // on the serving thread. With pooling (range(0) = 1, the production
+  // default) completed buffers recycle through the conduit's free list;
+  // without it every frame is a fresh heap vector. The before/after pair
+  // is ISSUE 8's S3 measurement -- steady-state emit+consume should show
+  // the pooled path dodging the allocator entirely.
+  // One conduit plays both directions, like a server conn: consume()
+  // recycles the emitted prefix+payload buffers, feed() and the next
+  // send() draw them back out, so the pooled steady state allocates only
+  // the caller's frame copy (which both modes pay identically).
+  const bool pooled = state.range(0) != 0;
+  net::FrameConduit conduit(net::FrameConduit::kDefaultMaxFrame, pooled);
+  std::vector<std::byte> frame(512);
+  SplitMix64 rng(23);
+  for (auto& b : frame) b = static_cast<std::byte>(rng.next());
+  std::span<const std::byte> chunks[8];
+  for (auto _ : state) {
+    conduit.send(std::vector<std::byte>(frame));
+    const std::size_t n = conduit.gather(chunks);
+    std::size_t bytes = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      conduit.feed(chunks[i]);
+      bytes += chunks[i].size();
+    }
+    conduit.consume(bytes);
+    benchmark::DoNotOptimize(conduit.next_frame());
+  }
+  state.SetItemsProcessed(state.iterations());
+  state.SetBytesProcessed(state.iterations() *
+                          static_cast<std::int64_t>(frame.size()));
+}
+BENCHMARK(BM_FrameConduitEmit)->Arg(1)->Arg(0);
 
 void BM_Gf64Mul(benchmark::State& state) {
   pinsketch::GF64 a(0x123456789abcdef1ULL), b(0xfedcba9876543211ULL);

@@ -20,6 +20,14 @@
 //             gather()/consume(); pending_bytes() is the send-buffer
 //             fullness that SocketServer maps the shard workers' blocking
 //             sink backpressure onto.
+//
+// Buffer reuse: buffers retired by consume() (transmitted prefixes and
+// frame bodies) park in a small bounded pool and are handed back out for
+// future length prefixes and reassembled inbound frames, so the per-frame
+// emit hot path stops paying a heap alloc/free pair per frame (measured in
+// bench/micro_core.cpp BM_FrameConduitEmit, pooled vs heap). The pool is
+// capped in count and per-buffer capacity so a burst of maximum-size
+// frames cannot pin megabytes.
 #pragma once
 
 #include <cstdint>
@@ -42,8 +50,11 @@ class FrameConduit {
   /// magnitude of headroom while keeping a hostile length claim harmless.
   static constexpr std::size_t kDefaultMaxFrame = 16u << 20;
 
-  explicit FrameConduit(std::size_t max_frame = kDefaultMaxFrame)
-      : max_frame_(max_frame) {}
+  /// `pool_buffers` false disables retired-buffer reuse (the heap baseline
+  /// the micro benchmark compares against).
+  explicit FrameConduit(std::size_t max_frame = kDefaultMaxFrame,
+                        bool pool_buffers = true)
+      : max_frame_(max_frame), pool_buffers_(pool_buffers) {}
 
   [[nodiscard]] std::size_t max_frame() const noexcept { return max_frame_; }
 
@@ -66,8 +77,10 @@ class FrameConduit {
         throw sync::ProtocolError("FrameConduit: frame length exceeds bound");
       }
       if (in_.size() - pos < len) break;  // incomplete body: wait
-      inbox_.emplace_back(in_.begin() + static_cast<std::ptrdiff_t>(pos),
-                          in_.begin() + static_cast<std::ptrdiff_t>(pos + len));
+      std::vector<std::byte> frame = take_pooled();
+      frame.assign(in_.begin() + static_cast<std::ptrdiff_t>(pos),
+                   in_.begin() + static_cast<std::ptrdiff_t>(pos + len));
+      inbox_.push_back(std::move(frame));
       in_pos_ = pos + static_cast<std::size_t>(len);
       compact();
     }
@@ -102,7 +115,7 @@ class FrameConduit {
     if (frame.size() > max_frame_) {
       throw sync::ProtocolError("FrameConduit: refusing to send oversized frame");
     }
-    std::vector<std::byte> prefix;
+    std::vector<std::byte> prefix = take_pooled();
     put_uvarint(prefix, frame.size());
     pending_out_ += prefix.size() + frame.size();
     out_.push_back(std::move(prefix));
@@ -145,12 +158,35 @@ class FrameConduit {
         return;
       }
       n -= left;
+      recycle(std::move(out_.front()));
       out_.pop_front();
       out_offset_ = 0;
     }
   }
 
  private:
+  static constexpr std::size_t kPoolMaxBuffers = 32;
+  /// Buffers above this capacity are released, not pooled: one hostile-
+  /// large (but legal) frame must not pin max_frame-sized capacity.
+  static constexpr std::size_t kPoolMaxCapacity = 256u << 10;
+
+  /// A cleared buffer from the pool, or a fresh one when the pool is dry.
+  [[nodiscard]] std::vector<std::byte> take_pooled() {
+    if (pool_.empty()) return {};
+    std::vector<std::byte> out = std::move(pool_.back());
+    pool_.pop_back();
+    out.clear();
+    return out;
+  }
+
+  /// Parks a retired buffer for reuse (bounded count and capacity).
+  void recycle(std::vector<std::byte>&& buf) {
+    if (pool_buffers_ && pool_.size() < kPoolMaxBuffers &&
+        buf.capacity() != 0 && buf.capacity() <= kPoolMaxCapacity) {
+      pool_.push_back(std::move(buf));
+    }
+  }
+
   /// Decodes a uvarint at `pos` without consuming; false when the buffer
   /// ends mid-varint. Mirrors common/varint.hpp's bounds (a >10-byte prefix
   /// means a length that cannot fit max_frame_ anyway).
@@ -185,6 +221,8 @@ class FrameConduit {
   std::size_t out_offset_ = 0;  ///< drain offset into out_.front()
   std::size_t pending_out_ = 0;
   bool poisoned_ = false;
+  bool pool_buffers_;
+  std::vector<std::vector<std::byte>> pool_;  ///< retired buffers for reuse
 };
 
 }  // namespace ribltx::net

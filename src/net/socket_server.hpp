@@ -58,9 +58,19 @@ struct SocketServerOptions {
   /// unbounded loopback buffers).
   int send_buffer = 64 << 10;
   std::size_t max_frame = FrameConduit::kDefaultMaxFrame;
+  /// UringServer-only knobs (the epoll server ignores them): disable the
+  /// provided-buffer-ring multishot recv or the MSG_RING wakeup to force
+  /// the single-shot recv / eventfd fallback paths without an old kernel.
+  bool uring_buffer_ring = true;
+  bool uring_msg_ring = true;
 };
 
 /// Transport-layer counters (engine-layer stats live in ShardedStats).
+/// The syscall columns are the bench's syscalls/session source -- counted
+/// at the call sites, not strace'd -- and are populated by both servers:
+/// the epoll path counts read/sendmsg/epoll_wait/eventfd-write; the uring
+/// path counts io_uring_enter under `syscalls_wait` (its only steady-state
+/// syscall) plus `sqe_submits` for the batching numerator.
 struct SocketServerStats {
   std::uint64_t connections_accepted = 0;
   std::uint64_t connections_closed = 0;
@@ -68,6 +78,17 @@ struct SocketServerStats {
   std::uint64_t frames_out = 0;
   std::uint64_t frames_dropped = 0;   ///< outbound with no live route
   std::uint64_t protocol_errors = 0;  ///< router rejects + framing poisons
+  std::uint64_t syscalls_read = 0;    ///< read()s (epoll path)
+  std::uint64_t syscalls_write = 0;   ///< sendmsg()s (epoll path)
+  std::uint64_t syscalls_wait = 0;    ///< epoll_wait()s / io_uring_enter()s
+  std::uint64_t wakeups = 0;          ///< cross-thread wakeup syscalls
+  std::uint64_t sqe_submits = 0;      ///< SQEs handed to the kernel (uring)
+
+  /// Total data-path syscalls (sqe_submits excluded: an SQE is not a
+  /// syscall, that is the whole point).
+  [[nodiscard]] std::uint64_t syscalls() const noexcept {
+    return syscalls_read + syscalls_write + syscalls_wait + wakeups;
+  }
 };
 
 template <Symbol T, typename Hasher = SipHasher<T>>
@@ -128,6 +149,10 @@ class SocketServer {
       conns_.clear();
       routes_.clear();
     }
+    {
+      const std::lock_guard<std::mutex> lk(dirty_mu_);
+      dirty_.clear();
+    }
     running_ = false;
   }
 
@@ -141,15 +166,20 @@ class SocketServer {
     out.frames_out = frames_out_.load(std::memory_order_relaxed);
     out.frames_dropped = dropped_.load(std::memory_order_relaxed);
     out.protocol_errors = protocol_errors_.load(std::memory_order_relaxed);
+    out.syscalls_read = syscalls_read_.load(std::memory_order_relaxed);
+    out.syscalls_write = syscalls_write_.load(std::memory_order_relaxed);
+    out.syscalls_wait = syscalls_wait_.load(std::memory_order_relaxed);
+    out.wakeups = wakeups_.load(std::memory_order_relaxed);
     return out;
   }
 
  private:
   struct Conn {
-    explicit Conn(int fd, std::size_t max_frame)
-        : io(fd), conduit(max_frame) {}
+    explicit Conn(int fd, std::uint64_t key_, std::size_t max_frame)
+        : io(fd), key(key_), conduit(max_frame) {}
 
     TcpConn io;
+    const std::uint64_t key;  ///< epoll key / conns_ index
     FrameConduit conduit;  ///< poll thread only, both directions
 
     std::mutex mu;  ///< guards staged/staged_bytes (sink <-> poll thread)
@@ -160,6 +190,9 @@ class SocketServer {
     /// (the conduit itself is poll-thread-only).
     std::atomic<std::size_t> conduit_pending{0};
     std::atomic<bool> dead{false};
+    /// In the poll thread's dirty list (has undrained staged frames).
+    /// Guard against re-enqueueing; see drain_dirty() for the ordering.
+    std::atomic<bool> dirty{false};
     bool want_write = false;  ///< poll thread: current epoll interest
   };
 
@@ -208,7 +241,25 @@ class SocketServer {
       conn->staged.push_back(std::move(frame));
     }
     frames_out_.fetch_add(1, std::memory_order_relaxed);
-    wakeup_.signal();
+    mark_dirty(conn);
+    // Coalesced wakeup: every sink used to write the eventfd per frame
+    // (thousands of syscalls/sec under load that the poll thread collapsed
+    // into one drain anyway). One wakeup is pending until the poll thread
+    // clears the flag at the start of its drain cycle; stages landing
+    // before the clear ride the already-pending wakeup.
+    if (!wake_pending_.exchange(true, std::memory_order_acq_rel)) {
+      wakeup_.signal();
+      wakeups_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  /// Enqueues `conn` for the poll thread's next drain cycle (idempotent
+  /// until the poll thread clears the flag).
+  void mark_dirty(const std::shared_ptr<Conn>& conn) {
+    if (!conn->dirty.exchange(true, std::memory_order_acq_rel)) {
+      const std::lock_guard<std::mutex> lk(dirty_mu_);
+      dirty_.push_back(conn);
+    }
   }
 
   // --------------------------------------------------------- poll thread
@@ -219,20 +270,23 @@ class SocketServer {
     Poller::Event events[64];
     while (!stopping_.load(std::memory_order_acquire)) {
       const std::size_t n = poller_.wait(events, /*timeout_ms=*/200);
+      syscalls_wait_.fetch_add(1, std::memory_order_relaxed);
       for (std::size_t i = 0; i < n; ++i) {
         const Poller::Event& ev = events[i];
         if (ev.key == kListenerKey) {
           accept_all();
         } else if (ev.key == kWakeupKey) {
           wakeup_.drain();
-          drain_staged_all();
         } else {
           on_conn_event(ev);
         }
       }
-      // Staged frames may land between epoll_wait returns; the wakeup fd
-      // covers the steady state, this covers the race at the edge.
-      drain_staged_all();
+      // Clear the pending-wakeup flag BEFORE draining: a sink that stages
+      // after the clear signals a fresh wakeup; one that staged before it
+      // is picked up by this very drain. Clear-after-drain would strand
+      // frames staged in the window until the 200ms tick.
+      wake_pending_.store(false, std::memory_order_release);
+      drain_dirty();
     }
   }
 
@@ -242,7 +296,7 @@ class SocketServer {
       if (fd < 0) return;
       set_send_buffer(fd, options_.send_buffer);
       const std::uint64_t key = next_conn_key_++;
-      auto conn = std::make_shared<Conn>(fd, options_.max_frame);
+      auto conn = std::make_shared<Conn>(fd, key, options_.max_frame);
       {
         const std::lock_guard<std::mutex> lk(conns_mu_);
         conns_.emplace(key, conn);
@@ -275,6 +329,7 @@ class SocketServer {
     std::byte buf[64 * 1024];
     for (;;) {
       const TcpConn::IoResult r = conn->io.read_some(buf);
+      syscalls_read_.fetch_add(1, std::memory_order_relaxed);
       if (r.status == TcpConn::Io::kWouldBlock) break;
       if (r.status == TcpConn::Io::kClosed) {
         close_conn(key, *conn);
@@ -322,8 +377,8 @@ class SocketServer {
       const auto [it, inserted] = routes_.emplace(sid, conn);
       if (!inserted && it->second.get() != conn.get()) {
         protocol_errors_.fetch_add(1, std::memory_order_relaxed);
-        stage_local(*conn, sync::v2::make_error_frame(
-                               sid, "session belongs to another connection"));
+        stage_local(conn, sync::v2::make_error_frame(
+                              sid, "session belongs to another connection"));
         return true;
       }
       inserted_route = inserted;
@@ -337,7 +392,7 @@ class SocketServer {
       // sever the live session's reply route.
       protocol_errors_.fetch_add(1, std::memory_order_relaxed);
       if (inserted_route) drop_route_if_self(sid, *conn);
-      stage_local(*conn, sync::v2::make_error_frame(sid, e.what()));
+      stage_local(conn, sync::v2::make_error_frame(sid, e.what()));
       return true;
     }
     if (type == static_cast<std::uint8_t>(sync::v2::FrameType::kDone) ||
@@ -358,27 +413,38 @@ class SocketServer {
 
   /// Stages a poll-thread-generated frame (ERROR replies) onto `conn`,
   /// bypassing the sink watermark: these are tiny and must get out even
-  /// when the peer is backpressured.
-  void stage_local(Conn& conn, std::vector<std::byte> frame) {
+  /// when the peer is backpressured. Delivery rides the end-of-iteration
+  /// drain_dirty() sweep -- flushing inline here could close the conn in
+  /// the middle of its own read_ready frame loop.
+  void stage_local(const std::shared_ptr<Conn>& conn,
+                   std::vector<std::byte> frame) {
     {
-      const std::lock_guard<std::mutex> lk(conn.mu);
-      conn.staged_bytes += frame.size();
-      conn.staged.push_back(std::move(frame));
+      const std::lock_guard<std::mutex> lk(conn->mu);
+      conn->staged_bytes += frame.size();
+      conn->staged.push_back(std::move(frame));
     }
     frames_out_.fetch_add(1, std::memory_order_relaxed);
-    drain_staged(conn);
+    mark_dirty(conn);
   }
 
-  void drain_staged_all() {
-    // Snapshot the table, then work unlocked: flush_conn may close.
-    std::vector<std::pair<std::uint64_t, std::shared_ptr<Conn>>> snapshot;
+  /// Drains only the connections sinks have staged onto since the last
+  /// cycle. The previous full-table sweep was O(connections) per loop
+  /// iteration -- ruinous at 10k mostly-idle paced sessions.
+  void drain_dirty() {
+    std::vector<std::shared_ptr<Conn>> batch;
     {
-      const std::lock_guard<std::mutex> lk(conns_mu_);
-      snapshot.assign(conns_.begin(), conns_.end());
+      const std::lock_guard<std::mutex> lk(dirty_mu_);
+      batch.swap(dirty_);
     }
-    for (auto& [key, conn] : snapshot) {
+    for (auto& conn : batch) {
+      // Clear before draining: a sink staging concurrently either lands in
+      // this drain (staged before the clear) or re-enqueues the conn
+      // (exchange sees false after it). Clear-after-drain loses frames
+      // staged in between.
+      conn->dirty.store(false, std::memory_order_release);
+      if (conn->dead.load(std::memory_order_acquire)) continue;
       drain_staged(*conn);
-      flush_conn(key, *conn);
+      flush_conn(conn->key, *conn);
     }
   }
 
@@ -405,6 +471,7 @@ class SocketServer {
       const TcpConn::IoResult r =
           conn.io.write_gather(std::span<const std::span<const std::byte>>(
               chunks, n));
+      syscalls_write_.fetch_add(1, std::memory_order_relaxed);
       if (r.status == TcpConn::Io::kClosed) {
         close_conn(key, conn);
         return;
@@ -482,6 +549,10 @@ class SocketServer {
   std::unordered_map<std::uint64_t, std::shared_ptr<Conn>> routes_;  ///< sid->
   std::uint64_t next_conn_key_ = kFirstConnKey;  ///< poll thread only
 
+  std::mutex dirty_mu_;
+  std::vector<std::shared_ptr<Conn>> dirty_;  ///< staged-but-undrained conns
+  std::atomic<bool> wake_pending_{false};     ///< eventfd write coalescing
+
   std::thread poll_thread_;
   std::atomic<bool> stopping_{false};
   bool running_ = false;
@@ -492,6 +563,10 @@ class SocketServer {
   std::atomic<std::uint64_t> frames_out_{0};
   std::atomic<std::uint64_t> dropped_{0};
   std::atomic<std::uint64_t> protocol_errors_{0};
+  std::atomic<std::uint64_t> syscalls_read_{0};
+  std::atomic<std::uint64_t> syscalls_write_{0};
+  std::atomic<std::uint64_t> syscalls_wait_{0};
+  std::atomic<std::uint64_t> wakeups_{0};
 };
 
 }  // namespace ribltx::net

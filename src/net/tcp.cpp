@@ -130,7 +130,9 @@ TcpListener::TcpListener(std::uint16_t port) {
     errno = saved;
     throw_errno("bind(127.0.0.1)");
   }
-  if (::listen(fd_, 128) < 0) {
+  // A 10k-connection sweep can dump thousands of SYNs into the backlog
+  // faster than one accept loop drains them; 128 drops the excess.
+  if (::listen(fd_, 1024) < 0) {
     const int saved = errno;
     ::close(fd_);
     fd_ = -1;
@@ -190,6 +192,10 @@ TcpConn TcpConn::connect_loopback(std::uint16_t port, bool nonblocking,
   set_nodelay(fd);
   if (nonblocking) set_nonblocking(fd);
   return TcpConn(fd);
+}
+
+void TcpConn::shutdown_both() noexcept {
+  if (fd_ >= 0) (void)::shutdown(fd_, SHUT_RDWR);
 }
 
 void TcpConn::close() noexcept {

@@ -135,6 +135,12 @@ class TcpConn {
   [[nodiscard]] bool open() const noexcept { return fd_ >= 0; }
   void close() noexcept;
 
+  /// shutdown(SHUT_RDWR) without closing the fd. The io_uring close path
+  /// needs this split: in-flight SQEs hold a reference to the file, so
+  /// close() alone neither cancels them nor tears the socket down --
+  /// shutdown forces pending recv/send completions to error out first.
+  void shutdown_both() noexcept;
+
   [[nodiscard]] IoResult read_some(std::span<std::byte> buf) noexcept;
 
   /// writev over the scatter list (at most kMaxIov spans used per call).

@@ -8,6 +8,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdio>
 #include <cstring>
 #include <string>
 #include <thread>
@@ -16,6 +17,7 @@
 #include "net/frame_conduit.hpp"
 #include "net/socket_client.hpp"
 #include "net/socket_server.hpp"
+#include "net/uring_server.hpp"
 #include "testutil.hpp"
 
 namespace ribltx::net {
@@ -351,6 +353,310 @@ TEST(SocketTransport, DisconnectAbortsTheEngineSession) {
   REQUIRE(run_session(sock, healthy, /*timeout_s=*/60.0));
   CHECK(key_set(healthy.diff().remote) == key_set(w.only_a));
   server.stop();
+}
+
+// The epoll server's syscall accounting (the bench's syscalls/session
+// source): a real session must show reads, writes, waits, and at least one
+// coalesced wakeup; sqe_submits stays zero on this path.
+TEST(SocketTransport, SyscallCountersPopulated) {
+  const auto w = make_set_pair<Item8>(400, 16, 10, 97);
+  sync::ShardedEngine<Item8> engine(1);
+  for (const auto& x : w.a) engine.add_item(x);
+  SocketServer<Item8> server(engine);
+  server.start();
+
+  sync::ShardedClient<Item8> client(1, 1, BackendId::kRiblt);
+  for (const auto& y : w.b) client.add_item(y);
+  SocketClient sock(server.port());
+  REQUIRE(run_session(sock, client, /*timeout_s=*/60.0));
+  server.stop();
+
+  const SocketServerStats stats = server.stats();
+  CHECK(stats.syscalls_read > 0u);
+  CHECK(stats.syscalls_write > 0u);
+  CHECK(stats.syscalls_wait > 0u);
+  CHECK(stats.wakeups > 0u);
+  CHECK_EQ(stats.sqe_submits, 0u);
+  // Coalescing invariant: wakeup syscalls never exceed staged frames.
+  CHECK(stats.wakeups <= stats.frames_out);
+  CHECK(stats.syscalls() > 0u);
+}
+
+// Disabling the pool must not change observable behavior; with it on,
+// drained output buffers are recycled into inbound frames byte-for-byte
+// correctly across many alloc/retire cycles.
+TEST(FrameConduit, PooledAndUnpooledRoundTripIdentically) {
+  FrameConduit pooled{FrameConduit::kDefaultMaxFrame, /*pool_buffers=*/true};
+  FrameConduit bare{FrameConduit::kDefaultMaxFrame, /*pool_buffers=*/false};
+  SplitMix64 rng(23);
+  for (std::size_t round = 0; round < 50; ++round) {
+    std::vector<std::byte> f(1 + rng.next() % 900);
+    for (auto& b : f) b = static_cast<std::byte>(rng.next());
+    for (FrameConduit* c : {&pooled, &bare}) {
+      c->send(std::vector<std::byte>(f));
+      while (c->has_output()) {
+        std::span<const std::byte> chunks[4];
+        const std::size_t n = c->gather(chunks);
+        REQUIRE(n > 0u);
+        const std::size_t take =
+            std::min<std::size_t>(chunks[0].size(), 1 + rng.next() % 64);
+        c->feed(chunks[0].subspan(0, take));  // loop output back as input
+        c->consume(take);
+      }
+      auto got = c->next_frame();
+      REQUIRE(got.has_value());
+      CHECK(*got == f);
+      CHECK(!c->next_frame().has_value());
+    }
+  }
+}
+
+// ------------------------------------------------- io_uring serving path
+
+/// The uring suite self-skips (early return, not failure) when the build
+/// has io_uring but the kernel or seccomp profile rules the ring out; the
+/// in-tree framework has no skip verdict, so this prints the reason and
+/// passes vacuously. In an epoll-only build (RIBLT_ENABLE_URING=OFF or no
+/// UAPI header) UringServer aliases SocketServer, so the suite runs as an
+/// extra epoll-parity pass instead of skipping.
+bool uring_or_skip(const char* test) {
+#if defined(RIBLT_HAS_IO_URING)
+  if (uring_available()) return true;
+  std::printf("  [skip] %s: io_uring unavailable (%s)\n", test,
+              uring_caps().reason);
+  return false;
+#else
+  (void)test;
+  return true;
+#endif
+}
+
+// Tentpole acceptance: UringServer diffs byte-identical to the in-memory
+// path (and therefore to SocketServer, which the epoll test above pins to
+// the same reference) for all four backends.
+TEST(UringTransport, LoopbackParityAllBackends) {
+  if (!uring_or_skip("LoopbackParityAllBackends")) return;
+  const auto w = make_set_pair<Item8>(600, 24, 17, 91);
+  constexpr std::size_t kShards = 2;
+  for (const BackendId backend :
+       {BackendId::kRiblt, BackendId::kIbltStrata, BackendId::kCpi,
+        BackendId::kMetIblt}) {
+    const sync::SetDiff<Item8> want = memory_diff(w, kShards, backend);
+    REQUIRE_EQ(want.remote.size(), w.only_a.size());
+    REQUIRE_EQ(want.local.size(), w.only_b.size());
+
+    sync::ShardedEngine<Item8> engine(kShards);
+    for (const auto& x : w.a) engine.add_item(x);
+    UringServer<Item8> server(engine);
+    server.start();
+
+    sync::ShardedClient<Item8> client(1, kShards, backend);
+    for (const auto& y : w.b) client.add_item(y);
+    SocketClient sock(server.port());
+    REQUIRE(run_session(sock, client, /*timeout_s=*/60.0));
+
+    const sync::SetDiff<Item8> got = client.diff();
+    CHECK(canonical(got.remote) == canonical(want.remote));
+    CHECK(canonical(got.local) == canonical(want.local));
+    server.stop();
+    const SocketServerStats stats = server.stats();
+    CHECK_EQ(stats.protocol_errors, 0u);
+    CHECK(stats.frames_in > 0u);
+    CHECK(stats.frames_out > 0u);
+#if defined(RIBLT_HAS_IO_URING)
+    // The uring data path makes no per-op syscalls: everything rides
+    // io_uring_enter (counted as syscalls_wait) plus submitted SQEs.
+    // (In the epoll-only build this suite runs over the alias, whose
+    // counters have the opposite shape.)
+    CHECK(stats.sqe_submits > 0u);
+    CHECK(stats.syscalls_wait > 0u);
+    CHECK_EQ(stats.syscalls_read, 0u);
+    CHECK_EQ(stats.syscalls_write, 0u);
+#endif
+  }
+}
+
+// Concurrent-connection stress: several clients reconcile simultaneously
+// against one UringServer; per-connection routing keeps sessions apart.
+TEST(UringTransport, ConcurrentClientsOnSeparateConnections) {
+  if (!uring_or_skip("ConcurrentClientsOnSeparateConnections")) return;
+  constexpr std::size_t kClients = 6;
+  constexpr std::size_t kShards = 3;
+  const auto base = make_set_pair<Item32>(500, 30, 0, 93);
+  sync::ShardedEngine<Item32> engine(kShards);
+  for (const auto& x : base.a) engine.add_item(x);
+  UringServer<Item32> server(engine);
+  server.start();
+
+  std::vector<std::thread> threads;
+  std::vector<int> ok(kClients, 0);
+  for (std::size_t c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      sync::ShardedClient<Item32> client(c + 1, kShards, BackendId::kRiblt);
+      for (std::size_t j = 4 * (c + 1); j < base.b.size(); ++j) {
+        client.add_item(base.b[j]);
+      }
+      SocketClient sock(server.port());
+      if (run_session(sock, client, /*timeout_s=*/60.0) &&
+          client.diff().remote.size() == base.only_a.size() + 4 * (c + 1) &&
+          client.diff().local.empty()) {
+        ok[c] = 1;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  for (std::size_t c = 0; c < kClients; ++c) CHECK_EQ(ok[c], 1);
+  // The deferred-erase close path runs when the EOF completions reap;
+  // give the serving thread a bounded moment to observe all of them.
+  for (int spin = 0;
+       spin < 5000 && server.stats().connections_closed < kClients; ++spin) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  server.stop();
+  const SocketServerStats stats = server.stats();
+  CHECK_EQ(stats.connections_accepted, kClients);
+  CHECK_EQ(stats.connections_closed, kClients);
+  CHECK_EQ(stats.protocol_errors, 0u);
+}
+
+// Error containment on the uring path: router rejects answer in-band,
+// framing poison and unroutable garbage close only their connection, and
+// a healthy session rides through untouched.
+TEST(UringTransport, RouterRejectsAndFramingPoisonAreContained) {
+  if (!uring_or_skip("RouterRejectsAndFramingPoisonAreContained")) return;
+  const auto w = make_set_pair<Item32>(400, 10, 5, 94);
+  sync::ShardedEngine<Item32> engine(2);
+  for (const auto& x : w.a) engine.add_item(x);
+  UringServer<Item32> server(engine);
+  server.start();
+
+  {
+    sync::SyncClient<Item32> bad(7, BackendId::kRiblt);
+    bad.set_shard(0, 3);  // topology mismatch against a 2-shard server
+    SocketClient sock(server.port());
+    sock.send_frame(bad.hello());
+    auto reply = sock.recv_frame(/*timeout_s=*/20.0);
+    REQUIRE(reply.has_value());
+    const auto frame = sync::v2::parse_frame(*reply);
+    CHECK(frame.type == sync::v2::FrameType::kError);
+    CHECK_EQ(frame.session_id, 7u);
+  }
+  {
+    SocketClient sock(server.port());
+    sock.send_frame(bytes_of({0xff, 0xff, 0xff}));
+    EXPECT_THROW((void)sock.recv_frame(/*timeout_s=*/20.0),
+                 sync::ProtocolError);
+  }
+  {
+    SocketClient sock(server.port());
+    sock.send_frame({});
+    EXPECT_THROW((void)sock.recv_frame(/*timeout_s=*/20.0),
+                 sync::ProtocolError);
+  }
+
+  sync::ShardedClient<Item32> healthy(9, 2, BackendId::kRiblt);
+  for (const auto& y : w.b) healthy.add_item(y);
+  SocketClient sock(server.port());
+  REQUIRE(run_session(sock, healthy, /*timeout_s=*/60.0));
+  CHECK(key_set(healthy.diff().remote) == key_set(w.only_a));
+  server.stop();
+  CHECK(server.stats().protocol_errors >= 2u);
+}
+
+// Disconnect mid-rateless-stream: the uring close path (shutdown ->
+// pending ops error out -> deferred erase) must still abort the engine
+// session in-band, exactly like the epoll server.
+TEST(UringTransport, DisconnectAbortsTheEngineSession) {
+  if (!uring_or_skip("DisconnectAbortsTheEngineSession")) return;
+  const auto w = make_set_pair<Item32>(800, 40, 0, 95);
+  sync::ShardedEngine<Item32> engine(1);
+  for (const auto& x : w.a) engine.add_item(x);
+  UringServer<Item32> server(engine);
+  server.start();
+
+  {
+    sync::SyncClient<Item32> client(11, BackendId::kRiblt);
+    client.set_shard(0, 1);
+    for (const auto& y : w.b) client.add_item(y);
+    SocketClient sock(server.port());
+    sock.send_frame(client.hello());
+    auto ack = sock.recv_frame(/*timeout_s=*/20.0);
+    REQUIRE(ack.has_value());
+  }  // disconnect without DONE, mid-stream
+
+  bool retired = false;
+  for (int spin = 0; spin < 20000 && !retired; ++spin) {
+    const sync::ShardedStats stats = engine.stats();
+    retired = stats.totals.sessions == 1 && stats.totals.active == 0;
+    if (!retired) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  CHECK(retired);
+  const std::uint64_t dropped_then = server.stats().frames_dropped;
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  CHECK_EQ(server.stats().frames_dropped, dropped_then);
+
+  sync::ShardedClient<Item32> healthy(12, 1, BackendId::kRiblt);
+  for (const auto& y : w.b) healthy.add_item(y);
+  SocketClient sock(server.port());
+  REQUIRE(run_session(sock, healthy, /*timeout_s=*/60.0));
+  CHECK(key_set(healthy.diff().remote) == key_set(w.only_a));
+  server.stop();
+}
+
+// The degraded-feature paths must serve identically: single-shot recv
+// (no provided-buffer ring) and eventfd wakeup (no MSG_RING) are exactly
+// what an older kernel would negotiate.
+TEST(UringTransport, FallbackKnobsServeIdentically) {
+  if (!uring_or_skip("FallbackKnobsServeIdentically")) return;
+  const auto w = make_set_pair<Item8>(500, 20, 11, 98);
+  sync::ShardedEngine<Item8> engine(1);
+  for (const auto& x : w.a) engine.add_item(x);
+  SocketServerOptions options;
+  options.uring_buffer_ring = false;
+  options.uring_msg_ring = false;
+  UringServer<Item8> server(engine, options);
+#if defined(RIBLT_HAS_IO_URING)
+  CHECK(!server.using_buffer_ring());
+  CHECK(!server.using_msg_ring());
+#endif
+  server.start();
+
+  sync::ShardedClient<Item8> client(1, 1, BackendId::kRiblt);
+  for (const auto& y : w.b) client.add_item(y);
+  SocketClient sock(server.port());
+  REQUIRE(run_session(sock, client, /*timeout_s=*/60.0));
+  CHECK(key_set(client.diff().remote) == key_set(w.only_a));
+  CHECK(key_set(client.diff().local) == key_set(w.only_b));
+  server.stop();
+  CHECK_EQ(server.stats().protocol_errors, 0u);
+}
+
+// Forced fallback: AnyServer with uring disallowed must serve over the
+// epoll path with identical results -- the "best available server" rule
+// an old kernel or RIBLT_NO_URING triggers at runtime.
+TEST(UringTransport, ForcedFallbackServesOverEpoll) {
+  const auto w = make_set_pair<Item8>(500, 18, 9, 99);
+  sync::ShardedEngine<Item8> engine(1);
+  for (const auto& x : w.a) engine.add_item(x);
+  AnyServer<Item8> server(engine, {}, /*allow_uring=*/false);
+  CHECK(server.backend() == ServerBackend::kEpoll);
+  server.start();
+
+  sync::ShardedClient<Item8> client(1, 1, BackendId::kRiblt);
+  for (const auto& y : w.b) client.add_item(y);
+  SocketClient sock(server.port());
+  REQUIRE(run_session(sock, client, /*timeout_s=*/60.0));
+  CHECK(key_set(client.diff().remote) == key_set(w.only_a));
+  CHECK(key_set(client.diff().local) == key_set(w.only_b));
+  server.stop();
+  const SocketServerStats stats = server.stats();
+  CHECK_EQ(stats.sqe_submits, 0u);  // really the epoll engine room
+  CHECK(stats.syscalls_read > 0u);
+
+  // And when allowed, AnyServer picks uring iff the probe passes.
+  sync::ShardedEngine<Item8> engine2(1);
+  AnyServer<Item8> best(engine2);
+  CHECK((best.backend() == ServerBackend::kUring) == uring_available());
 }
 
 }  // namespace
