@@ -33,6 +33,9 @@ METRICS_LOWER = {
     # first useful frame, pacing-credit round trips, and the adaptive/best-
     # fixed cost ratio (all deterministic netsim numbers).
     "link_bytes", "first_contact_bytes", "credits", "ratio",
+    # Chaos anti-entropy harness: staleness and per-item wire cost are
+    # simulated-clock numbers, deterministic for a given seed/scale.
+    "staleness_p50_s", "staleness_p99_s", "bytes_per_item",
 }
 METRICS_LOWER_NOISY = {
     "cpu_s", "hello_us", "churn_us", "build_s", "wall_s",
@@ -44,6 +47,9 @@ METRICS_LOWER_NOISY = {
     # sqe_submits rides along so the fluctuating count stays out of the
     # row key (it would break baseline/current row matching otherwise).
     "syscalls_per_session", "sqe_submits",
+    # Chaos harness counters that shift with fault-plan phasing: aborted
+    # and reaped sessions, and the simulated time-to-convergence.
+    "sessions_aborted", "sessions_reaped", "converge_s",
 }
 # Higher is better (rates). All of these are CPU-derived (sessions/sec,
 # decode items/sec, shard speedups), so they all take the slack threshold
@@ -51,6 +57,7 @@ METRICS_LOWER_NOISY = {
 METRICS_HIGHER = {
     "sessions_per_s", "speedup", "riblt_d_per_s",
     "ingest_items_per_s", "ingest_speedup_4w",
+    "rounds_converged",  # chaos harness: successful anti-entropy rounds
 }
 METRICS_NOISY = METRICS_LOWER_NOISY | METRICS_HIGHER
 

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <utility>
 
+#include "common/siphash.hpp"
+
 namespace ribltx::net {
 
 namespace {
@@ -58,14 +60,41 @@ void SimEndpoint::pump_out() {
   }
 }
 
+std::uint64_t SimEndpoint::segment_checksum(
+    std::uint64_t offset, std::span<const std::byte> payload) noexcept {
+  // Fixed-key SipHash over (offset, payload): the datagram integrity check
+  // both ends agree on by construction. The key is not secret -- this
+  // models a CRC, not an authenticator.
+  const SipKey key{0x73696d636f6e6475ULL, offset};
+  return siphash24(key, payload);
+}
+
 void SimEndpoint::transmit(const Segment& seg, bool retransmit) {
   ++data_packets_;
   data_bytes_ += seg.payload->size() + kSimPacketOverhead;
   if (retransmit) ++retransmits_;
+  const std::uint64_t sum = segment_checksum(seg.offset, *seg.payload);
   tx_->send(seg.payload->size() + kSimPacketOverhead,
-            [peer = peer_, off = seg.offset,
-             payload = seg.payload](const netsim::Delivery&) {
-              peer->on_data(off, *payload);
+            [peer = peer_, off = seg.offset, payload = seg.payload,
+             sum](const netsim::Delivery& d) {
+              // The link flags corruption but carries only byte counts, so
+              // the damage is applied here, to the receiver's copy: one
+              // deterministic bit-flip (or a damaged checksum field when
+              // the segment has no payload), while the transmitted
+              // checksum still describes the original bytes.
+              std::vector<std::byte> bytes = *payload;
+              std::uint64_t arrived_sum = sum;
+              if (d.corrupted) {
+                if (bytes.empty()) {
+                  arrived_sum ^= 1;
+                } else {
+                  const std::size_t bit =
+                      static_cast<std::size_t>(d.corrupt_seed) %
+                      (bytes.size() * 8);
+                  bytes[bit / 8] ^= static_cast<std::byte>(1u << (bit % 8));
+                }
+              }
+              peer->on_data(off, std::move(bytes), arrived_sum);
             });
   last_tx_time_ = loop_->now();
   arm_timer();
@@ -75,7 +104,15 @@ void SimEndpoint::send_ack() {
   ++ack_packets_;
   ack_bytes_ += kSimPacketOverhead;
   tx_->send(kSimPacketOverhead,
-            [peer = peer_, cum = recv_next_](const netsim::Delivery&) {
+            [peer = peer_, cum = recv_next_](const netsim::Delivery& d) {
+              if (d.corrupted) {
+                // An ACK is all header, and headers always checksum (a
+                // corrupted cumulative offset acking bytes that never
+                // arrived would silently hole the stream): detected and
+                // dropped unconditionally; the cumulative re-ack heals.
+                ++peer->corrupt_drops_;
+                return;
+              }
               peer->on_ack(cum);
             });
 }
@@ -101,7 +138,10 @@ void SimEndpoint::on_timer() {
       static_cast<double>(1u << std::min<std::size_t>(retries_, 6));
   if (loop_->now() + 1e-12 >= last_tx_time_ + rto_ * backoff) {
     if (++retries_ > cfg_.max_retries) {
-      broken_ = true;  // peer gone: stop scheduling, let the loop quiesce
+      // Peer gone (e.g. a permanent partition): stop scheduling and let
+      // the loop quiesce -- and tell the session layer, whose backoff
+      // owns the retry policy from here.
+      break_pipe();
       return;
     }
     // Go-back-N burst: everything unacked goes again. Cumulative ACKs make
@@ -111,12 +151,24 @@ void SimEndpoint::on_timer() {
   arm_timer();
 }
 
-void SimEndpoint::on_data(std::uint64_t offset,
-                          const std::vector<std::byte>& bytes) {
+void SimEndpoint::on_data(std::uint64_t offset, std::vector<std::byte> bytes,
+                          std::uint64_t checksum) {
   if (broken_) return;
+  if (cfg_.verify_checksums &&
+      segment_checksum(offset, bytes) != checksum) {
+    // Damaged in flight: discard without acking -- go-back-N retransmits
+    // the gap, exactly like a dropped packet. This is the integrity
+    // boundary that keeps link corruption out of the ordered byte stream.
+    ++corrupt_drops_;
+    return;
+  }
   if (offset + bytes.size() > recv_next_) {
-    reorder_.emplace(offset, bytes);  // may duplicate an entry: same bytes
+    // May duplicate an entry (same bytes); with verification off a
+    // corrupted retransmission can also differ from a clean original --
+    // emplace keeps the first-arrived copy either way.
+    reorder_.emplace(offset, std::move(bytes));
     deliver_ready();
+    if (broken_) return;  // framing poisoned mid-delivery: no ack
   }
   // Always re-ack (cumulative): lost ACKs and duplicate data self-heal.
   send_ack();
@@ -131,8 +183,8 @@ void SimEndpoint::deliver_ready() {
       try {
         framer_.feed(std::span<const std::byte>(it->second).subspan(skip));
       } catch (const sync::ProtocolError&) {
-        broken_ = true;  // framing poisoned; nothing sane can follow
         reorder_.clear();
+        break_pipe();  // framing poisoned; nothing sane can follow
         return;
       }
       recv_next_ = end;
@@ -144,6 +196,14 @@ void SimEndpoint::deliver_ready() {
     if (!frame) break;
     handler_(std::move(*frame));
   }
+}
+
+void SimEndpoint::break_pipe() {
+  if (broken_) return;
+  broken_ = true;
+  unacked_.clear();
+  reorder_.clear();
+  if (error_) error_();
 }
 
 void SimEndpoint::on_ack(std::uint64_t cumulative) {

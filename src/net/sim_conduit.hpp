@@ -31,6 +31,7 @@
 #include <functional>
 #include <map>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "net/frame_conduit.hpp"
@@ -44,6 +45,12 @@ struct SimConduitConfig {
   double rto_s = 0;             ///< retransmission timeout; 0 = derive
   std::size_t max_retries = 64; ///< give up (mark broken) after this many
   std::size_t max_frame = FrameConduit::kDefaultMaxFrame;
+  /// Verify the per-segment payload checksum on receive and drop mismatches
+  /// (the retransmission machinery then heals the gap) -- the datagram
+  /// integrity layer that keeps link-level corruption out of the byte
+  /// stream. Turn off only to prove the layers above contain corruption on
+  /// their own (framing + codec checksums).
+  bool verify_checksums = true;
 };
 
 /// Per-packet header cost charged to the link (seq/ack/len fields of a
@@ -66,6 +73,17 @@ class SimEndpoint {
   /// Fires whenever the in-flight window reopens and queued output can
   /// move (use to pace a rateless stream against the link).
   void on_writable(std::function<void()> fn) { writable_ = std::move(fn); }
+
+  /// Fires exactly once when the pipe transitions to broken (retransmit
+  /// cap exhausted through a dead path, framing poisoned, or sever()): the
+  /// connection-error signal a session layer's retry/backoff keys off.
+  void on_error(std::function<void()> fn) { error_ = std::move(fn); }
+
+  /// Kills this end of the pipe immediately (crash injection): in-flight
+  /// state is dropped, broken() turns true, and on_error fires. The peer
+  /// endpoint is not touched -- it discovers the death through its own
+  /// retransmit cap (or its own sever()).
+  void sever() { break_pipe(); }
 
   /// True while the in-flight window has room -- the "send buffer has
   /// room" pacing signal. Deliberately NOT conditioned on the outbound
@@ -106,6 +124,11 @@ class SimEndpoint {
   [[nodiscard]] std::uint64_t ack_bytes() const noexcept {
     return ack_bytes_;
   }
+  /// Inbound packets discarded for failed integrity checks (checksum
+  /// mismatches on data segments, corrupted ACK headers).
+  [[nodiscard]] std::size_t corrupt_drops() const noexcept {
+    return corrupt_drops_;
+  }
 
  private:
   friend class SimConduit;
@@ -126,9 +149,13 @@ class SimEndpoint {
   void send_ack();
   void arm_timer();
   void on_timer();
-  void on_data(std::uint64_t offset, const std::vector<std::byte>& bytes);
+  void on_data(std::uint64_t offset, std::vector<std::byte> bytes,
+               std::uint64_t checksum);
   void on_ack(std::uint64_t cumulative);
   void deliver_ready();
+  void break_pipe();
+  [[nodiscard]] static std::uint64_t segment_checksum(
+      std::uint64_t offset, std::span<const std::byte> payload) noexcept;
 
   netsim::EventLoop* loop_;
   netsim::Link* tx_;          ///< this endpoint's transmit direction
@@ -158,11 +185,13 @@ class SimEndpoint {
 
   FrameHandler handler_;
   std::function<void()> writable_;
+  std::function<void()> error_;
   std::size_t retransmits_ = 0;
   std::size_t data_packets_ = 0;
   std::size_t ack_packets_ = 0;
   std::uint64_t data_bytes_ = 0;
   std::uint64_t ack_bytes_ = 0;
+  std::size_t corrupt_drops_ = 0;
 };
 
 /// A full-duplex reliable frame pipe: endpoint a() transmits over the

@@ -26,6 +26,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <cstddef>
@@ -58,6 +59,12 @@ struct SocketServerOptions {
   /// unbounded loopback buffers).
   int send_buffer = 64 << 10;
   std::size_t max_frame = FrameConduit::kDefaultMaxFrame;
+  /// Longest a shard worker's sink blocks on one connection's backpressure
+  /// before the connection is doomed and closed (a peer that stops reading
+  /// would otherwise wedge its shard's worker forever -- and with it every
+  /// other session on that shard, including the idle-reap sweep). 0 keeps
+  /// the historical wait-forever behavior.
+  double sink_timeout_s = 0;
   /// UringServer-only knobs (the epoll server ignores them): disable the
   /// provided-buffer-ring multishot recv or the MSG_RING wakeup to force
   /// the single-shot recv / eventfd fallback paths without an old kernel.
@@ -83,6 +90,7 @@ struct SocketServerStats {
   std::uint64_t syscalls_wait = 0;    ///< epoll_wait()s / io_uring_enter()s
   std::uint64_t wakeups = 0;          ///< cross-thread wakeup syscalls
   std::uint64_t sqe_submits = 0;      ///< SQEs handed to the kernel (uring)
+  std::uint64_t routes = 0;           ///< live sid->connection routes (gauge)
 
   /// Total data-path syscalls (sqe_submits excluded: an SQE is not a
   /// syscall, that is the whole point).
@@ -170,6 +178,10 @@ class SocketServer {
     out.syscalls_write = syscalls_write_.load(std::memory_order_relaxed);
     out.syscalls_wait = syscalls_wait_.load(std::memory_order_relaxed);
     out.wakeups = wakeups_.load(std::memory_order_relaxed);
+    {
+      const std::lock_guard<std::mutex> lk(conns_mu_);
+      out.routes = routes_.size();
+    }
     return out;
   }
 
@@ -190,6 +202,10 @@ class SocketServer {
     /// (the conduit itself is poll-thread-only).
     std::atomic<std::size_t> conduit_pending{0};
     std::atomic<bool> dead{false};
+    /// A sink timed out on this connection's backpressure: the poll thread
+    /// closes it at the next drain cycle (sinks must not close -- only the
+    /// poll thread owns the fd/poller lifecycle).
+    std::atomic<bool> doomed{false};
     /// In the poll thread's dirty list (has undrained staged frames).
     /// Guard against re-enqueueing; see drain_dirty() for the ordering.
     std::atomic<bool> dirty{false};
@@ -225,13 +241,36 @@ class SocketServer {
     }
     {
       std::unique_lock<std::mutex> lk(conn->mu);
-      conn->cv.wait(lk, [&] {
+      const auto drained = [&] {
         return stopping_.load(std::memory_order_acquire) ||
                conn->dead.load(std::memory_order_acquire) ||
                conn->staged_bytes +
                        conn->conduit_pending.load(std::memory_order_acquire) <
                    options_.high_watermark;
-      });
+      };
+      bool woke = true;
+      if (options_.sink_timeout_s > 0) {
+        woke = conn->cv.wait_for(
+            lk, std::chrono::duration<double>(options_.sink_timeout_s),
+            drained);
+      } else {
+        conn->cv.wait(lk, drained);
+      }
+      if (!woke) {
+        // The peer sat above the high watermark for the whole timeout: it
+        // stopped reading. Doom the connection and move on -- the poll
+        // thread closes it (which aborts its sessions in-band), and this
+        // worker is free to serve the shard's other sessions again.
+        lk.unlock();
+        conn->doomed.store(true, std::memory_order_release);
+        dropped_.fetch_add(1, std::memory_order_relaxed);
+        mark_dirty(conn);
+        if (!wake_pending_.exchange(true, std::memory_order_acq_rel)) {
+          wakeup_.signal();
+          wakeups_.fetch_add(1, std::memory_order_relaxed);
+        }
+        return;
+      }
       if (stopping_.load(std::memory_order_acquire) ||
           conn->dead.load(std::memory_order_acquire)) {
         dropped_.fetch_add(1, std::memory_order_relaxed);
@@ -443,6 +482,10 @@ class SocketServer {
       // staged in between.
       conn->dirty.store(false, std::memory_order_release);
       if (conn->dead.load(std::memory_order_acquire)) continue;
+      if (conn->doomed.load(std::memory_order_acquire)) {
+        close_conn(conn->key, *conn);  // sink timed out: stalled peer
+        continue;
+      }
       drain_staged(*conn);
       flush_conn(conn->key, *conn);
     }
@@ -544,7 +587,7 @@ class SocketServer {
   Poller poller_;
   WakeupFd wakeup_;
 
-  std::mutex conns_mu_;
+  mutable std::mutex conns_mu_;
   std::unordered_map<std::uint64_t, std::shared_ptr<Conn>> conns_;
   std::unordered_map<std::uint64_t, std::shared_ptr<Conn>> routes_;  ///< sid->
   std::uint64_t next_conn_key_ = kFirstConnKey;  ///< poll thread only

@@ -160,6 +160,10 @@ class UringServer {
     out.syscalls_wait = ring_ ? ring_->enter_calls() : 0;
     out.sqe_submits = ring_ ? ring_->sqes_submitted() : 0;
     out.wakeups = wakeups_.load(std::memory_order_relaxed);
+    {
+      const std::lock_guard<std::mutex> lk(conns_mu_);
+      out.routes = routes_.size();
+    }
     return out;
   }
 
@@ -208,6 +212,10 @@ class UringServer {
     std::atomic<std::size_t> conduit_pending{0};
     std::atomic<bool> dead{false};
     std::atomic<bool> dirty{false};
+    /// A sink timed out on this connection's backpressure; the serving
+    /// thread begins the close at the next drain cycle (only it owns the
+    /// op/fd lifecycle).
+    std::atomic<bool> doomed{false};
 
     // io_uring state, serving thread only.
     bool recv_armed = false;
@@ -245,13 +253,32 @@ class UringServer {
     }
     {
       std::unique_lock<std::mutex> lk(conn->mu);
-      conn->cv.wait(lk, [&] {
+      const auto drained = [&] {
         return stopping_.load(std::memory_order_acquire) ||
                conn->dead.load(std::memory_order_acquire) ||
                conn->staged_bytes +
                        conn->conduit_pending.load(std::memory_order_acquire) <
                    options_.high_watermark;
-      });
+      };
+      bool woke = true;
+      if (options_.sink_timeout_s > 0) {
+        woke = conn->cv.wait_for(
+            lk, std::chrono::duration<double>(options_.sink_timeout_s),
+            drained);
+      } else {
+        conn->cv.wait(lk, drained);
+      }
+      if (!woke) {
+        // Stalled peer (above the watermark for the whole timeout): doom
+        // the connection so the serving thread closes it, and release this
+        // worker back to the shard's other sessions.
+        lk.unlock();
+        conn->doomed.store(true, std::memory_order_release);
+        dropped_.fetch_add(1, std::memory_order_relaxed);
+        mark_dirty(conn);
+        if (!wake_pending_.exchange(true, std::memory_order_acq_rel)) wake();
+        return;
+      }
       if (stopping_.load(std::memory_order_acquire) ||
           conn->dead.load(std::memory_order_acquire)) {
         dropped_.fetch_add(1, std::memory_order_relaxed);
@@ -605,6 +632,11 @@ class UringServer {
     for (auto& conn : batch) {
       conn->dirty.store(false, std::memory_order_release);
       if (conn->closing) continue;
+      if (conn->doomed.load(std::memory_order_acquire)) {
+        begin_close(conn);  // sink timed out: stalled peer
+        maybe_finish_close(conn);
+        continue;
+      }
       {
         const std::lock_guard<std::mutex> lk(conn->mu);
         for (auto& frame : conn->staged) conn->conduit.send(std::move(frame));
@@ -779,7 +811,7 @@ class UringServer {
   bool use_msg_ring_ = false;
   bool multishot_accept_ = true;
 
-  std::mutex conns_mu_;
+  mutable std::mutex conns_mu_;
   std::unordered_map<std::uint64_t, std::shared_ptr<Conn>> conns_;
   std::unordered_map<std::uint64_t, std::shared_ptr<Conn>> routes_;  ///< sid->
   std::uint64_t next_conn_key_ = 1;  ///< serving thread only

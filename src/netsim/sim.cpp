@@ -39,6 +39,13 @@ void Link::send(std::size_t bytes,
   busy_until_ = depart_end;
   total_bytes_ += bytes;
 
+  // A partition blackholes everything whose departure falls inside the
+  // window: the sender's NIC still serialized into the dead path, so the
+  // wire time above is already charged.
+  if (partitioned_at(depart_start)) {
+    ++partition_drops_;
+    return;
+  }
   // The loss process drops the message *after* it occupied the wire (a
   // corrupted/discarded packet still burned its serialization time): no
   // delivery record, no callback -- reliability is the conduit's job.
@@ -58,11 +65,35 @@ void Link::send(std::size_t bytes,
   d.arrive_start = depart_start + config_.one_way_delay_s + jitter;
   d.arrive_end = depart_end + config_.one_way_delay_s + jitter;
   d.bytes = bytes;
+  if (config_.corrupt_rate > 0 && rng_.next_double() < config_.corrupt_rate) {
+    d.corrupted = true;
+    d.corrupt_seed = mix64(rng_.next()) | 1;  // nonzero by construction
+    ++corrupted_count_;
+  }
   log_.push_back(d);
 
   if (on_delivered) {
-    loop_->schedule_at(d.arrive_end,
-                       [cb = std::move(on_delivered), d] { cb(d); });
+    loop_->schedule_at(d.arrive_end, [cb = on_delivered, d] { cb(d); });
+  }
+  // Duplicate delivery: the copy rides the same serialization window (it
+  // is a routing artifact, not a second transmission) with a fresh jitter
+  // draw, so it can land before or after -- or far from -- the original.
+  if (config_.duplicate_rate > 0 &&
+      rng_.next_double() < config_.duplicate_rate) {
+    ++duplicated_count_;
+    const double dup_jitter =
+        config_.reorder_jitter_s > 0
+            ? rng_.next_double() * config_.reorder_jitter_s
+            : 0.0;
+    Delivery dup = d;
+    dup.arrive_start = depart_start + config_.one_way_delay_s + dup_jitter;
+    dup.arrive_end = depart_end + config_.one_way_delay_s + dup_jitter;
+    dup.duplicate = true;
+    log_.push_back(dup);
+    if (on_delivered) {
+      loop_->schedule_at(dup.arrive_end,
+                         [cb = std::move(on_delivered), dup] { cb(dup); });
+    }
   }
 }
 

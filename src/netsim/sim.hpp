@@ -12,7 +12,9 @@
 #include <functional>
 #include <limits>
 #include <queue>
+#include <stdexcept>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/rng.hpp"
@@ -65,13 +67,24 @@ struct LinkConfig {
   /// message: with jitter > serialization time, deliveries arrive out of
   /// order. 0 keeps strict FIFO arrival.
   double reorder_jitter_s = 0.0;
-  /// Seed of the loss/jitter RNG stream (deterministic per link).
+  /// Probability each delivered message arrives bit-damaged: the Delivery
+  /// is flagged corrupted and carries a seed for the receiver to apply a
+  /// deterministic bit-flip (the link only models byte counts, so the
+  /// damage happens where the payload actually lives -- see
+  /// net::SimEndpoint). Checksums above, not the link, must catch it.
+  double corrupt_rate = 0.0;
+  /// Probability a delivered message is delivered twice (routing-artifact
+  /// duplication; the copy takes its own jitter draw and can reorder past
+  /// the original). Duplicates consume no extra sender bandwidth.
+  double duplicate_rate = 0.0;
+  /// Seed of the loss/jitter/corruption RNG stream (deterministic per link).
   std::uint64_t seed = 0;
 
   [[nodiscard]] bool unlimited() const noexcept { return bandwidth_bps <= 0; }
 
   [[nodiscard]] bool lossy() const noexcept {
-    return loss_rate > 0 || reorder_jitter_s > 0;
+    return loss_rate > 0 || reorder_jitter_s > 0 || corrupt_rate > 0 ||
+           duplicate_rate > 0;
   }
 
   /// Seconds to serialize `bytes` onto the wire.
@@ -89,6 +102,12 @@ struct Delivery {
   SimTime arrive_start = 0;
   SimTime arrive_end = 0;
   std::size_t bytes = 0;
+  /// The message arrived bit-damaged (LinkConfig::corrupt_rate). The link
+  /// carries only byte counts, so the receiver applies the damage to its
+  /// copy of the payload, deterministically from corrupt_seed.
+  bool corrupted = false;
+  std::uint64_t corrupt_seed = 0;  ///< nonzero iff corrupted
+  bool duplicate = false;          ///< this is the extra copy of a message
 };
 
 /// Unidirectional FIFO link.
@@ -104,6 +123,24 @@ class Link {
   /// last byte reaches the receiver.
   void send(std::size_t bytes,
             std::function<void(const Delivery&)> on_delivered = {});
+
+  /// Schedules a blackhole window [start, end): any message whose wire
+  /// departure falls inside it vanishes (it still occupied the sender's
+  /// wire -- the NIC serialized into a dead path). Call on both direction
+  /// links of a conduit for a bidirectional partition.
+  void add_partition(SimTime start, SimTime end) {
+    if (end <= start) {
+      throw std::invalid_argument("Link: empty partition window");
+    }
+    partitions_.emplace_back(start, end);
+  }
+
+  [[nodiscard]] bool partitioned_at(SimTime t) const noexcept {
+    for (const auto& [s, e] : partitions_) {
+      if (t >= s && t < e) return true;
+    }
+    return false;
+  }
 
   [[nodiscard]] const LinkConfig& config() const noexcept { return config_; }
   [[nodiscard]] SimTime busy_until() const noexcept { return busy_until_; }
@@ -123,6 +160,21 @@ class Link {
     return dropped_count_;
   }
 
+  /// Messages blackholed by a partition window (also no delivery).
+  [[nodiscard]] std::size_t partition_drops() const noexcept {
+    return partition_drops_;
+  }
+
+  /// Deliveries flagged corrupted.
+  [[nodiscard]] std::size_t corrupted_count() const noexcept {
+    return corrupted_count_;
+  }
+
+  /// Messages delivered twice (the duplicate process).
+  [[nodiscard]] std::size_t duplicated_count() const noexcept {
+    return duplicated_count_;
+  }
+
  private:
   EventLoop* loop_;
   LinkConfig config_;
@@ -131,6 +183,10 @@ class Link {
   SimTime busy_until_ = 0;
   std::size_t total_bytes_ = 0;
   std::size_t dropped_count_ = 0;
+  std::size_t partition_drops_ = 0;
+  std::size_t corrupted_count_ = 0;
+  std::size_t duplicated_count_ = 0;
+  std::vector<std::pair<SimTime, SimTime>> partitions_;
   std::vector<Delivery> log_;
 };
 

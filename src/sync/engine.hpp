@@ -43,8 +43,10 @@
 #include <algorithm>
 #include <array>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <cstddef>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -204,10 +206,22 @@ struct EngineOptions {
   /// ends must agree on the topology before any symbols flow.
   std::uint32_t shard_index = 0;
   std::uint32_t shard_count = 0;
+  /// Idle-session deadline in seconds: reap_idle() fails and reclaims any
+  /// ACTIVE session with no inbound frame for longer than this (a peer
+  /// that said HELLO and vanished would otherwise hold its slot -- and its
+  /// snapshot's journal floor -- forever). 0 disables reaping.
+  double idle_deadline_s = 0;
+  /// Clock for activity stamps and reaping, in seconds on any monotonic
+  /// scale. Defaults to the steady clock; netsim harnesses bind their
+  /// EventLoop's now() so simulated idleness reaps in simulated time.
+  std::function<double()> clock{};
 };
 
 /// Whole-engine roll-up of the per-session accounting (the per-shard and
-/// cross-shard stats a ShardedEngine reports).
+/// cross-shard stats a ShardedEngine reports). Lifetime totals: closed
+/// sessions fold into the engine's retired accumulator, so `sessions` /
+/// `done` / `failed` count every session ever opened while `active` counts
+/// only sessions currently live in the table.
 struct EngineTotals {
   std::size_t sessions = 0;
   std::size_t active = 0;
@@ -220,6 +234,8 @@ struct EngineTotals {
   std::uint64_t items_added = 0;    ///< lifetime successful add_item calls
   std::uint64_t items_removed = 0;  ///< lifetime successful remove_item calls
   std::uint64_t journal_depth = 0;  ///< churn ops retained for snapshots now
+  std::uint64_t sessions_reaped = 0;   ///< idle sessions reclaimed
+  std::uint64_t sessions_evicted = 0;  ///< oldest-idle shed at the cap
 
   EngineTotals& operator+=(const EngineTotals& o) noexcept {
     sessions += o.sessions;
@@ -233,6 +249,8 @@ struct EngineTotals {
     items_added += o.items_added;
     items_removed += o.items_removed;
     journal_depth += o.journal_depth;
+    sessions_reaped += o.sessions_reaped;
+    sessions_evicted += o.sessions_evicted;
     return *this;
   }
 };
@@ -468,7 +486,8 @@ class SyncEngine {
         if (sessions_.count(frame.session_id) != 0) {
           throw ProtocolError("duplicate HELLO for session");
         }
-        if (sessions_.size() >= options_.max_sessions) {
+        if (sessions_.size() >= options_.max_sessions &&
+            !shed_one(out)) {
           throw ProtocolError("session limit reached");
         }
         if (frame.item_size != static_cast<std::uint32_t>(T::kSize)) {
@@ -554,6 +573,7 @@ class SyncEngine {
         session.stats.d_estimate = d_est;
         session.stats.pace_cap = pace_cap;
         session.peer_id = adaptive ? frame.peer_id : 0;
+        session.last_activity = now_s();
         sessions_.emplace(frame.session_id, std::move(session));
         v2::Frame ack;
         ack.type = v2::FrameType::kHelloAck;
@@ -699,8 +719,10 @@ class SyncEngine {
   }
 
   /// Sums the per-session accounting (the ShardedEngine stats roll-up).
+  /// Lifetime view: starts from the retired accumulator (every session ever
+  /// closed, reaped, or evicted) and adds the live table on top.
   [[nodiscard]] EngineTotals totals() const {
-    EngineTotals t;
+    EngineTotals t = retired_;
     for (const auto& [id, s] : sessions_) {
       ++t.sessions;
       switch (s.stats.state) {
@@ -726,12 +748,50 @@ class SyncEngine {
     return out;
   }
 
-  /// Drops a finished/failed session's state (a long-lived server would do
-  /// this on disconnect). Returns false if the id is unknown.
+  /// Drops a session's state (a long-lived server would do this on
+  /// disconnect), folding its accounting into the retired totals -- a
+  /// session closed while still kActive was aborted and folds as failed.
+  /// Returns false if the id is unknown.
   bool close_session(std::uint64_t id) {
-    const bool erased = sessions_.erase(id) != 0;
-    if (erased) prune_cache_journal(/*force=*/true);
-    return erased;
+    auto it = sessions_.find(id);
+    if (it == sessions_.end()) return false;
+    retire(it);
+    prune_cache_journal(/*force=*/true);
+    return true;
+  }
+
+  /// Fails and reclaims every ACTIVE session whose last inbound frame is
+  /// older than the engine's idle deadline (a peer that said HELLO and
+  /// vanished mid-handshake would otherwise hold its slot -- and its
+  /// snapshot's journal floor -- forever). Returns (session id, ERROR
+  /// frame) pairs for the transport to deliver before dropping its routes.
+  /// No-op (empty) when EngineOptions::idle_deadline_s is 0.
+  std::vector<std::pair<std::uint64_t, std::vector<std::byte>>> reap_idle() {
+    return reap_idle(options_.idle_deadline_s);
+  }
+
+  /// Same sweep against an explicit deadline (seconds of allowed silence).
+  std::vector<std::pair<std::uint64_t, std::vector<std::byte>>> reap_idle(
+      double deadline_s) {
+    std::vector<std::pair<std::uint64_t, std::vector<std::byte>>> reaped;
+    if (deadline_s <= 0 || sessions_.empty()) return reaped;
+    const double now = now_s();
+    for (auto it = sessions_.begin(); it != sessions_.end();) {
+      Session& s = it->second;
+      if (s.stats.state == SessionState::kActive &&
+          now - s.last_activity > deadline_s) {
+        s.stats.state = SessionState::kFailed;
+        s.stats.error = "idle session reaped";
+        reaped.emplace_back(it->first,
+                            v2::make_error_frame(it->first, s.stats.error));
+        ++retired_.sessions_reaped;
+        retire(it++);
+      } else {
+        ++it;
+      }
+    }
+    if (!reaped.empty()) prune_cache_journal(/*force=*/true);
+    return reaped;
   }
 
   [[nodiscard]] std::size_t item_count() const noexcept {
@@ -756,6 +816,15 @@ class SyncEngine {
     return cache_->journal_size();
   }
 
+  /// Visits every item of the served set as HashedSymbols, one index stripe
+  /// at a time under that stripe's lock (StripedItemIndex::for_each
+  /// snapshot fuzziness applies under concurrent ingest). What a Replica
+  /// uses to seed each anti-entropy client without keeping a second copy.
+  template <typename Fn>
+  void for_each_item(Fn&& fn) const {
+    index_.for_each(std::forward<Fn>(fn));
+  }
+
  private:
   struct Session {
     std::unique_ptr<ReconcilerEncoder<T>> encoder;
@@ -766,6 +835,9 @@ class SyncEngine {
     std::uint64_t peer_id = 0;    ///< adaptive: EWMA key (0 = anonymous)
     /// bytes_to_peer at the last inbound frame -- the pacing runway origin.
     std::uint64_t pace_mark = 0;
+    /// now_s() at the last inbound frame (HELLO included): what reap_idle
+    /// and cap-shedding measure idleness against.
+    double last_activity = 0;
   };
 
   /// The adaptive d^ for a HELLO: probe digest if carried (a valid digest
@@ -815,6 +887,9 @@ class SyncEngine {
     if (it == sessions_.end()) {
       throw ProtocolError("unknown session id");
     }
+    // Every attributed inbound frame is proof of life (emission does not
+    // count: a server streaming into a void is exactly what reaping ends).
+    it->second.last_activity = now_s();
     return it->second;
   }
 
@@ -851,6 +926,61 @@ class SyncEngine {
     return v2::make_error_frame(id, reason);
   }
 
+  [[nodiscard]] double now_s() const {
+    if (options_.clock) return options_.clock();
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  /// Folds a session's accounting into the retired totals and erases it.
+  /// A session still kActive here was aborted: it counts as failed.
+  void retire(typename std::map<std::uint64_t, Session>::iterator it) {
+    const SessionStats& s = it->second.stats;
+    ++retired_.sessions;
+    if (s.state == SessionState::kDone) {
+      ++retired_.done;
+    } else {
+      ++retired_.failed;
+    }
+    retired_.bytes_to_peers += s.bytes_to_peer;
+    retired_.bytes_from_peers += s.bytes_from_peer;
+    retired_.rounds += s.rounds;
+    retired_.frames_sent += s.frames_sent;
+    sessions_.erase(it);
+  }
+
+  /// Graceful shedding at the session cap: prefer reclaiming a slot nobody
+  /// will miss (any already-terminal session retires silently); with every
+  /// slot active, evict the one idle the longest -- it gets an ERROR frame
+  /// so its peer learns the session died rather than waiting on silence.
+  /// False only when there is nothing to shed (max_sessions == 0).
+  bool shed_one(std::vector<std::vector<std::byte>>& out) {
+    for (auto it = sessions_.begin(); it != sessions_.end(); ++it) {
+      if (it->second.stats.state != SessionState::kActive) {
+        retire(it);
+        prune_cache_journal(/*force=*/true);
+        return true;
+      }
+    }
+    auto victim = sessions_.end();
+    for (auto it = sessions_.begin(); it != sessions_.end(); ++it) {
+      if (victim == sessions_.end() ||
+          it->second.last_activity < victim->second.last_activity) {
+        victim = it;
+      }
+    }
+    if (victim == sessions_.end()) return false;
+    victim->second.stats.state = SessionState::kFailed;
+    victim->second.stats.error = "evicted at session cap";
+    out.push_back(
+        v2::make_error_frame(victim->first, victim->second.stats.error));
+    ++retired_.sessions_evicted;
+    retire(victim);
+    prune_cache_journal(/*force=*/true);
+    return true;
+  }
+
   /// One probe-digest replica per ingest lane (adaptive d estimation),
   /// kept incrementally under churn like the cache; see merged_probe().
   struct ProbeLane {
@@ -874,6 +1004,7 @@ class SyncEngine {
   std::shared_ptr<SequenceCache<T, Hasher>> cache_;  ///< the rateless stream
   std::size_t journal_size_at_prune_ = 0;  ///< rescan throttle
   std::map<std::uint64_t, Session> sessions_;
+  EngineTotals retired_;  ///< fold of every closed/reaped/evicted session
   std::vector<std::unique_ptr<ProbeLane>> probe_lanes_;
   MovableCounter items_added_;
   MovableCounter items_removed_;

@@ -36,6 +36,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <cstddef>
@@ -90,6 +91,12 @@ class ShardedEngine {
       : hasher_(std::move(hasher)) {
     if (shard_count == 0 || shard_count > kMaxShards) {
       throw std::invalid_argument("ShardedEngine: shard count out of range");
+    }
+    // With an idle deadline configured, idle workers wake on a bounded
+    // tick (half the deadline, capped at 200 ms) so reaping runs even when
+    // no frames arrive -- the maintenance tick of the serving path.
+    if (options.idle_deadline_s > 0) {
+      reap_wait_s_ = std::min(options.idle_deadline_s / 2, 0.2);
     }
     shards_.reserve(shard_count);
     for (std::size_t k = 0; k < shard_count; ++k) {
@@ -251,8 +258,9 @@ class ShardedEngine {
         const std::lock_guard<std::mutex> lk(sh->mu);
         row.items = sh->engine.item_count();
         row.protocol_errors = sh->protocol_errors;
+        // Lifetime view: engine totals already include every session the
+        // worker retired (close_session folds into the engine accumulator).
         row.totals = sh->engine.totals();
-        row.totals += sh->retired;  // sessions the worker already evicted
       }
       out.items += row.items;
       out.protocol_errors += row.protocol_errors;
@@ -274,7 +282,6 @@ class ShardedEngine {
     std::condition_variable cv;
     std::deque<std::vector<std::byte>> inbox;
     std::size_t protocol_errors = 0;
-    EngineTotals retired{};  ///< accounting of worker-retired sessions
     bool stop = false;
     std::thread thread;
   };
@@ -331,7 +338,15 @@ class ShardedEngine {
       {
         std::unique_lock<std::mutex> lk(sh.mu);
         if (!streaming) {
-          sh.cv.wait(lk, [&] { return sh.stop || !sh.inbox.empty(); });
+          if (reap_wait_s_ > 0) {
+            // Bounded wait = the maintenance tick: an otherwise idle shard
+            // still wakes to reap sessions whose peers went silent.
+            sh.cv.wait_for(
+                lk, std::chrono::duration<double>(reap_wait_s_),
+                [&] { return sh.stop || !sh.inbox.empty(); });
+          } else {
+            sh.cv.wait(lk, [&] { return sh.stop || !sh.inbox.empty(); });
+          }
         }
         if (sh.stop) return;
         batch.clear();
@@ -355,37 +370,32 @@ class ShardedEngine {
             }
           }
         }
+        // Reap sessions whose peers went silent past the idle deadline:
+        // the engine fails + folds them and hands back ERROR frames, which
+        // go to the sink like any reply so the (possibly half-dead) peer
+        // hears why its session died; the routes drop below with the rest.
+        retire.clear();
+        for (auto& [sid, frame] : sh.engine.reap_idle()) {
+          retire.push_back(sid);
+          outgoing.push_back(std::move(frame));
+        }
         // One frame per active session per round keeps sessions fair and
         // bounds how far the server runs ahead of in-flight DONEs.
         // Sessions that reached a terminal state retire immediately --
-        // their accounting folds into the shard's running totals and
-        // their engine/route entries are dropped, so a long-running
+        // close_session folds their accounting into the engine's lifetime
+        // totals and their route entries are dropped, so a long-running
         // server neither re-scans dead sessions every round nor runs
         // into the max_sessions cap from sessions long finished.
-        retire.clear();
         for (const std::uint64_t sid : sh.engine.session_ids()) {
           const SessionStats* stats = sh.engine.session(sid);
           if (stats != nullptr && stats->state != SessionState::kActive) {
+            (void)sh.engine.close_session(sid);
             retire.push_back(sid);
             continue;
           }
           if (auto frame = sh.engine.next_frame(sid)) {
             outgoing.push_back(std::move(*frame));
           }
-        }
-        for (const std::uint64_t sid : retire) {
-          const SessionStats* stats = sh.engine.session(sid);
-          ++sh.retired.sessions;
-          if (stats->state == SessionState::kDone) {
-            ++sh.retired.done;
-          } else {
-            ++sh.retired.failed;
-          }
-          sh.retired.bytes_to_peers += stats->bytes_to_peer;
-          sh.retired.bytes_from_peers += stats->bytes_from_peer;
-          sh.retired.rounds += stats->rounds;
-          sh.retired.frames_sent += stats->frames_sent;
-          (void)sh.engine.close_session(sid);
         }
         streaming = !outgoing.empty();
       }
@@ -408,6 +418,7 @@ class ShardedEngine {
   }
 
   Hasher hasher_;
+  double reap_wait_s_ = 0;  ///< idle-worker wake interval (0 = wait forever)
   std::vector<std::unique_ptr<Shard>> shards_;
   mutable std::mutex routes_mu_;
   std::unordered_map<std::uint64_t, std::size_t> routes_;  ///< sid -> shard

@@ -910,20 +910,117 @@ TEST(Engine, MalformedProbeRejectedButGeometrySkewDegrades) {
   CHECK_EQ(stats->d_estimate, adaptive::AdaptiveOptions{}.default_d);
 }
 
-TEST(Engine, SessionLimitAndClose) {
+TEST(Engine, SessionLimitShedsOldestIdleInsteadOfRejecting) {
+  // A fake clock orders the sessions' last-activity stamps deterministically.
+  double now = 0.0;
   EngineOptions options;
-  options.max_sessions = 1;
+  options.max_sessions = 2;
+  options.clock = [&now] { return now; };
   SyncEngine<U64Symbol> engine({}, options);
   engine.add_item(U64Symbol::random(1));
+
   SyncClient<U64Symbol> first(1, BackendId::kRiblt);
   (void)engine.handle_frame(first.hello());
+  now = 1.0;
   SyncClient<U64Symbol> second(2, BackendId::kRiblt);
-  const auto second_hello = second.hello();
-  EXPECT_THROW((void)engine.handle_frame(second_hello), ProtocolError);
-  CHECK(engine.close_session(1));
+  (void)engine.handle_frame(second.hello());
+  CHECK_EQ(engine.session_count(), 2u);
+
+  // At the cap, a new HELLO evicts the ACTIVE session idle the longest
+  // (session 1): the replies carry its ERROR frame plus the HELLO_ACK.
+  now = 2.0;
+  SyncClient<U64Symbol> third(3, BackendId::kRiblt);
+  const auto replies = engine.handle_frame(third.hello());
+  REQUIRE_EQ(replies.size(), 2u);
+  CHECK_EQ(static_cast<std::uint8_t>(replies[0][0]),
+           static_cast<std::uint8_t>(v2::FrameType::kError));
+  CHECK_EQ(v2::peek_session_id(replies[0]), 1u);
+  CHECK_EQ(static_cast<std::uint8_t>(replies[1][0]),
+           static_cast<std::uint8_t>(v2::FrameType::kHelloAck));
+  CHECK_EQ(engine.session_count(), 2u);
+  CHECK(engine.session(1) == nullptr);  // evicted and retired
   CHECK(!engine.close_session(1));
-  (void)engine.handle_frame(second_hello);
+
+  // The evicted session folds into the lifetime totals as failed.
+  const EngineTotals t = engine.totals();
+  CHECK_EQ(t.sessions_evicted, 1u);
+  CHECK_EQ(t.sessions, 3u);
+  CHECK_EQ(t.failed, 1u);
+  CHECK_EQ(t.active, 2u);
+
+  // A slot held by an already-terminal session is preferred: no eviction,
+  // no ERROR frame -- the dead session just retires silently.
+  SyncClient<U64Symbol> aborter(2, BackendId::kRiblt);  // matches sid 2
+  (void)engine.handle_frame(v2::make_error_frame(2, "client abort"));
+  now = 3.0;
+  SyncClient<U64Symbol> fourth(4, BackendId::kRiblt);
+  const auto replies2 = engine.handle_frame(fourth.hello());
+  REQUIRE_EQ(replies2.size(), 1u);
+  CHECK_EQ(static_cast<std::uint8_t>(replies2[0][0]),
+           static_cast<std::uint8_t>(v2::FrameType::kHelloAck));
+  CHECK_EQ(engine.totals().sessions_evicted, 1u);
+
+  CHECK(engine.close_session(3));
+  CHECK(engine.close_session(4));
+  CHECK_EQ(engine.session_count(), 0u);
+  // Lifetime totals survive the closes: 4 sessions ever, none live.
+  CHECK_EQ(engine.totals().sessions, 4u);
+  CHECK_EQ(engine.totals().active, 0u);
+}
+
+TEST(Engine, ReapIdleReclaimsAbandonedSessions) {
+  double now = 0.0;
+  EngineOptions options;
+  options.idle_deadline_s = 5.0;
+  options.clock = [&now] { return now; };
+  SyncEngine<U64Symbol> engine({}, options);
+  for (std::uint64_t i = 1; i <= 64; ++i) {
+    engine.add_item(U64Symbol::random(i));
+  }
+
+  // Session 1 says HELLO and goes silent -- the abandoned-mid-handshake
+  // peer. Session 2 keeps sending frames (pacing credits count as life).
+  SyncClient<U64Symbol> ghost(1, BackendId::kRiblt);
+  (void)engine.handle_frame(ghost.hello());
+  SyncClient<U64Symbol> live(2, BackendId::kIbltStrata);
+  auto acks = engine.handle_frame(live.hello());
+  REQUIRE_EQ(acks.size(), 1u);
+
+  now = 4.0;
+  {
+    // A real protocol step refreshes session 2's activity stamp: one
+    // SYMBOLS frame out, the client's ROUND reply back in.
+    (void)live.handle_frame(acks[0]);
+    const auto sym = engine.next_frame(2);
+    REQUIRE(sym.has_value());
+    for (const auto& reply : live.handle_frame(*sym)) {
+      (void)engine.handle_frame(reply);
+    }
+  }
+
+  // At t=6 the ghost is 6s idle (> 5s deadline) but session 2 is only 2s
+  // idle: exactly one session reaps, with an ERROR frame addressed to it.
+  now = 6.0;
+  auto reaped = engine.reap_idle();
+  REQUIRE_EQ(reaped.size(), 1u);
+  CHECK_EQ(reaped[0].first, 1u);
+  CHECK_EQ(static_cast<std::uint8_t>(reaped[0].second[0]),
+           static_cast<std::uint8_t>(v2::FrameType::kError));
   CHECK_EQ(engine.session_count(), 1u);
+  CHECK(engine.session(1) == nullptr);
+
+  const EngineTotals t = engine.totals();
+  CHECK_EQ(t.sessions_reaped, 1u);
+  CHECK_EQ(t.failed, 1u);
+
+  // Idle reaping disabled (deadline 0): nothing ever reaps.
+  now = 1e9;
+  CHECK(engine.reap_idle(0).empty());
+  // The reaper only touches ACTIVE sessions; terminal ones are
+  // close_session's job.
+  (void)engine.reap_idle();
+  (void)engine.close_session(2);
+  CHECK_EQ(engine.session_count(), 0u);
 }
 
 }  // namespace

@@ -355,6 +355,141 @@ TEST(SocketTransport, DisconnectAbortsTheEngineSession) {
   server.stop();
 }
 
+// ISSUE 9 satellite: an abrupt peer crash mid-rateless-stream must reclaim
+// everything the connection pinned -- the engine session (aborted in-band
+// and folded into the retired accumulator as a failure), the
+// sid->connection route (gauge back to zero), and the connection itself
+// (accepted == closed) -- with no further frames generated for the dead
+// sid.
+TEST(SocketTransport, MidSessionCrashReclaimsRoutesAndSession) {
+  const auto w = make_set_pair<Item32>(600, 30, 0, 101);
+  sync::ShardedEngine<Item32> engine(1);
+  for (const auto& x : w.a) engine.add_item(x);
+  SocketServer<Item32> server(engine);
+  server.start();
+
+  {
+    sync::SyncClient<Item32> client(31, BackendId::kRiblt);
+    client.set_shard(0, 1);
+    for (const auto& y : w.b) client.add_item(y);
+    SocketClient sock(server.port());
+    sock.send_frame(client.hello());
+    // Read a few frames so the crash lands mid-rateless-stream, past the
+    // handshake (HELLO_ACK plus streamed SYMBOLS).
+    for (int i = 0; i < 3; ++i) {
+      auto f = sock.recv_frame(/*timeout_s=*/20.0);
+      REQUIRE(f.has_value());
+    }
+  }  // abrupt close: no DONE, no in-band goodbye
+
+  bool reclaimed = false;
+  for (int spin = 0; spin < 20000 && !reclaimed; ++spin) {
+    const sync::ShardedStats es = engine.stats();
+    const SocketServerStats ss = server.stats();
+    reclaimed = es.totals.sessions == 1 && es.totals.active == 0 &&
+                es.totals.failed == 1 && ss.routes == 0 &&
+                ss.connections_closed == 1;
+    if (!reclaimed) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  CHECK(reclaimed);
+  // Accounting balances after the reclaim: the drop counter goes quiet
+  // (nothing keeps streaming at a dead route).
+  const std::uint64_t dropped_then = server.stats().frames_dropped;
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  CHECK_EQ(server.stats().frames_dropped, dropped_then);
+  server.stop();
+}
+
+// ISSUE 9 acceptance (idle reaping proven over real sockets): a client
+// that says HELLO and then goes silent -- connection open, no ROUND, no
+// DONE -- is failed and reclaimed by the shard worker's maintenance tick
+// once idle_deadline_s passes, and the reaper's in-band ERROR frame
+// reaches the silent peer over its TCP connection.
+TEST(SocketTransport, IdleSessionReapedOverTcp) {
+  const auto w = make_set_pair<Item32>(300, 10, 0, 102);
+  sync::EngineOptions options;
+  options.idle_deadline_s = 0.2;  // steady-clock deadline; 100 ms reap tick
+  sync::ShardedEngine<Item32> engine(1, {}, options);
+  for (const auto& x : w.a) engine.add_item(x);
+  SocketServer<Item32> server(engine);
+  server.start();
+
+  sync::SyncClient<Item32> client(41, BackendId::kRiblt);
+  client.set_shard(0, 1);
+  for (const auto& y : w.b) client.add_item(y);
+  SocketClient sock(server.port());
+  sock.send_frame(client.hello());
+
+  // Keep draining the rateless stream -- idleness is about inbound frames,
+  // not outbound -- until the reaper's ERROR arrives in-band.
+  bool got_error = false;
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (!got_error && std::chrono::steady_clock::now() < deadline) {
+    auto f = sock.recv_frame(/*timeout_s=*/20.0);
+    REQUIRE(f.has_value());
+    const auto frame = sync::v2::parse_frame(*f);
+    if (frame.type == sync::v2::FrameType::kError) {
+      CHECK_EQ(frame.session_id, 41u);
+      got_error = true;
+    }
+  }
+  CHECK(got_error);
+
+  bool quiesced = false;
+  for (int spin = 0; spin < 20000 && !quiesced; ++spin) {
+    const sync::ShardedStats es = engine.stats();
+    quiesced = es.totals.sessions_reaped == 1 && es.totals.active == 0;
+    if (!quiesced) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  CHECK(quiesced);
+  server.stop();
+}
+
+// ISSUE 9 satellite: a peer that stops reading entirely (socket open, zero
+// progress) would park its shard's worker on the blocking sink forever --
+// and with it every other session on that shard. With sink_timeout_s set
+// the connection is doomed and closed instead, and the freed shard serves
+// the next client to the exact diff.
+TEST(SocketTransport, StalledPeerDoomedBySinkTimeout) {
+  const auto w = make_set_pair<Item32>(500, 20, 8, 103);
+  sync::ShardedEngine<Item32> engine(1);
+  for (const auto& x : w.a) engine.add_item(x);
+  SocketServerOptions options;
+  options.high_watermark = 8u << 10;
+  options.low_watermark = 2u << 10;
+  options.send_buffer = 4 << 10;
+  options.sink_timeout_s = 0.2;
+  SocketServer<Item32> server(engine, options);
+  server.start();
+
+  // The stalled peer: HELLO, then never read a byte. The rateless stream
+  // fills its kernel receive buffer, the server's capped send buffer, and
+  // the staging watermark; the sink blocks, and 200 ms later the doom
+  // sweep closes the connection instead of wedging the shard.
+  sync::SyncClient<Item32> stalled(51, BackendId::kRiblt);
+  stalled.set_shard(0, 1);
+  SocketClient stalled_sock(server.port());
+  stalled_sock.send_frame(stalled.hello());
+
+  bool doomed = false;
+  for (int spin = 0; spin < 30000 && !doomed; ++spin) {
+    doomed = server.stats().connections_closed >= 1;
+    if (!doomed) std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  CHECK(doomed);
+
+  // The unwedged shard still serves: a healthy client on a fresh
+  // connection reconciles to the exact diff.
+  sync::ShardedClient<Item32> healthy(52, 1, BackendId::kRiblt);
+  for (const auto& y : w.b) healthy.add_item(y);
+  SocketClient sock(server.port());
+  REQUIRE(run_session(sock, healthy, /*timeout_s=*/60.0));
+  CHECK(key_set(healthy.diff().remote) == key_set(w.only_a));
+  CHECK(key_set(healthy.diff().local) == key_set(w.only_b));
+  server.stop();
+}
+
 // The epoll server's syscall accounting (the bench's syscalls/session
 // source): a real session must show reads, writes, waits, and at least one
 // coalesced wakeup; sqe_submits stays zero on this path.

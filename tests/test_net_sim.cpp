@@ -288,5 +288,156 @@ TEST(SimTransport, RoundBasedBackendSurvivesLoss) {
                      /*jitter_s=*/0.006, BackendId::kIbltStrata, 77);
 }
 
+// ISSUE 9 satellite: a retransmit cap crossed through a dead path is a
+// CONNECTION error -- on_error fires exactly once, broken() latches, and
+// further sends throw -- the signal a session layer's retry/backoff (the
+// Replica daemon) keys off instead of retransmitting forever.
+TEST(SimConduit, RetryCapSurfacesConnectionError) {
+  netsim::EventLoop loop;
+  netsim::LinkConfig link;
+  link.one_way_delay_s = 0.002;
+  link.bandwidth_bps = 50e6;
+  SimConduitConfig cfg;
+  cfg.max_retries = 4;
+  SimConduit pipe(loop, link, link, cfg);
+  // Permanent partition from t=0: every data segment (and every
+  // retransmission) blackholes; no ACK ever returns.
+  pipe.link_ab().add_partition(0.0, 1e9);
+
+  std::size_t errors = 0;
+  pipe.a().on_error([&] { ++errors; });
+  std::size_t got = 0;
+  pipe.b().on_frame([&](std::vector<std::byte>) { ++got; });
+
+  pipe.a().send_frame(std::vector<std::byte>(600, std::byte{0x42}));
+  loop.run();
+
+  EXPECT_EQ(got, 0u);
+  EXPECT_EQ(errors, 1u);
+  EXPECT_TRUE(pipe.a().broken());
+  EXPECT_GT(pipe.link_ab().partition_drops(), cfg.max_retries);
+  EXPECT_THROW(pipe.a().send_frame(std::vector<std::byte>(8)),
+               sync::ProtocolError);
+  // The victim's peer is untouched until its own machinery notices.
+  EXPECT_FALSE(pipe.b().broken());
+}
+
+// With checksum verification on (the default), corrupted segments are
+// dropped at the receiver and go-back-N heals the gap: every frame arrives
+// intact, in order, and the drop counter proves corruption actually hit.
+TEST(SimConduit, CorruptionDetectedAndRetransmitted) {
+  netsim::EventLoop loop;
+  netsim::LinkConfig fwd;
+  fwd.one_way_delay_s = 0.002;
+  fwd.bandwidth_bps = 50e6;
+  fwd.corrupt_rate = 0.15;
+  fwd.seed = 51;
+  netsim::LinkConfig rev = fwd;
+  rev.seed = 52;
+  SimConduit pipe(loop, fwd, rev);
+  std::vector<std::vector<std::byte>> got;
+  pipe.b().on_frame([&](std::vector<std::byte> f) { got.push_back(std::move(f)); });
+  std::vector<std::vector<std::byte>> sent;
+  SplitMix64 rng(53);
+  for (std::size_t i = 0; i < 25; ++i) {
+    std::vector<std::byte> f(200 + rng.next() % 4000);
+    for (auto& b : f) b = static_cast<std::byte>(rng.next());
+    sent.push_back(f);
+    pipe.a().send_frame(std::move(f));
+  }
+  loop.run();
+  REQUIRE_EQ(got.size(), sent.size());
+  for (std::size_t i = 0; i < sent.size(); ++i) CHECK(got[i] == sent[i]);
+  CHECK(pipe.b().corrupt_drops() > 0u);  // the corruption was real
+  CHECK(pipe.a().retransmits() > 0u);    // ...and go-back-N healed it
+  CHECK(!pipe.a().broken());
+  CHECK(!pipe.b().broken());
+}
+
+/// Containment-property harness: one reconciliation with segment checksum
+/// verification OFF, so seeded bit-flips flow straight into the byte
+/// stream. The layers above (frame length sanity, v2 parse validation,
+/// codec per-item hashes) must contain them: the run may complete with the
+/// exact diff, fail explicitly, break the pipe, or stall -- but a wrong
+/// diff is never acceptable.
+void corruption_containment_run(BackendId backend, std::uint64_t seed) {
+  const std::size_t d = 40;
+  const auto w = make_set_pair<Item32>(200, d, d / 3, seed);
+  sync::SyncEngine<Item32> engine;
+  for (const auto& x : w.a) engine.add_item(x);
+  sync::SyncClient<Item32> client(1, backend);
+  for (const auto& y : w.b) client.add_item(y);
+
+  netsim::EventLoop loop;
+  netsim::LinkConfig fwd;
+  fwd.one_way_delay_s = 0.002;
+  fwd.bandwidth_bps = 100e6;
+  fwd.corrupt_rate = 0.04;
+  fwd.seed = seed;
+  netsim::LinkConfig rev = fwd;
+  rev.seed = seed ^ 0xa5a5;
+  SimConduitConfig cfg;
+  cfg.verify_checksums = false;  // let the damage through on purpose
+  cfg.max_retries = 8;           // bound post-poisoning retransmit chatter
+  SimConduit dirty(loop, fwd, rev, cfg);
+  SimEndpoint& client_end = dirty.a();
+  SimEndpoint& server_end = dirty.b();
+
+  bool server_aborted = false;
+  const auto pump_server = [&] {
+    while (!server_aborted && server_end.writable()) {
+      auto frame = engine.next_frame(1);
+      if (!frame) break;
+      server_end.send_frame(std::move(*frame));
+    }
+  };
+  server_end.on_frame([&](std::vector<std::byte> frame) {
+    if (server_aborted || server_end.broken()) return;
+    try {
+      for (auto& reply : engine.handle_frame(frame)) {
+        server_end.send_frame(std::move(reply));
+      }
+      pump_server();
+    } catch (const sync::ProtocolError&) {
+      server_aborted = true;  // damage surfaced as an explicit error
+    }
+  });
+  server_end.on_writable(pump_server);
+  client_end.on_frame([&](std::vector<std::byte> frame) {
+    if (client.complete() || client.failed() || client_end.broken()) return;
+    try {
+      for (auto& reply : client.handle_frame(frame)) {
+        client_end.send_frame(std::move(reply));
+      }
+    } catch (const sync::ProtocolError&) {
+      client_end.sever();  // damage surfaced: the session is dead
+    }
+  });
+
+  client_end.send_frame(client.hello());
+  loop.run();
+
+  // The one unacceptable outcome: a "successful" session with a wrong
+  // diff. Everything else (explicit failure, broken pipe, stall) is
+  // correct containment.
+  if (client.complete()) {
+    CHECK(key_set(client.diff().remote) == key_set(w.only_a));
+    CHECK(key_set(client.diff().local) == key_set(w.only_b));
+  }
+}
+
+// ISSUE 9 satellite: property test across all four backends x seeds --
+// corruption may abort or stall a session but never decodes into an
+// incorrect diff.
+TEST(SimTransport, CorruptionNeverProducesWrongDiff) {
+  for (const BackendId backend :
+       {BackendId::kRiblt, BackendId::kIbltStrata, BackendId::kCpi,
+        BackendId::kMetIblt}) {
+    for (std::uint64_t seed = 201; seed <= 203; ++seed) {
+      corruption_containment_run(backend, seed);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace ribltx::net

@@ -135,5 +135,89 @@ TEST(BandwidthTrace, InstantDeliveryLandsInOneBin) {
   EXPECT_NEAR(total_bytes, 1000.0, 1.0);
 }
 
+// Fault injection (ISSUE 9): a scheduled partition window blackholes every
+// message whose wire departure falls inside it -- they still occupy the
+// sender's wire but never arrive, and leave no delivery record.
+TEST(Link, PartitionWindowBlackholes) {
+  EventLoop loop;
+  LinkConfig cfg;
+  cfg.one_way_delay_s = 0.01;
+  cfg.bandwidth_bps = 0;
+  Link link(loop, cfg);
+  link.add_partition(1.0, 2.0);
+  EXPECT_FALSE(link.partitioned_at(0.5));
+  EXPECT_TRUE(link.partitioned_at(1.0));
+  EXPECT_TRUE(link.partitioned_at(1.999));
+  EXPECT_FALSE(link.partitioned_at(2.0));
+
+  std::vector<double> arrivals;
+  const auto send_at = [&](double t) {
+    loop.schedule_at(t, [&] {
+      link.send(100, [&](const Delivery& d) { arrivals.push_back(d.arrive_end); });
+    });
+  };
+  send_at(0.5);   // before the window: arrives
+  send_at(1.5);   // inside: blackholed
+  send_at(1.99);  // still inside: blackholed
+  send_at(2.5);   // after: arrives
+  loop.run();
+  EXPECT_EQ(arrivals.size(), 2u);
+  EXPECT_EQ(link.partition_drops(), 2u);
+  EXPECT_EQ(link.deliveries().size(), 2u);
+  EXPECT_THROW(link.add_partition(3.0, 3.0), std::invalid_argument);
+}
+
+// Seeded corruption: the link flags the delivery and hands the receiver a
+// deterministic damage seed -- the payload itself lives above the link.
+TEST(Link, CorruptionFlagsDeliveriesWithSeeds) {
+  EventLoop loop;
+  LinkConfig cfg;
+  cfg.bandwidth_bps = 0;
+  cfg.corrupt_rate = 0.3;
+  cfg.seed = 41;
+  Link link(loop, cfg);
+  std::size_t corrupted = 0, clean = 0;
+  for (int i = 0; i < 1000; ++i) {
+    link.send(64, [&](const Delivery& d) {
+      if (d.corrupted) {
+        EXPECT_NE(d.corrupt_seed, 0u);
+        ++corrupted;
+      } else {
+        EXPECT_EQ(d.corrupt_seed, 0u);
+        ++clean;
+      }
+    });
+  }
+  loop.run();
+  EXPECT_EQ(corrupted + clean, 1000u);
+  EXPECT_EQ(link.corrupted_count(), corrupted);
+  // 3-sigma band around the 30% mean.
+  EXPECT_GT(corrupted, 250u);
+  EXPECT_LT(corrupted, 350u);
+}
+
+// Duplicate delivery: the copy is flagged, takes its own jitter draw (so it
+// can reorder past the original), and consumes no sender bandwidth.
+TEST(Link, DuplicateDeliveryProducesFlaggedCopies) {
+  EventLoop loop;
+  LinkConfig cfg;
+  cfg.one_way_delay_s = 0.01;
+  cfg.bandwidth_bps = 0;
+  cfg.duplicate_rate = 0.25;
+  cfg.reorder_jitter_s = 0.005;
+  cfg.seed = 43;
+  Link link(loop, cfg);
+  std::size_t originals = 0, copies = 0;
+  for (int i = 0; i < 800; ++i) {
+    link.send(50, [&](const Delivery& d) { d.duplicate ? ++copies : ++originals; });
+  }
+  loop.run();
+  EXPECT_EQ(originals, 800u);  // every original still arrives exactly once
+  EXPECT_EQ(copies, link.duplicated_count());
+  EXPECT_GT(copies, 150u);
+  EXPECT_LT(copies, 250u);
+  EXPECT_EQ(link.total_bytes(), 800u * 50u);  // copies are free on the wire
+}
+
 }  // namespace
 }  // namespace ribltx::netsim
