@@ -20,6 +20,7 @@
 
 #include "common/rng.hpp"
 #include "core/riblt.hpp"
+#include "obs/metrics.hpp"
 
 namespace ribltx::bench {
 
@@ -122,6 +123,18 @@ class JsonReport {
                     static_cast<long long>(value));
       field(key);
       body_ += buf;
+      return *this;
+    }
+
+    /// Quantile fields from a registry histogram snapshot: emits
+    /// `<key>_p50` and `<key>_p99` (the suffixes perf_trend.py treats as
+    /// noisy lower-is-better metrics), so benches report latency
+    /// distributions through the same snapshot path the live METRICS
+    /// scrape uses instead of private sample vectors.
+    Row& hist(const char* key, const obs::HistogramSnapshot& s,
+              double scale = 1.0) {
+      num((std::string(key) + "_p50").c_str(), s.quantile(0.50) * scale);
+      num((std::string(key) + "_p99").c_str(), s.quantile(0.99) * scale);
       return *this;
     }
 

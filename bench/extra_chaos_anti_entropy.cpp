@@ -34,6 +34,7 @@
 #include "benchutil.hpp"
 #include "ledger/ledger.hpp"
 #include "net/sim_conduit.hpp"
+#include "obs/metrics.hpp"
 #include "sync/replica.hpp"
 
 namespace ribltx::bench {
@@ -95,6 +96,12 @@ class Fleet {
       : p_(params), churn_rng_(mix64(params.seed ^ 0x63686f7321ULL)) {
     (void)opts;
     const double t_churn = churn_end();
+    // Staleness lands in a registry histogram (microsecond scale) -- the
+    // same cells a live METRICS scrape would read -- with the raw sample
+    // vector retained as the parity oracle for the quantile estimates.
+    staleness_hist_ = &registry_.histogram(
+        "chaos_staleness_us",
+        "Item birth at origin to applied via anti-entropy elsewhere");
     replicas_.reserve(p_.replicas);
     for (std::size_t i = 0; i < p_.replicas; ++i) {
       sync::ReplicaOptions ro;
@@ -105,6 +112,7 @@ class Fleet {
       ro.jitter = 0.25;
       ro.session_deadline_s = 2.0;
       ro.engine.idle_deadline_s = 3.0;
+      ro.engine.metrics = &registry_;
       ro.serve_budget = 32;
       ro.seed = derive_seed(p_.seed, i);
       replicas_.push_back(std::make_unique<Replica<StateItem>>(ro));
@@ -123,7 +131,12 @@ class Fleet {
                                                 double now) {
         ++applied_[idx];
         const auto it = birth_.find(item);
-        if (it != birth_.end()) staleness_.push_back(now - it->second);
+        if (it != birth_.end()) {
+          const double lag = now - it->second;
+          staleness_.push_back(lag);
+          staleness_hist_->record(
+              static_cast<std::uint64_t>(lag * 1e6));
+        }
       });
       applied_.push_back(0);
     }
@@ -218,6 +231,13 @@ class Fleet {
 
   [[nodiscard]] std::vector<double> staleness_samples() const {
     return staleness_;
+  }
+
+  /// Snapshot of the whole fleet's registry (staleness histogram plus
+  /// every replica engine's bound cells) -- the scrape-path view the
+  /// JSON report reads its quantiles from.
+  [[nodiscard]] obs::MetricsSnapshot metrics() const {
+    return registry_.snapshot();
   }
 
   [[nodiscard]] sync::ReplicaStats stats_of(std::size_t i) const {
@@ -425,6 +445,8 @@ class Fleet {
   }
 
   ChaosParams p_;
+  obs::MetricsRegistry registry_;
+  obs::Histogram* staleness_hist_ = nullptr;
   netsim::EventLoop loop_;
   std::vector<std::unique_ptr<Replica<StateItem>>> replicas_;
   std::vector<bool> down_;
@@ -467,8 +489,41 @@ int run_chaos(const Options& opts) {
   const bool equal = fleet.byte_exact_equal();
   const std::size_t leaked = fleet.leaked_sessions();
   const auto staleness = fleet.staleness_samples();
-  const double p50 = percentile(staleness, 0.50);
-  const double p99 = percentile(staleness, 0.99);
+  const double p50_exact = percentile(staleness, 0.50);
+  const double p99_exact = percentile(staleness, 0.99);
+
+  // Staleness quantiles now come off the registry histogram -- the same
+  // snapshot path a live METRICS scrape reads. The retained sample vector
+  // is the migration oracle: at the pinned seed both views rank the same
+  // samples, so the log-linear estimate must agree with the exact
+  // percentile to within one bucket (<= 1/32 relative + 1us unit slop).
+  const obs::MetricsSnapshot snap = fleet.metrics();
+  const auto* stale_series = snap.find_series("chaos_staleness_us");
+  if (stale_series == nullptr) {
+    std::fprintf(stderr, "chaos: staleness histogram missing from snapshot\n");
+    return 1;
+  }
+  const obs::HistogramSnapshot& stale = stale_series->hist;
+  const double p50 = stale.quantile(0.50) / 1e6;
+  const double p99 = stale.quantile(0.99) / 1e6;
+  if (stale.bucket_total() != staleness.size()) {
+    std::fprintf(stderr, "chaos: histogram count %llu != %zu samples\n",
+                 static_cast<unsigned long long>(stale.bucket_total()),
+                 staleness.size());
+    return 1;
+  }
+  const auto quantiles_agree = [](double est, double exact) {
+    const double slop =
+        exact / static_cast<double>(obs::HistogramLayout::kSub) + 2e-6;
+    return est >= exact - slop && est <= exact + slop;
+  };
+  if (!quantiles_agree(p50, p50_exact) || !quantiles_agree(p99, p99_exact)) {
+    std::fprintf(stderr,
+                 "chaos: histogram quantiles diverge from exact percentiles "
+                 "(p50 %.6f vs %.6f, p99 %.6f vs %.6f)\n",
+                 p50, p50_exact, p99, p99_exact);
+    return 1;
+  }
   const std::uint64_t applied = fleet.items_applied();
   const double bytes_per_item =
       applied == 0 ? 0

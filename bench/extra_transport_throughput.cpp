@@ -37,6 +37,7 @@
 #include "net/socket_client.hpp"
 #include "net/socket_server.hpp"
 #include "net/uring_server.hpp"
+#include "obs/metrics.hpp"
 
 #if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
 #define RIBLT_BENCH_SANITIZED 1
@@ -87,22 +88,26 @@ std::vector<std::unique_ptr<sync::ShardedClient<U64Symbol>>> build_clients(
   return out;
 }
 
-RunResult summarize(std::vector<double> latencies_s, double wall_s,
+/// Latency quantiles off an obs::Histogram (microsecond samples) -- the
+/// same log-linear estimator the live METRICS scrape serves, replacing
+/// the former private sorted-vector percentiles. The histogram's relaxed
+/// record() is also what makes the connection sweep's concurrent client
+/// threads safe without a lock or per-thread vectors.
+RunResult summarize(const obs::Histogram& latencies_us, double wall_s,
                     bool correct) {
+  const obs::HistogramSnapshot s = latencies_us.snapshot();
   RunResult r;
   r.wall_s = wall_s;
-  r.sessions_per_s = static_cast<double>(latencies_s.size()) / wall_s;
-  std::sort(latencies_s.begin(), latencies_s.end());
-  const auto at = [&](double q) {
-    const std::size_t i = std::min(
-        latencies_s.size() - 1,
-        static_cast<std::size_t>(q * static_cast<double>(latencies_s.size())));
-    return latencies_s[i] * 1e3;
-  };
-  r.p50_ms = at(0.50);
-  r.p99_ms = at(0.99);
+  r.sessions_per_s = static_cast<double>(s.bucket_total()) / wall_s;
+  r.p50_ms = s.quantile(0.50) / 1e3;
+  r.p99_ms = s.quantile(0.99) / 1e3;
   r.ok = correct;
   return r;
+}
+
+/// Seconds -> whole microseconds for histogram recording.
+std::uint64_t as_us(double seconds) {
+  return static_cast<std::uint64_t>(seconds * 1e6);
 }
 
 /// In-memory baseline: the same threaded worker/sink path, no sockets --
@@ -127,8 +132,7 @@ RunResult run_memory(const Workload& w) {
     }
   });
 
-  std::vector<double> latencies;
-  latencies.reserve(w.sessions);
+  obs::Histogram latencies;
   bool correct = true;
   bench::Timer total;
   for (std::size_t s = 0; s < w.sessions; ++s) {
@@ -137,14 +141,14 @@ RunResult run_memory(const Workload& w) {
     while (!clients[s]->terminal()) {
       std::this_thread::yield();
     }
-    latencies.push_back(t.elapsed());
+    latencies.record(as_us(t.elapsed()));
     correct = correct && clients[s]->complete() &&
               clients[s]->diff().remote.size() == w.d &&
               clients[s]->diff().local.empty();
   }
   const double wall = total.elapsed();
   engine.stop();
-  return summarize(std::move(latencies), wall,
+  return summarize(latencies, wall,
                    correct && !sink_error.load(std::memory_order_relaxed));
 }
 
@@ -161,21 +165,20 @@ RunResult run_loopback(const Workload& w) {
   server.start();
   net::SocketClient sock(server.port());
 
-  std::vector<double> latencies;
-  latencies.reserve(w.sessions);
+  obs::Histogram latencies;
   bool correct = true;
   bench::Timer total;
   for (std::size_t s = 0; s < w.sessions; ++s) {
     bench::Timer t;
     const bool done = run_session(sock, *clients[s], /*timeout_s=*/120.0);
-    latencies.push_back(t.elapsed());
+    latencies.record(as_us(t.elapsed()));
     correct = correct && done && clients[s]->diff().remote.size() == w.d &&
               clients[s]->diff().local.empty();
   }
   const double wall = total.elapsed();
   server.stop();
   correct = correct && server.stats().protocol_errors == 0;
-  return summarize(std::move(latencies), wall, correct);
+  return summarize(latencies, wall, correct);
 }
 
 // ------------------------------------------------------ connection sweep
@@ -256,7 +259,7 @@ SweepResult run_sweep_tier(bool use_uring, std::size_t conns,
   }
 
   const std::size_t total = conns * sessions_per_conn;
-  std::vector<double> lat(total, 0.0);
+  obs::Histogram lat;  // pool threads record concurrently (relaxed atomics)
   std::vector<unsigned char> okv(total, 0);
 
   bench::Timer wall;
@@ -273,7 +276,7 @@ SweepResult run_sweep_tier(bool use_uring, std::size_t conns,
         }
         bench::Timer timer;
         const bool done = run_session(*socks[c], client, /*timeout_s=*/120.0);
-        lat[g] = timer.elapsed();
+        lat.record(as_us(timer.elapsed()));
         okv[g] = done && client.diff().remote.size() == kD &&
                  client.diff().local.empty();
       }
@@ -296,7 +299,7 @@ SweepResult run_sweep_tier(bool use_uring, std::size_t conns,
                  stats.connections_accepted == conns;
   for (const unsigned char o : okv) correct = correct && o != 0;
 
-  const RunResult base = summarize(std::move(lat), wall_s, correct);
+  const RunResult base = summarize(lat, wall_s, correct);
   SweepResult r;
   r.conns = conns;
   r.sessions = total;

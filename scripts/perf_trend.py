@@ -39,6 +39,10 @@ METRICS_LOWER = {
 }
 METRICS_LOWER_NOISY = {
     "cpu_s", "hello_us", "churn_us", "build_s", "wall_s",
+    # Serving bench observability gate: instrumentation attached-vs-
+    # detached delta in percent (can be slightly negative; the bench
+    # itself enforces the 2% ceiling, the trend just tracks drift).
+    "obs_overhead_pct",
     "riblt_s", "pinsketch_s",
     "p50_ms", "p99_ms",  # transport sync latency (loopback jitter is real)
     # Connection-sweep serving cost: syscalls per session is mostly
@@ -55,7 +59,7 @@ METRICS_LOWER_NOISY = {
 # decode items/sec, shard speedups), so they all take the slack threshold
 # on shared runners -- the trend signal is order-of-magnitude, not percent.
 METRICS_HIGHER = {
-    "sessions_per_s", "speedup", "riblt_d_per_s",
+    "sessions_per_s", "sessions_per_s_detached", "speedup", "riblt_d_per_s",
     "ingest_items_per_s", "ingest_speedup_4w",
     "rounds_converged",  # chaos harness: successful anti-entropy rounds
 }
@@ -63,10 +67,29 @@ METRICS_NOISY = METRICS_LOWER_NOISY | METRICS_HIGHER
 
 ALL_METRICS = METRICS_LOWER | METRICS_LOWER_NOISY | METRICS_HIGHER
 
+# Registry-histogram quantile fields: JsonReport::hist emits `<key>_p50` /
+# `<key>_p99` for any histogram a bench pulls off a registry snapshot, so
+# new quantile columns are learned by suffix instead of by name. All are
+# latency-flavored lower-is-better and CPU-derived, so they take the slack
+# threshold like the other noisy metrics.
+QUANTILE_SUFFIXES = ("_p50", "_p90", "_p99")
+
+
+def is_quantile(name):
+    return name.endswith(QUANTILE_SUFFIXES) and name not in ALL_METRICS
+
+
+def is_metric(name):
+    return name in ALL_METRICS or is_quantile(name)
+
+
+def is_noisy(name):
+    return name in METRICS_NOISY or is_quantile(name)
+
 
 def row_key(row):
     return tuple(sorted(
-        (k, v) for k, v in row.items() if k not in ALL_METRICS
+        (k, v) for k, v in row.items() if not is_metric(k)
     ))
 
 
@@ -120,15 +143,15 @@ def main():
             base = base_rows.get(key)
             if base is None:
                 continue
-            for metric in ALL_METRICS:
-                if metric not in cur or metric not in base:
+            for metric in sorted(cur):
+                if not is_metric(metric) or metric not in base:
                     continue
                 b, c = float(base[metric]), float(cur[metric])
                 if b <= 0:
                     continue
                 compared += 1
                 threshold = (args.noisy_threshold
-                             if metric in METRICS_NOISY
+                             if is_noisy(metric)
                              else args.threshold)
                 if metric in METRICS_HIGHER:
                     worse = c < b * (1.0 - threshold)

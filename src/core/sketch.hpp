@@ -13,6 +13,7 @@
 
 #include <array>
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <cstddef>
 #include <memory>
@@ -30,6 +31,7 @@
 #include "core/decoder.hpp"
 #include "core/mapping.hpp"
 #include "core/symbol.hpp"
+#include "obs/metrics.hpp"
 
 namespace ribltx {
 
@@ -318,6 +320,19 @@ class SequenceCache {
   }
 
   static constexpr std::size_t kCompactMinTombstones = 64;
+
+  // -------------------------------------------------------- observability
+
+  /// Attaches registry handles (any may be null). The pointers are stored
+  /// relaxed-atomic so binding can happen after writer threads are already
+  /// churning: a writer that misses the store simply skips one record.
+  /// The referenced cells must outlive the cache's last writer.
+  void bind_metrics(obs::Histogram* gate_wait_us, obs::Histogram* compact_us,
+                    obs::Counter* compactions) noexcept {
+    obs_gate_wait_us_.store(gate_wait_us, std::memory_order_relaxed);
+    obs_compact_us_.store(compact_us, std::memory_order_relaxed);
+    obs_compactions_.store(compactions, std::memory_order_relaxed);
+  }
 
   // ------------------------------------------------------------ cell reads
 
@@ -657,12 +672,25 @@ class SequenceCache {
    public:
     explicit ExclusiveGate(SequenceCache& cache)
         : cache_(cache), lock_(cache.exclusive_mu_) {
+      // Gate-wait covers barrier raise + lane drain, but not the mutex
+      // queue (the member initializer above): the drain is the part the
+      // Dekker gate adds over a plain lock, which is what the histogram
+      // is sized to expose. Sampled 1-in-8: the gate sits on the
+      // session-open path, where unconditional clock reads would be a
+      // measurable fraction of a small session's budget.
+      obs::Histogram* const h =
+          (cache_.obs_gate_sample_.fetch_add(1, std::memory_order_relaxed) &
+           7) == 0
+              ? cache_.obs_gate_wait_us_.load(std::memory_order_relaxed)
+              : nullptr;
+      const std::uint64_t t0 = h != nullptr ? steady_us() : 0;
       cache_.barrier_.store(true, std::memory_order_seq_cst);
       for (Lane& lane : cache_.lanes_) {
         while (lane.active.load(std::memory_order_seq_cst) != 0) {
           std::this_thread::yield();
         }
       }
+      if (h != nullptr) h->record(steady_us() - t0);
     }
 
     ~ExclusiveGate() {
@@ -754,8 +782,18 @@ class SequenceCache {
     return t >= kCompactMinTombstones && 4 * t >= w && w >= at + cooldown;
   }
 
+  [[nodiscard]] static std::uint64_t steady_us() noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
+  }
+
   /// Caller holds the gate.
   void compact_window_exclusive() {
+    obs::Histogram* const obs_dur =
+        obs_compact_us_.load(std::memory_order_relaxed);
+    const std::uint64_t obs_t0 = obs_dur != nullptr ? steady_us() : 0;
     // Net count per distinct symbol across every lane window; bucketed by
     // hash with symbol-equality confirmation so hash collisions cannot
     // merge distinct items.
@@ -805,6 +843,12 @@ class SequenceCache {
     window_entries_.store(rebuilt_entries, std::memory_order_relaxed);
     window_size_at_compact_.store(rebuilt_entries,
                                   std::memory_order_relaxed);
+    if (obs_dur != nullptr) obs_dur->record(steady_us() - obs_t0);
+    if (obs::Counter* const c =
+            obs_compactions_.load(std::memory_order_relaxed);
+        c != nullptr) {
+      c->inc();
+    }
   }
 
   Hasher hasher_;
@@ -827,6 +871,11 @@ class SequenceCache {
   std::atomic<std::size_t> live_cursors_{0};
   std::atomic<bool> barrier_{false};  ///< an exclusive phase wants the cache
   std::mutex exclusive_mu_;
+  /// Registry taps (null = untapped); see bind_metrics().
+  std::atomic<obs::Histogram*> obs_gate_wait_us_{nullptr};
+  std::atomic<std::uint64_t> obs_gate_sample_{0};  ///< 1-in-8 phase
+  std::atomic<obs::Histogram*> obs_compact_us_{nullptr};
+  std::atomic<obs::Counter*> obs_compactions_{nullptr};
 };
 
 }  // namespace ribltx

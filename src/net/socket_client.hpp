@@ -13,6 +13,8 @@
 #include <cstdint>
 #include <cstddef>
 #include <optional>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "net/frame_conduit.hpp"
@@ -67,6 +69,35 @@ bool run_session(SocketClient& sock, sync::SyncClient<T, Hasher>& client,
     }
   }
   return client.complete();
+}
+
+/// Scrapes one observability verb ("METRICS", "METRICS_JSON", "TRACE")
+/// from a server over an open connection: sends the ADMIN frame and
+/// reassembles the chunked ADMIN_REPLY stream into the body -- the
+/// curl-equivalent of hitting a Prometheus endpoint, usable from a second
+/// connection while sessions load the first. `session_id` only correlates
+/// request and reply (any nonzero value; no session is created). Frames
+/// for other sessions interleaved on this connection are skipped. Throws
+/// ProtocolError when the server answers with an in-band ERROR (unknown
+/// verb / tap not configured); nullopt on deadline.
+inline std::optional<std::string> scrape(SocketClient& sock,
+                                         std::string_view verb,
+                                         std::uint64_t session_id = 1,
+                                         double timeout_s = 30.0) {
+  sock.send_frame(sync::v2::make_admin_frame(session_id, verb));
+  std::string body;
+  for (;;) {
+    auto raw = sock.recv_frame(timeout_s);
+    if (!raw) return std::nullopt;  // deadline
+    if (sync::v2::peek_session_id(*raw) != session_id) continue;
+    const sync::v2::Frame frame = sync::v2::parse_frame(*raw);
+    if (frame.type == sync::v2::FrameType::kError) {
+      throw sync::ProtocolError(sync::v2::error_text(frame));
+    }
+    if (frame.type != sync::v2::FrameType::kAdminReply) continue;
+    body.append(sync::v2::error_text(frame));  // payload bytes as text
+    if (frame.value != 0) return body;         // final chunk
+  }
 }
 
 /// Runs a ShardedClient's K sub-sessions (multiplexed over the one

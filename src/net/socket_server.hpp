@@ -42,6 +42,7 @@
 
 #include "net/frame_conduit.hpp"
 #include "net/tcp.hpp"
+#include "obs/prom.hpp"
 #include "sync/sharded.hpp"
 
 namespace ribltx::net {
@@ -70,6 +71,16 @@ struct SocketServerOptions {
   /// the single-shot recv / eventfd fallback paths without an old kernel.
   bool uring_buffer_ring = true;
   bool uring_msg_ring = true;
+  /// Live exposition taps (optional; must outlive the server). With
+  /// `metrics` set the in-band ADMIN verbs "METRICS" (Prometheus text)
+  /// and "METRICS_JSON" answer with a live registry snapshot composed
+  /// with the server's transport counters and the engine roll-up; with
+  /// `tracer` set "TRACE" answers with chrome://tracing JSON. A verb
+  /// whose tap is unset gets an in-band ERROR frame. Pass the same
+  /// registry/tracer the engine's EngineOptions carry so one scrape
+  /// covers every tier.
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::Tracer* tracer = nullptr;
 };
 
 /// Transport-layer counters (engine-layer stats live in ShardedStats).
@@ -94,10 +105,64 @@ struct SocketServerStats {
 
   /// Total data-path syscalls (sqe_submits excluded: an SQE is not a
   /// syscall, that is the whole point).
+  ///
+  /// Consistency (audited): this sums columns of ONE materialized stats()
+  /// snapshot, so it can never tear a live counter mid-read -- but the
+  /// snapshot itself samples each underlying atomic with a separate
+  /// relaxed load. Each column is individually torn-free (single 64-bit
+  /// atomics) and monotone across successive snapshots; the SUM is a
+  /// smear: a read counted between the syscalls_read load and the
+  /// syscalls_wait load lands in neither. Deltas between two snapshots
+  /// bracket the true syscall count, which is what the benches divide by
+  /// sessions. Same contract as obs::MetricsRegistry::snapshot().
   [[nodiscard]] std::uint64_t syscalls() const noexcept {
     return syscalls_read + syscalls_write + syscalls_wait + wakeups;
   }
 };
+
+/// Appends the transport counters as synthetic snapshot families -- the
+/// "thin view" composition: the hot counters stay in the server's padded
+/// atomics, and scrape time folds one stats() sample into the exposition
+/// next to the registry-native families. `labels` distinguishes servers
+/// sharing a registry (conventionally {{"server", "epoll"|"uring"}}).
+inline void append_server_stats(obs::MetricsSnapshot& snap,
+                                const SocketServerStats& s,
+                                obs::Labels labels = {}) {
+  snap.add_counter("riblt_server_connections_accepted_total",
+                   "Connections accepted", s.connections_accepted, labels);
+  snap.add_counter("riblt_server_connections_closed_total",
+                   "Connections closed", s.connections_closed, labels);
+  snap.add_counter("riblt_server_frames_in_total",
+                   "Frames reassembled off sockets", s.frames_in, labels);
+  snap.add_counter("riblt_server_frames_out_total",
+                   "Frames staged for sending", s.frames_out, labels);
+  snap.add_counter("riblt_server_frames_dropped_total",
+                   "Outbound frames with no live route", s.frames_dropped,
+                   labels);
+  snap.add_counter("riblt_server_protocol_errors_total",
+                   "Router rejects plus framing poisons", s.protocol_errors,
+                   labels);
+  auto op = [&labels](const char* v) {
+    obs::Labels l = labels;
+    l.emplace_back("op", v);
+    return l;
+  };
+  const char* const syscall_help = "Data-path syscalls by call site";
+  snap.add_counter("riblt_server_syscalls_total", syscall_help,
+                   s.syscalls_read, op("read"));
+  snap.add_counter("riblt_server_syscalls_total", syscall_help,
+                   s.syscalls_write, op("write"));
+  snap.add_counter("riblt_server_syscalls_total", syscall_help,
+                   s.syscalls_wait, op("wait"));
+  snap.add_counter("riblt_server_syscalls_total", syscall_help, s.wakeups,
+                   op("wakeup"));
+  snap.add_counter("riblt_server_sqe_submits_total",
+                   "SQEs handed to the kernel (uring)", s.sqe_submits,
+                   labels);
+  snap.add_gauge("riblt_server_routes",
+                 "Live session-to-connection routes",
+                 static_cast<std::int64_t>(s.routes), labels);
+}
 
 template <Symbol T, typename Hasher = SipHasher<T>>
 class SocketServer {
@@ -109,6 +174,12 @@ class SocketServer {
       : engine_(engine), options_(options), listener_(options.port) {
     if (options_.low_watermark >= options_.high_watermark) {
       throw std::invalid_argument("SocketServer: watermarks out of order");
+    }
+    if (options_.metrics != nullptr) {
+      obs_conduit_depth_ = &options_.metrics->histogram(
+          "riblt_server_conduit_pending_bytes",
+          "Bytes queued in a connection's conduit after a flush",
+          {{"server", "epoll"}});
     }
   }
 
@@ -406,6 +477,15 @@ class SocketServer {
       return false;
     }
     const auto type = static_cast<std::uint8_t>(frame[0]);
+    if (type == static_cast<std::uint8_t>(sync::v2::FrameType::kAdmin)) {
+      // Observability verbs are transport-level: answered here on the poll
+      // thread, never submitted to the engine (which rejects them) and
+      // never recorded in the reply routes -- the chunked ADMIN_REPLY
+      // rides stage_local back on this same connection, so a scrape works
+      // mid-load from a second connection without touching any session.
+      handle_admin(conn, sid, frame);
+      return true;
+    }
     bool inserted_route = false;
     {
       // Record the reply route up front: the HELLO_ACK can race out of the
@@ -442,6 +522,51 @@ class SocketServer {
       drop_route_if_self(sid, *conn);
     }
     return true;
+  }
+
+  /// Composes the live exposition snapshot: registry-native families plus
+  /// the thin views over this server's transport counters and the engine
+  /// roll-up. Runs on the poll thread; engine_.stats() takes each shard
+  /// lock briefly (workers never block holding one -- sinks run outside
+  /// the shard lock -- so this cannot deadlock against backpressure).
+  [[nodiscard]] obs::MetricsSnapshot compose_snapshot() const {
+    obs::MetricsSnapshot snap = options_.metrics->snapshot();
+    append_server_stats(snap, stats(), {{"server", "epoll"}});
+    sync::append_engine_totals(snap, engine_.stats().totals);
+    return snap;
+  }
+
+  /// Answers one ADMIN verb in-band. Unknown verbs and verbs whose tap is
+  /// not configured get an ERROR frame (counted as protocol errors), so a
+  /// scraper always hears back.
+  void handle_admin(const std::shared_ptr<Conn>& conn, std::uint64_t sid,
+                    std::span<const std::byte> raw) {
+    std::string verb;
+    try {
+      const sync::v2::Frame frame = sync::v2::parse_frame(raw);
+      verb = sync::v2::error_text(frame);  // payload bytes as text
+    } catch (const sync::ProtocolError&) {
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      stage_local(conn, sync::v2::make_error_frame(sid, "malformed ADMIN"));
+      return;
+    }
+    std::string body;
+    if ((verb == "METRICS" || verb == "METRICS_JSON") &&
+        options_.metrics != nullptr) {
+      const obs::MetricsSnapshot snap = compose_snapshot();
+      body = verb == "METRICS" ? obs::prometheus_text(snap)
+                               : obs::json_text(snap);
+    } else if (verb == "TRACE" && options_.tracer != nullptr) {
+      body = options_.tracer->chrome_json();
+    } else {
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      stage_local(conn, sync::v2::make_error_frame(
+                            sid, "unsupported ADMIN verb: " + verb));
+      return;
+    }
+    for (auto& reply : sync::v2::make_admin_reply(sid, body)) {
+      stage_local(conn, std::move(reply));
+    }
   }
 
   void drop_route_if_self(std::uint64_t sid, const Conn& conn) {
@@ -524,6 +649,10 @@ class SocketServer {
     }
     conn.conduit_pending.store(conn.conduit.pending_bytes(),
                                std::memory_order_release);
+    if (obs_conduit_depth_ != nullptr) {
+      obs_conduit_depth_->record(
+          conn.conduit_pending.load(std::memory_order_relaxed));
+    }
     const bool want = conn.conduit.has_output();
     if (want != conn.want_write) {
       conn.want_write = want;
@@ -610,6 +739,7 @@ class SocketServer {
   std::atomic<std::uint64_t> syscalls_write_{0};
   std::atomic<std::uint64_t> syscalls_wait_{0};
   std::atomic<std::uint64_t> wakeups_{0};
+  obs::Histogram* obs_conduit_depth_ = nullptr;  ///< null = untapped
 };
 
 }  // namespace ribltx::net

@@ -86,6 +86,12 @@ class UringServer {
                     ring_->setup_buf_ring(kBufGroup, kBufRingEntries,
                                           kRecvBufSize);
     use_msg_ring_ = options_.uring_msg_ring && uring_caps().msg_ring;
+    if (options_.metrics != nullptr) {
+      obs_conduit_depth_ = &options_.metrics->histogram(
+          "riblt_server_conduit_pending_bytes",
+          "Bytes queued in a connection's conduit after a flush",
+          {{"server", "uring"}});
+    }
     if (use_msg_ring_) {
       // Tiny sender ring shared by all sink threads (mutex-guarded): its
       // only job is posting wakeup CQEs onto the serving ring.
@@ -579,6 +585,12 @@ class UringServer {
       return false;
     }
     const auto type = static_cast<std::uint8_t>(frame[0]);
+    if (type == static_cast<std::uint8_t>(sync::v2::FrameType::kAdmin)) {
+      // Same transport-level interception as SocketServer::route_inbound:
+      // answered on the serving thread, never routed, never submitted.
+      handle_admin(conn, sid, frame);
+      return true;
+    }
     bool inserted_route = false;
     {
       const std::lock_guard<std::mutex> lk(conns_mu_);
@@ -610,6 +622,45 @@ class UringServer {
     const std::lock_guard<std::mutex> lk(conns_mu_);
     const auto it = routes_.find(sid);
     if (it != routes_.end() && it->second.get() == &conn) routes_.erase(it);
+  }
+
+  /// Snapshot composition and ADMIN answering, mirroring SocketServer
+  /// (see the comments there); only the server label differs.
+  [[nodiscard]] obs::MetricsSnapshot compose_snapshot() const {
+    obs::MetricsSnapshot snap = options_.metrics->snapshot();
+    append_server_stats(snap, stats(), {{"server", "uring"}});
+    sync::append_engine_totals(snap, engine_.stats().totals);
+    return snap;
+  }
+
+  void handle_admin(const std::shared_ptr<Conn>& conn, std::uint64_t sid,
+                    std::span<const std::byte> raw) {
+    std::string verb;
+    try {
+      const sync::v2::Frame frame = sync::v2::parse_frame(raw);
+      verb = sync::v2::error_text(frame);  // payload bytes as text
+    } catch (const sync::ProtocolError&) {
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      stage_local(conn, sync::v2::make_error_frame(sid, "malformed ADMIN"));
+      return;
+    }
+    std::string body;
+    if ((verb == "METRICS" || verb == "METRICS_JSON") &&
+        options_.metrics != nullptr) {
+      const obs::MetricsSnapshot snap = compose_snapshot();
+      body = verb == "METRICS" ? obs::prometheus_text(snap)
+                               : obs::json_text(snap);
+    } else if (verb == "TRACE" && options_.tracer != nullptr) {
+      body = options_.tracer->chrome_json();
+    } else {
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      stage_local(conn, sync::v2::make_error_frame(
+                            sid, "unsupported ADMIN verb: " + verb));
+      return;
+    }
+    for (auto& reply : sync::v2::make_admin_reply(sid, body)) {
+      stage_local(conn, std::move(reply));
+    }
   }
 
   void stage_local(const std::shared_ptr<Conn>& conn,
@@ -654,6 +705,7 @@ class UringServer {
   void after_drain(Conn& conn) {
     const std::size_t pending = conn.conduit.pending_bytes();
     conn.conduit_pending.store(pending, std::memory_order_release);
+    if (obs_conduit_depth_ != nullptr) obs_conduit_depth_->record(pending);
     if (pending < options_.low_watermark) {
       { const std::lock_guard<std::mutex> lk(conn.mu); }
       conn.cv.notify_all();
@@ -837,6 +889,7 @@ class UringServer {
   std::atomic<std::uint64_t> dropped_{0};
   std::atomic<std::uint64_t> protocol_errors_{0};
   std::atomic<std::uint64_t> wakeups_{0};
+  obs::Histogram* obs_conduit_depth_ = nullptr;  ///< null = untapped
 };
 
 }  // namespace ribltx::net

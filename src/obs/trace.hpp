@@ -1,0 +1,180 @@
+// Session-lifecycle tracer: fixed-size POD events written into
+// per-thread lock-free ring buffers, exported as chrome://tracing JSON.
+//
+// Write path: one thread owns each ring (threads self-register on first
+// record; registration takes the tracer mutex once per thread, then the
+// ring pointer is cached thread_local). A record is a slot store plus a
+// release head bump -- no locks, no fences beyond the release, safe
+// from shard workers and the uring serving thread.
+//
+// Read path (export/snapshot): acquire-loads each ring's head and walks
+// the retained window. A writer that laps the reader mid-walk can tear
+// the oldest slots; the exporter revalidates head after copying and
+// drops any slot the writer could have overwritten during the walk, so
+// exported events are always real events (same bracketing contract as
+// the metrics snapshot: newest events win, oldest may be missing).
+//
+// Lifetime: rings live as long as the tracer; a Tracer must outlive
+// every thread that records into it (the same contract the engines'
+// worker threads already have with their owning server).
+#pragma once
+
+#include <atomic>
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace ribltx::obs {
+
+/// What happened to a session (the HELLO -> grant -> rounds ->
+/// DONE/ERROR/reap lifecycle of sync/engine.hpp, plus transport taps).
+enum class TraceKind : std::uint8_t {
+  kOpen,     ///< HELLO accepted; a = d_estimate, b = pace_cap
+  kRound,    ///< round escalation honored; a = rounds so far
+  kCredit,   ///< pacing credit received; a = credits so far
+  kDone,     ///< client DONE; a = bytes_to_peer, b = bytes_from_peer
+  kError,    ///< contained failure; a = bytes_to_peer, b = bytes_from_peer
+  kReap,     ///< idle-reaped; a = bytes_to_peer
+  kEvict,    ///< shed at the session cap; a = bytes_to_peer
+  kClose,    ///< retired from the table; a = bytes_to_peer, b = rounds
+};
+
+[[nodiscard]] constexpr const char* trace_kind_name(TraceKind k) noexcept {
+  switch (k) {
+    case TraceKind::kOpen: return "session_open";
+    case TraceKind::kRound: return "round";
+    case TraceKind::kCredit: return "credit";
+    case TraceKind::kDone: return "done";
+    case TraceKind::kError: return "error";
+    case TraceKind::kReap: return "reap";
+    case TraceKind::kEvict: return "evict";
+    case TraceKind::kClose: return "close";
+  }
+  return "unknown";
+}
+
+/// One span event. POD; ts_s is whatever clock the recording tier uses
+/// (engines pass their EngineOptions clock, so simulated harnesses
+/// trace in simulated time).
+struct TraceEvent {
+  double ts_s = 0;
+  std::uint64_t session_id = 0;
+  std::uint64_t a = 0;  ///< kind-specific, see TraceKind
+  std::uint64_t b = 0;  ///< kind-specific, see TraceKind
+  TraceKind kind{};
+  std::uint8_t backend = 0;  ///< sync::BackendId wire id (0 = n/a)
+};
+
+class Tracer {
+ public:
+  /// `capacity` events are retained per recording thread (newest win).
+  explicit Tracer(std::size_t capacity = 4096)
+      : capacity_(capacity < 2 ? 2 : capacity) {}
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Lock-free after the first call per thread (the first call per
+  /// thread registers its ring under the tracer mutex).
+  void record(const TraceEvent& ev) {
+    Ring& r = ring_for_thread();
+    const std::uint64_t h = r.head.load(std::memory_order_relaxed);
+    r.slots[static_cast<std::size_t>(h % capacity_)] = ev;
+    r.head.store(h + 1, std::memory_order_release);
+  }
+
+  /// Copies every retained event, oldest first per ring. Slots a writer
+  /// may have overwritten during the copy are dropped (see file header).
+  [[nodiscard]] std::vector<TraceEvent> events() const {
+    std::vector<TraceEvent> out;
+    std::vector<Ring*> rings;
+    {
+      const std::lock_guard<std::mutex> lk(mu_);
+      rings.reserve(rings_.size());
+      for (const auto& r : rings_) rings.push_back(r.get());
+    }
+    for (std::size_t tid = 0; tid < rings.size(); ++tid) {
+      Ring& r = *rings[tid];
+      const std::uint64_t head = r.head.load(std::memory_order_acquire);
+      const std::uint64_t lo = head > capacity_ ? head - capacity_ : 0;
+      std::vector<TraceEvent> window;
+      window.reserve(static_cast<std::size_t>(head - lo));
+      for (std::uint64_t i = lo; i < head; ++i) {
+        window.push_back(r.slots[static_cast<std::size_t>(i % capacity_)]);
+      }
+      // Drop the prefix a concurrent writer could have lapped while we
+      // copied: only slots >= the post-copy overwrite floor are surely
+      // intact copies of real events.
+      const std::uint64_t head2 = r.head.load(std::memory_order_acquire);
+      const std::uint64_t floor = head2 > capacity_ ? head2 - capacity_ : 0;
+      const std::uint64_t skip = floor > lo ? floor - lo : 0;
+      for (std::uint64_t i = skip; i < window.size(); ++i) {
+        TraceEvent ev = window[static_cast<std::size_t>(i)];
+        out.push_back(ev);
+      }
+    }
+    return out;
+  }
+
+  /// chrome://tracing "Trace Event Format" JSON: instant events per
+  /// lifecycle step (tid = recording thread's ring ordinal is not
+  /// preserved across the merge; the session id is in args, which is
+  /// what the lifecycle view groups on).
+  [[nodiscard]] std::string chrome_json() const {
+    std::vector<TraceEvent> evs = events();
+    std::string out = "{\"traceEvents\":[";
+    char buf[256];
+    bool first = true;
+    for (const TraceEvent& ev : evs) {
+      if (!first) out += ',';
+      first = false;
+      // Timestamps are microseconds in the trace event format.
+      std::snprintf(
+          buf, sizeof buf,
+          "{\"name\":\"%s\",\"ph\":\"i\",\"s\":\"g\",\"pid\":1,"
+          "\"tid\":%u,\"ts\":%.3f,\"args\":{\"sid\":%" PRIu64
+          ",\"backend\":%u,\"a\":%" PRIu64 ",\"b\":%" PRIu64 "}}",
+          trace_kind_name(ev.kind), static_cast<unsigned>(ev.backend),
+          ev.ts_s * 1e6, ev.session_id, static_cast<unsigned>(ev.backend),
+          ev.a, ev.b);
+      out += buf;
+    }
+    out += "]}";
+    return out;
+  }
+
+  [[nodiscard]] std::size_t ring_count() const {
+    const std::lock_guard<std::mutex> lk(mu_);
+    return rings_.size();
+  }
+
+ private:
+  struct alignas(64) Ring {
+    explicit Ring(std::size_t capacity) : slots(capacity) {}
+    std::vector<TraceEvent> slots;
+    std::atomic<std::uint64_t> head{0};
+  };
+
+  [[nodiscard]] Ring& ring_for_thread() {
+    thread_local const Tracer* owner = nullptr;
+    thread_local Ring* cached = nullptr;
+    if (owner != this) {
+      const std::lock_guard<std::mutex> lk(mu_);
+      rings_.push_back(std::make_unique<Ring>(capacity_));
+      cached = rings_.back().get();
+      owner = this;
+    }
+    return *cached;
+  }
+
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::deque<std::unique_ptr<Ring>> rings_;
+};
+
+}  // namespace ribltx::obs

@@ -6,7 +6,7 @@ namespace {
 
 [[nodiscard]] bool known_type(std::uint8_t t) {
   return t >= static_cast<std::uint8_t>(FrameType::kHello) &&
-         t <= static_cast<std::uint8_t>(FrameType::kError);
+         t <= static_cast<std::uint8_t>(FrameType::kAdminReply);
 }
 
 /// Reads a length-prefixed payload, rejecting length claims the frame
@@ -81,6 +81,13 @@ Frame parse_frame(std::span<const std::byte> data) {
       case FrameType::kSymbols:
       case FrameType::kRound:
       case FrameType::kError:
+      case FrameType::kAdmin:
+        out.payload = read_payload(r);
+        break;
+      case FrameType::kAdminReply:
+        // `value` carries the final-chunk flag (1 = last chunk of the
+        // reassembled admin reply body).
+        out.value = r.u8();
         out.payload = read_payload(r);
         break;
       case FrameType::kDone:
@@ -158,6 +165,12 @@ std::vector<std::byte> encode_frame(const Frame& frame) {
     case FrameType::kSymbols:
     case FrameType::kRound:
     case FrameType::kError:
+    case FrameType::kAdmin:
+      w.uvarint(frame.payload.size());
+      w.bytes(frame.payload);
+      break;
+    case FrameType::kAdminReply:
+      w.u8(frame.value != 0 ? 1 : 0);
       w.uvarint(frame.payload.size());
       w.bytes(frame.payload);
       break;

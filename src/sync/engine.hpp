@@ -21,6 +21,17 @@
 //   ROUND     c->s  0x14 | uvarint sid | uvarint len | payload
 //   DONE      c->s  0x15 | uvarint sid | uvarint payload_bytes_consumed
 //   ERROR     both  0x16 | uvarint sid | uvarint len | utf-8 message
+//   ADMIN     c->s  0x17 | uvarint sid | uvarint len | utf-8 verb
+//   ADMIN_RE  s->c  0x18 | uvarint sid | u8 final | uvarint len | chunk
+//
+// ADMIN is transport-level, not session-level: the servers
+// (net/socket_server.hpp, net/uring_server.hpp) and the Replica daemon
+// intercept it before engine submission and reply with the observability
+// snapshot the verb names ("METRICS" = Prometheus text, "METRICS_JSON" =
+// JSON, "TRACE" = chrome://tracing JSON), chunked into ADMIN_REPLY
+// frames whose `final` byte marks the last chunk. The engine itself
+// rejects ADMIN frames with a contained ProtocolError, so an admin verb
+// aimed at a transport that predates the verb fails cleanly in-band.
 //
 // Dialogue: the client opens with HELLO (negotiating backend id and
 // checksum width); the server ACKs and then pushes SYMBOLS frames --
@@ -44,15 +55,18 @@
 #include <array>
 #include <atomic>
 #include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <cstddef>
 #include <functional>
+#include <limits>
 #include <map>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <span>
 #include <string>
+#include <string_view>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -60,6 +74,8 @@
 #include "common/bytes.hpp"
 #include "core/sketch.hpp"
 #include "core/symbol.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "sync/adaptive.hpp"
 #include "sync/error.hpp"
 #include "sync/reconciler.hpp"
@@ -120,6 +136,8 @@ enum class FrameType : std::uint8_t {
   kRound = 0x14,
   kDone = 0x15,
   kError = 0x16,
+  kAdmin = 0x17,       ///< observability verb (transport-level; see header)
+  kAdminReply = 0x18,  ///< chunked admin reply; `value` = final-chunk flag
 };
 
 /// A parsed v2 frame; which fields are meaningful depends on `type`.
@@ -165,6 +183,44 @@ struct Frame {
 /// Builds an encoded ERROR frame carrying `message`.
 [[nodiscard]] std::vector<std::byte> make_error_frame(
     std::uint64_t session_id, const std::string& message);
+
+/// Builds an encoded ADMIN frame carrying an observability verb
+/// ("METRICS", "METRICS_JSON", "TRACE").
+[[nodiscard]] inline std::vector<std::byte> make_admin_frame(
+    std::uint64_t session_id, std::string_view verb) {
+  Frame frame;
+  frame.type = FrameType::kAdmin;
+  frame.session_id = session_id;
+  frame.payload.reserve(verb.size());
+  for (const char c : verb) {
+    frame.payload.push_back(static_cast<std::byte>(c));
+  }
+  return encode_frame(frame);
+}
+
+/// Chunks an admin reply body into ADMIN_REPLY frames; the last chunk
+/// carries the final flag (an empty body still produces one final
+/// frame, so the requester always gets a terminator).
+[[nodiscard]] inline std::vector<std::vector<std::byte>> make_admin_reply(
+    std::uint64_t session_id, std::string_view body,
+    std::size_t chunk_bytes = 32 * 1024) {
+  std::vector<std::vector<std::byte>> out;
+  std::size_t off = 0;
+  do {
+    const std::size_t n = std::min(chunk_bytes, body.size() - off);
+    Frame frame;
+    frame.type = FrameType::kAdminReply;
+    frame.session_id = session_id;
+    frame.value = off + n >= body.size() ? 1 : 0;
+    frame.payload.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      frame.payload.push_back(static_cast<std::byte>(body[off + i]));
+    }
+    off += n;
+    out.push_back(encode_frame(frame));
+  } while (off < body.size());
+  return out;
+}
 
 }  // namespace v2
 
@@ -215,6 +271,19 @@ struct EngineOptions {
   /// scale. Defaults to the steady clock; netsim harnesses bind their
   /// EventLoop's now() so simulated idleness reaps in simulated time.
   std::function<double()> clock{};
+  /// Observability taps (both optional; must outlive the engine). With
+  /// `metrics` set the engine registers its lifecycle counters,
+  /// per-backend session histograms, and the SequenceCache gate-wait /
+  /// compaction timings in the registry; with `tracer` set every
+  /// session lifecycle step (HELLO -> grant -> rounds -> DONE / ERROR /
+  /// reap) lands in the trace rings. A ShardedEngine propagates one
+  /// registry to all shards; the registry dedupes on (name, labels), so
+  /// shards share process-wide cells and the roll-up is additive. Null
+  /// pointers cost one predictable branch per instrumentation site --
+  /// the measured "instrumentation off" baseline of
+  /// bench_extra_serving_throughput's overhead gate.
+  obs::MetricsRegistry* metrics = nullptr;
+  obs::Tracer* tracer = nullptr;
 };
 
 /// Whole-engine roll-up of the per-session accounting (the per-shard and
@@ -254,6 +323,49 @@ struct EngineTotals {
     return *this;
   }
 };
+
+/// Appends an EngineTotals roll-up to a metrics snapshot as synthetic
+/// counter/gauge families -- the thin-view path the servers' METRICS
+/// admin verb composes before rendering. Snapshot consistency: a totals
+/// struct built under the serving lock (SyncEngine::totals via the
+/// shard mutex) is internally consistent for the session-lifecycle
+/// fields; items_added/items_removed/journal_depth are concurrent
+/// relaxed counters and may run a few events ahead of the session
+/// fields (see the model in obs/metrics.hpp).
+inline void append_engine_totals(obs::MetricsSnapshot& s,
+                                 const EngineTotals& t,
+                                 obs::Labels labels = {}) {
+  s.add_counter("riblt_engine_sessions_total",
+                "Sessions ever opened (live + retired)", t.sessions, labels);
+  s.add_gauge("riblt_engine_sessions_active",
+              "Sessions currently reconciling",
+              static_cast<std::int64_t>(t.active), labels);
+  s.add_counter("riblt_engine_sessions_done_total",
+                "Sessions completed by a client DONE", t.done, labels);
+  s.add_counter("riblt_engine_sessions_failed_total",
+                "Sessions ended by contained failure", t.failed, labels);
+  s.add_counter("riblt_engine_bytes_to_peers_total",
+                "SYMBOLS frame bytes emitted", t.bytes_to_peers, labels);
+  s.add_counter("riblt_engine_bytes_from_peers_total",
+                "HELLO/ROUND/DONE frame bytes received", t.bytes_from_peers,
+                labels);
+  s.add_counter("riblt_engine_rounds_total", "Round requests honored",
+                t.rounds, labels);
+  s.add_counter("riblt_engine_frames_sent_total", "SYMBOLS frames emitted",
+                t.frames_sent, labels);
+  s.add_counter("riblt_engine_items_added_total",
+                "Successful add_item calls", t.items_added, labels);
+  s.add_counter("riblt_engine_items_removed_total",
+                "Successful remove_item calls", t.items_removed, labels);
+  s.add_gauge("riblt_engine_journal_depth",
+              "Churn ops retained for open snapshots",
+              static_cast<std::int64_t>(t.journal_depth), labels);
+  s.add_counter("riblt_engine_sessions_reaped_total",
+                "Idle sessions reclaimed", t.sessions_reaped, labels);
+  s.add_counter("riblt_engine_sessions_evicted_total",
+                "Oldest-idle sessions shed at the cap", t.sessions_evicted,
+                labels);
+}
 
 /// Relaxed event counter that stays movable (std::atomic is not): moving
 /// an engine is only legal while nothing else touches it -- the same
@@ -419,6 +531,7 @@ class SyncEngine {
       probe_lanes_.push_back(std::make_unique<ProbeLane>(
           adaptive::make_probe<T, Hasher>(hasher_)));
     }
+    if (options_.metrics != nullptr) bind_metrics(*options_.metrics);
   }
 
   /// Adds an item to the served set. Returns false (and leaves every
@@ -573,8 +686,12 @@ class SyncEngine {
         session.stats.d_estimate = d_est;
         session.stats.pace_cap = pace_cap;
         session.peer_id = adaptive ? frame.peer_id : 0;
-        session.last_activity = now_s();
+        const double opened_at = now_s();
+        session.last_activity = opened_at;
         sessions_.emplace(frame.session_id, std::move(session));
+        if (auto* c = cells(backend).opened; c != nullptr) c->inc();
+        trace(obs::TraceKind::kOpen, frame.session_id, backend, d_est,
+              pace_cap, opened_at);
         v2::Frame ack;
         ack.type = v2::FrameType::kHelloAck;
         ack.session_id = frame.session_id;
@@ -603,6 +720,8 @@ class SyncEngine {
           // does not count against max_rounds, and never reaches the
           // encoder (which owns no round protocol).
           ++session.stats.credits;
+          trace(obs::TraceKind::kCredit, frame.session_id,
+                session.stats.backend, session.stats.credits);
           return out;
         }
         if (session.stats.rounds + 1 > options_.max_rounds) {
@@ -611,8 +730,13 @@ class SyncEngine {
           return out;
         }
         try {
+          obs::Histogram* const cpu = cells(session.stats.backend).cpu_us;
+          const std::uint64_t t0 = cpu != nullptr ? steady_us() : 0;
           session.encoder->handle_round_request(frame.payload);
+          if (cpu != nullptr) cpu->record(steady_us() - t0);
           ++session.stats.rounds;
+          trace(obs::TraceKind::kRound, frame.session_id,
+                session.stats.backend, session.stats.rounds);
         } catch (const std::exception& e) {
           out.push_back(fail(frame.session_id, session, e.what()));
         }
@@ -625,6 +749,9 @@ class SyncEngine {
         if (session.stats.state == SessionState::kActive) {
           session.stats.state = SessionState::kDone;
           session.stats.done_value = frame.value;
+          trace(obs::TraceKind::kDone, frame.session_id,
+                session.stats.backend, session.stats.bytes_to_peer,
+                session.stats.bytes_from_peer);
           if (session.stats.adaptive && frame.diff_count) {
             // The observed |diff| feeds this peer's EWMA: the next session
             // from the same peer gets a history-grounded d^ with no probe.
@@ -641,9 +768,19 @@ class SyncEngine {
         if (session.stats.state == SessionState::kActive) {
           session.stats.state = SessionState::kFailed;
           session.stats.error = "peer abort: " + v2::error_text(frame);
+          trace(obs::TraceKind::kError, frame.session_id,
+                session.stats.backend, session.stats.bytes_to_peer,
+                session.stats.bytes_from_peer);
         }
         return out;
       }
+      case v2::FrameType::kAdmin:
+      case v2::FrameType::kAdminReply:
+        // Transport-level verbs: the servers answer these before engine
+        // submission. One that reaches an engine directly (in-memory
+        // harness, pre-verb transport) fails contained, like any other
+        // unattributable frame.
+        throw ProtocolError("ADMIN frames are handled by the transport");
       default:
         throw ProtocolError("unexpected server-to-client frame type");
     }
@@ -685,7 +822,18 @@ class SyncEngine {
     }
     ByteWriter payload;
     try {
-      if (session.encoder->emit(payload, budget) == 0) {
+      // Serve-CPU timing is sampled 1-in-8: emit() runs for every frame
+      // of a rateless stream, so unconditional clock reads would be the
+      // dominant instrumentation cost on tiny sessions. Quantiles off a
+      // 1/8 uniform sample are unbiased; the histogram's _count reflects
+      // samples, not frames (frames_sent has the exact frame count).
+      obs::Histogram* const cpu =
+          (obs_cpu_sample_++ & 7) == 0 ? cells(session.stats.backend).cpu_us
+                                       : nullptr;
+      const std::uint64_t t0 = cpu != nullptr ? steady_us() : 0;
+      const std::size_t emitted = session.encoder->emit(payload, budget);
+      if (cpu != nullptr) cpu->record(steady_us() - t0);
+      if (emitted == 0) {
         return std::nullopt;
       }
     } catch (const std::exception& e) {
@@ -721,6 +869,14 @@ class SyncEngine {
   /// Sums the per-session accounting (the ShardedEngine stats roll-up).
   /// Lifetime view: starts from the retired accumulator (every session ever
   /// closed, reaped, or evicted) and adds the live table on top.
+  ///
+  /// Consistency: this walks sessions_, so it belongs to the SESSION
+  /// surface -- callers serialize it (the shard mutex), and the
+  /// session-lifecycle fields of the result are exact as of that lock.
+  /// items_added/items_removed/journal_depth load concurrent relaxed
+  /// counters: each is individually torn-free and monotone, but they
+  /// can run ahead of the locked fields by whatever ingest completed
+  /// mid-call (the obs/metrics.hpp snapshot model).
   [[nodiscard]] EngineTotals totals() const {
     EngineTotals t = retired_;
     for (const auto& [id, s] : sessions_) {
@@ -785,6 +941,9 @@ class SyncEngine {
         reaped.emplace_back(it->first,
                             v2::make_error_frame(it->first, s.stats.error));
         ++retired_.sessions_reaped;
+        if (obs_reaped_ != nullptr) obs_reaped_->inc();
+        trace(obs::TraceKind::kReap, it->first, s.stats.backend,
+              s.stats.bytes_to_peer);
         retire(it++);
       } else {
         ++it;
@@ -902,6 +1061,7 @@ class SyncEngine {
   void prune_cache_journal(bool force = false) {
     if (cache_->journal_size() == 0) {
       journal_size_at_prune_ = 0;
+      if (obs_journal_ != nullptr) obs_journal_->set(0);
       return;
     }
     if (!force && cache_->journal_size() < journal_size_at_prune_ + 64) {
@@ -915,6 +1075,9 @@ class SyncEngine {
     }
     cache_->prune_journal(min_pos);
     journal_size_at_prune_ = cache_->journal_size();
+    if (obs_journal_ != nullptr) {
+      obs_journal_->set(static_cast<std::int64_t>(journal_size_at_prune_));
+    }
   }
 
   /// Marks the session failed and builds the ERROR frame -- the containment
@@ -923,6 +1086,8 @@ class SyncEngine {
                                             const std::string& reason) {
     session.stats.state = SessionState::kFailed;
     session.stats.error = reason;
+    trace(obs::TraceKind::kError, id, session.stats.backend,
+          session.stats.bytes_to_peer, session.stats.bytes_from_peer);
     return v2::make_error_frame(id, reason);
   }
 
@@ -947,6 +1112,16 @@ class SyncEngine {
     retired_.bytes_from_peers += s.bytes_from_peer;
     retired_.rounds += s.rounds;
     retired_.frames_sent += s.frames_sent;
+    const BackendCells& c = cells(s.backend);
+    if (s.state == SessionState::kDone) {
+      if (c.done != nullptr) c.done->inc();
+    } else if (c.failed != nullptr) {
+      c.failed->inc();
+    }
+    if (c.bytes_to_peer != nullptr) c.bytes_to_peer->record(s.bytes_to_peer);
+    if (c.rounds != nullptr) c.rounds->record(s.rounds);
+    trace(obs::TraceKind::kClose, it->first, s.backend, s.bytes_to_peer,
+          s.rounds);
     sessions_.erase(it);
   }
 
@@ -976,9 +1151,98 @@ class SyncEngine {
     out.push_back(
         v2::make_error_frame(victim->first, victim->second.stats.error));
     ++retired_.sessions_evicted;
+    if (obs_evicted_ != nullptr) obs_evicted_->inc();
+    trace(obs::TraceKind::kEvict, victim->first,
+          victim->second.stats.backend, victim->second.stats.bytes_to_peer);
     retire(victim);
     prune_cache_journal(/*force=*/true);
     return true;
+  }
+
+  // ------------------------------------------------------ observability
+
+  /// Pre-resolved registry handles per backend wire id (1..4; slot 0
+  /// unused). Resolved once at construction so the hot paths never
+  /// touch the registry -- a null handle is the "instrumentation off"
+  /// branch.
+  struct BackendCells {
+    obs::Counter* opened = nullptr;
+    obs::Counter* done = nullptr;
+    obs::Counter* failed = nullptr;
+    obs::Histogram* bytes_to_peer = nullptr;
+    obs::Histogram* rounds = nullptr;
+    obs::Histogram* cpu_us = nullptr;  ///< per-call encode/round CPU
+  };
+
+  [[nodiscard]] const BackendCells& cells(BackendId b) const noexcept {
+    const auto i = static_cast<std::size_t>(b);
+    return obs_cells_[i < obs_cells_.size() ? i : 0];
+  }
+
+  void bind_metrics(obs::MetricsRegistry& m) {
+    for (std::uint8_t wire = 1; wire <= 4; ++wire) {
+      const auto id = static_cast<BackendId>(wire);
+      const obs::Labels labels{{"backend", backend_name(id)}};
+      BackendCells& c = obs_cells_[wire];
+      c.opened = &m.counter("riblt_sessions_opened_total",
+                            "Sessions accepted at HELLO", labels);
+      c.done = &m.counter("riblt_sessions_done_total",
+                          "Sessions retired after a client DONE", labels);
+      c.failed = &m.counter("riblt_sessions_failed_total",
+                            "Sessions retired failed/aborted", labels);
+      c.bytes_to_peer =
+          &m.histogram("riblt_session_bytes_to_peer",
+                       "SYMBOLS bytes emitted per retired session", labels);
+      c.rounds = &m.histogram("riblt_session_rounds",
+                              "Round escalations per retired session",
+                              labels);
+      c.cpu_us = &m.histogram(
+          "riblt_serve_cpu_us",
+          "Serving-side encode/round CPU per call (microseconds; emit() "
+          "calls sampled 1-in-8)",
+          labels);
+    }
+    obs_reaped_ =
+        &m.counter("riblt_sessions_reaped_total", "Idle sessions reclaimed");
+    obs_evicted_ = &m.counter("riblt_sessions_evicted_total",
+                              "Oldest-idle sessions shed at the cap");
+    // No live-session gauge here: scrape-time composition already exports
+    // riblt_engine_sessions_active from EngineTotals, so the hot open path
+    // stays at one counter increment.
+    obs_journal_ = &m.gauge("riblt_cache_journal_depth",
+                            "Churn ops retained for open snapshots");
+    cache_->bind_metrics(
+        &m.histogram("riblt_cache_gate_wait_us",
+                     "ExclusiveGate acquire+drain wait (microseconds)"),
+        &m.histogram("riblt_cache_compact_us",
+                     "Coding-window compaction duration (microseconds)"),
+        &m.counter("riblt_cache_compactions_total",
+                   "Coding-window compactions run"));
+  }
+
+  /// `ts_hint` lets call sites that already computed now_s() skip a
+  /// second clock read (the HELLO hot path cares); NaN = read the clock.
+  void trace(obs::TraceKind kind, std::uint64_t sid, BackendId backend,
+             std::uint64_t a = 0, std::uint64_t b = 0,
+             double ts_hint = std::numeric_limits<double>::quiet_NaN()) {
+    if (options_.tracer == nullptr) return;
+    obs::TraceEvent ev;
+    ev.ts_s = std::isnan(ts_hint) ? now_s() : ts_hint;
+    ev.session_id = sid;
+    ev.kind = kind;
+    ev.backend = static_cast<std::uint8_t>(backend);
+    ev.a = a;
+    ev.b = b;
+    options_.tracer->record(ev);
+  }
+
+  /// Steady-clock microseconds (CPU-ish timing for serve histograms;
+  /// only read when the corresponding handle is bound).
+  [[nodiscard]] static std::uint64_t steady_us() noexcept {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now().time_since_epoch())
+            .count());
   }
 
   /// One probe-digest replica per ingest lane (adaptive d estimation),
@@ -1009,6 +1273,12 @@ class SyncEngine {
   MovableCounter items_added_;
   MovableCounter items_removed_;
   adaptive::PeerEwma peer_ewma_;  ///< per-peer diff history (adaptive)
+  /// Registry handles (null = untapped); see bind_metrics().
+  std::array<BackendCells, 5> obs_cells_{};
+  std::uint64_t obs_cpu_sample_ = 0;  ///< 1-in-8 serve-CPU sampling phase
+  obs::Counter* obs_reaped_ = nullptr;
+  obs::Counter* obs_evicted_ = nullptr;
+  obs::Gauge* obs_journal_ = nullptr;
 };
 
 /// Client side of one engine session: produces HELLO, absorbs SYMBOLS,

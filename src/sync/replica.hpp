@@ -55,6 +55,7 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "obs/prom.hpp"
 #include "sync/engine.hpp"
 
 namespace ribltx::sync {
@@ -113,6 +114,49 @@ struct ReplicaStats {
   EngineTotals engine;  ///< serving-side roll-up (reaps/evictions included)
 };
 
+/// Appends the replica roll-up as synthetic snapshot families (the thin
+/// view over ReplicaStats), including per-peer health rows labeled by
+/// peer id -- staleness surfaces as riblt_replica_peer_last_success_s so
+/// a scraper computes "now - last_success" on its own clock.
+inline void append_replica_stats(obs::MetricsSnapshot& snap,
+                                 const ReplicaStats& s,
+                                 obs::Labels labels = {}) {
+  snap.add_counter("riblt_replica_rounds_attempted_total",
+                   "Outbound anti-entropy rounds opened", s.rounds_attempted,
+                   labels);
+  snap.add_counter("riblt_replica_rounds_converged_total",
+                   "Rounds that completed and applied their diff",
+                   s.rounds_converged, labels);
+  snap.add_counter("riblt_replica_rounds_aborted_total",
+                   "Failed + deadline-aborted + link-down rounds",
+                   s.rounds_aborted, labels);
+  snap.add_counter("riblt_replica_retries_total",
+                   "Rounds opened while a backoff was pending", s.retries,
+                   labels);
+  snap.add_counter("riblt_replica_items_applied_total",
+                   "Items learned through anti-entropy", s.items_applied,
+                   labels);
+  snap.add_counter("riblt_replica_restarts_total",
+                   "Crash/restart cycles", s.restarts, labels);
+  append_engine_totals(snap, s.engine, labels);
+  for (const ReplicaPeerStats& p : s.peers) {
+    obs::Labels l = labels;
+    l.emplace_back("peer", std::to_string(p.peer_id));
+    snap.add_gauge("riblt_replica_peer_backoff_ms",
+                   "Current retry delay toward this peer (0 = healthy)",
+                   static_cast<std::int64_t>(p.backoff_s * 1000.0), l);
+    snap.add_gauge("riblt_replica_peer_failures",
+                   "Consecutive failed rounds toward this peer",
+                   static_cast<std::int64_t>(p.failures), l);
+    snap.add_counter("riblt_replica_peer_converged_total",
+                     "Converged rounds with this peer", p.converged, l);
+    snap.add_gauge(
+        "riblt_replica_peer_last_success_s",
+        "Caller-clock time of the last converged round (-1 = never)",
+        static_cast<std::int64_t>(p.last_success), l);
+  }
+}
+
 template <Symbol T, typename Hasher = SipHasher<T>>
 class Replica {
  public:
@@ -142,6 +186,22 @@ class Replica {
       eng.clock = [this] { return now_; };
     }
     engine_ = std::make_unique<SyncEngine<T, Hasher>>(hasher_, eng);
+    // The engine already registered its cells against the same registry;
+    // these are the scheduler-tier additions. The caller clock may be
+    // simulated, so the gap histogram is "caller microseconds".
+    if (options_.engine.metrics != nullptr) {
+      const obs::Labels l{
+          {"replica", std::to_string(options_.replica_id)}};
+      obs_round_gap_us_ = &options_.engine.metrics->histogram(
+          "riblt_replica_round_gap_us",
+          "Gap between successive converged rounds per peer "
+          "(caller-clock microseconds)",
+          l);
+      obs_backoff_ms_ = &options_.engine.metrics->histogram(
+          "riblt_replica_backoff_ms",
+          "Retry backoff scheduled after an aborted round (milliseconds)",
+          l);
+    }
   }
 
   Replica(const Replica&) = delete;
@@ -226,6 +286,12 @@ class Replica {
         } else if (serving_.count(sid) != 0) {
           serve_frame(peer, sid, frame);
         }
+        break;
+      case v2::FrameType::kAdmin:
+        // Observability tap: a peer (or an operator riding a peer link)
+        // can scrape this replica in-band, same verbs as the socket
+        // servers. Answered here, never handed to the engine.
+        admin_frame(peer, sid, frame);
         break;
       default:
         break;  // unknown type: drop (the engine would reject it anyway)
@@ -471,6 +537,38 @@ class Replica {
     return {serving_.begin(), serving_.end()};
   }
 
+  /// Answers one in-band ADMIN verb over the peer's link (the replica's
+  /// scrape endpoint; mirrors the socket servers' handle_admin).
+  void admin_frame(Peer& peer, std::uint64_t sid,
+                   std::span<const std::byte> frame) {
+    std::string verb;
+    try {
+      verb = v2::error_text(v2::parse_frame(frame));  // payload as text
+    } catch (const ProtocolError&) {
+      (void)send_to(peer, v2::make_error_frame(sid, "malformed ADMIN"));
+      return;
+    }
+    std::string body;
+    obs::MetricsRegistry* const m = options_.engine.metrics;
+    if ((verb == "METRICS" || verb == "METRICS_JSON") && m != nullptr) {
+      obs::MetricsSnapshot snap = m->snapshot();
+      append_replica_stats(
+          snap, stats(),
+          {{"replica", std::to_string(options_.replica_id)}});
+      body = verb == "METRICS" ? obs::prometheus_text(snap)
+                               : obs::json_text(snap);
+    } else if (verb == "TRACE" && options_.engine.tracer != nullptr) {
+      body = options_.engine.tracer->chrome_json();
+    } else {
+      (void)send_to(peer, v2::make_error_frame(
+                              sid, "unsupported ADMIN verb: " + verb));
+      return;
+    }
+    for (auto& reply : v2::make_admin_reply(sid, body)) {
+      if (!send_to(peer, std::move(reply))) return;
+    }
+  }
+
   // ------------------------------------------------------------- client side
 
   void client_frame(Peer& peer, std::uint64_t sid,
@@ -538,6 +636,11 @@ class Replica {
       peer.failures = 0;
       peer.backoff_s = 0;
       ++peer.converged;
+      if (obs_round_gap_us_ != nullptr && peer.last_success >= 0 &&
+          now_ > peer.last_success) {
+        obs_round_gap_us_->record(
+            static_cast<std::uint64_t>((now_ - peer.last_success) * 1e6));
+      }
       peer.last_success = now_;
       ++rounds_converged_;
       peer.next_attempt = now_ + jittered(options_.sync_interval_s);
@@ -559,6 +662,10 @@ class Replica {
                          ? options_.backoff_base_s
                          : std::min(2.0 * peer.backoff_s,
                                     options_.backoff_cap_s);
+    if (obs_backoff_ms_ != nullptr) {
+      obs_backoff_ms_->record(
+          static_cast<std::uint64_t>(peer.backoff_s * 1000.0));
+    }
     peer.next_attempt = now_ + jittered(peer.backoff_s);
     if (notify_server) {
       (void)send_to(peer, v2::make_error_frame(sid, reason));
@@ -583,6 +690,9 @@ class Replica {
   std::uint64_t retries_ = 0;
   std::uint64_t items_applied_ = 0;
   std::uint64_t restarts_ = 0;
+  /// Registry handles (null = untapped); bound in the constructor.
+  obs::Histogram* obs_round_gap_us_ = nullptr;
+  obs::Histogram* obs_backoff_ms_ = nullptr;
 };
 
 }  // namespace ribltx::sync

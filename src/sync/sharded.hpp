@@ -105,6 +105,16 @@ class ShardedEngine {
       shard_options.shard_count = static_cast<std::uint32_t>(shard_count);
       shards_.push_back(std::make_unique<Shard>(hasher_, shard_options));
     }
+    // The per-shard engines each bind their cells against the same
+    // registry; dedup on (name, labels) makes those process-wide, so the
+    // roll-up stays additive across shards. The router adds one family of
+    // its own: inbox depth per worker wakeup (the queue the serving
+    // threads feed and the shard workers drain).
+    if (options.metrics != nullptr) {
+      obs_inbox_depth_ = &options.metrics->histogram(
+          "riblt_shard_inbox_depth",
+          "Frames drained per shard worker wakeup (non-empty drains)");
+    }
   }
 
   ~ShardedEngine() { stop(); }
@@ -249,6 +259,16 @@ class ShardedEngine {
   }
 
   /// Locks each shard in turn and aggregates items/sessions/bytes.
+  ///
+  /// Snapshot consistency: each PerShard row is exact at the instant its
+  /// shard lock was held (modulo the relaxed ingest counters documented
+  /// on SyncEngine::totals()), but the shards are sampled sequentially --
+  /// the cross-shard totals are a *smear*, not one instant. Every row is
+  /// internally consistent and monotone fields never run backwards
+  /// between successive calls; invariants that span shards (e.g.
+  /// sessions == done + failed + active summed across shards) can be
+  /// transiently off while workers retire sessions mid-walk. Same
+  /// bracketing contract as obs::MetricsRegistry::snapshot().
   [[nodiscard]] ShardedStats stats() const {
     ShardedStats out;
     out.shards.reserve(shards_.size());
@@ -351,6 +371,11 @@ class ShardedEngine {
         if (sh.stop) return;
         batch.clear();
         batch.swap(sh.inbox);
+        // Empty drains (maintenance ticks, streaming rounds) are skipped
+        // so the histogram reflects queueing, not the wakeup cadence.
+        if (obs_inbox_depth_ != nullptr && !batch.empty()) {
+          obs_inbox_depth_->record(batch.size());
+        }
         for (const auto& frame : batch) {
           try {
             for (auto& reply : sh.engine.handle_frame(frame)) {
@@ -424,6 +449,7 @@ class ShardedEngine {
   std::unordered_map<std::uint64_t, std::size_t> routes_;  ///< sid -> shard
   Sink sink_;
   std::atomic<bool> running_{false};
+  obs::Histogram* obs_inbox_depth_ = nullptr;  ///< null = untapped
 };
 
 /// Client-side counterpart: splits one local set across K per-shard
