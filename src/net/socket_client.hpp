@@ -10,6 +10,7 @@
 // exactly like they multiplex over the in-memory router.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <cstddef>
 #include <optional>
@@ -79,15 +80,24 @@ bool run_session(SocketClient& sock, sync::SyncClient<T, Hasher>& client,
 /// request and reply (any nonzero value; no session is created). Frames
 /// for other sessions interleaved on this connection are skipped. Throws
 /// ProtocolError when the server answers with an in-band ERROR (unknown
-/// verb / tap not configured); nullopt on deadline.
+/// verb / tap not configured); nullopt on deadline. `timeout_s` bounds
+/// the WHOLE scrape (an absolute deadline), so steady interleaved
+/// session traffic on the connection cannot stretch it unboundedly.
 inline std::optional<std::string> scrape(SocketClient& sock,
                                          std::string_view verb,
                                          std::uint64_t session_id = 1,
                                          double timeout_s = 30.0) {
   sock.send_frame(sync::v2::make_admin_frame(session_id, verb));
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(timeout_s);
   std::string body;
   for (;;) {
-    auto raw = sock.recv_frame(timeout_s);
+    const double remaining =
+        std::chrono::duration<double>(deadline -
+                                      std::chrono::steady_clock::now())
+            .count();
+    if (remaining <= 0) return std::nullopt;  // deadline
+    auto raw = sock.recv_frame(remaining);
     if (!raw) return std::nullopt;  // deadline
     if (sync::v2::peek_session_id(*raw) != session_id) continue;
     const sync::v2::Frame frame = sync::v2::parse_frame(*raw);

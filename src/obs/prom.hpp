@@ -149,9 +149,14 @@ inline void write_histogram(PromWriter& w, std::string_view name,
   for (std::size_t i = 0; i < h.buckets.size(); ++i) {
     if (h.buckets[i] == 0) continue;
     cum += h.buckets[i];
+    // Prometheus `le` is an INCLUSIVE upper bound, while bucket_upper
+    // is one past the largest contained value; recorded values are
+    // integers, so the largest value counted by this bucket is
+    // upper - 1 (the top bucket saturates: its upper IS its largest).
+    const std::uint64_t upper = HistogramLayout::bucket_upper(i);
+    const std::uint64_t le_value = upper == ~0ull ? upper : upper - 1;
     char le[32];
-    std::snprintf(le, sizeof le, "%" PRIu64,
-                  HistogramLayout::bucket_upper(i));
+    std::snprintf(le, sizeof le, "%" PRIu64, le_value);
     w.bucket(name, labels, le, cum);
   }
   w.bucket(name, labels, "+Inf", total);

@@ -2,17 +2,25 @@
 // per-thread lock-free ring buffers, exported as chrome://tracing JSON.
 //
 // Write path: one thread owns each ring (threads self-register on first
-// record; registration takes the tracer mutex once per thread, then the
-// ring pointer is cached thread_local). A record is a slot store plus a
-// release head bump -- no locks, no fences beyond the release, safe
-// from shard workers and the uring serving thread.
+// record; registration takes the tracer mutex once per thread per
+// tracer, then the ring pointer is cached in a thread_local map keyed
+// on the tracer's process-unique id -- never its address, so a tracer
+// constructed where a destroyed one lived cannot alias a stale ring,
+// and a thread alternating between live tracers reuses one ring per
+// tracer). A record is a sequence of relaxed per-field atomic slot
+// stores plus a release head bump -- no locks, safe from shard workers
+// and the uring serving thread.
 //
 // Read path (export/snapshot): acquire-loads each ring's head and walks
-// the retained window. A writer that laps the reader mid-walk can tear
-// the oldest slots; the exporter revalidates head after copying and
-// drops any slot the writer could have overwritten during the walk, so
-// exported events are always real events (same bracketing contract as
-// the metrics snapshot: newest events win, oldest may be missing).
+// the retained window with relaxed per-field atomic loads (no data
+// race with a concurrent writer). A writer that laps the reader
+// mid-walk can tear the oldest slots; the exporter revalidates head
+// after copying and drops every slot the writer could have been
+// overwriting during the walk -- including the one slot below the lap
+// window that an in-flight record (slot stored, head not yet bumped)
+// occupies -- so exported events are always real events (same
+// bracketing contract as the metrics snapshot: newest events win,
+// oldest may be missing).
 //
 // Lifetime: rings live as long as the tracer; a Tracer must outlive
 // every thread that records into it (the same contract the engines'
@@ -27,6 +35,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 namespace ribltx::obs {
@@ -74,7 +83,7 @@ class Tracer {
  public:
   /// `capacity` events are retained per recording thread (newest win).
   explicit Tracer(std::size_t capacity = 4096)
-      : capacity_(capacity < 2 ? 2 : capacity) {}
+      : capacity_(capacity < 2 ? 2 : capacity), id_(next_tracer_id()) {}
 
   Tracer(const Tracer&) = delete;
   Tracer& operator=(const Tracer&) = delete;
@@ -84,7 +93,7 @@ class Tracer {
   void record(const TraceEvent& ev) {
     Ring& r = ring_for_thread();
     const std::uint64_t h = r.head.load(std::memory_order_relaxed);
-    r.slots[static_cast<std::size_t>(h % capacity_)] = ev;
+    store_slot(r.slots[static_cast<std::size_t>(h % capacity_)], ev);
     r.head.store(h + 1, std::memory_order_release);
   }
 
@@ -105,13 +114,17 @@ class Tracer {
       std::vector<TraceEvent> window;
       window.reserve(static_cast<std::size_t>(head - lo));
       for (std::uint64_t i = lo; i < head; ++i) {
-        window.push_back(r.slots[static_cast<std::size_t>(i % capacity_)]);
+        window.push_back(load_slot(r.slots[static_cast<std::size_t>(i % capacity_)]));
       }
       // Drop the prefix a concurrent writer could have lapped while we
       // copied: only slots >= the post-copy overwrite floor are surely
-      // intact copies of real events.
+      // intact copies of real events. The floor is one above the lap
+      // window because a record in flight at head2 has already stored
+      // into slot head2 % capacity -- the same physical slot as logical
+      // index head2 - capacity -- without bumping head yet.
       const std::uint64_t head2 = r.head.load(std::memory_order_acquire);
-      const std::uint64_t floor = head2 > capacity_ ? head2 - capacity_ : 0;
+      const std::uint64_t floor =
+          head2 + 1 > capacity_ ? head2 + 1 - capacity_ : 0;
       const std::uint64_t skip = floor > lo ? floor - lo : 0;
       for (std::uint64_t i = skip; i < window.size(); ++i) {
         TraceEvent ev = window[static_cast<std::size_t>(i)];
@@ -160,19 +173,74 @@ class Tracer {
     std::atomic<std::uint64_t> head{0};
   };
 
+  /// Process-unique, never reused: the thread_local ring cache keys on
+  /// this instead of the tracer's address, so a tracer constructed at a
+  /// destroyed tracer's address can never resolve to the dead ring.
+  [[nodiscard]] static std::uint64_t next_tracer_id() noexcept {
+    static std::atomic<std::uint64_t> n{0};
+    return n.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+
+  /// Slots are written and read with relaxed per-field atomics: a
+  /// reader walking the ring while a writer laps it sees each field as
+  /// some value actually stored (never a torn word); whole-event
+  /// staleness is handled by the exporter's overwrite-floor drop.
+  static void store_slot(TraceEvent& dst, const TraceEvent& src) noexcept {
+    std::atomic_ref<double>(dst.ts_s).store(src.ts_s,
+                                            std::memory_order_relaxed);
+    std::atomic_ref<std::uint64_t>(dst.session_id)
+        .store(src.session_id, std::memory_order_relaxed);
+    std::atomic_ref<std::uint64_t>(dst.a).store(src.a,
+                                                std::memory_order_relaxed);
+    std::atomic_ref<std::uint64_t>(dst.b).store(src.b,
+                                                std::memory_order_relaxed);
+    std::atomic_ref<TraceKind>(dst.kind).store(src.kind,
+                                               std::memory_order_relaxed);
+    std::atomic_ref<std::uint8_t>(dst.backend)
+        .store(src.backend, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] static TraceEvent load_slot(TraceEvent& src) noexcept {
+    TraceEvent out;
+    out.ts_s = std::atomic_ref<double>(src.ts_s).load(
+        std::memory_order_relaxed);
+    out.session_id = std::atomic_ref<std::uint64_t>(src.session_id)
+                         .load(std::memory_order_relaxed);
+    out.a = std::atomic_ref<std::uint64_t>(src.a).load(
+        std::memory_order_relaxed);
+    out.b = std::atomic_ref<std::uint64_t>(src.b).load(
+        std::memory_order_relaxed);
+    out.kind = std::atomic_ref<TraceKind>(src.kind).load(
+        std::memory_order_relaxed);
+    out.backend = std::atomic_ref<std::uint8_t>(src.backend)
+                      .load(std::memory_order_relaxed);
+    return out;
+  }
+
   [[nodiscard]] Ring& ring_for_thread() {
-    thread_local const Tracer* owner = nullptr;
-    thread_local Ring* cached = nullptr;
-    if (owner != this) {
+    // Single-entry fast path for the common one-tracer-per-thread case;
+    // the map behind it makes switching between live tracers reuse each
+    // tracer's ring instead of registering a new one per switch.
+    // Entries for destroyed tracers linger in the map (ids are never
+    // reused, so they can only miss) -- bounded by the number of
+    // tracers this thread ever recorded into.
+    thread_local std::uint64_t last_id = 0;
+    thread_local Ring* last_ring = nullptr;
+    if (last_id == id_) return *last_ring;
+    thread_local std::unordered_map<std::uint64_t, Ring*> by_tracer;
+    auto [it, inserted] = by_tracer.try_emplace(id_, nullptr);
+    if (inserted) {
       const std::lock_guard<std::mutex> lk(mu_);
       rings_.push_back(std::make_unique<Ring>(capacity_));
-      cached = rings_.back().get();
-      owner = this;
+      it->second = rings_.back().get();
     }
-    return *cached;
+    last_id = id_;
+    last_ring = it->second;
+    return *last_ring;
   }
 
   const std::size_t capacity_;
+  const std::uint64_t id_;
   mutable std::mutex mu_;
   std::deque<std::unique_ptr<Ring>> rings_;
 };

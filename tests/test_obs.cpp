@@ -8,6 +8,7 @@
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
@@ -252,6 +253,22 @@ TEST(Registry, SnapshotCarriesValuesAndSyntheticFamiliesCompose) {
   ASSERT_NE(json.find("\"p99\""), std::string::npos);
 }
 
+TEST(Registry, HistogramLeBoundsAreInclusive) {
+  // Regression: `le` was rendered as bucket_upper (one PAST the largest
+  // contained value), so an observation equal to a rendered boundary was
+  // excluded from its own cumulative bucket. A unit-width bucket holding
+  // value 6 must render le="6" and count 6 itself.
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("v", "values");
+  h.record(6);
+  h.record(64);  // bucket [64, 66): largest contained value is 65
+  const std::string text = prometheus_text(reg.snapshot());
+  ASSERT_NE(text.find("v_bucket{le=\"6\"} 1\n"), std::string::npos) << text;
+  ASSERT_NE(text.find("v_bucket{le=\"65\"} 2\n"), std::string::npos) << text;
+  ASSERT_NE(text.find("v_bucket{le=\"+Inf\"} 2\n"), std::string::npos);
+  ASSERT_EQ(lint_prometheus(text), "");
+}
+
 // ------------------------------------------------------------- tracer
 
 TEST(Tracer, RecordsAndExportsLifecycleEvents) {
@@ -295,7 +312,10 @@ TEST(Tracer, RingRetainsNewestAndMergesThreads) {
   for (auto& th : threads) th.join();
   ASSERT_EQ(tracer.ring_count(), 3u);
   const std::vector<TraceEvent> events = tracer.events();
-  ASSERT_EQ(events.size(), 3u * kCap);  // newest kCap per ring survive
+  // Newest kCap - 1 per ring survive: the exporter always sacrifices one
+  // slot to cover a possibly in-flight record (it cannot tell a
+  // quiescent ring from one with a store racing the head bump).
+  ASSERT_EQ(events.size(), 3u * (kCap - 1));
   // Per ring the retained window is the newest events in order.
   for (int t = 0; t < 3; ++t) {
     std::vector<std::uint64_t> ids;
@@ -304,10 +324,83 @@ TEST(Tracer, RingRetainsNewestAndMergesThreads) {
         ids.push_back(ev.session_id % 10000);
       }
     }
-    ASSERT_EQ(ids.size(), kCap);
+    ASSERT_EQ(ids.size(), kCap - 1);
     ASSERT_TRUE(std::is_sorted(ids.begin(), ids.end()));
     ASSERT_EQ(ids.back(), 999u);
   }
+}
+
+TEST(Tracer, SequentialTracersAtTheSameAddressDoNotAlias) {
+  // Regression: the per-thread ring cache was keyed on the tracer's
+  // address, so a tracer constructed where a destroyed one lived reused
+  // the dead tracer's freed ring (use-after-free). optional guarantees
+  // the same storage for both incarnations.
+  std::optional<Tracer> tracer;
+  tracer.emplace(16);
+  TraceEvent ev;
+  ev.session_id = 1;
+  ev.kind = TraceKind::kOpen;
+  tracer->record(ev);
+  ASSERT_EQ(tracer->ring_count(), 1u);
+  tracer.reset();
+  tracer.emplace(16);
+  ev.session_id = 2;
+  tracer->record(ev);  // must register a fresh ring, not write the old one
+  ASSERT_EQ(tracer->ring_count(), 1u);
+  const std::vector<TraceEvent> events = tracer->events();
+  ASSERT_EQ(events.size(), 1u);
+  ASSERT_EQ(events[0].session_id, 2u);
+}
+
+TEST(Tracer, AlternatingBetweenLiveTracersReusesRings) {
+  // Regression: switching tracers registered a brand-new ring on every
+  // switch, growing rings_ without bound.
+  Tracer a(16);
+  Tracer b(16);
+  TraceEvent ev;
+  ev.kind = TraceKind::kRound;
+  for (int i = 0; i < 100; ++i) {
+    ev.session_id = static_cast<std::uint64_t>(i);
+    a.record(ev);
+    b.record(ev);
+  }
+  ASSERT_EQ(a.ring_count(), 1u);
+  ASSERT_EQ(b.ring_count(), 1u);
+  ASSERT_EQ(a.events().size(), 15u);  // capacity - 1 retained
+  ASSERT_EQ(b.events().size(), 15u);
+}
+
+TEST(Tracer, ConcurrentScrapeExportsOnlyRealEvents) {
+  // Writers lap a tiny ring while the exporter walks it; every exported
+  // event must be a real recorded event, never a torn mix of two (the
+  // per-field tag invariant below breaks on any cross-event mix). Also
+  // the TSan job's race check for record() vs events().
+  Tracer tracer(8);
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 2; ++t) {
+    writers.emplace_back([&tracer, &stop, t] {
+      std::uint64_t i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        TraceEvent ev;
+        ev.session_id = (static_cast<std::uint64_t>(t) << 32) | i;
+        ev.a = ev.session_id ^ 0x5a5a5a5a5a5a5a5aull;
+        ev.b = ~ev.session_id;
+        ev.kind = TraceKind::kCredit;
+        tracer.record(ev);
+        ++i;
+      }
+    });
+  }
+  for (int round = 0; round < 200; ++round) {
+    for (const TraceEvent& ev : tracer.events()) {
+      ASSERT_EQ(ev.a, ev.session_id ^ 0x5a5a5a5a5a5a5a5aull);
+      ASSERT_EQ(ev.b, ~ev.session_id);
+      ASSERT_EQ(ev.kind, TraceKind::kCredit);
+    }
+  }
+  stop.store(true);
+  for (auto& th : writers) th.join();
 }
 
 // ----------------------------------------- engine instrumentation wiring
